@@ -1,0 +1,88 @@
+//! Scaled-down end-to-end benches: one per reproduced figure family.
+//!
+//! These do not assert result values (the experiment harness and the test
+//! suite do); they track the wall-clock cost of regenerating each figure,
+//! so a simulator performance regression is caught where it hurts —
+//! 200+ simulation runs per full `sg-experiments` invocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sg_bench::BenchScenario;
+use sg_controllers::{
+    CaladanFactory, OracleConfig, OracleFactory, OracleKnowledge, PartiesFactory,
+    SurgeGuardFactory,
+};
+use sg_core::time::{SimDuration, SimTime};
+use sg_loadgen::short_surge;
+use sg_sim::runner::Simulation;
+use std::hint::black_box;
+
+fn bench_fig11_style(c: &mut Criterion) {
+    let sc = BenchScenario::chain_surge();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("parties", |b| {
+        b.iter(|| black_box(sc.run(&PartiesFactory::default(), 1)))
+    });
+    g.bench_function("caladan", |b| {
+        b.iter(|| black_box(sc.run(&CaladanFactory::default(), 1)))
+    });
+    g.bench_function("surgeguard", |b| {
+        b.iter(|| black_box(sc.run(&SurgeGuardFactory::full(), 1)))
+    });
+    g.finish();
+}
+
+fn bench_fig10_style(c: &mut Criterion) {
+    let sc = BenchScenario::chain_surge();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("short_surges_full_sg", |b| {
+        let pattern = short_surge(
+            sc.pw.base_rate,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(100),
+        );
+        b.iter(|| {
+            let mut cfg = sc.pw.cfg.clone();
+            cfg.end = SimTime::from_secs(4);
+            cfg.measure_start = SimTime::from_secs(1);
+            let arrivals = pattern.arrivals(SimTime::ZERO, SimTime::from_secs(4));
+            black_box(Simulation::new(cfg, &SurgeGuardFactory::full(), arrivals).run())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig04_style(c: &mut Criterion) {
+    let sc = BenchScenario::chain_surge();
+    let mut g = c.benchmark_group("fig04");
+    g.sample_size(10);
+    g.bench_function("oracle_delay_sweep", |b| {
+        let surge_start = SimTime::from_secs(2);
+        let surge_end = SimTime::from_secs(3);
+        let knowledge = OracleKnowledge {
+            work: sc.pw.cfg.graph.services.iter().map(|s| s.work_mean).collect(),
+        };
+        b.iter(|| {
+            for delay_ms in [1u64, 200] {
+                let factory = OracleFactory {
+                    cfg: OracleConfig {
+                        surge_start,
+                        surge_end,
+                        spike_rate: sc.pw.base_rate * 2.0,
+                        base_rate: sc.pw.base_rate,
+                        delay: SimDuration::from_millis(delay_ms),
+                        utilization: 0.75,
+                        interval: SimDuration::from_millis(1),
+                    },
+                    knowledge: knowledge.clone(),
+                };
+                black_box(sc.run(&factory, 1));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11_style, bench_fig10_style, bench_fig04_style);
+criterion_main!(benches);

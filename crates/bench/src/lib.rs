@@ -1,0 +1,73 @@
+//! # sg-bench — benchmark support
+//!
+//! Shared scaled-down configurations for the criterion benches. Two bench
+//! targets exist:
+//!
+//! * `micro` — hot-path costs the paper reports in §VI-D: per-packet
+//!   slack inspection (0.26 µs on their testbed), work-queue handoff
+//!   (0.44 µs), the off-path frequency update (2.1 µs), plus the
+//!   surrounding data structures.
+//! * `figures` — one scaled-down end-to-end run per reproduced figure,
+//!   tracking the wall-clock cost of regenerating each result.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use sg_core::time::{SimDuration, SimTime};
+use sg_loadgen::SpikePattern;
+use sg_sim::controller::ControllerFactory;
+use sg_sim::runner::{RunResult, Simulation};
+use sg_workloads::{prepare, CalibrationOptions, PreparedWorkload, Workload};
+
+/// A short calibrated scenario reused across the figure benches.
+pub struct BenchScenario {
+    /// The calibrated workload.
+    pub pw: PreparedWorkload,
+    /// Surge pattern under test.
+    pub pattern: SpikePattern,
+    /// Simulated horizon.
+    pub horizon: SimTime,
+}
+
+impl BenchScenario {
+    /// CHAIN with 1.75× surges, 6 s horizon — small enough for criterion
+    /// iteration, large enough to exercise every code path.
+    pub fn chain_surge() -> Self {
+        let pw = prepare(Workload::Chain, 1, CalibrationOptions::default());
+        let pattern = SpikePattern {
+            base_rate: pw.base_rate,
+            spike_rate: pw.base_rate * 1.75,
+            spike_len: SimDuration::from_secs(1),
+            period: SimDuration::from_secs(3),
+            first_spike: SimTime::from_secs(2),
+        };
+        BenchScenario {
+            pw,
+            pattern,
+            horizon: SimTime::from_secs(6),
+        }
+    }
+
+    /// Run the scenario under `factory` with a fixed seed.
+    pub fn run(&self, factory: &dyn ControllerFactory, seed: u64) -> RunResult {
+        let mut cfg = self.pw.cfg.clone();
+        cfg.end = self.horizon + SimDuration::from_millis(100);
+        cfg.measure_start = SimTime::from_secs(1);
+        cfg.seed = seed;
+        let arrivals = self.pattern.arrivals(SimTime::ZERO, self.horizon);
+        Simulation::new(cfg, factory, arrivals).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_sim::controller::NoopFactory;
+
+    #[test]
+    fn bench_scenario_runs() {
+        let sc = BenchScenario::chain_surge();
+        let r = sc.run(&NoopFactory, 1);
+        assert!(r.completed > 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # sg-controllers — the evaluated resource controllers
+//!
+//! Per-node vertical-scaling controllers plugged into the `sg-sim`
+//! harness, matching the paper's §V line-up:
+//!
+//! * [`surgeguard`] — the paper's contribution: FirstResponder (per-packet
+//!   slack → instant frequency boost) + Escalator (threading-model- and
+//!   sensitivity-aware core allocation), with ablation switches.
+//! * [`parties`] — the Parties baseline: 500 ms interval, per-container
+//!   raw-latency slack, one resource unit at a time.
+//! * [`caladan`] — CaladanAlgo: congestion-driven hyperthread granting
+//!   using `queueBuildup` as its congestion signal (as in §V).
+//! * [`oracle`] — the idealized detection-delay controller behind Fig. 4.
+//! * [`centralized`] — an ML-class centralized controller (Sage/Sinan
+//!   stand-in: global view, >1 s decision pipeline) and the §VII hybrid
+//!   that pairs it with SurgeGuard.
+//!
+//! `sg_sim::NoopFactory` provides the static-allocation baseline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod caladan;
+pub mod centralized;
+pub mod oracle;
+pub mod parties;
+pub mod surgeguard;
+
+pub use caladan::{Caladan, CaladanConfig, CaladanFactory};
+pub use centralized::{Centralized, CentralizedConfig, CentralizedFactory, Hybrid, HybridFactory};
+pub use oracle::{Oracle, OracleConfig, OracleFactory, OracleKnowledge};
+pub use parties::{Parties, PartiesConfig, PartiesFactory};
+pub use surgeguard::{SurgeGuard, SurgeGuardConfig, SurgeGuardFactory};

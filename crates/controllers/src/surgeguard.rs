@@ -1,0 +1,378 @@
+//! The complete SurgeGuard controller: FirstResponder on the packet hook
+//! plus Escalator on the decision cycle (paper §IV, Fig. 7).
+//!
+//! One instance runs per node and sees only node-local state; cross-node
+//! coordination happens exclusively through the `pkt.upscale` hints that
+//! piggyback on application RPCs — the decentralization property of
+//! Fig. 1.
+//!
+//! The ablation switches reproduce the paper's component analyses:
+//!
+//! * `enable_firstresponder = false` → "Escalator alone" (Fig. 10);
+//! * `escalator.use_new_metrics` / `escalator.use_sensitivity` → the four
+//!   Fig. 15 configurations (Parties-base, +metrics, +sensitivity, full
+//!   Escalator).
+
+use sg_core::config::ContainerParams;
+use sg_core::escalator::{Escalator, EscalatorObservation};
+use sg_core::firstresponder::{FirstResponder, FirstResponderConfig};
+use sg_core::ids::ContainerId;
+use sg_core::metadata::RpcMetadata;
+use sg_core::score::ContainerObservation;
+use sg_core::time::{SimDuration, SimTime};
+use sg_core::{AllocAction, EscalatorConfig};
+use sg_sim::controller::{ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of the full controller.
+#[derive(Debug, Clone)]
+pub struct SurgeGuardConfig {
+    /// Escalator thresholds and ablation switches.
+    pub escalator: EscalatorConfig,
+    /// Escalator decision-cycle period.
+    pub escalator_interval: SimDuration,
+    /// Enable the per-packet fast path.
+    pub enable_firstresponder: bool,
+    /// Minimum FirstResponder cooldown window (the nominal window is 2×
+    /// the profiled end-to-end latency).
+    pub min_cooldown: SimDuration,
+}
+
+impl Default for SurgeGuardConfig {
+    fn default() -> Self {
+        SurgeGuardConfig {
+            escalator: EscalatorConfig::default(),
+            // Escalator reuses the Parties ALLOCATION ALGORITHM but runs
+            // its own, finer decision cycle — the paper's Table I places
+            // SurgeGuard's slow path well under Parties' 500 ms, and the
+            // §VI-B claim that Escalator alone captures almost all of
+            // SurgeGuard's long-surge benefit requires sub-surge reaction
+            // time. FirstResponder covers everything faster than this.
+            escalator_interval: SimDuration::from_millis(100),
+            enable_firstresponder: true,
+            min_cooldown: SimDuration::from_micros(500),
+        }
+    }
+}
+
+/// The per-node SurgeGuard instance.
+pub struct SurgeGuard {
+    cfg: SurgeGuardConfig,
+    fr: Option<FirstResponder>,
+    escalator: Escalator,
+    params: HashMap<ContainerId, ContainerParams>,
+    local_downstream: HashMap<ContainerId, Vec<ContainerId>>,
+    /// Containers whose egress hint is currently set (to emit clears).
+    hinted: HashSet<ContainerId>,
+}
+
+impl SurgeGuard {
+    /// Build from the node description.
+    pub fn new(cfg: SurgeGuardConfig, init: &NodeInit) -> Self {
+        let n = init.max_container_id + 1;
+        let fr = cfg.enable_firstresponder.then(|| {
+            let mut expected = vec![None; n];
+            let mut downstream = vec![Vec::new(); n];
+            for c in &init.containers {
+                expected[c.id.index()] = Some(c.params.expected_time_from_start);
+                downstream[c.id.index()] = c.local_downstream.clone();
+            }
+            let cooldown = (init.e2e_low_load * 2).max(cfg.min_cooldown);
+            FirstResponder::new(FirstResponderConfig {
+                expected_time_from_start: expected,
+                local_downstream: downstream,
+                cooldown,
+                max_freq_level: init.freq_table.max_level(),
+            })
+        });
+        let mut escalator = Escalator::new(
+            cfg.escalator,
+            init.constraints,
+            init.freq_table.clone(),
+            init.max_container_id,
+        );
+        // The calibrated initial allocation is the foreground baseline;
+        // revocation returns surge grants to the node's spare pool but
+        // never below it.
+        escalator.set_floors(init.containers.iter().map(|c| (c.id, c.initial.cores)));
+        SurgeGuard {
+            cfg,
+            fr,
+            escalator,
+            params: init.containers.iter().map(|c| (c.id, c.params)).collect(),
+            local_downstream: init
+                .containers
+                .iter()
+                .map(|c| (c.id, c.local_downstream.clone()))
+                .collect(),
+            hinted: HashSet::new(),
+        }
+    }
+
+    /// Diagnostics: FirstResponder boost count.
+    pub fn fr_boosts(&self) -> u64 {
+        self.fr.as_ref().map_or(0, |f| f.boosts_issued())
+    }
+}
+
+impl Controller for SurgeGuard {
+    fn name(&self) -> &'static str {
+        "surgeguard"
+    }
+
+    fn tick_interval(&self) -> SimDuration {
+        self.cfg.escalator_interval
+    }
+
+    fn on_packet(
+        &mut self,
+        now: SimTime,
+        dest: ContainerId,
+        meta: RpcMetadata,
+    ) -> Vec<ControlAction> {
+        let Some(fr) = &mut self.fr else {
+            return Vec::new();
+        };
+        match fr.on_packet(dest, meta, now) {
+            Some(boost) => boost
+                .targets
+                .into_iter()
+                .map(|id| ControlAction::SetFreq {
+                    id,
+                    level: boost.level,
+                })
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn on_tick(&mut self, _now: SimTime, snapshot: &NodeSnapshot) -> Vec<ControlAction> {
+        let inputs: Vec<EscalatorObservation> = snapshot
+            .containers
+            .iter()
+            .map(|c| EscalatorObservation {
+                obs: ContainerObservation {
+                    id: c.id,
+                    metrics: c.metrics,
+                    params: self.params[&c.id],
+                    local_downstream: self.local_downstream[&c.id].clone(),
+                },
+                alloc: c.alloc,
+            })
+            .collect();
+        let decision = self.escalator.decide(&inputs, self.cfg.escalator_interval);
+
+        let mut actions: Vec<ControlAction> = decision
+            .actions
+            .into_iter()
+            .map(|a| match a {
+                AllocAction::SetCores { id, cores } => ControlAction::SetCores { id, cores },
+                AllocAction::SetFreq { id, level } => ControlAction::SetFreq { id, level },
+            })
+            .collect();
+
+        // Refresh egress hints: set for this cycle's queue-builders, clear
+        // the ones that recovered.
+        let new_hints: HashSet<ContainerId> = decision.set_hint.iter().copied().collect();
+        for &id in &new_hints {
+            actions.push(ControlAction::SetEgressHint {
+                id,
+                hops: self.cfg.escalator.upscale_hops,
+            });
+        }
+        for &id in self.hinted.difference(&new_hints) {
+            actions.push(ControlAction::SetEgressHint { id, hops: 0 });
+        }
+        self.hinted = new_hints;
+
+        actions
+    }
+}
+
+/// Factory for [`SurgeGuard`].
+#[derive(Debug, Clone, Default)]
+pub struct SurgeGuardFactory {
+    /// Controller configuration (shared by every node's instance).
+    pub cfg: SurgeGuardConfig,
+}
+
+impl SurgeGuardFactory {
+    /// The full controller (FirstResponder + Escalator).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Escalator without the fast path (the Fig. 10 comparison arm).
+    pub fn escalator_only() -> Self {
+        SurgeGuardFactory {
+            cfg: SurgeGuardConfig {
+                enable_firstresponder: false,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Fig. 15 ablations over the Parties base allocator.
+    pub fn ablation(use_new_metrics: bool, use_sensitivity: bool) -> Self {
+        SurgeGuardFactory {
+            cfg: SurgeGuardConfig {
+                enable_firstresponder: false,
+                escalator: EscalatorConfig {
+                    use_new_metrics,
+                    use_sensitivity,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        }
+    }
+}
+
+impl ControllerFactory for SurgeGuardFactory {
+    fn name(&self) -> &'static str {
+        "surgeguard"
+    }
+
+    fn make(&self, init: NodeInit) -> Box<dyn Controller> {
+        Box::new(SurgeGuard::new(self.cfg.clone(), &init))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::allocator::{AllocConstraints, ContainerAlloc, FreqTable};
+    use sg_core::ids::NodeId;
+    use sg_core::metrics::WindowMetrics;
+    use sg_core::time::SimTime;
+    use sg_sim::controller::{ContainerInit, ContainerSnapshot};
+
+    fn init() -> NodeInit {
+        // Two-container chain on one node: c0 → c1.
+        NodeInit {
+            node: NodeId(0),
+            containers: vec![
+                ContainerInit {
+                    id: ContainerId(0),
+                    service: sg_core::ids::ServiceId(0),
+                    name: "c0".into(),
+                    params: ContainerParams {
+                        expected_exec_metric: SimDuration::from_micros(1000),
+                        expected_time_from_start: SimDuration::from_micros(500),
+                    },
+                    local_downstream: vec![ContainerId(1)],
+                    initial: ContainerAlloc {
+                        id: ContainerId(0),
+                        cores: 4,
+                        freq_level: 0,
+                    },
+                },
+                ContainerInit {
+                    id: ContainerId(1),
+                    service: sg_core::ids::ServiceId(1),
+                    name: "c1".into(),
+                    params: ContainerParams {
+                        expected_exec_metric: SimDuration::from_micros(1000),
+                        expected_time_from_start: SimDuration::from_micros(2000),
+                    },
+                    local_downstream: vec![],
+                    initial: ContainerAlloc {
+                        id: ContainerId(1),
+                        cores: 4,
+                        freq_level: 0,
+                    },
+                },
+            ],
+            constraints: AllocConstraints {
+                total_cores: 16,
+                min_cores: 2,
+                max_cores: 16,
+                core_step: 2,
+            },
+            freq_table: FreqTable::cascade_lake(),
+            e2e_low_load: SimDuration::from_millis(2),
+            max_container_id: 1,
+        }
+    }
+
+    fn snap(qb0: f64) -> NodeSnapshot {
+        NodeSnapshot {
+            node: NodeId(0),
+            containers: (0..2)
+                .map(|i| ContainerSnapshot {
+                    id: ContainerId(i),
+                    metrics: WindowMetrics {
+                        requests: 100,
+                        mean_exec_time: SimDuration::from_micros(
+                            (500.0 * if i == 0 { qb0 } else { 1.0 }) as u64,
+                        ),
+                        mean_exec_metric: SimDuration::from_micros(500),
+                        queue_buildup: if i == 0 { qb0 } else { 1.0 },
+                        upscale_hints: 0,
+                    },
+                    alloc: ContainerAlloc {
+                        id: ContainerId(i),
+                        cores: 4,
+                        freq_level: 0,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn late_packet_boosts_dest_and_local_downstream() {
+        let mut sg = SurgeGuard::new(SurgeGuardConfig::default(), &init());
+        let meta = RpcMetadata::new_job(SimTime::ZERO);
+        // c0 expects packets within 500us of job start; arrive at 5ms.
+        let a = sg.on_packet(SimTime::from_millis(5), ContainerId(0), meta);
+        assert_eq!(
+            a,
+            vec![
+                ControlAction::SetFreq {
+                    id: ContainerId(0),
+                    level: 8
+                },
+                ControlAction::SetFreq {
+                    id: ContainerId(1),
+                    level: 8
+                },
+            ]
+        );
+        assert_eq!(sg.fr_boosts(), 1);
+    }
+
+    #[test]
+    fn escalator_only_variant_has_no_fast_path() {
+        let mut sg = SurgeGuard::new(
+            SurgeGuardFactory::escalator_only().cfg.clone(),
+            &init(),
+        );
+        let meta = RpcMetadata::new_job(SimTime::ZERO);
+        assert!(sg
+            .on_packet(SimTime::from_secs(1), ContainerId(0), meta)
+            .is_empty());
+        assert_eq!(sg.fr_boosts(), 0);
+    }
+
+    #[test]
+    fn queue_buildup_sets_then_clears_egress_hints() {
+        let mut sg = SurgeGuard::new(SurgeGuardConfig::default(), &init());
+        // Cycle 1: c0 shows heavy queue buildup → hint set.
+        let a1 = sg.on_tick(SimTime::from_millis(100), &snap(3.0));
+        assert!(a1.contains(&ControlAction::SetEgressHint {
+            id: ContainerId(0),
+            hops: sg_core::metadata::DEFAULT_UPSCALE_HOPS,
+        }));
+        // Cycle 2: buildup gone → hint cleared exactly once.
+        let a2 = sg.on_tick(SimTime::from_millis(200), &snap(1.0));
+        assert!(a2.contains(&ControlAction::SetEgressHint {
+            id: ContainerId(0),
+            hops: 0,
+        }));
+        let a3 = sg.on_tick(SimTime::from_millis(300), &snap(1.0));
+        assert!(!a3
+            .iter()
+            .any(|a| matches!(a, ControlAction::SetEgressHint { .. })));
+    }
+}

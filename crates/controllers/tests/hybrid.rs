@@ -1,0 +1,140 @@
+//! Behavioural tests for the ML-class centralized controller and the
+//! §VII hybrid deployment.
+//!
+//! NOTE: `CentralizedFactory` shares one "inference server" (brain) among
+//! the node instances it creates, so every simulation run gets a fresh
+//! factory here — reusing one across concurrent runs would leak state
+//! between them.
+
+use sg_controllers::{CentralizedFactory, HybridFactory, SurgeGuardFactory};
+use sg_core::allocator::AllocConstraints;
+use sg_core::config::PROFILE_TARGET_FACTOR;
+use sg_core::time::{SimDuration, SimTime};
+use sg_loadgen::{RunReport, SpikePattern};
+use sg_sim::app::{linear_chain, ConnModel};
+use sg_sim::cluster::{Placement, SimConfig};
+use sg_sim::controller::ControllerFactory;
+use sg_sim::profile::profile_low_load;
+use sg_sim::runner::{RunResult, Simulation};
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_micros(v)
+}
+
+/// Downstream-bottlenecked pair (same scenario as behavior.rs).
+fn scenario() -> (SimConfig, f64, SimDuration) {
+    let graph = linear_chain("pair", &[us(600), us(1200)], ConnModel::PerRequest, 0.1);
+    let mut cfg = SimConfig::new(graph, Placement::single_node(2));
+    cfg.constraints = AllocConstraints {
+        total_cores: 20,
+        min_cores: 2,
+        max_cores: 20,
+        core_step: 2,
+    };
+    cfg.initial_cores = vec![4, 6];
+    cfg.seed = 31;
+    let outcome = profile_low_load(cfg.clone(), 300.0, SimDuration::from_secs(2), PROFILE_TARGET_FACTOR);
+    cfg.params = outcome.params;
+    cfg.e2e_low_load = outcome.e2e_mean;
+    let qos = outcome.e2e_p98.mul_f64(2.0);
+    (cfg, 3000.0, qos)
+}
+
+fn run(
+    cfg: &SimConfig,
+    factory: &dyn ControllerFactory,
+    pattern: &SpikePattern,
+    secs: u64,
+) -> RunResult {
+    let mut cfg = cfg.clone();
+    cfg.end = SimTime::from_secs(secs) + SimDuration::from_millis(200);
+    cfg.measure_start = SimTime::from_secs(3);
+    cfg.trace_allocations = true;
+    let arrivals = pattern.arrivals(SimTime::ZERO, SimTime::from_secs(secs));
+    Simulation::new(cfg, factory, arrivals).run()
+}
+
+fn vv(r: &RunResult, qos: SimDuration, secs: u64) -> f64 {
+    RunReport::from_points(
+        &r.points,
+        qos,
+        SimTime::from_secs(3),
+        SimTime::from_secs(secs),
+        r.avg_cores,
+        r.energy_j,
+    )
+    .violation_volume
+}
+
+#[test]
+fn centralized_rebaselines_to_sustained_load() {
+    // A sustained 1.5× load step: the ML controller must eventually
+    // re-baseline the bottleneck's allocation upward.
+    let (cfg, base, _qos) = scenario();
+    let pattern = SpikePattern {
+        base_rate: base,
+        spike_rate: base * 1.5,
+        spike_len: SimDuration::from_secs(60),
+        period: SimDuration::from_secs(1000),
+        first_spike: SimTime::from_secs(4),
+    };
+    let r = run(&cfg, &CentralizedFactory::default(), &pattern, 12);
+    let tr = r.alloc_trace.as_ref().unwrap();
+    let final_s1 = tr
+        .cores_at(
+            sg_core::ids::ContainerId(1),
+            &[SimTime::from_secs(11)],
+            6,
+        )[0];
+    assert!(
+        final_s1 > 6,
+        "ML controller must grow the bottleneck for sustained load, got {final_s1}"
+    );
+}
+
+#[test]
+fn centralized_is_too_slow_for_transient_surges() {
+    // The Table I point: 2 s surges are mostly over before the >1 s
+    // pipeline delivers a decision. The full SurgeGuard must beat the
+    // ML-class controller on surge QoS.
+    let (cfg, base, qos) = scenario();
+    let pattern = SpikePattern::periodic(base, 1.75, SimDuration::from_secs(2));
+    let secs = 24;
+    let r_ml = run(&cfg, &CentralizedFactory::default(), &pattern, secs);
+    let r_sg = run(&cfg, &SurgeGuardFactory::full(), &pattern, secs);
+    let (vv_ml, vv_sg) = (vv(&r_ml, qos, secs), vv(&r_sg, qos, secs));
+    assert!(
+        vv_sg < vv_ml,
+        "SurgeGuard {vv_sg} must beat the ML-class controller {vv_ml} on transients"
+    );
+}
+
+#[test]
+fn hybrid_beats_ml_alone_on_surges() {
+    let (cfg, base, qos) = scenario();
+    let pattern = SpikePattern::periodic(base, 1.75, SimDuration::from_secs(2));
+    let secs = 24;
+    let r_ml = run(&cfg, &CentralizedFactory::default(), &pattern, secs);
+    let r_hy = run(&cfg, &HybridFactory::default(), &pattern, secs);
+    let (vv_ml, vv_hy) = (vv(&r_ml, qos, secs), vv(&r_hy, qos, secs));
+    assert!(
+        vv_hy < vv_ml,
+        "§VII: adding SurgeGuard between ML decisions must cut surge VV \
+         (hybrid {vv_hy} vs ml {vv_ml})"
+    );
+    // NOTE: FirstResponder inspects *request* packets; in this two-service
+    // scenario the leaf's internal queueing delays only responses, so the
+    // hybrid's surge benefit here comes from Escalator. Deeper task graphs
+    // (pools, mid-chain bottlenecks) surface the lateness on the forward
+    // path — see behavior.rs.
+    let _ = r_hy.packet_freq_boosts;
+}
+
+#[test]
+fn hybrid_is_deterministic_per_run() {
+    let (cfg, base, _) = scenario();
+    let pattern = SpikePattern::periodic(base, 1.5, SimDuration::from_secs(2));
+    let a = run(&cfg, &HybridFactory::default(), &pattern, 12);
+    let b = run(&cfg, &HybridFactory::default(), &pattern, 12);
+    assert_eq!(a.points, b.points, "fresh factories → identical runs");
+}

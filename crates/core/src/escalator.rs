@@ -1,0 +1,793 @@
+//! The Escalator decision cycle (paper §IV-B) — the user-space slow path.
+//!
+//! Each cycle Escalator:
+//!
+//! 1. updates the online sensitivity matrix with the window's observed
+//!    execution times (Design Feature #3),
+//! 2. scores every local container against the three Table II conditions
+//!    (Design Feature #2),
+//! 3. **upscales**: candidates ordered by score (desc), then core
+//!    sensitivity (desc), receive one core step each while spare cores
+//!    last; candidates that cannot get cores get a frequency step instead,
+//! 4. **downscales**: score-zero containers give cores back — first those
+//!    whose sensitivity matrix says the marginal core is worthless
+//!    (`sens < 0.02`), then Parties-style under-utilization victims,
+//! 5. reverses stale frequency boosts on healthy containers.
+//!
+//! The struct is deliberately free of any simulator or OS dependency: it
+//! consumes plain observations and emits plain actions, so the same code
+//! drives the discrete-event harness, the unit tests, and (in a real
+//! deployment) a cgroups/MSR backend.
+
+use crate::allocator::{AllocAction, AllocConstraints, ContainerAlloc, CoreLedger, FreqTable};
+use crate::config::EscalatorConfig;
+use crate::ids::ContainerId;
+use crate::metrics::WindowMetrics;
+use crate::time::SimDuration;
+use crate::score::{score_cycle, ContainerObservation, ScoreBoard};
+use crate::sensitivity::SensitivityMatrix;
+use std::collections::HashMap;
+
+/// Per-cycle input for one container: its observation plus current
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct EscalatorObservation {
+    /// Metrics, params and local topology.
+    pub obs: ContainerObservation,
+    /// Current cores and frequency level.
+    pub alloc: ContainerAlloc,
+}
+
+/// Output of one Escalator cycle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EscalatorDecision {
+    /// Allocation changes to apply (absolute targets).
+    pub actions: Vec<AllocAction>,
+    /// Containers that must set `pkt.upscale` on outgoing RPCs this cycle.
+    pub set_hint: Vec<ContainerId>,
+    /// The raw scoreboard, exposed for tracing/ablation analysis.
+    pub board: ScoreBoard,
+}
+
+/// The Escalator controller state for one node.
+#[derive(Debug, Clone)]
+pub struct Escalator {
+    cfg: EscalatorConfig,
+    constraints: AllocConstraints,
+    freq_table: FreqTable,
+    sens: SensitivityMatrix,
+    /// Consecutive under-utilized cycles per container (for the
+    /// Parties-style downscale hold). Keyed by container id.
+    underutil_streak: HashMap<ContainerId, u32>,
+    /// Per-container core floors — the calibrated steady-state baseline.
+    /// The paper's deployment model reserves the initial allocation for
+    /// the foreground application and treats the remaining node cores as
+    /// an on-demand surge pool (shared with background work): revocation
+    /// returns surge grants to that pool but never digs below baseline.
+    floors: HashMap<ContainerId, u32>,
+}
+
+impl Escalator {
+    /// Create an Escalator for a node.
+    ///
+    /// `max_container_id` bounds the dense container-id space so the
+    /// sensitivity matrix can be `Vec`-indexed.
+    pub fn new(
+        cfg: EscalatorConfig,
+        constraints: AllocConstraints,
+        freq_table: FreqTable,
+        max_container_id: usize,
+    ) -> Self {
+        cfg.validate().expect("invalid EscalatorConfig");
+        constraints.validate().expect("invalid AllocConstraints");
+        let sens = SensitivityMatrix::with_max_age(
+            max_container_id + 1,
+            constraints.max_cores as usize,
+            cfg.alpha,
+            cfg.sens_max_age_cycles,
+        );
+        Escalator {
+            cfg,
+            constraints,
+            freq_table,
+            sens,
+            underutil_streak: HashMap::new(),
+            floors: HashMap::new(),
+        }
+    }
+
+    /// Set the per-container baseline floors (typically each container's
+    /// initial calibrated allocation). Containers without a floor fall
+    /// back to the global `min_cores`.
+    pub fn set_floors(&mut self, floors: impl IntoIterator<Item = (ContainerId, u32)>) {
+        self.floors = floors.into_iter().collect();
+    }
+
+    /// The downscale floor for a container.
+    fn floor_of(&self, id: ContainerId) -> u32 {
+        self.floors
+            .get(&id)
+            .copied()
+            .unwrap_or(self.constraints.min_cores)
+            .max(self.constraints.min_cores)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &EscalatorConfig {
+        &self.cfg
+    }
+
+    /// Read-only view of the learned sensitivity matrix (for tracing and
+    /// the Fig. 6 experiment).
+    pub fn sensitivity(&self) -> &SensitivityMatrix {
+        &self.sens
+    }
+
+    /// Run one decision cycle over the node's containers. `window` is the
+    /// length of the observation window behind each input's metrics (the
+    /// decision-cycle period), used for utilization estimates.
+    pub fn decide(&mut self, inputs: &[EscalatorObservation], window: SimDuration) -> EscalatorDecision {
+        // Age out stale sensitivity evidence first: measurements taken
+        // under a different load regime must not steer decisions forever.
+        self.sens.tick();
+
+        // -- 1. learn sensitivities ------------------------------------
+        // The matrix tracks execMetric (local compute time): extra cores
+        // speed up computation, not waiting for remote connections, so the
+        // wait component would only pollute the curve. Windows observed
+        // while FirstResponder holds a frequency boost are excluded —
+        // Escalator reads the boost level from shFreq (here: the alloc
+        // mirror), and a boosted container's execution times would
+        // otherwise corrupt the per-core-count averages.
+        for inp in inputs {
+            let m = &inp.obs.metrics;
+            if m.requests > 0 && inp.alloc.freq_level == 0 {
+                self.sens.observe(
+                    inp.obs.id.index(),
+                    inp.alloc.cores as usize,
+                    self.exec_signal(m) as f64,
+                );
+            }
+        }
+
+        // -- 2. score against Table II ---------------------------------
+        let observations: Vec<ContainerObservation> = inputs
+            .iter()
+            .map(|i| self.scored_observation(&i.obs))
+            .collect();
+        let board = score_cycle(&observations, &self.cfg);
+
+        let mut decision = EscalatorDecision {
+            actions: Vec::new(),
+            set_hint: if self.cfg.use_new_metrics {
+                board.set_hint.clone()
+            } else {
+                Vec::new()
+            },
+            board: board.clone(),
+        };
+
+        // Working copy of allocations, updated as actions accumulate so a
+        // container is never granted and revoked within one cycle.
+        let mut allocs: HashMap<ContainerId, ContainerAlloc> =
+            inputs.iter().map(|i| (i.obs.id, i.alloc)).collect();
+        let mut ledger = CoreLedger::new(self.constraints, &inputs_allocs(inputs));
+
+        // -- 3. upscale ------------------------------------------------
+        // Candidates ordered by score desc, then sensitivity desc (unknown
+        // sensitivity ranks above known-low: worth exploring), then id for
+        // determinism.
+        let mut candidates: Vec<(ContainerId, u32)> = board
+            .scores
+            .iter()
+            .copied()
+            .filter(|(_, s)| *s > 0)
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| {
+                    let sa = self.upscale_rank(a.0, &allocs);
+                    let sb = self.upscale_rank(b.0, &allocs);
+                    sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| a.0.cmp(&b.0))
+        });
+
+        let mut starved: Vec<ContainerId> = Vec::new();
+        // At most ONE donor shave per cycle: the base allocator moves a
+        // single unit at a time (Parties-style). Anything faster can strip
+        // a downstream container that merely *looks* idle because the
+        // saturated upstream throttles its input — a hole the controller
+        // then cannot dig itself out of.
+        let mut donor_used = false;
+        for (id, _) in &candidates {
+            let cur = allocs[id];
+            match ledger.try_grow(&cur) {
+                Some(new_cores) => {
+                    allocs.get_mut(id).unwrap().cores = new_cores;
+                    decision.actions.push(AllocAction::SetCores {
+                        id: *id,
+                        cores: new_cores,
+                    });
+                }
+                None => {
+                    // Try to free a step from a score-zero victim, then retry.
+                    if !donor_used
+                        && self.free_one_step(
+                            inputs,
+                            &board,
+                            window,
+                            &mut allocs,
+                            &mut ledger,
+                            &mut decision.actions,
+                        )
+                    {
+                        donor_used = true;
+                        if let Some(new_cores) = ledger.try_grow(&allocs[id]) {
+                            allocs.get_mut(id).unwrap().cores = new_cores;
+                            decision.actions.push(AllocAction::SetCores {
+                                id: *id,
+                                cores: new_cores,
+                            });
+                            continue;
+                        }
+                    }
+                    starved.push(*id);
+                }
+            }
+        }
+
+        // Candidates that could not get cores are boosted in frequency
+        // instead (Escalator manages both resources, §IV).
+        for id in starved {
+            let cur = allocs[&id];
+            if cur.freq_level < self.freq_table.max_level() {
+                let level = cur.freq_level + 1;
+                allocs.get_mut(&id).unwrap().freq_level = level;
+                decision.actions.push(AllocAction::SetFreq { id, level });
+            }
+        }
+
+        // -- 4. downscale healthy containers ----------------------------
+        for inp in inputs {
+            let id = inp.obs.id;
+            if board.score_of(id) > 0 {
+                self.underutil_streak.remove(&id);
+                continue;
+            }
+            let cur = allocs[&id];
+
+            // -- 3½. frequency→core conversion ---------------------------
+            // A container that is healthy only because FirstResponder is
+            // holding its frequency up (Escalator reads the boost from
+            // shFreq) is really under-provisioned in cores: a frequency
+            // boost is an energy-expensive stopgap (P ∝ f³), cores are the
+            // sustainable resource. Substitute the boost's full capacity
+            // with cores in one cycle — the boost must retire before
+            // FirstResponder's next re-boost, or frequencies stay pinned
+            // at maximum for the whole surge and the energy advantage of
+            // core-based scaling is lost. If spare cores cannot cover the
+            // whole capacity, keep the smallest residual boost that does.
+            if cur.freq_level > 0 {
+                let target_capacity = cur.cores as f64 * self.freq_table.speedup(cur.freq_level);
+                // Cap conversion at two steps per cycle: a single spurious
+                // boost (noise tail) must not double a container's cores.
+                let growth_cap = cur.cores + 2 * self.constraints.core_step;
+                let mut grown = cur;
+                while (grown.cores as f64) < target_capacity && grown.cores < growth_cap {
+                    match ledger.try_grow(&grown) {
+                        Some(n) => grown.cores = n,
+                        None => break,
+                    }
+                }
+                if grown.cores != cur.cores {
+                    allocs.get_mut(&id).unwrap().cores = grown.cores;
+                    decision.actions.push(AllocAction::SetCores {
+                        id,
+                        cores: grown.cores,
+                    });
+                }
+                let residual = target_capacity / grown.cores as f64;
+                let level = if residual <= 1.0 {
+                    0
+                } else {
+                    // Could not fully substitute: keep the smallest boost
+                    // that preserves capacity, minus one level so the
+                    // boost still trends downward (FirstResponder will
+                    // re-raise it if violations persist).
+                    self.freq_table
+                        .level_for_speedup(residual)
+                        .min(cur.freq_level.saturating_sub(1))
+                };
+                if level != cur.freq_level {
+                    allocs.get_mut(&id).unwrap().freq_level = level;
+                    decision.actions.push(AllocAction::SetFreq { id, level });
+                }
+                continue;
+            }
+
+            // 4a. sensitivity-based revocation (Design Feature #3). The
+            // execAvg comparison can mix load regimes (the lower cell may
+            // predate a surge), so the utilization estimate must also
+            // clear the revocation.
+            let step = self.constraints.core_step as usize;
+            let revoke_busy_ok = {
+                let after = cur.cores.saturating_sub(self.constraints.core_step);
+                after > 0 && Self::busy_fraction(&inp.obs.metrics, window, after) <= 0.8
+            };
+            if self.cfg.use_sensitivity
+                && revoke_busy_ok
+                && cur.cores >= self.floor_of(id) + self.constraints.core_step
+                && self.sens.can_revoke_step(
+                    id.index(),
+                    cur.cores as usize,
+                    step,
+                    self.cfg.sens_revoke_th,
+                )
+            {
+                if let Some(new_cores) = ledger.try_shrink(&cur) {
+                    allocs.get_mut(&id).unwrap().cores = new_cores;
+                    decision.actions.push(AllocAction::SetCores {
+                        id,
+                        cores: new_cores,
+                    });
+                }
+            } else {
+                // 4b. Parties-style under-utilization downscale — vetoed
+                // when the sensitivity matrix has *evidence* that the
+                // smaller allocation was meaningfully slower (Fig. 6
+                // right: exec-time rules alone thrash on the downscale
+                // threshold; the execAvg matrix is what stabilizes them).
+                // Stale evidence may not BLOCK a downscale: a cell
+                // measured mid-surge would otherwise pin the post-surge
+                // allocation high until it expires. (Stale evidence may
+                // still ENABLE a 4a revocation above — a wrong revoke is
+                // self-correcting via the normal upscale path.)
+                let vetoed = self.cfg.use_sensitivity
+                    && self
+                        .sens
+                        .revoke_sens_step_fresh(id.index(), cur.cores as usize, step, 5)
+                        .is_some_and(|cost| cost >= self.cfg.sens_revoke_th);
+                let m = &inp.obs.metrics;
+                let expected = inp.obs.params.expected_exec_metric.as_nanos() as f64;
+                // Exec-time slack alone is a noisy downscale signal (a
+                // mid-tier container's execMetric is dominated by
+                // downstream time); require the post-shave utilization
+                // estimate to stay comfortable too.
+                let after = cur.cores.saturating_sub(self.constraints.core_step);
+                let busy_ok = after > 0 && Self::busy_fraction(m, window, after) <= 0.8;
+                let under = !vetoed
+                    && busy_ok
+                    && m.requests > 0
+                    && expected > 0.0
+                    && (self.exec_signal(m) as f64) < self.cfg.downscale_frac * expected;
+                if under {
+                    let above_floor =
+                        cur.cores >= self.floor_of(id) + self.constraints.core_step;
+                    let streak = self.underutil_streak.entry(id).or_insert(0);
+                    *streak += 1;
+                    if *streak >= self.cfg.downscale_hold_cycles && above_floor {
+                        if let Some(new_cores) = ledger.try_shrink(&cur) {
+                            allocs.get_mut(&id).unwrap().cores = new_cores;
+                            decision.actions.push(AllocAction::SetCores {
+                                id,
+                                cores: new_cores,
+                            });
+                        }
+                        *streak = 0;
+                    }
+                } else {
+                    self.underutil_streak.remove(&id);
+                }
+            }
+
+        }
+
+        decision
+    }
+
+    /// The execution-time signal used for scoring/sensitivity: `execMetric`
+    /// normally, raw `execTime` when the new metrics are ablated away.
+    fn exec_signal(&self, m: &WindowMetrics) -> u64 {
+        if self.cfg.use_new_metrics {
+            m.mean_exec_metric.as_nanos()
+        } else {
+            m.mean_exec_time.as_nanos()
+        }
+    }
+
+    /// Build the observation actually fed to the Table II scorer, applying
+    /// the ablation switches.
+    fn scored_observation(&self, obs: &ContainerObservation) -> ContainerObservation {
+        if self.cfg.use_new_metrics {
+            return obs.clone();
+        }
+        // Ablated: behave like a per-container controller — raw execTime as
+        // the violation signal, no hidden-queue or hint awareness.
+        let mut m = obs.metrics;
+        m.mean_exec_metric = m.mean_exec_time;
+        m.queue_buildup = 1.0;
+        m.upscale_hints = 0;
+        ContainerObservation {
+            id: obs.id,
+            metrics: m,
+            params: obs.params,
+            local_downstream: Vec::new(),
+        }
+    }
+
+    /// Ranking key for upscale priority among equal scores. Higher is
+    /// better; unknown sensitivity ranks above everything (explore).
+    fn upscale_rank(&self, id: ContainerId, allocs: &HashMap<ContainerId, ContainerAlloc>) -> f64 {
+        if !self.cfg.use_sensitivity {
+            return 0.0;
+        }
+        let cores = allocs[&id].cores as usize;
+        let step = self.constraints.core_step as usize;
+        self.sens.upscale_sens_step(id.index(), cores, step).unwrap_or(f64::INFINITY)
+    }
+
+    /// Estimated busy fraction of a container if it held `cores` cores:
+    /// total observed execMetric over the window, spread across the cores.
+    /// Over-estimates for mid-tier services (execMetric includes downstream
+    /// RPC time), which errs on the side of *not* raiding them.
+    fn busy_fraction(m: &WindowMetrics, window: SimDuration, cores: u32) -> f64 {
+        if window.is_zero() || cores == 0 {
+            return 1.0;
+        }
+        let busy_ns = m.mean_exec_metric.as_nanos() as f64 * m.requests as f64;
+        busy_ns / (window.as_nanos() as f64 * cores as f64)
+    }
+
+    /// Free one core step from the best score-zero victim. Victim order:
+    /// lowest revoke-sensitivity first (when known and the sensitivity
+    /// mechanism is enabled), then largest allocation. A container whose
+    /// estimated utilization *after* the shave would exceed 80 % is never a
+    /// victim — a downstream service fed by a throttled upstream looks
+    /// idle by latency but not by utilization. Returns true if a step was
+    /// freed.
+    fn free_one_step(
+        &self,
+        inputs: &[EscalatorObservation],
+        board: &ScoreBoard,
+        window: SimDuration,
+        allocs: &mut HashMap<ContainerId, ContainerAlloc>,
+        ledger: &mut CoreLedger,
+        actions: &mut Vec<AllocAction>,
+    ) -> bool {
+        const VICTIM_UTIL_CAP: f64 = 0.8;
+        let mut victims: Vec<ContainerId> = board
+            .scores
+            .iter()
+            .filter(|(_, s)| *s == 0)
+            .map(|(id, _)| *id)
+            // A frequency-boosted container only *looks* healthy — the
+            // boost is an active mitigation. Raiding its cores hands the
+            // true bottleneck's resources to the container showing the
+            // symptom.
+            .filter(|id| allocs[id].freq_level == 0)
+            .filter(|id| allocs[id].cores >= self.floor_of(*id).max(self.constraints.min_cores) + self.constraints.core_step)
+            .filter(|id| {
+                let inp = inputs
+                    .iter()
+                    .find(|i| i.obs.id == *id)
+                    .expect("scored id came from inputs");
+                let after = allocs[id].cores - self.constraints.core_step;
+                Self::busy_fraction(&inp.obs.metrics, window, after) <= VICTIM_UTIL_CAP
+            })
+            .collect();
+        if victims.is_empty() {
+            return false;
+        }
+        victims.sort_by(|a, b| {
+            let ra = self.victim_rank(*a, allocs);
+            let rb = self.victim_rank(*b, allocs);
+            ra.partial_cmp(&rb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| allocs[b].cores.cmp(&allocs[a].cores))
+                .then_with(|| a.cmp(b))
+        });
+        let victim = victims[0];
+        let cur = allocs[&victim];
+        if let Some(new_cores) = ledger.try_shrink(&cur) {
+            allocs.get_mut(&victim).unwrap().cores = new_cores;
+            actions.push(AllocAction::SetCores {
+                id: victim,
+                cores: new_cores,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Victim ordering key: lower = revoked first.
+    fn victim_rank(&self, id: ContainerId, allocs: &HashMap<ContainerId, ContainerAlloc>) -> f64 {
+        if !self.cfg.use_sensitivity {
+            return 0.0;
+        }
+        self.sens
+            .revoke_sens_step(
+                id.index(),
+                allocs[&id].cores as usize,
+                self.constraints.core_step as usize,
+            )
+            .unwrap_or(0.5)
+    }
+}
+
+fn inputs_allocs(inputs: &[EscalatorObservation]) -> Vec<ContainerAlloc> {
+    inputs.iter().map(|i| i.alloc).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ContainerParams;
+
+    fn constraints(total: u32) -> AllocConstraints {
+        AllocConstraints {
+            total_cores: total,
+            min_cores: 2,
+            max_cores: 16,
+            core_step: 2,
+        }
+    }
+
+    fn params(expected_us: u64) -> ContainerParams {
+        ContainerParams {
+            expected_exec_metric: SimDuration::from_micros(expected_us),
+            expected_time_from_start: SimDuration::from_micros(expected_us * 4),
+        }
+    }
+
+    fn make_input(
+        id: u32,
+        cores: u32,
+        exec_metric_us: u64,
+        qb: f64,
+        hints: u64,
+        expected_us: u64,
+        downstream: &[u32],
+    ) -> EscalatorObservation {
+        let exec_time_us = (exec_metric_us as f64 * qb) as u64;
+        EscalatorObservation {
+            obs: ContainerObservation {
+                id: ContainerId(id),
+                metrics: WindowMetrics {
+                    requests: 50,
+                    mean_exec_time: SimDuration::from_micros(exec_time_us),
+                    mean_exec_metric: SimDuration::from_micros(exec_metric_us),
+                    queue_buildup: qb,
+                    upscale_hints: hints,
+                },
+                params: params(expected_us),
+                local_downstream: downstream.iter().map(|&d| ContainerId(d)).collect(),
+            },
+            alloc: ContainerAlloc {
+                id: ContainerId(id),
+                cores,
+                freq_level: 0,
+            },
+        }
+    }
+
+    fn new_escalator(total_cores: u32) -> Escalator {
+        Escalator::new(
+            EscalatorConfig::default(),
+            constraints(total_cores),
+            FreqTable::cascade_lake(),
+            8,
+        )
+    }
+
+    fn cores_assigned(actions: &[AllocAction], id: u32) -> Option<u32> {
+        actions.iter().rev().find_map(|a| match a {
+            AllocAction::SetCores { id: c, cores } if c.0 == id => Some(*cores),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn healthy_cluster_makes_no_core_grants() {
+        let mut e = new_escalator(16);
+        let inputs = vec![
+            make_input(0, 4, 100, 1.0, 0, 200, &[1]),
+            make_input(1, 4, 100, 1.0, 0, 200, &[]),
+        ];
+        let d = e.decide(&inputs, SimDuration::from_millis(100));
+        assert!(!d.board.any_candidates());
+        assert!(d
+            .actions
+            .iter()
+            .all(|a| !matches!(a, AllocAction::SetCores { .. })));
+    }
+
+    #[test]
+    fn fig5c_threadpool_surge_upscales_both_containers() {
+        // The paper's Fig. 5(c): c0 has an exec violation (thread
+        // contention) AND queue buildup; c1 (downstream) is idle-looking.
+        // Both must be upscaled.
+        let mut e = new_escalator(32);
+        let inputs = vec![
+            make_input(0, 4, 450, 2.5, 0, 200, &[1]),
+            make_input(1, 4, 150, 1.0, 0, 200, &[]),
+        ];
+        let d = e.decide(&inputs, SimDuration::from_millis(100));
+        assert_eq!(cores_assigned(&d.actions, 0), Some(6), "c0 upscaled");
+        assert_eq!(cores_assigned(&d.actions, 1), Some(6), "c1 upscaled");
+        assert_eq!(d.set_hint, vec![ContainerId(0)]);
+    }
+
+    #[test]
+    fn exhausted_pool_frees_from_score_zero_victims() {
+        // 12 total cores fully allocated: c0 violating (needs more), c1
+        // healthy with plenty. Escalator must shrink c1 to grow c0.
+        let mut e = new_escalator(12);
+        let inputs = vec![
+            make_input(0, 4, 500, 1.0, 0, 200, &[]),
+            make_input(1, 8, 50, 1.0, 0, 200, &[]),
+        ];
+        let d = e.decide(&inputs, SimDuration::from_millis(100));
+        assert_eq!(cores_assigned(&d.actions, 0), Some(6));
+        assert_eq!(cores_assigned(&d.actions, 1), Some(6));
+    }
+
+    #[test]
+    fn starved_candidate_gets_frequency_boost() {
+        // Pool exhausted and the only other container is also a candidate:
+        // no victim to shrink → frequency boost instead.
+        let mut e = new_escalator(8);
+        let inputs = vec![
+            make_input(0, 4, 500, 1.0, 0, 200, &[]),
+            make_input(1, 4, 500, 1.0, 0, 200, &[]),
+        ];
+        let d = e.decide(&inputs, SimDuration::from_millis(100));
+        let freq_boosts: Vec<_> = d
+            .actions
+            .iter()
+            .filter(|a| matches!(a, AllocAction::SetFreq { level, .. } if *level > 0))
+            .collect();
+        assert_eq!(freq_boosts.len(), 2, "both starved candidates boosted");
+    }
+
+    #[test]
+    fn sensitivity_revocation_frees_flat_curve_containers() {
+        let mut e = new_escalator(32);
+        // Teach the matrix that c1 is flat between 6 and 8 cores. With
+        // core_step 2 the revoke check looks at sens going 8 → 6.
+        e.sens.observe(1, 6, 1000.0);
+        e.sens.observe(1, 8, 995.0);
+        // sens(6→7) unknown; seed 7 too so revoke_sens(8)=sens(7) exists.
+        e.sens.observe(1, 7, 998.0);
+        let inputs = vec![make_input(1, 8, 100, 1.0, 0, 300, &[])];
+        let d = e.decide(&inputs, SimDuration::from_millis(100));
+        assert_eq!(
+            cores_assigned(&d.actions, 1),
+            Some(6),
+            "flat-sensitivity container loses a core step"
+        );
+    }
+
+    #[test]
+    fn underutilization_downscale_requires_hold() {
+        let cfg = EscalatorConfig {
+            downscale_hold_cycles: 3,
+            use_sensitivity: false, // isolate the Parties-style rule
+            ..Default::default()
+        };
+        let mut e = Escalator::new(cfg, constraints(32), FreqTable::cascade_lake(), 8);
+        // exec 40us vs expected 200us → far under 0.5×expected.
+        let inputs = vec![make_input(0, 8, 40, 1.0, 0, 200, &[])];
+        let d1 = e.decide(&inputs, SimDuration::from_millis(100));
+        assert_eq!(cores_assigned(&d1.actions, 0), None, "cycle 1: hold");
+        let d2 = e.decide(&inputs, SimDuration::from_millis(100));
+        assert_eq!(cores_assigned(&d2.actions, 0), None, "cycle 2: hold");
+        let d3 = e.decide(&inputs, SimDuration::from_millis(100));
+        assert_eq!(cores_assigned(&d3.actions, 0), Some(6), "cycle 3: shrink");
+    }
+
+    #[test]
+    fn ablation_no_new_metrics_misses_hidden_dependency() {
+        // Fig. 5(b): with the new metrics disabled, only the container with
+        // inflated raw execTime (c0) is scaled; the true bottleneck (c1)
+        // is missed. This is exactly the failure mode the paper ascribes
+        // to per-container controllers.
+        let cfg = EscalatorConfig {
+            use_new_metrics: false,
+            ..Default::default()
+        };
+        let mut e = Escalator::new(cfg, constraints(32), FreqTable::cascade_lake(), 8);
+        // c0: execMetric low (150us < expected) but execTime inflated by
+        // conn-wait (qb = 4 → execTime 600us).
+        let inputs = vec![
+            make_input(0, 4, 150, 4.0, 0, 200, &[1]),
+            make_input(1, 4, 150, 1.0, 0, 200, &[]),
+        ];
+        let d = e.decide(&inputs, SimDuration::from_millis(100));
+        assert_eq!(cores_assigned(&d.actions, 0), Some(6), "c0 wrongly scaled");
+        assert_eq!(cores_assigned(&d.actions, 1), None, "c1 missed");
+        assert!(d.set_hint.is_empty(), "no hints without new metrics");
+    }
+
+    #[test]
+    fn with_new_metrics_same_scenario_targets_downstream() {
+        let mut e = new_escalator(32);
+        let inputs = vec![
+            make_input(0, 4, 150, 4.0, 0, 200, &[1]),
+            make_input(1, 4, 150, 1.0, 0, 200, &[]),
+        ];
+        let d = e.decide(&inputs, SimDuration::from_millis(100));
+        assert_eq!(
+            cores_assigned(&d.actions, 0),
+            None,
+            "c0's execMetric is healthy: not a candidate"
+        );
+        assert_eq!(cores_assigned(&d.actions, 1), Some(6), "c1 upscaled");
+    }
+
+    #[test]
+    fn boosted_healthy_container_converts_frequency_into_cores() {
+        // Level 3 on 4 cores = 1.375x speedup = 5.5 core-equivalents; with
+        // spare cores available the boost is fully substituted: 6 cores at
+        // base frequency.
+        let mut e = new_escalator(16);
+        let mut inp = make_input(0, 4, 100, 1.0, 0, 300, &[]);
+        inp.alloc.freq_level = 3;
+        let d = e.decide(&[inp], SimDuration::from_millis(100));
+        assert!(d
+            .actions
+            .iter()
+            .any(|a| matches!(a, AllocAction::SetCores { cores: 6, .. })));
+        assert!(d
+            .actions
+            .iter()
+            .any(|a| matches!(a, AllocAction::SetFreq { level: 0, .. })));
+    }
+
+    #[test]
+    fn boosted_container_without_spare_cores_decays_slowly() {
+        // Pool exhausted by another container: only a one-level decay.
+        let mut e = new_escalator(8);
+        let mut inp = make_input(0, 4, 100, 1.0, 0, 300, &[]);
+        inp.alloc.freq_level = 3;
+        let other = make_input(1, 4, 100, 1.0, 0, 300, &[]);
+        let d = e.decide(&[inp, other], SimDuration::from_millis(100));
+        assert!(d
+            .actions
+            .iter()
+            .any(|a| matches!(a, AllocAction::SetFreq { level: 2, .. })));
+        assert!(!d
+            .actions
+            .iter()
+            .any(|a| matches!(a, AllocAction::SetCores { .. })));
+    }
+
+    #[test]
+    fn higher_score_wins_the_last_core_step() {
+        // Only one step spare. c0 fails two conditions (hint + exec), c1
+        // fails one (exec). c0 must get the step.
+        let mut e = new_escalator(10);
+        let inputs = vec![
+            make_input(0, 4, 500, 1.0, 3, 200, &[]),
+            make_input(1, 4, 500, 1.0, 0, 200, &[]),
+        ];
+        let d = e.decide(&inputs, SimDuration::from_millis(100));
+        assert_eq!(cores_assigned(&d.actions, 0), Some(6));
+        assert_eq!(cores_assigned(&d.actions, 1), None);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let run = || {
+            let mut e = new_escalator(12);
+            let inputs = vec![
+                make_input(0, 4, 500, 2.0, 1, 200, &[1]),
+                make_input(1, 4, 300, 1.0, 0, 200, &[]),
+                make_input(2, 4, 100, 1.0, 0, 200, &[]),
+            ];
+            e.decide(&inputs, SimDuration::from_millis(100))
+        };
+        assert_eq!(run(), run());
+    }
+}

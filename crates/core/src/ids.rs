@@ -1,0 +1,107 @@
+//! Identifier newtypes shared by the controller algorithms and the cluster
+//! substrate.
+//!
+//! All identifiers are small dense integers so they can index `Vec`-backed
+//! tables on hot paths (the FirstResponder packet hook must not hash).
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw index, suitable for direct `Vec` indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                $name(v as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A physical machine in the cluster. Each node runs one SurgeGuard
+    /// instance (Fig. 1 of the paper).
+    NodeId,
+    "node"
+);
+
+id_type!(
+    /// A deployed container instance (one service instance on one node).
+    /// Dense across the whole cluster.
+    ContainerId,
+    "c"
+);
+
+id_type!(
+    /// A logical service in the application task graph (e.g.
+    /// `user-timeline-service`). A service maps to one container per
+    /// placement, but the two concepts stay distinct so multi-node
+    /// placements can replicate services.
+    ServiceId,
+    "svc"
+);
+
+id_type!(
+    /// An end-to-end user request (one client HTTP request that fans out
+    /// into RPCs across the task graph).
+    RequestId,
+    "req"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let a = ContainerId(1);
+        let b = ContainerId(2);
+        assert!(a < b);
+        let set: HashSet<ContainerId> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(ContainerId(7).to_string(), "c7");
+        assert_eq!(ServiceId(0).to_string(), "svc0");
+        assert_eq!(RequestId(42).to_string(), "req42");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let id: ServiceId = 9usize.into();
+        assert_eq!(id.index(), 9);
+        let id2: ServiceId = 9u32.into();
+        assert_eq!(id, id2);
+    }
+}

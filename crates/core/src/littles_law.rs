@@ -1,0 +1,67 @@
+//! Threadpool sizing via Little's Law (paper Eq. 1).
+//!
+//! RPC frameworks recommend provisioning a fixed connection pool as
+//! `ThPoolSize = DesiredReqRate × DownstreamLatency`: the average number of
+//! in-flight downstream requests at the target rate. Undersizing creates
+//! exactly the hidden queueing SurgeGuard's `queueBuildup` metric detects;
+//! the workloads crate uses this helper to size its Thrift-style pools.
+
+use crate::time::SimDuration;
+
+/// Pool size needed to sustain `req_rate` requests/second when each
+/// downstream call holds a connection for `downstream_latency`
+/// (Eq. 1, rounded up; at least 1).
+pub fn threadpool_size(req_rate: f64, downstream_latency: SimDuration) -> u32 {
+    assert!(
+        req_rate.is_finite() && req_rate >= 0.0,
+        "request rate must be non-negative"
+    );
+    let in_flight = req_rate * downstream_latency.as_secs_f64();
+    (in_flight.ceil() as u32).max(1)
+}
+
+/// Inverse view: the highest request rate a pool of `size` connections can
+/// sustain when each call holds a connection for `downstream_latency`.
+/// Returns `f64::INFINITY` for a zero latency.
+pub fn max_rate_for_pool(size: u32, downstream_latency: SimDuration) -> f64 {
+    let lat = downstream_latency.as_secs_f64();
+    if lat <= 0.0 {
+        return f64::INFINITY;
+    }
+    size as f64 / lat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_sizing() {
+        // 1000 rps × 10ms = 10 in-flight connections.
+        assert_eq!(
+            threadpool_size(1000.0, SimDuration::from_millis(10)),
+            10
+        );
+    }
+
+    #[test]
+    fn rounds_up_and_floors_at_one() {
+        assert_eq!(threadpool_size(150.0, SimDuration::from_millis(10)), 2);
+        assert_eq!(threadpool_size(1.0, SimDuration::from_micros(1)), 1);
+        assert_eq!(threadpool_size(0.0, SimDuration::from_secs(1)), 1);
+    }
+
+    #[test]
+    fn inverse_relationship() {
+        let lat = SimDuration::from_millis(5);
+        let rate = max_rate_for_pool(512, lat);
+        assert!((rate - 102_400.0).abs() < 1e-6);
+        // Sizing for that rate returns the original pool.
+        assert_eq!(threadpool_size(rate, lat), 512);
+    }
+
+    #[test]
+    fn zero_latency_is_unbounded() {
+        assert!(max_rate_for_pool(8, SimDuration::ZERO).is_infinite());
+    }
+}

@@ -1,0 +1,123 @@
+//! SurgeGuard RPC metadata fields (paper Fig. 8).
+//!
+//! SurgeGuard adds two fields to every RPC packet:
+//!
+//! * `start_time` — the timestamp at which the *end-to-end job* started.
+//!   Set once by the first container and propagated unchanged. Used by
+//!   FirstResponder for per-packet progress tracking (Eq. 5).
+//! * `upscale` — a hop-limited upscaling hint. Set at the container where a
+//!   `queueBuildup` violation is detected and decremented by one at each
+//!   successive downstream container, so only a bounded number of
+//!   downstream containers are upscaled in response to one upstream
+//!   violation. Hints piggyback on data packets, which is what keeps
+//!   SurgeGuard fully decentralized: no controller-to-controller traffic.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Metadata carried by every RPC request packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RpcMetadata {
+    /// Start timestamp of the end-to-end job, set at the first container.
+    pub start_time: SimTime,
+    /// Remaining downstream hops that should treat themselves as upscaling
+    /// candidates. Zero means no active hint.
+    pub upscale: u8,
+}
+
+impl RpcMetadata {
+    /// Metadata for the first RPC of a job starting at `start_time`.
+    #[inline]
+    pub fn new_job(start_time: SimTime) -> Self {
+        RpcMetadata {
+            start_time,
+            upscale: 0,
+        }
+    }
+
+    /// Metadata to attach to an RPC sent *downstream* from a container that
+    /// received `self`.
+    ///
+    /// `start_time` propagates unchanged; the `upscale` hop counter
+    /// decrements by one per hop (saturating at zero). If the local
+    /// container itself detected a `queueBuildup` violation it *sets* the
+    /// hint instead (see [`RpcMetadata::with_hint`]).
+    #[inline]
+    pub fn propagate(self) -> Self {
+        RpcMetadata {
+            start_time: self.start_time,
+            upscale: self.upscale.saturating_sub(1),
+        }
+    }
+
+    /// Returns a copy with the upscale hint raised to at least `hops`.
+    ///
+    /// Used by the container where a `queueBuildup` violation is detected
+    /// (Table II row 2: "Downstream containers, set pkt.upscale"). If an
+    /// inherited hint is already larger it is kept, so overlapping
+    /// violations never shrink each other's reach.
+    #[inline]
+    pub fn with_hint(self, hops: u8) -> Self {
+        RpcMetadata {
+            start_time: self.start_time,
+            upscale: self.upscale.max(hops),
+        }
+    }
+
+    /// True if this packet carries an active upscaling hint, i.e. the
+    /// receiving container should be treated as an upscaling candidate
+    /// (Table II row 1: `pkt.upscale > 0`).
+    #[inline]
+    pub fn has_hint(self) -> bool {
+        self.upscale > 0
+    }
+}
+
+/// Default number of downstream hops an upscaling hint propagates.
+///
+/// The paper bounds the number of downstream containers upscaled per
+/// violation; two hops matches the Fig. 14 behaviour where the violating
+/// `user-timeline-service` triggers upscaling of `post-storage-service`
+/// and `post-storage-memcached`.
+pub const DEFAULT_UPSCALE_HOPS: u8 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_time_propagates_unchanged() {
+        let t = SimTime::from_micros(123);
+        let m = RpcMetadata::new_job(t);
+        let m2 = m.propagate().propagate().with_hint(3).propagate();
+        assert_eq!(m2.start_time, t);
+    }
+
+    #[test]
+    fn upscale_decrements_and_saturates() {
+        let m = RpcMetadata::new_job(SimTime::ZERO).with_hint(2);
+        assert!(m.has_hint());
+        let m1 = m.propagate();
+        assert_eq!(m1.upscale, 1);
+        assert!(m1.has_hint());
+        let m2 = m1.propagate();
+        assert_eq!(m2.upscale, 0);
+        assert!(!m2.has_hint());
+        let m3 = m2.propagate();
+        assert_eq!(m3.upscale, 0, "hop counter saturates at zero");
+    }
+
+    #[test]
+    fn with_hint_never_shrinks_inherited_hints() {
+        let m = RpcMetadata::new_job(SimTime::ZERO).with_hint(4);
+        let m2 = m.with_hint(1);
+        assert_eq!(m2.upscale, 4);
+        let m3 = m.with_hint(6);
+        assert_eq!(m3.upscale, 6);
+    }
+
+    #[test]
+    fn fresh_job_has_no_hint() {
+        assert!(!RpcMetadata::new_job(SimTime::from_secs(1)).has_hint());
+    }
+}

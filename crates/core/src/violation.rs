@@ -1,0 +1,235 @@
+//! The violation-volume metric (paper §II-D, Fig. 3) and tail-latency
+//! helpers.
+//!
+//! Violation volume is the *magnitude–duration product* of QoS violations:
+//! the area of the output-latency-vs-time curve that lies above the QoS
+//! target. It unifies the two quantities older metrics capture separately —
+//! tail latency (magnitude, ignores duration) and violation frequency
+//! (duration, ignores magnitude). A short, tall spike and a long, shallow
+//! one can have equal volume (Fig. 3).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One completed request as seen by the load generator: when its response
+/// arrived and how long it took end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyPoint {
+    /// Completion (response) time.
+    pub completion: SimTime,
+    /// End-to-end latency of the request.
+    pub latency: SimDuration,
+}
+
+/// Violation volume of a latency timeline against QoS target `qos`,
+/// in **second²** (latency-seconds integrated over wall-clock seconds).
+///
+/// The latency curve is treated as a left-continuous step function: each
+/// completed request defines the output latency level from the previous
+/// completion up to its own. Points must be sorted by completion time
+/// (the load generator produces them in completion order); out-of-order
+/// input is debug-asserted and handled by clamping in release builds.
+///
+/// The integration window is `[window_start, window_end]`; points outside
+/// it are ignored. The level before the first in-window completion is taken
+/// as non-violating (zero contribution), which matches the paper's warmup
+/// protocol (measurement starts from steady state).
+pub fn violation_volume(
+    points: &[LatencyPoint],
+    qos: SimDuration,
+    window_start: SimTime,
+    window_end: SimTime,
+) -> f64 {
+    let mut volume = 0.0f64;
+    let mut prev = window_start;
+    for p in points {
+        if p.completion < window_start {
+            continue;
+        }
+        let t = p.completion.min(window_end);
+        debug_assert!(t >= prev, "latency points must be sorted by completion");
+        let dt = t.saturating_since(prev).as_secs_f64();
+        if p.latency > qos {
+            let excess = (p.latency - qos).as_secs_f64();
+            volume += excess * dt;
+        }
+        prev = t;
+        if p.completion >= window_end {
+            break;
+        }
+    }
+    volume
+}
+
+/// Request-weighted violation magnitude: `Σ max(0, latency − qos)` over all
+/// in-window requests, in seconds. A secondary view of the same data that
+/// weighs each *request* equally instead of each *second*; useful when
+/// completion timestamps are unavailable.
+pub fn total_violation_excess(
+    points: &[LatencyPoint],
+    qos: SimDuration,
+    window_start: SimTime,
+    window_end: SimTime,
+) -> f64 {
+    points
+        .iter()
+        .filter(|p| p.completion >= window_start && p.completion <= window_end)
+        .map(|p| p.latency.saturating_sub(qos).as_secs_f64())
+        .sum()
+}
+
+/// Fraction of in-window requests violating the QoS target.
+pub fn violation_rate(
+    points: &[LatencyPoint],
+    qos: SimDuration,
+    window_start: SimTime,
+    window_end: SimTime,
+) -> f64 {
+    let mut total = 0u64;
+    let mut violating = 0u64;
+    for p in points {
+        if p.completion < window_start || p.completion > window_end {
+            continue;
+        }
+        total += 1;
+        if p.latency > qos {
+            violating += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        violating as f64 / total as f64
+    }
+}
+
+/// Exact percentile of a latency sample by the nearest-rank method
+/// (`q` in `[0,100]`). Returns `None` on an empty sample. Sorts a scratch
+/// copy; intended for analysis, not hot paths (hot paths use the HDR
+/// histogram in `sg-loadgen`).
+pub fn percentile(latencies: &[SimDuration], q: f64) -> Option<SimDuration> {
+    if latencies.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&q), "percentile must be in [0,100]");
+    let mut sorted: Vec<SimDuration> = latencies.to_vec();
+    sorted.sort_unstable();
+    if q == 0.0 {
+        return Some(sorted[0]);
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(completion_ms: u64, latency_ms: u64) -> LatencyPoint {
+        LatencyPoint {
+            completion: SimTime::from_millis(completion_ms),
+            latency: SimDuration::from_millis(latency_ms),
+        }
+    }
+
+    #[test]
+    fn no_violations_zero_volume() {
+        let pts = vec![pt(10, 1), pt(20, 2), pt(30, 1)];
+        let v = violation_volume(
+            &pts,
+            SimDuration::from_millis(5),
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+        );
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn rectangle_area_matches_hand_computation() {
+        // One request at t=20ms with latency 15ms vs qos 5ms: excess 10ms
+        // held over the 10ms gap since the previous completion at t=10ms
+        // → 0.010s × 0.010s = 1e-4 s².
+        let pts = vec![pt(10, 1), pt(20, 15)];
+        let v = violation_volume(
+            &pts,
+            SimDuration::from_millis(5),
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+        );
+        assert!((v - 1e-4).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn magnitude_duration_tradeoff_fig3() {
+        // Fig. 3: a tall-narrow violation can have smaller volume than a
+        // shallow-wide one. Red: 20ms excess for 10ms. Blue: 5ms excess for
+        // 100ms. Blue's volume is larger though its peak is lower.
+        let qos = SimDuration::from_millis(10);
+        let red = vec![pt(10, 10), pt(20, 30), pt(30, 10)];
+        let blue: Vec<_> = (1..=11).map(|i| pt(10 * i, 15)).collect();
+        let w_end = SimTime::from_millis(200);
+        let v_red = violation_volume(&red, qos, SimTime::ZERO, w_end);
+        let v_blue = violation_volume(&blue, qos, SimTime::ZERO, w_end);
+        assert!(v_red < v_blue, "red {v_red} should be < blue {v_blue}");
+    }
+
+    #[test]
+    fn window_clips_contributions() {
+        let pts = vec![pt(10, 20), pt(50, 20), pt(90, 20)];
+        let qos = SimDuration::from_millis(10);
+        let full = violation_volume(&pts, qos, SimTime::ZERO, SimTime::from_millis(100));
+        let clipped = violation_volume(
+            &pts,
+            qos,
+            SimTime::from_millis(40),
+            SimTime::from_millis(60),
+        );
+        assert!(clipped < full);
+        // In-window: the 50ms point covers [40,50]; the 90ms point defines
+        // the level over (50,90], of which [50,60] is in-window.
+        assert!((clipped - 2.0 * 0.010 * 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excess_and_rate() {
+        let pts = vec![pt(10, 20), pt(20, 5), pt(30, 30)];
+        let qos = SimDuration::from_millis(10);
+        let w_end = SimTime::from_millis(100);
+        let excess = total_violation_excess(&pts, qos, SimTime::ZERO, w_end);
+        assert!((excess - (0.010 + 0.020)).abs() < 1e-12);
+        let rate = violation_rate(&pts, qos, SimTime::ZERO, w_end);
+        assert!((rate - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let qos = SimDuration::from_millis(10);
+        assert_eq!(
+            violation_volume(&[], qos, SimTime::ZERO, SimTime::from_secs(1)),
+            0.0
+        );
+        assert_eq!(
+            violation_rate(&[], qos, SimTime::ZERO, SimTime::from_secs(1)),
+            0.0
+        );
+        assert_eq!(percentile(&[], 99.0), None);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let lats: Vec<SimDuration> = (1..=100).map(SimDuration::from_millis).collect();
+        assert_eq!(percentile(&lats, 50.0), Some(SimDuration::from_millis(50)));
+        assert_eq!(percentile(&lats, 98.0), Some(SimDuration::from_millis(98)));
+        assert_eq!(
+            percentile(&lats, 100.0),
+            Some(SimDuration::from_millis(100))
+        );
+        assert_eq!(percentile(&lats, 0.0), Some(SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        let one = vec![SimDuration::from_micros(7)];
+        assert_eq!(percentile(&one, 99.0), Some(SimDuration::from_micros(7)));
+    }
+}

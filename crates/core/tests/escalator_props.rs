@@ -1,0 +1,164 @@
+//! Property tests on the Escalator decision cycle: whatever the observed
+//! metrics, its decisions must respect the node's allocation invariants.
+
+use proptest::prelude::*;
+use sg_core::allocator::{AllocAction, AllocConstraints, ContainerAlloc, FreqTable};
+use sg_core::config::{ContainerParams, EscalatorConfig};
+use sg_core::escalator::{Escalator, EscalatorObservation};
+use sg_core::ids::ContainerId;
+use sg_core::metrics::WindowMetrics;
+use sg_core::score::ContainerObservation;
+use sg_core::time::SimDuration;
+use std::collections::HashMap;
+
+const TOTAL: u32 = 24;
+const MIN: u32 = 2;
+const STEP: u32 = 2;
+
+fn constraints() -> AllocConstraints {
+    AllocConstraints {
+        total_cores: TOTAL,
+        min_cores: MIN,
+        max_cores: TOTAL,
+        core_step: STEP,
+    }
+}
+
+/// Strategy: 4 containers with arbitrary (but structurally valid) metrics
+/// and a valid starting allocation.
+fn inputs_strategy() -> impl Strategy<Value = Vec<EscalatorObservation>> {
+    let metric = (0u64..100, 1u64..20_000, 1.0f64..8.0, 0u64..5).prop_map(
+        |(reqs, exec_us, qb, hints)| WindowMetrics {
+            requests: reqs,
+            mean_exec_time: SimDuration::from_micros((exec_us as f64 * qb) as u64),
+            mean_exec_metric: SimDuration::from_micros(exec_us),
+            queue_buildup: qb,
+            upscale_hints: hints.min(reqs),
+        },
+    );
+    let cores = prop::sample::select(vec![2u32, 4, 6]);
+    let freq = 0u8..4;
+    prop::collection::vec((metric, cores, freq), 4).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (m, cores, freq_level))| EscalatorObservation {
+                obs: ContainerObservation {
+                    id: ContainerId(i as u32),
+                    metrics: m,
+                    params: ContainerParams {
+                        expected_exec_metric: SimDuration::from_micros(2000),
+                        expected_time_from_start: SimDuration::from_millis(8),
+                    },
+                    local_downstream: if i + 1 < 4 {
+                        vec![ContainerId(i as u32 + 1)]
+                    } else {
+                        vec![]
+                    },
+                },
+                alloc: ContainerAlloc {
+                    id: ContainerId(i as u32),
+                    cores,
+                    freq_level,
+                },
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decisions_always_respect_allocation_invariants(
+        rounds in prop::collection::vec(inputs_strategy(), 1..6),
+    ) {
+        let mut esc = Escalator::new(
+            EscalatorConfig::default(),
+            constraints(),
+            FreqTable::cascade_lake(),
+            3,
+        );
+        // Carry the allocation state across rounds, applying the actions
+        // like the harness would.
+        let mut state: HashMap<ContainerId, ContainerAlloc> = HashMap::new();
+        for (round, mut inputs) in rounds.into_iter().enumerate() {
+            if round == 0 {
+                for i in &inputs {
+                    state.insert(i.obs.id, i.alloc);
+                }
+            } else {
+                // Overwrite the random allocs with the carried state so
+                // the sequence is self-consistent.
+                for i in &mut inputs {
+                    i.alloc = state[&i.obs.id];
+                }
+            }
+            let before_total: u32 = state.values().map(|a| a.cores).sum();
+            prop_assume!(before_total <= TOTAL);
+
+            let decision = esc.decide(&inputs, SimDuration::from_millis(100));
+            for a in &decision.actions {
+                match *a {
+                    AllocAction::SetCores { id, cores } => {
+                        prop_assert!(cores >= MIN, "below min: {cores}");
+                        prop_assert!(cores <= TOTAL);
+                        prop_assert_eq!(
+                            (cores - MIN) % STEP, 0,
+                            "allocation {} not on the step grid", cores
+                        );
+                        state.get_mut(&id).unwrap().cores = cores;
+                    }
+                    AllocAction::SetFreq { id, level } => {
+                        prop_assert!(level <= FreqTable::cascade_lake().max_level());
+                        state.get_mut(&id).unwrap().freq_level = level;
+                    }
+                }
+            }
+            let after_total: u32 = state.values().map(|a| a.cores).sum();
+            prop_assert!(
+                after_total <= TOTAL,
+                "budget exceeded after round {round}: {after_total}"
+            );
+            // Hint sources must be observed containers.
+            for h in &decision.set_hint {
+                prop_assert!(state.contains_key(h));
+            }
+        }
+    }
+
+    #[test]
+    fn no_candidates_means_no_core_growth(
+        inputs in inputs_strategy(),
+    ) {
+        // Force every container healthy: no requests at all.
+        let mut inputs = inputs;
+        for i in &mut inputs {
+            i.obs.metrics = WindowMetrics {
+                queue_buildup: 1.0,
+                ..WindowMetrics::default()
+            };
+            i.alloc.freq_level = 0;
+        }
+        let mut esc = Escalator::new(
+            EscalatorConfig::default(),
+            constraints(),
+            FreqTable::cascade_lake(),
+            3,
+        );
+        let d = esc.decide(&inputs, SimDuration::from_millis(100));
+        for a in &d.actions {
+            if let AllocAction::SetCores { id, cores } = a {
+                let before = inputs
+                    .iter()
+                    .find(|i| i.obs.id == *id)
+                    .unwrap()
+                    .alloc
+                    .cores;
+                prop_assert!(
+                    *cores <= before,
+                    "healthy idle cluster must never grow allocations"
+                );
+            }
+        }
+    }
+}

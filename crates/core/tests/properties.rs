@@ -1,0 +1,256 @@
+//! Property-based tests over sg-core's data structures and metrics.
+
+use proptest::prelude::*;
+use sg_core::allocator::{AllocConstraints, ContainerAlloc, CoreLedger, FreqTable};
+use sg_core::ids::ContainerId;
+use sg_core::metadata::RpcMetadata;
+use sg_core::metrics::{Ewma, MetricsWindow, RequestSample};
+use sg_core::sensitivity::SensitivityMatrix;
+use sg_core::slack::{per_packet_slack, CooldownTable};
+use sg_core::time::{SimDuration, SimTime};
+use sg_core::violation::{percentile, total_violation_excess, violation_volume, LatencyPoint};
+
+fn points_strategy() -> impl Strategy<Value = Vec<LatencyPoint>> {
+    // Sorted completion times with bounded latencies.
+    prop::collection::vec((0u64..10_000_000_000, 0u64..1_000_000_000), 0..200).prop_map(|mut v| {
+        v.sort_by_key(|(c, _)| *c);
+        v.into_iter()
+            .map(|(c, l)| LatencyPoint {
+                completion: SimTime::from_nanos(c),
+                latency: SimDuration::from_nanos(l),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn violation_volume_is_nonnegative_and_monotone_in_qos(
+        pts in points_strategy(),
+        qos_lo in 0u64..500_000_000,
+        extra in 0u64..500_000_000,
+    ) {
+        let start = SimTime::ZERO;
+        let end = SimTime::from_secs(10);
+        let lo = violation_volume(&pts, SimDuration::from_nanos(qos_lo), start, end);
+        let hi = violation_volume(&pts, SimDuration::from_nanos(qos_lo + extra), start, end);
+        prop_assert!(lo >= 0.0);
+        prop_assert!(hi <= lo + 1e-12, "looser QoS cannot increase volume");
+    }
+
+    #[test]
+    fn violation_volume_splits_additively(
+        pts in points_strategy(),
+        qos in 0u64..500_000_000,
+        split_s in 1u64..9,
+    ) {
+        let qos = SimDuration::from_nanos(qos);
+        let start = SimTime::ZERO;
+        let mid = SimTime::from_secs(split_s);
+        let end = SimTime::from_secs(10);
+        let whole = violation_volume(&pts, qos, start, end);
+        let left = violation_volume(&pts, qos, start, mid);
+        let right = violation_volume(&pts, qos, mid, end);
+        // The split point lands inside one step segment; the sum can only
+        // differ by that one segment's contribution, bounded by
+        // max_excess × segment width — but since the level function used on
+        // [mid, next_completion) is identical in both decompositions, the
+        // sum must match exactly up to float error.
+        prop_assert!((whole - (left + right)).abs() <= 1e-9 * whole.max(1.0));
+    }
+
+    #[test]
+    fn violation_excess_bounds_volume_rate(
+        pts in points_strategy(),
+        qos in 0u64..500_000_000,
+    ) {
+        let qos_d = SimDuration::from_nanos(qos);
+        let start = SimTime::ZERO;
+        let end = SimTime::from_secs(10);
+        let excess = total_violation_excess(&pts, qos_d, start, end);
+        prop_assert!(excess >= 0.0);
+        // Zero excess implies zero volume.
+        if excess == 0.0 {
+            prop_assert_eq!(violation_volume(&pts, qos_d, start, end), 0.0);
+        }
+    }
+
+    #[test]
+    fn percentile_is_bounded_and_monotone(
+        mut lats in prop::collection::vec(0u64..1_000_000_000u64, 1..300),
+        q1 in 0.0f64..100.0,
+        q2 in 0.0f64..100.0,
+    ) {
+        let lats: Vec<SimDuration> = lats.drain(..).map(SimDuration::from_nanos).collect();
+        let min = *lats.iter().min().unwrap();
+        let max = *lats.iter().max().unwrap();
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let pa = percentile(&lats, qa).unwrap();
+        let pb = percentile(&lats, qb).unwrap();
+        prop_assert!(pa >= min && pa <= max);
+        prop_assert!(pa <= pb, "percentile must be monotone in q");
+    }
+
+    #[test]
+    fn metrics_window_invariants(
+        samples in prop::collection::vec(
+            (0u64..10_000_000, 0u64..10_000_000, any::<bool>()), 1..100),
+    ) {
+        let mut w = MetricsWindow::new();
+        for (exec, wait, hinted) in &samples {
+            // conn_wait may exceed exec_time in the generator; the sample
+            // type saturates exec_metric at zero.
+            w.record(
+                RequestSample {
+                    exec_time: SimDuration::from_nanos(*exec),
+                    conn_wait: SimDuration::from_nanos(*wait),
+                },
+                *hinted,
+            );
+        }
+        let m = w.peek();
+        prop_assert_eq!(m.requests, samples.len() as u64);
+        prop_assert!(m.mean_exec_metric <= m.mean_exec_time);
+        prop_assert!(m.queue_buildup >= 1.0 - 1e-9);
+        prop_assert!(m.upscale_hints <= m.requests);
+    }
+
+    #[test]
+    fn slack_matches_arithmetic(
+        expected in 0u64..100_000_000_000,
+        start in 0u64..100_000_000_000,
+        elapsed in 0u64..100_000_000_000,
+    ) {
+        let s = per_packet_slack(
+            SimDuration::from_nanos(expected),
+            SimTime::from_nanos(start + elapsed),
+            SimTime::from_nanos(start),
+        );
+        prop_assert_eq!(s, expected as i64 - elapsed as i64);
+    }
+
+    #[test]
+    fn cooldown_holds_exactly_one_window(
+        window in 1u64..1_000_000,
+        fire_at in 0u64..1_000_000_000,
+        probe in 0u64..2_000_000,
+    ) {
+        let mut t = CooldownTable::new(1, SimDuration::from_nanos(window));
+        let fire = SimTime::from_nanos(fire_at);
+        prop_assert!(t.try_fire(0, fire));
+        let probe_t = fire + SimDuration::from_nanos(probe);
+        prop_assert_eq!(t.is_held(0, probe_t), probe < window);
+    }
+
+    #[test]
+    fn ewma_stays_within_observation_range(
+        alpha in 0.0f64..=1.0,
+        obs in prop::collection::vec(0.0f64..1e12, 1..50),
+    ) {
+        let mut e = Ewma::new(alpha);
+        for &o in &obs {
+            e.update(o);
+        }
+        let min = obs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = obs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = e.value().unwrap();
+        prop_assert!(v >= min - 1e-6 && v <= max + 1e-6);
+    }
+
+    #[test]
+    fn metadata_hops_never_increase_through_propagation(
+        hops in 0u8..20,
+        steps in 1usize..10,
+    ) {
+        let mut m = RpcMetadata::new_job(SimTime::ZERO).with_hint(hops);
+        let mut prev = m.upscale;
+        for _ in 0..steps {
+            m = m.propagate();
+            prop_assert!(m.upscale <= prev);
+            prev = m.upscale;
+        }
+        prop_assert!(m.upscale <= hops.saturating_sub(1) || hops == 0);
+    }
+
+    #[test]
+    fn core_ledger_conserves_cores(
+        total in 8u32..64,
+        ops in prop::collection::vec((any::<bool>(), 0usize..4), 0..100),
+    ) {
+        let constraints = AllocConstraints {
+            total_cores: total,
+            min_cores: 2,
+            max_cores: total,
+            core_step: 2,
+        };
+        let mut allocs: Vec<ContainerAlloc> = (0..4)
+            .map(|i| ContainerAlloc {
+                id: ContainerId(i),
+                cores: 2,
+                freq_level: 0,
+            })
+            .collect();
+        let mut ledger = CoreLedger::new(constraints, &allocs);
+        for (grow, idx) in ops {
+            let cur = allocs[idx];
+            if grow {
+                if let Some(n) = ledger.try_grow(&cur) {
+                    allocs[idx].cores = n;
+                }
+            } else if let Some(n) = ledger.try_shrink(&cur) {
+                allocs[idx].cores = n;
+            }
+            let sum: u32 = allocs.iter().map(|a| a.cores).sum();
+            prop_assert_eq!(sum, ledger.allocated(), "mirror must match ledger");
+            prop_assert!(sum <= total, "never exceed the node budget");
+            prop_assert!(allocs.iter().all(|a| a.cores >= 2));
+        }
+    }
+
+    #[test]
+    fn sensitivity_avg_is_bounded_by_observations(
+        obs in prop::collection::vec(1.0f64..1e9, 1..30),
+        cores in 1usize..16,
+    ) {
+        let mut m = SensitivityMatrix::new(1, 16, 0.5);
+        for &o in &obs {
+            m.observe(0, cores, o);
+        }
+        let min = obs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = obs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = m.exec_avg(0, cores).unwrap();
+        prop_assert!(v >= min - 1e-6 && v <= max + 1e-6);
+    }
+
+    #[test]
+    fn sensitivity_cells_expire_after_max_age(
+        max_age in 1u32..20,
+        extra_ticks in 0u32..30,
+    ) {
+        let mut m = SensitivityMatrix::with_max_age(1, 8, 0.5, max_age);
+        m.observe(0, 4, 100.0);
+        for _ in 0..(max_age + extra_ticks) {
+            m.tick();
+        }
+        if extra_ticks > 0 {
+            prop_assert_eq!(m.exec_avg(0, 4), None, "cell must expire");
+        } else {
+            prop_assert!(m.exec_avg(0, 4).is_some(), "cell at max age survives");
+        }
+    }
+
+    #[test]
+    fn freq_table_level_for_speedup_is_sufficient(needed in 0.5f64..3.0) {
+        let t = FreqTable::cascade_lake();
+        let level = t.level_for_speedup(needed);
+        if needed <= t.speedup(t.max_level()) {
+            prop_assert!(t.speedup(level) >= needed - 1e-9);
+            // Minimality: the level below (if any) is insufficient.
+            if level > 0 {
+                prop_assert!(t.speedup(level - 1) < needed);
+            }
+        } else {
+            prop_assert_eq!(level, t.max_level());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! `sg-loadtest` — the `wrk2_spike` equivalent (paper artifact A₂).
+//!
+//! Drives one calibrated workload under a spiking open-loop load and
+//! prints what the paper's modified wrk2 prints: a latency histogram and
+//! the violation volume.
+//!
+//! ```text
+//! sg-loadtest [--workload NAME] [--controller NAME] [--nodes N]
+//!             [--rate R] [--spikerate R] [--spikelen SECS]
+//!             [--duration SECS] [--qos MS] [--seed N]
+//!
+//!   --workload    chain | read | compose | search | reco   (default chain)
+//!   --controller  static | parties | caladan | surgeguard | escalator
+//!                 | ml | hybrid                            (default surgeguard)
+//!   --rate        steady request rate; default: the calibrated base rate
+//!   --spikerate   rate during spikes; default: 1.75 × rate
+//!   --spikelen    spike duration in seconds (default 2; 0 disables spikes)
+//!   --duration    measurement seconds after a 5 s warmup (default 30)
+//!   --qos         QoS limit in ms; default: calibrated limit
+//! ```
+
+use sg_controllers::{
+    CaladanFactory, CentralizedFactory, HybridFactory, PartiesFactory, SurgeGuardFactory,
+};
+use sg_core::time::{SimDuration, SimTime};
+use sg_loadgen::{LatencyHistogram, RunReport, SpikePattern};
+use sg_sim::controller::{ControllerFactory, NoopFactory};
+use sg_sim::runner::Simulation;
+use sg_workloads::{prepare, CalibrationOptions, Workload};
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = match arg(&args, "--workload").as_deref().unwrap_or("chain") {
+        "chain" => Workload::Chain,
+        "read" => Workload::ReadUserTimeline,
+        "compose" => Workload::ComposePost,
+        "search" => Workload::SearchHotel,
+        "reco" => Workload::RecommendHotel,
+        other => {
+            eprintln!("unknown workload '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let nodes: u32 = arg(&args, "--nodes").map_or(1, |v| v.parse().expect("--nodes"));
+    let seed: u64 = arg(&args, "--seed").map_or(42, |v| v.parse().expect("--seed"));
+    let duration: u64 = arg(&args, "--duration").map_or(30, |v| v.parse().expect("--duration"));
+
+    eprintln!("calibrating {workload:?} on {nodes} node(s) ...");
+    let pw = prepare(workload, nodes, CalibrationOptions::default());
+
+    let rate: f64 = arg(&args, "--rate").map_or(pw.base_rate, |v| v.parse().expect("--rate"));
+    let spike_rate: f64 =
+        arg(&args, "--spikerate").map_or(rate * 1.75, |v| v.parse().expect("--spikerate"));
+    let spike_len_s: f64 =
+        arg(&args, "--spikelen").map_or(2.0, |v| v.parse().expect("--spikelen"));
+    let qos = arg(&args, "--qos").map_or(pw.qos, |v| {
+        SimDuration::from_secs_f64(v.parse::<f64>().expect("--qos") / 1e3)
+    });
+
+    let controller_name = arg(&args, "--controller").unwrap_or_else(|| "surgeguard".into());
+    let factory: Box<dyn ControllerFactory> = match controller_name.as_str() {
+        "static" => Box::new(NoopFactory),
+        "parties" => Box::new(PartiesFactory::default()),
+        "caladan" => Box::new(CaladanFactory::default()),
+        "surgeguard" => Box::new(SurgeGuardFactory::full()),
+        "escalator" => Box::new(SurgeGuardFactory::escalator_only()),
+        "ml" => Box::new(CentralizedFactory::default()),
+        "hybrid" => Box::new(HybridFactory::default()),
+        other => {
+            eprintln!("unknown controller '{other}'");
+            std::process::exit(2);
+        }
+    };
+
+    let pattern = if spike_len_s > 0.0 && spike_rate > rate {
+        SpikePattern {
+            base_rate: rate,
+            spike_rate,
+            spike_len: SimDuration::from_secs_f64(spike_len_s),
+            period: SimDuration::from_secs(10),
+            first_spike: SimTime::from_secs(10),
+        }
+    } else {
+        SpikePattern::constant(rate)
+    };
+
+    let warmup = SimTime::from_secs(5);
+    let end = warmup + SimDuration::from_secs(duration);
+    let mut cfg = pw.cfg.clone();
+    cfg.end = end + SimDuration::from_millis(200);
+    cfg.measure_start = warmup;
+    cfg.seed = seed;
+    let arrivals = pattern.arrivals(SimTime::ZERO, end);
+    eprintln!(
+        "running {} for {duration}s at {rate:.0} req/s (spikes: {spike_rate:.0} req/s x {spike_len_s}s), qos {qos}",
+        controller_name
+    );
+    let result = Simulation::new(cfg, factory.as_ref(), arrivals).run();
+
+    // wrk2-style output.
+    let mut hist = LatencyHistogram::with_default_resolution();
+    for p in result.points.iter().filter(|p| p.completion >= warmup) {
+        hist.record(p.latency);
+    }
+    let report = RunReport::from_points(
+        &result.points,
+        qos,
+        warmup,
+        end,
+        result.avg_cores,
+        result.energy_j,
+    );
+
+    println!("  Latency Distribution (HdrHistogram)");
+    for q in [50.0, 75.0, 90.0, 98.0, 99.0, 99.9, 99.99, 100.0] {
+        let v = hist.percentile(q).unwrap_or(SimDuration::ZERO);
+        println!("    {q:>6.2}%  {v}");
+    }
+    println!(
+        "  {} requests in {}s ({:.0} req/s completed), {} dropped",
+        report.requests,
+        duration,
+        report.requests as f64 / duration as f64,
+        result.dropped,
+    );
+    println!("  Mean latency: {}", report.mean);
+    println!();
+    println!("  QoS limit:          {qos}");
+    println!("  Violation volume:   {:.6} s^2", report.violation_volume);
+    println!("  Violating requests: {:.2}%", report.violation_rate * 100.0);
+    println!("  Avg allocated cores: {:.1}", report.avg_cores);
+    println!("  Energy (idle-subtracted): {:.0} J", report.energy_j);
+    println!("  FirstResponder boosts: {}", result.packet_freq_boosts);
+}

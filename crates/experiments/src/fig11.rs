@@ -1,0 +1,108 @@
+//! Fig. 11 — long surges: normalized violation volume, cores and energy
+//! for 1.25×/1.5×/1.75× request-rate surges (2 s every 10 s), across all
+//! five workloads, for Parties / CaladanAlgo / SurgeGuard.
+//!
+//! Paper expectations: SurgeGuard reduces violation volume vs Parties by
+//! ~19 % (1.25×), ~43 % (1.5×) and ~61 % (1.75×) on average, with 2–8 %
+//! fewer cores and 2–4 % less energy; CaladanAlgo collapses on the
+//! connection-per-request hotel workloads.
+
+use crate::common::{ratio, run_trials, ExpProfile};
+use crate::output::{fr, JsonSink, Table};
+use serde_json::json;
+use sg_controllers::{CaladanFactory, PartiesFactory, SurgeGuardFactory};
+use sg_core::time::SimDuration;
+use sg_loadgen::SpikePattern;
+use sg_workloads::{prepare, CalibrationOptions, Workload};
+
+/// Surge magnitudes evaluated (×base rate).
+pub const MAGNITUDES: [f64; 3] = [1.25, 1.5, 1.75];
+
+/// Run the experiment; returns the printed tables.
+pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
+    let parties = PartiesFactory::default();
+    let caladan = CaladanFactory::default();
+    let surgeguard = SurgeGuardFactory::full();
+
+    // Calibrate each workload once; reused across magnitudes/controllers.
+    let prepared: Vec<_> = Workload::all()
+        .into_iter()
+        .map(|wl| (wl, prepare(wl, 1, CalibrationOptions::default())))
+        .collect();
+
+    let mut tables = Vec::new();
+    for &mag in &MAGNITUDES {
+        let mut t = Table::new(
+            &format!("Fig 11 — {mag}x surge (2s every 10s), normalized to Parties"),
+            &[
+                "workload",
+                "VV parties (s^2)",
+                "VV sg/p",
+                "VV cal/p",
+                "cores sg/p",
+                "cores cal/p",
+                "energy sg/p",
+                "energy cal/p",
+            ],
+        );
+        let mut sums = [0.0f64; 6];
+        let mut n = 0.0;
+        for (wl, pw) in &prepared {
+            let wl = *wl;
+            let pattern = SpikePattern::periodic(pw.base_rate, mag, SimDuration::from_secs(2));
+            let p = run_trials(pw, &parties, &pattern, profile);
+            let c = run_trials(pw, &caladan, &pattern, profile);
+            let s = run_trials(pw, &surgeguard, &pattern, profile);
+
+            let r = [
+                ratio(s.violation_volume, p.violation_volume),
+                ratio(c.violation_volume, p.violation_volume),
+                ratio(s.avg_cores, p.avg_cores),
+                ratio(c.avg_cores, p.avg_cores),
+                ratio(s.energy_j, p.energy_j),
+                ratio(c.energy_j, p.energy_j),
+            ];
+            for (acc, v) in sums.iter_mut().zip(r) {
+                if v.is_finite() {
+                    *acc += v;
+                }
+            }
+            n += 1.0;
+            t.row(vec![
+                wl.label().to_string(),
+                format!("{:.3e}", p.violation_volume),
+                fr(r[0]),
+                fr(r[1]),
+                fr(r[2]),
+                fr(r[3]),
+                fr(r[4]),
+                fr(r[5]),
+            ]);
+            sink.push(json!({
+                "experiment": "fig11",
+                "workload": wl.label(),
+                "magnitude": mag,
+                "vv": {"parties": p.violation_volume, "caladan": c.violation_volume,
+                        "surgeguard": s.violation_volume},
+                "cores": {"parties": p.avg_cores, "caladan": c.avg_cores,
+                           "surgeguard": s.avg_cores},
+                "energy": {"parties": p.energy_j, "caladan": c.energy_j,
+                            "surgeguard": s.energy_j},
+                "p98_s": {"parties": p.p98_s, "caladan": c.p98_s,
+                           "surgeguard": s.p98_s},
+            }));
+        }
+        t.row(vec![
+            "AVG".to_string(),
+            "-".to_string(),
+            fr(sums[0] / n),
+            fr(sums[1] / n),
+            fr(sums[2] / n),
+            fr(sums[3] / n),
+            fr(sums[4] / n),
+            fr(sums[5] / n),
+        ]);
+        tables.push(t);
+    }
+    tables
+}

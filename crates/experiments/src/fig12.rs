@@ -1,0 +1,74 @@
+//! Fig. 12 — effect of surge duration (0.1 s – 5 s at 1.75×) on
+//! `recommendHotel` (connection-per-request) and `readUserTimeline`
+//! (fixed threadpool), SurgeGuard normalized to Parties and CaladanAlgo.
+//!
+//! Paper expectations: SurgeGuard wins at every duration and its margin
+//! grows with duration (43.4 % → 56.5 % over the baselines from 0.1 s to
+//! 5 s); against CaladanAlgo on `recommendHotel` the violation-volume gap
+//! becomes enormous (~251× at 5 s) while CaladanAlgo burns much less
+//! energy (it simply never upscales).
+
+use crate::common::{ratio, run_trials, ExpProfile};
+use crate::output::{fr, JsonSink, Table};
+use serde_json::json;
+use sg_controllers::{CaladanFactory, PartiesFactory, SurgeGuardFactory};
+use sg_core::time::SimDuration;
+use sg_loadgen::SpikePattern;
+use sg_workloads::{prepare, CalibrationOptions, Workload};
+
+/// Surge durations in milliseconds.
+pub const DURATIONS_MS: [u64; 5] = [100, 500, 1000, 2000, 5000];
+
+/// Run the experiment.
+pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
+    let parties = PartiesFactory::default();
+    let caladan = CaladanFactory::default();
+    let surgeguard = SurgeGuardFactory::full();
+
+    let mut tables = Vec::new();
+    for wl in [Workload::RecommendHotel, Workload::ReadUserTimeline] {
+        let pw = prepare(wl, 1, CalibrationOptions::default());
+        let mut t = Table::new(
+            &format!(
+                "Fig 12 — surge duration sweep at 1.75x, {} (SG normalized to baselines)",
+                pw.cfg.graph.name
+            ),
+            &[
+                "duration",
+                "VV sg/parties",
+                "VV sg/caladan",
+                "cores sg/parties",
+                "energy sg/parties",
+                "energy sg/caladan",
+            ],
+        );
+        for &ms in &DURATIONS_MS {
+            let pattern =
+                SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_millis(ms));
+            let p = run_trials(&pw, &parties, &pattern, profile);
+            let c = run_trials(&pw, &caladan, &pattern, profile);
+            let s = run_trials(&pw, &surgeguard, &pattern, profile);
+            t.row(vec![
+                format!("{:.1}s", ms as f64 / 1000.0),
+                fr(ratio(s.violation_volume, p.violation_volume)),
+                fr(ratio(s.violation_volume, c.violation_volume)),
+                fr(ratio(s.avg_cores, p.avg_cores)),
+                fr(ratio(s.energy_j, p.energy_j)),
+                fr(ratio(s.energy_j, c.energy_j)),
+            ]);
+            sink.push(json!({
+                "experiment": "fig12",
+                "workload": wl.label(),
+                "duration_ms": ms,
+                "vv": {"parties": p.violation_volume, "caladan": c.violation_volume,
+                        "surgeguard": s.violation_volume},
+                "cores": {"parties": p.avg_cores, "caladan": c.avg_cores,
+                           "surgeguard": s.avg_cores},
+                "energy": {"parties": p.energy_j, "caladan": c.energy_j,
+                            "surgeguard": s.energy_j},
+            }));
+        }
+        tables.push(t);
+    }
+    tables
+}

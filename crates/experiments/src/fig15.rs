@@ -1,0 +1,63 @@
+//! Fig. 15 — per-component breakdown of Escalator over the Parties base
+//! allocator: Parties alone, Parties + new metrics, Parties + sensitivity,
+//! and the complete Escalator.
+//!
+//! Paper expectations: the new metrics help only the fixed-threadpool
+//! workload (`readUserTimeline` −23.5 % VV; `recommendHotel` unchanged
+//! since `execMetric = execTime` without pools); sensitivity-based
+//! allocation helps both (−28 % / −63 % VV, −5 % / −8 % cores); combined
+//! they compound (−74 % average).
+
+use crate::common::{ratio, run_trials, ExpProfile};
+use crate::output::{fr, JsonSink, Table};
+use serde_json::json;
+use sg_controllers::{PartiesFactory, SurgeGuardFactory};
+use sg_core::time::SimDuration;
+use sg_loadgen::SpikePattern;
+use sg_workloads::{prepare, CalibrationOptions, Workload};
+
+/// Run the experiment.
+pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
+    let arms: [(&str, bool, bool); 3] = [
+        ("parties+metrics", true, false),
+        ("parties+sens", false, true),
+        ("escalator", true, true),
+    ];
+    let parties = PartiesFactory::default();
+
+    let mut tables = Vec::new();
+    for wl in [Workload::ReadUserTimeline, Workload::RecommendHotel] {
+        let pw = prepare(wl, 1, CalibrationOptions::default());
+        let pattern = SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_secs(2));
+        let base = run_trials(&pw, &parties, &pattern, profile);
+        let mut t = Table::new(
+            &format!(
+                "Fig 15 — Escalator component breakdown, {} (normalized to Parties)",
+                pw.cfg.graph.name
+            ),
+            &["configuration", "VV ratio", "cores ratio"],
+        );
+        t.row(vec!["parties".into(), "1.00".into(), "1.00".into()]);
+        sink.push(json!({
+            "experiment": "fig15", "workload": wl.label(), "arm": "parties",
+            "vv": base.violation_volume, "cores": base.avg_cores,
+        }));
+        for (name, metrics, sens) in arms {
+            let factory = SurgeGuardFactory::ablation(metrics, sens);
+            let a = run_trials(&pw, &factory, &pattern, profile);
+            t.row(vec![
+                name.to_string(),
+                fr(ratio(a.violation_volume, base.violation_volume)),
+                fr(ratio(a.avg_cores, base.avg_cores)),
+            ]);
+            sink.push(json!({
+                "experiment": "fig15", "workload": wl.label(), "arm": name,
+                "vv": a.violation_volume, "cores": a.avg_cores,
+                "vv_ratio": ratio(a.violation_volume, base.violation_volume),
+                "cores_ratio": ratio(a.avg_cores, base.avg_cores),
+            }));
+        }
+        tables.push(t);
+    }
+    tables
+}

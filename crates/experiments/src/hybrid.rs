@@ -1,0 +1,77 @@
+//! §VII extension experiment — ML-class controller vs SurgeGuard vs the
+//! hybrid deployment.
+//!
+//! The paper's Discussion proposes running heavy ML controllers (Sage,
+//! Sinan) for periodic steady-state re-baselining with SurgeGuard
+//! guarding transients in between, "without negatively impacting the
+//! QoS". This experiment quantifies that: an ML-class controller alone
+//! (global knowledge, > 1 s decision pipeline), SurgeGuard alone, and the
+//! hybrid, all under the §VI-B surge protocol.
+//!
+//! Fresh controller factories are created per trial: the centralized
+//! brain is shared among a run's node instances and must not leak across
+//! runs.
+
+use crate::common::{run_one, ExpProfile};
+use crate::output::{JsonSink, Table};
+use serde_json::json;
+use sg_controllers::{CentralizedFactory, HybridFactory, SurgeGuardFactory};
+use sg_core::time::SimDuration;
+use sg_loadgen::{trimmed_mean, RunReport, SpikePattern};
+use sg_sim::controller::ControllerFactory;
+use sg_workloads::{prepare, CalibrationOptions, Workload};
+
+/// Run the experiment.
+pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
+    let pw = prepare(Workload::ReadUserTimeline, 1, CalibrationOptions::default());
+    let pattern = SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_secs(2));
+
+    let arms: [&str; 3] = ["ml-centralized", "surgeguard", "hybrid"];
+    let mut t = Table::new(
+        "§VII extension — ML-class vs SurgeGuard vs hybrid (readUserTimeline, 1.75x surges)",
+        &["controller", "VV (s^2)", "P98 (ms)", "avg cores", "energy (J)"],
+    );
+    for arm in arms {
+        let reports: Vec<RunReport> = (0..profile.trials)
+            .map(|i| {
+                // Fresh factory per trial (shared-brain hygiene).
+                let factory: Box<dyn ControllerFactory> = match arm {
+                    "ml-centralized" => Box::new(CentralizedFactory::default()),
+                    "surgeguard" => Box::new(SurgeGuardFactory::full()),
+                    _ => Box::new(HybridFactory::default()),
+                };
+                run_one(
+                    &pw,
+                    factory.as_ref(),
+                    &pattern,
+                    profile.warmup,
+                    profile.measure,
+                    profile.base_seed + i as u64,
+                    false,
+                )
+                .0
+            })
+            .collect();
+        let vv = trimmed_mean(&reports.iter().map(|r| r.violation_volume).collect::<Vec<_>>());
+        let p98 =
+            trimmed_mean(&reports.iter().map(|r| r.p98.as_secs_f64() * 1e3).collect::<Vec<_>>());
+        let cores = trimmed_mean(&reports.iter().map(|r| r.avg_cores).collect::<Vec<_>>());
+        let energy = trimmed_mean(&reports.iter().map(|r| r.energy_j).collect::<Vec<_>>());
+        t.row(vec![
+            arm.to_string(),
+            format!("{vv:.4}"),
+            format!("{p98:.1}"),
+            format!("{cores:.1}"),
+            format!("{energy:.0}"),
+        ]);
+        sink.push(json!({
+            "experiment": "hybrid",
+            "controller": arm,
+            "vv": vv,
+            "p98_ms": p98,
+            "cores": cores,
+            "energy_j": energy,
+        }));
+    }
+    vec![t]
+}

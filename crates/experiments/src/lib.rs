@@ -1,0 +1,40 @@
+//! # sg-experiments — regenerating every table and figure
+//!
+//! One module per evaluated artifact of the paper; the `sg-experiments`
+//! binary drives them. Mapping (see DESIGN.md for the full index):
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table1`] | Table I — controller comparison |
+//! | [`fig04`] | Fig. 4 — detection delay vs violation volume |
+//! | [`fig05`] | Fig. 5 — threading-model upscaling demo |
+//! | [`fig06`] | Fig. 6 — sensitivity curves |
+//! | [`fig10`] | Fig. 10 — short surges (FirstResponder) |
+//! | [`fig11`] | Fig. 11 — long surges across workloads |
+//! | [`fig12`] | Fig. 12 — surge-duration sweep |
+//! | [`fig13`] | Fig. 13 — node scaling |
+//! | [`fig14`] | Fig. 14 — allocation timeline |
+//! | [`fig15`] | Fig. 15 — Escalator component breakdown |
+//! | [`hybrid`] | §VII extension — ML-class + SurgeGuard hybrid |
+//! | [`netsurge`] | extension — network-latency surges (abstract claim) |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod common;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod hybrid;
+pub mod netsurge;
+pub mod output;
+pub mod table1;
+
+pub use common::{run_one, run_trials, ExpProfile};
+pub use output::{JsonSink, Table};

@@ -1,0 +1,83 @@
+//! `sg-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! sg-experiments [EXPERIMENTS...] [--full] [--json PATH]
+//!
+//!   EXPERIMENTS   any of: table1 fig4 fig5 fig6 fig10 fig11 fig12
+//!                 fig13 fig14 fig15 hybrid netsurge all (default: all)
+//!   --full        paper-scale protocol (17 trials, 60s windows) —
+//!                 substantially slower
+//!   --json PATH   also write machine-readable rows to PATH
+//! ```
+
+use sg_experiments::{ExpProfile, JsonSink, Table};
+use std::time::Instant;
+
+const ALL: [&str; 12] = [
+    "table1", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "hybrid", "netsurge",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(a.as_str()) != json_path.as_deref())
+        .cloned()
+        .collect();
+    if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        selected = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for s in &selected {
+        if !ALL.contains(&s.as_str()) {
+            eprintln!("unknown experiment '{s}'; known: {}", ALL.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    let profile = ExpProfile::new(full);
+    println!(
+        "SurgeGuard reproduction — {} profile ({} trials, {} measurement)",
+        if full { "full" } else { "quick" },
+        profile.trials,
+        profile.measure,
+    );
+
+    let mut sink = JsonSink::new();
+    for name in &selected {
+        let t0 = Instant::now();
+        let tables: Vec<Table> = match name.as_str() {
+            "table1" => sg_experiments::table1::run(&profile, &mut sink),
+            "fig4" => sg_experiments::fig04::run(&profile, &mut sink),
+            "fig5" => sg_experiments::fig05::run(&profile, &mut sink),
+            "fig6" => sg_experiments::fig06::run(&profile, &mut sink),
+            "fig10" => sg_experiments::fig10::run(&profile, &mut sink),
+            "fig11" => sg_experiments::fig11::run(&profile, &mut sink),
+            "fig12" => sg_experiments::fig12::run(&profile, &mut sink),
+            "fig13" => sg_experiments::fig13::run(&profile, &mut sink, full),
+            "fig14" => sg_experiments::fig14::run(&profile, &mut sink),
+            "fig15" => sg_experiments::fig15::run(&profile, &mut sink),
+            "hybrid" => sg_experiments::hybrid::run(&profile, &mut sink),
+            "netsurge" => sg_experiments::netsurge::run(&profile, &mut sink),
+            _ => unreachable!(),
+        };
+        for t in &tables {
+            print!("{}", t.render());
+        }
+        println!("\n[{} done in {:.1?}]", name, t0.elapsed());
+    }
+
+    if let Some(path) = json_path {
+        let value = sink.into_value();
+        std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("JSON rows written to {path}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Network-latency-surge experiment — the abstract's second surge class.
+//!
+//! SurgeGuard is "specifically designed to guard application QoS during
+//! surges in load *and network latency*" (§I). The evaluation section
+//! only exercises request-rate surges, so this extension injects fabric
+//! latency surges instead: for a window, every cross-node hop pays extra
+//! delay. FirstResponder's per-packet slack sees the lateness immediately
+//! (late packets are late regardless of cause) and boosts the receiving
+//! containers so the downstream work catches back up.
+
+use crate::common::{run_one, ExpProfile};
+use crate::output::{JsonSink, Table};
+use serde_json::json;
+use sg_controllers::{PartiesFactory, SurgeGuardFactory};
+use sg_core::time::{SimDuration, SimTime};
+use sg_loadgen::{trimmed_mean, RunReport, SpikePattern};
+use sg_sim::controller::ControllerFactory;
+use sg_sim::network::LatencySurge;
+use sg_workloads::{prepare, CalibrationOptions, Workload};
+
+/// Extra one-way fabric latencies injected.
+pub const EXTRA_US: [u64; 3] = [200, 500, 1000];
+
+/// Run the experiment: 2-node readUserTimeline (so RPCs actually cross
+/// the fabric), constant base load, 2 s latency surges every 10 s.
+pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
+    let pw = prepare(Workload::ReadUserTimeline, 2, CalibrationOptions::default());
+    let pattern = SpikePattern::constant(pw.base_rate);
+
+    let mut t = Table::new(
+        "Extension — network latency surges (2 nodes, 2s surges every 10s)",
+        &[
+            "extra hop latency",
+            "VV static (s^2)",
+            "VV parties",
+            "VV surgeguard",
+            "SG boosts/run",
+        ],
+    );
+    for &extra in &EXTRA_US {
+        let mut vv = [0.0f64; 3];
+        let mut boosts = 0u64;
+        for (i, name) in ["static", "parties", "surgeguard"].iter().enumerate() {
+            let reports: Vec<(RunReport, u64)> = (0..profile.trials)
+                .map(|k| {
+                    let factory: Box<dyn ControllerFactory> = match *name {
+                        "static" => Box::new(sg_sim::controller::NoopFactory),
+                        "parties" => Box::new(PartiesFactory::default()),
+                        _ => Box::new(SurgeGuardFactory::full()),
+                    };
+                    let mut pw2 = pw.clone();
+                    // Latency surge every 10 s for 2 s within the window.
+                    pw2.cfg.latency_surge = Some(LatencySurge {
+                        start: SimTime::ZERO + profile.warmup + SimDuration::from_secs(5),
+                        end: SimTime::ZERO + profile.warmup + SimDuration::from_secs(7),
+                        extra: SimDuration::from_micros(extra),
+                    });
+                    let (rep, res) = run_one(
+                        &pw2,
+                        factory.as_ref(),
+                        &pattern,
+                        profile.warmup,
+                        profile.measure,
+                        profile.base_seed + k as u64,
+                        false,
+                    );
+                    (rep, res.packet_freq_boosts)
+                })
+                .collect();
+            vv[i] = trimmed_mean(
+                &reports
+                    .iter()
+                    .map(|(r, _)| r.violation_volume)
+                    .collect::<Vec<_>>(),
+            );
+            if *name == "surgeguard" {
+                boosts = reports.iter().map(|(_, b)| b).sum::<u64>() / reports.len() as u64;
+            }
+        }
+        t.row(vec![
+            format!("{extra}us"),
+            format!("{:.4}", vv[0]),
+            format!("{:.4}", vv[1]),
+            format!("{:.4}", vv[2]),
+            boosts.to_string(),
+        ]);
+        sink.push(json!({
+            "experiment": "netsurge",
+            "extra_us": extra,
+            "vv": {"static": vv[0], "parties": vv[1], "surgeguard": vv[2]},
+            "sg_boosts": boosts,
+        }));
+    }
+    vec![t]
+}

@@ -1,0 +1,23 @@
+//! # sg-loadgen — open-loop spiking load generation and QoS reporting
+//!
+//! The equivalent of the paper's modified wrk2 (`wrk2_spike`, artifact
+//! A₂):
+//!
+//! * [`spike`] — deterministic open-loop arrival schedules with periodic
+//!   request-rate spikes (`-rate`, `-spikerate`, `-spikelen`), free of
+//!   coordinated omission;
+//! * [`histogram`] — an HDR-style latency histogram (wrk2's reporting
+//!   structure);
+//! * [`report`] — per-run reports (violation volume, tails, cores,
+//!   energy) and the paper's 17-trial trimmed-mean aggregation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod report;
+pub mod spike;
+
+pub use histogram::LatencyHistogram;
+pub use report::{trimmed_mean, AggregateReport, RunReport};
+pub use spike::{short_surge, SpikePattern};

@@ -1,0 +1,192 @@
+//! Spiking open-loop load patterns — the `wrk2_spike` equivalent.
+//!
+//! The paper modifies wrk2 to inject request-rate spikes with three knobs:
+//! `-rate` (steady state), `-spikerate` (rate during the spike) and
+//! `-spikelen` (spike duration); spikes repeat periodically (§VI-B:
+//! "injecting 2s long request rate surges every 10s"). Arrivals are
+//! deterministically paced at the instantaneous rate, wrk2-style, so the
+//! measured latencies are free of coordinated omission by construction.
+
+use serde::{Deserialize, Serialize};
+use sg_core::time::{SimDuration, SimTime};
+
+/// A periodic request-rate spike pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpikePattern {
+    /// Steady-state request rate (req/s) — wrk2's `-rate`.
+    pub base_rate: f64,
+    /// Request rate during a spike — wrk2's `-spikerate`.
+    pub spike_rate: f64,
+    /// Spike duration — wrk2's `-spikelen`.
+    pub spike_len: SimDuration,
+    /// Spike period (start-to-start).
+    pub period: SimDuration,
+    /// Start of the first spike.
+    pub first_spike: SimTime,
+}
+
+impl SpikePattern {
+    /// A constant-rate pattern (no spikes).
+    pub fn constant(rate: f64) -> Self {
+        SpikePattern {
+            base_rate: rate,
+            spike_rate: rate,
+            spike_len: SimDuration::ZERO,
+            period: SimDuration::from_secs(10),
+            first_spike: SimTime::ZERO,
+        }
+    }
+
+    /// The paper's §VI-B protocol: spikes of `magnitude × base` lasting
+    /// `spike_len`, every 10 s, first spike after one full period.
+    pub fn periodic(base_rate: f64, magnitude: f64, spike_len: SimDuration) -> Self {
+        SpikePattern {
+            base_rate,
+            spike_rate: base_rate * magnitude,
+            spike_len,
+            period: SimDuration::from_secs(10),
+            first_spike: SimTime::from_secs(10),
+        }
+    }
+
+    /// Instantaneous rate at `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        if self.spike_len.is_zero() || t < self.first_spike {
+            return self.base_rate;
+        }
+        let since = t.saturating_since(self.first_spike);
+        let into_period = SimDuration::from_nanos(since.as_nanos() % self.period.as_nanos().max(1));
+        if into_period < self.spike_len {
+            self.spike_rate
+        } else {
+            self.base_rate
+        }
+    }
+
+    /// True if `t` falls inside a spike window.
+    pub fn in_spike(&self, t: SimTime) -> bool {
+        self.spike_len > SimDuration::ZERO && self.rate_at(t) == self.spike_rate
+    }
+
+    /// Deterministically paced arrival schedule over `[start, end)`.
+    pub fn arrivals(&self, start: SimTime, end: SimTime) -> Vec<SimTime> {
+        assert!(self.base_rate > 0.0 && self.spike_rate > 0.0, "rates must be positive");
+        let mut out = Vec::new();
+        let mut t = start;
+        while t < end {
+            out.push(t);
+            let gap = SimDuration::from_secs_f64(1.0 / self.rate_at(t));
+            // Guard against sub-nanosecond gaps from absurd rates.
+            t += gap.max(SimDuration::from_nanos(1));
+        }
+        out
+    }
+
+    /// Spike windows intersecting `[start, end)`, for plotting/analysis.
+    pub fn spike_windows(&self, start: SimTime, end: SimTime) -> Vec<(SimTime, SimTime)> {
+        let mut out = Vec::new();
+        if self.spike_len.is_zero() {
+            return out;
+        }
+        let mut s = self.first_spike;
+        while s < end {
+            let e = s + self.spike_len;
+            if e > start {
+                out.push((s.max(start), e.min(end)));
+            }
+            s += self.period;
+        }
+        out
+    }
+}
+
+/// Pattern for the FirstResponder short-surge experiments (Fig. 10):
+/// instantaneous rate 20× the base for sub-millisecond windows, repeated
+/// every `period`.
+pub fn short_surge(base_rate: f64, surge_len: SimDuration, period: SimDuration) -> SpikePattern {
+    SpikePattern {
+        base_rate,
+        spike_rate: base_rate * 20.0,
+        spike_len: surge_len,
+        period,
+        first_spike: SimTime::ZERO + period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_pattern_is_flat() {
+        let p = SpikePattern::constant(1000.0);
+        assert_eq!(p.rate_at(SimTime::ZERO), 1000.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(100)), 1000.0);
+        assert!(!p.in_spike(SimTime::from_secs(15)));
+        let a = p.arrivals(SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(a.len(), 1000);
+    }
+
+    #[test]
+    fn periodic_pattern_alternates() {
+        let p = SpikePattern::periodic(1000.0, 1.75, SimDuration::from_secs(2));
+        // Before the first spike.
+        assert_eq!(p.rate_at(SimTime::from_secs(5)), 1000.0);
+        // Inside the first spike [10, 12).
+        assert_eq!(p.rate_at(SimTime::from_secs(10)), 1750.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(11)), 1750.0);
+        assert!(p.in_spike(SimTime::from_secs(11)));
+        // After it.
+        assert_eq!(p.rate_at(SimTime::from_secs(13)), 1000.0);
+        // Second spike [20, 22).
+        assert_eq!(p.rate_at(SimTime::from_secs(21)), 1750.0);
+    }
+
+    #[test]
+    fn arrival_count_reflects_spikes() {
+        let base = SpikePattern::constant(1000.0)
+            .arrivals(SimTime::ZERO, SimTime::from_secs(30))
+            .len();
+        let spiky = SpikePattern::periodic(1000.0, 2.0, SimDuration::from_secs(2))
+            .arrivals(SimTime::ZERO, SimTime::from_secs(30))
+            .len();
+        // Two spikes in [0,30): [10,12) and [20,22): each adds ~1000×2s.
+        let extra = spiky as i64 - base as i64;
+        assert!(
+            (extra - 4000).abs() < 100,
+            "expected ~4000 extra arrivals, got {extra}"
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_and_in_range() {
+        let p = SpikePattern::periodic(500.0, 1.5, SimDuration::from_millis(100));
+        let a = p.arrivals(SimTime::from_secs(1), SimTime::from_secs(5));
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.first().unwrap() >= &SimTime::from_secs(1));
+        assert!(a.last().unwrap() < &SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn spike_windows_enumeration() {
+        let p = SpikePattern::periodic(1000.0, 2.0, SimDuration::from_secs(2));
+        let w = p.spike_windows(SimTime::ZERO, SimTime::from_secs(35));
+        assert_eq!(
+            w,
+            vec![
+                (SimTime::from_secs(10), SimTime::from_secs(12)),
+                (SimTime::from_secs(20), SimTime::from_secs(22)),
+                (SimTime::from_secs(30), SimTime::from_secs(32)),
+            ]
+        );
+    }
+
+    #[test]
+    fn short_surge_is_20x() {
+        let p = short_surge(2000.0, SimDuration::from_micros(100), SimDuration::from_millis(50));
+        assert_eq!(p.spike_rate, 40_000.0);
+        // Inside the first surge window at t = period.
+        assert!(p.in_spike(SimTime::from_millis(50)));
+        assert!(!p.in_spike(SimTime::from_millis(51)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the load generator and reporting.
+
+use proptest::prelude::*;
+use sg_core::time::{SimDuration, SimTime};
+use sg_core::violation::percentile;
+use sg_loadgen::histogram::LatencyHistogram;
+use sg_loadgen::report::trimmed_mean;
+use sg_loadgen::spike::SpikePattern;
+
+proptest! {
+    #[test]
+    fn histogram_percentiles_match_exact_within_resolution(
+        values in prop::collection::vec(1u64..10_000_000_000u64, 1..500),
+        q in 1.0f64..100.0,
+    ) {
+        let mut h = LatencyHistogram::with_default_resolution();
+        let lats: Vec<SimDuration> = values.iter().map(|&v| SimDuration::from_nanos(v)).collect();
+        for &l in &lats {
+            h.record(l);
+        }
+        let approx = h.percentile(q).unwrap().as_nanos() as f64;
+        let exact = percentile(&lats, q).unwrap().as_nanos() as f64;
+        // HDR with 6 significant bits: <= 1/32 relative error on the
+        // bucket's low edge, plus rank rounding — allow 5%.
+        prop_assert!(
+            (approx - exact).abs() <= 0.05 * exact + 2.0,
+            "q{q}: approx {approx} exact {exact}"
+        );
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording(
+        a in prop::collection::vec(1u64..1_000_000_000u64, 1..200),
+        b in prop::collection::vec(1u64..1_000_000_000u64, 1..200),
+    ) {
+        let mut ha = LatencyHistogram::with_default_resolution();
+        let mut hb = LatencyHistogram::with_default_resolution();
+        let mut hc = LatencyHistogram::with_default_resolution();
+        for &v in &a {
+            ha.record(SimDuration::from_nanos(v));
+            hc.record(SimDuration::from_nanos(v));
+        }
+        for &v in &b {
+            hb.record(SimDuration::from_nanos(v));
+            hc.record(SimDuration::from_nanos(v));
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.len(), hc.len());
+        prop_assert_eq!(ha.max(), hc.max());
+        prop_assert_eq!(ha.min(), hc.min());
+        for q in [50.0, 90.0, 99.0] {
+            prop_assert_eq!(ha.percentile(q), hc.percentile(q));
+        }
+    }
+
+    #[test]
+    fn arrivals_are_strictly_sorted_and_in_range(
+        base in 100.0f64..10_000.0,
+        magnitude in 1.0f64..5.0,
+        spike_ms in 10u64..2_000,
+        horizon_s in 1u64..20,
+    ) {
+        let p = SpikePattern::periodic(base, magnitude, SimDuration::from_millis(spike_ms));
+        let start = SimTime::ZERO;
+        let end = SimTime::from_secs(horizon_s);
+        let a = p.arrivals(start, end);
+        prop_assert!(!a.is_empty());
+        prop_assert!(a.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(*a.first().unwrap() >= start);
+        prop_assert!(*a.last().unwrap() < end);
+    }
+
+    #[test]
+    fn arrival_count_matches_rate_integral(
+        base in 100.0f64..5_000.0,
+        magnitude in 1.0f64..3.0,
+        spike_ms in 100u64..2_000,
+        horizon_s in 15u64..40,
+    ) {
+        let p = SpikePattern::periodic(base, magnitude, SimDuration::from_millis(spike_ms));
+        let end = SimTime::from_secs(horizon_s);
+        let a = p.arrivals(SimTime::ZERO, end);
+        // Integral of the rate function.
+        let spikes = p.spike_windows(SimTime::ZERO, end);
+        let spike_time: f64 = spikes
+            .iter()
+            .map(|(s, e)| e.saturating_since(*s).as_secs_f64())
+            .sum();
+        let expected = base * (horizon_s as f64 - spike_time) + base * magnitude * spike_time;
+        let got = a.len() as f64;
+        prop_assert!(
+            (got - expected).abs() <= 0.02 * expected + 2.0,
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn trimmed_mean_is_within_sample_range(
+        samples in prop::collection::vec(0.0f64..1e9, 1..40),
+    ) {
+        let t = trimmed_mean(&samples);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(t >= min - 1e-9 && t <= max + 1e-9);
+    }
+
+    #[test]
+    fn trimmed_mean_ignores_single_outliers(
+        samples in prop::collection::vec(10.0f64..20.0, 3..30),
+        outlier in 1e6f64..1e9,
+    ) {
+        let mut with_outlier = samples.clone();
+        with_outlier.push(outlier);
+        let t = trimmed_mean(&with_outlier);
+        prop_assert!(t <= 20.0 + 1e-9, "outlier must be trimmed, got {t}");
+    }
+}

@@ -1,0 +1,442 @@
+//! Processor-sharing container execution model.
+//!
+//! Each container runs on `cores` logical cores at a DVFS-scaled speed.
+//! Every in-flight request contributes at most one runnable thread (RPC
+//! handlers are single-threaded per request); when more threads are active
+//! than cores, the cores are shared equally — the classic egalitarian
+//! processor-sharing (PS) discipline, which is what CFS converges to for
+//! CPU-bound threads of equal weight.
+//!
+//! The implementation uses the *virtual service time* formulation: a
+//! monotone counter `virt` advances at the current per-thread service rate
+//! (`speedup × min(1, cores/n)` base-frequency core-nanoseconds per
+//! nanosecond); a work phase of size `w` admitted at counter value `v`
+//! completes when `virt = v + w`. Rate changes (new threads, departures,
+//! reallocation, DVFS) only need an O(1) counter update plus an O(log n)
+//! heap operation — no per-job bookkeeping — so open-loop overload with
+//! thousands of queued threads stays cheap to simulate.
+//!
+//! Two behavioural consequences matter for the paper's results and emerge
+//! naturally from this model:
+//!
+//! * when `n ≤ cores`, extra cores do nothing (a thread cannot use more
+//!   than one core) — the *flat sensitivity curve* of Fig. 6 (right);
+//! * when `n > cores`, service time scales with `n/cores` — the thread
+//!   contention that makes surges inflate `execMetric` (Fig. 5a).
+
+use crate::event::InvocationId;
+use sg_core::ids::{ContainerId, NodeId, ServiceId};
+use sg_core::metrics::MetricsWindow;
+use sg_core::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Totally-ordered f64 wrapper for the completion heap (virtual times are
+/// always finite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct VirtTime(f64);
+
+impl Eq for VirtTime {}
+impl PartialOrd for VirtTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for VirtTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// One container instance: a PS server plus its metric window.
+#[derive(Debug)]
+pub struct Container {
+    /// Cluster-wide container id.
+    pub id: ContainerId,
+    /// Hosting node.
+    pub node: NodeId,
+    /// The service this container runs.
+    pub service: ServiceId,
+    /// Escalator-controlled egress hint level: when > 0, outgoing RPCs set
+    /// `pkt.upscale` to this many hops (Table II row 2).
+    pub egress_hint: u8,
+    /// Per-window request metrics, flushed into controller snapshots.
+    pub window: MetricsWindow,
+
+    cores: u32,
+    freq_speedup: f64,
+    /// Memory-bandwidth cap on the container's total execution rate, in
+    /// base-frequency core-equivalents (§VII extension: a
+    /// bandwidth-partitioned container cannot retire work faster than its
+    /// share of the memory system allows, regardless of cores/frequency).
+    /// `None` = not bandwidth-constrained.
+    bw_cap: Option<f64>,
+    /// Cumulative per-thread service, in base-frequency core-nanoseconds.
+    virt: f64,
+    last_update: SimTime,
+    epoch: u64,
+    /// Min-heap of (completion virtual time, phase).
+    phases: BinaryHeap<Reverse<(VirtTime, InvocationId)>>,
+}
+
+/// Tolerance (in base-frequency core-ns) when harvesting completed phases:
+/// completion events are scheduled at the ceiling of the true completion
+/// time, so `virt` is at or just past the target when they fire.
+const VIRT_EPS: f64 = 1e-3;
+
+impl Container {
+    /// New idle container.
+    pub fn new(id: ContainerId, node: NodeId, service: ServiceId, cores: u32) -> Self {
+        assert!(cores >= 1, "container needs at least one core");
+        Container {
+            id,
+            node,
+            service,
+            egress_hint: 0,
+            window: MetricsWindow::new(),
+            cores,
+            freq_speedup: 1.0,
+            bw_cap: None,
+            virt: 0.0,
+            last_update: SimTime::ZERO,
+            epoch: 0,
+            phases: BinaryHeap::new(),
+        }
+    }
+
+    /// Logical cores currently allocated.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Current DVFS speedup relative to base frequency.
+    pub fn freq_speedup(&self) -> f64 {
+        self.freq_speedup
+    }
+
+    /// Current memory-bandwidth cap, if any.
+    pub fn bw_cap(&self) -> Option<f64> {
+        self.bw_cap
+    }
+
+    /// Number of runnable threads (active work phases).
+    pub fn active_threads(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Scheduling epoch; completion events carry the epoch they were
+    /// scheduled under and are ignored when stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Per-thread service rate in base-frequency core-ns per ns.
+    #[inline]
+    fn rate(&self) -> f64 {
+        let n = self.phases.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let share = (self.cores as f64 / n as f64).min(1.0);
+        let cpu_rate = self.freq_speedup * share;
+        match self.bw_cap {
+            // The memory system bounds the container's TOTAL retire rate;
+            // threads share it equally like they share cores.
+            Some(b) => cpu_rate.min(b / n as f64),
+            None => cpu_rate,
+        }
+    }
+
+    /// Advance the virtual clock to `now`.
+    #[inline]
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "container clock went backwards");
+        if now > self.last_update {
+            let dt = now.saturating_since(self.last_update).as_nanos() as f64;
+            let r = self.rate();
+            if r > 0.0 {
+                self.virt += r * dt;
+            }
+            self.last_update = now;
+        }
+    }
+
+    /// Admit a work phase of `work` (single-core base-frequency time) for
+    /// `inv`. Bumps the epoch: callers must reschedule the completion event.
+    pub fn add_phase(&mut self, now: SimTime, inv: InvocationId, work: SimDuration) {
+        self.advance(now);
+        let target = self.virt + work.as_nanos() as f64;
+        self.phases.push(Reverse((VirtTime(target), inv)));
+        self.epoch += 1;
+    }
+
+    /// Change the core allocation. Bumps the epoch.
+    pub fn set_cores(&mut self, now: SimTime, cores: u32) {
+        assert!(cores >= 1, "cannot allocate zero cores");
+        self.advance(now);
+        self.cores = cores;
+        self.epoch += 1;
+    }
+
+    /// Change the memory-bandwidth cap (base-frequency core-equivalents;
+    /// `None` removes the cap). Bumps the epoch.
+    pub fn set_bw_cap(&mut self, now: SimTime, cap: Option<f64>) {
+        if let Some(c) = cap {
+            assert!(c > 0.0, "bandwidth cap must be positive");
+        }
+        self.advance(now);
+        self.bw_cap = cap;
+        self.epoch += 1;
+    }
+
+    /// Change the DVFS speedup (relative to base frequency). Bumps the
+    /// epoch.
+    pub fn set_freq_speedup(&mut self, now: SimTime, speedup: f64) {
+        assert!(speedup > 0.0, "speedup must be positive");
+        self.advance(now);
+        self.freq_speedup = speedup;
+        self.epoch += 1;
+    }
+
+    /// Absolute time at which the earliest phase completes, given current
+    /// membership and capacity. `None` when idle.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<SimTime> {
+        self.advance(now);
+        let Reverse((VirtTime(target), _)) = *self.phases.peek()?;
+        let remaining = (target - self.virt).max(0.0);
+        let r = self.rate();
+        debug_assert!(r > 0.0, "non-empty container must have positive rate");
+        // Ceil so the event never fires before the true completion.
+        let dt = SimDuration::from_nanos((remaining / r).ceil() as u64);
+        Some(now + dt)
+    }
+
+    /// Harvest phases completed by `now` (advances the clock). Bumps the
+    /// epoch when anything is harvested.
+    pub fn pop_completed(&mut self, now: SimTime) -> Vec<InvocationId> {
+        self.advance(now);
+        let mut done = Vec::new();
+        while let Some(&Reverse((VirtTime(target), inv))) = self.phases.peek() {
+            if target <= self.virt + VIRT_EPS {
+                self.phases.pop();
+                done.push(inv);
+            } else {
+                break;
+            }
+        }
+        if !done.is_empty() {
+            self.epoch += 1;
+        }
+        done
+    }
+}
+
+/// Sample a work size around `mean` with coefficient of variation `cv`.
+///
+/// Mixes a deterministic floor with an exponential tail:
+/// `w = mean·(1 − cv) + Exp(mean·cv)`, which has mean `mean` and
+/// cv exactly `cv` for `cv ∈ [0,1]`. `u` must be uniform in (0,1).
+pub fn sample_work(mean: SimDuration, cv: f64, u: f64) -> SimDuration {
+    debug_assert!((0.0..1.0).contains(&u) || u == 0.0, "u in [0,1)");
+    if cv <= 0.0 {
+        return mean;
+    }
+    let cv = cv.min(1.0);
+    let m = mean.as_nanos() as f64;
+    let det = m * (1.0 - cv);
+    // Inverse-CDF sampling of Exp(mean = m·cv); clamp u away from 1.
+    let tail = -(m * cv) * (1.0 - u.min(1.0 - 1e-12)).ln();
+    SimDuration::from_nanos((det + tail).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(cores: u32) -> Container {
+        Container::new(ContainerId(0), NodeId(0), ServiceId(0), cores)
+    }
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    #[test]
+    fn single_job_runs_at_full_speed() {
+        let mut ct = c(4);
+        let t0 = SimTime::from_micros(10);
+        ct.add_phase(t0, 1, us(100));
+        let done_at = ct.next_completion(t0).unwrap();
+        assert_eq!(done_at, t0 + us(100));
+        assert_eq!(ct.pop_completed(done_at), vec![1]);
+        assert_eq!(ct.active_threads(), 0);
+    }
+
+    #[test]
+    fn two_jobs_one_core_share_equally() {
+        let mut ct = c(1);
+        let t0 = SimTime::ZERO;
+        ct.add_phase(t0, 1, us(100));
+        ct.add_phase(t0, 2, us(100));
+        // Each progresses at half speed: both finish at 200us.
+        let done_at = ct.next_completion(t0).unwrap();
+        assert_eq!(done_at, SimTime::from_micros(200));
+        let done = ct.pop_completed(done_at);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn enough_cores_means_no_contention() {
+        let mut ct = c(2);
+        let t0 = SimTime::ZERO;
+        ct.add_phase(t0, 1, us(100));
+        ct.add_phase(t0, 2, us(100));
+        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn frequency_boost_speeds_execution() {
+        let mut ct = c(1);
+        let t0 = SimTime::ZERO;
+        ct.set_freq_speedup(t0, 2.0);
+        ct.add_phase(t0, 1, us(100));
+        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(50));
+    }
+
+    #[test]
+    fn midway_core_change_reschedules() {
+        let mut ct = c(1);
+        let t0 = SimTime::ZERO;
+        ct.add_phase(t0, 1, us(100));
+        ct.add_phase(t0, 2, us(100));
+        // At t=100us both are half done (50us of work each remains, at
+        // half rate). Doubling cores lets both run at full speed.
+        let mid = SimTime::from_micros(100);
+        ct.set_cores(mid, 2);
+        assert_eq!(ct.next_completion(mid).unwrap(), SimTime::from_micros(150));
+    }
+
+    #[test]
+    fn later_arrival_finishes_later() {
+        let mut ct = c(1);
+        ct.add_phase(SimTime::ZERO, 1, us(100));
+        ct.add_phase(SimTime::from_micros(50), 2, us(100));
+        // Job1: 50us alone + shares; at t=50 it has 50us left, job2 100us.
+        // Shared rate 0.5: job1 done at 50 + 100 = 150us.
+        let t1 = ct.next_completion(SimTime::from_micros(50)).unwrap();
+        assert_eq!(t1, SimTime::from_micros(150));
+        assert_eq!(ct.pop_completed(t1), vec![1]);
+        // Job2 then runs alone: 50us of work left at t=150 → done at 200.
+        let t2 = ct.next_completion(t1).unwrap();
+        assert_eq!(t2, SimTime::from_micros(200));
+        assert_eq!(ct.pop_completed(t2), vec![2]);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation() {
+        let mut ct = c(2);
+        let e0 = ct.epoch();
+        ct.add_phase(SimTime::ZERO, 1, us(10));
+        assert!(ct.epoch() > e0);
+        let e1 = ct.epoch();
+        ct.set_cores(SimTime::from_micros(1), 4);
+        assert!(ct.epoch() > e1);
+        let e2 = ct.epoch();
+        ct.set_freq_speedup(SimTime::from_micros(2), 1.5);
+        assert!(ct.epoch() > e2);
+        let e3 = ct.epoch();
+        let done_at = ct.next_completion(SimTime::from_micros(2)).unwrap();
+        assert!(!ct.pop_completed(done_at).is_empty());
+        assert!(ct.epoch() > e3);
+    }
+
+    #[test]
+    fn idle_container_has_no_completion() {
+        let mut ct = c(1);
+        assert_eq!(ct.next_completion(SimTime::ZERO), None);
+        assert!(ct.pop_completed(SimTime::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn overload_scales_linearly_with_threads() {
+        // 8 equal jobs on 2 cores: each runs at 1/4 speed → 400us.
+        let mut ct = c(2);
+        let t0 = SimTime::ZERO;
+        for i in 0..8 {
+            ct.add_phase(t0, i, us(100));
+        }
+        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(400));
+    }
+
+    #[test]
+    fn bandwidth_cap_bounds_total_rate() {
+        // 4 cores but a 1-core-equivalent memory budget: two 100us jobs
+        // finish only at 200us (total rate capped at 1).
+        let mut ct = c(4);
+        let t0 = SimTime::ZERO;
+        ct.set_bw_cap(t0, Some(1.0));
+        ct.add_phase(t0, 1, us(100));
+        ct.add_phase(t0, 2, us(100));
+        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(200));
+    }
+
+    #[test]
+    fn bandwidth_cap_is_inert_when_generous() {
+        let mut ct = c(2);
+        let t0 = SimTime::ZERO;
+        ct.set_bw_cap(t0, Some(16.0));
+        ct.add_phase(t0, 1, us(100));
+        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn frequency_cannot_outrun_the_memory_system() {
+        // Boosting frequency does not help a bandwidth-bound container —
+        // the §VII point that FirstResponder should manage bandwidth
+        // directly for such services.
+        let mut ct = c(2);
+        let t0 = SimTime::ZERO;
+        ct.set_bw_cap(t0, Some(0.5));
+        ct.set_freq_speedup(t0, 2.0);
+        ct.add_phase(t0, 1, us(100));
+        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(200));
+        // Raising the cap is what helps.
+        ct.set_bw_cap(SimTime::from_micros(100), Some(2.0));
+        assert_eq!(
+            ct.next_completion(SimTime::from_micros(100)).unwrap(),
+            SimTime::from_micros(125),
+        );
+    }
+
+    #[test]
+    fn sample_work_deterministic_when_cv_zero() {
+        assert_eq!(sample_work(us(100), 0.0, 0.7), us(100));
+    }
+
+    #[test]
+    fn sample_work_mean_is_preserved() {
+        // Empirical mean over a uniform grid of u should approximate the
+        // target mean (integral of the inverse CDF).
+        let mean = us(100);
+        let n = 10_000;
+        let total: f64 = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                sample_work(mean, 0.5, u).as_nanos() as f64
+            })
+            .sum();
+        let avg = total / n as f64;
+        let target = mean.as_nanos() as f64;
+        assert!(
+            (avg - target).abs() / target < 0.01,
+            "avg {avg} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn sample_work_has_deterministic_floor() {
+        // With cv=0.5, at least half the mean is deterministic.
+        let w = sample_work(us(100), 0.5, 0.0);
+        assert!(w >= us(50));
+    }
+}

@@ -1,0 +1,96 @@
+//! Event vocabulary for the cluster simulation.
+
+use sg_core::ids::{ContainerId, NodeId};
+use sg_core::metadata::RpcMetadata;
+
+/// Index of an invocation in the simulation's invocation slab.
+pub type InvocationId = u32;
+
+/// What a network packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PacketKind {
+    /// An RPC request travelling down the task graph.
+    Request,
+    /// An RPC response travelling back up.
+    Response,
+}
+
+/// An RPC packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Packet {
+    /// Request or response.
+    pub kind: PacketKind,
+    /// The invocation this packet creates (request) or the *parent*
+    /// invocation it answers (response).
+    pub invocation: InvocationId,
+    /// Container the packet is addressed to.
+    pub dest: ContainerId,
+    /// Index of the parent's child edge this RPC travels on (identifies
+    /// which connection pool to release when the response returns).
+    pub edge: u16,
+    /// SurgeGuard metadata fields (Fig. 8). Responses carry the same
+    /// `start_time`; only request packets are inspected by FirstResponder.
+    pub meta: RpcMetadata,
+}
+
+/// A simulation event. Payloads are small `Copy` types; all request state
+/// lives in the invocation slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Event {
+    /// A client request enters the system (open-loop arrival).
+    ClientArrival {
+        /// Index into the precomputed arrival schedule.
+        arrival_idx: u32,
+    },
+    /// A packet reaches its destination node's receive hook.
+    Deliver {
+        /// The packet being delivered.
+        packet: Packet,
+    },
+    /// A container's earliest-finishing work phase may have completed.
+    /// Stale events (epoch mismatch) are ignored.
+    PhaseComplete {
+        /// The container whose processor-sharing queue fired.
+        container: ContainerId,
+        /// Epoch at scheduling time; must match the container's current
+        /// epoch to be acted on.
+        epoch: u64,
+    },
+    /// Periodic controller decision point for one node.
+    ControllerTick {
+        /// The node whose controller runs.
+        node: NodeId,
+    },
+    /// A frequency update reaches the hardware (models the FirstResponder
+    /// worker-thread latency: the boost decision is instant, the MSR write
+    /// lands a few microseconds later).
+    FreqApply {
+        /// Container whose cores change frequency.
+        container: ContainerId,
+        /// New DVFS level.
+        level: u8,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::time::SimTime;
+
+    #[test]
+    fn events_are_ordered_and_copyable() {
+        let a = Event::ControllerTick { node: NodeId(0) };
+        let b = a; // Copy
+        assert_eq!(a, b);
+        let p = Packet {
+            kind: PacketKind::Request,
+            invocation: 1,
+            dest: ContainerId(2),
+            edge: 0,
+            meta: RpcMetadata::new_job(SimTime::ZERO),
+        };
+        let d1 = Event::Deliver { packet: p };
+        let d2 = Event::Deliver { packet: p };
+        assert!(d1 <= d2);
+    }
+}

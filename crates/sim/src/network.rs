@@ -1,0 +1,174 @@
+//! Network latency model.
+//!
+//! RPCs between containers cross either the node-local loopback (fast) or
+//! the cluster fabric (slower). Latency is `base + Exp(jitter_mean)`;
+//! packets between the same pair are not forced to arrive in order (the
+//! fabric is multi-queue), which the request layer tolerates because each
+//! packet fully identifies its invocation.
+//!
+//! The model also supports *latency surges* — a window during which every
+//! fabric hop pays an extra delay — used to reproduce SurgeGuard's claim
+//! of guarding against "surges in ... network latency".
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use sg_core::ids::NodeId;
+use sg_core::time::{SimDuration, SimTime};
+
+/// Static latency parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Base one-way latency between containers on the same node
+    /// (loopback + kernel stack).
+    pub local_base: SimDuration,
+    /// Base one-way latency across the fabric.
+    pub remote_base: SimDuration,
+    /// Mean of the exponential jitter added to every hop.
+    pub jitter_mean: SimDuration,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            local_base: SimDuration::from_micros(10),
+            remote_base: SimDuration::from_micros(50),
+            jitter_mean: SimDuration::from_micros(5),
+        }
+    }
+}
+
+/// An optional network-latency surge window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySurge {
+    /// Surge start.
+    pub start: SimTime,
+    /// Surge end.
+    pub end: SimTime,
+    /// Extra one-way latency during the window.
+    pub extra: SimDuration,
+}
+
+/// The network model.
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: NetworkConfig,
+    surge: Option<LatencySurge>,
+}
+
+impl Network {
+    /// Network with the given parameters and no surge.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        Network { cfg, surge: None }
+    }
+
+    /// Install a latency surge window.
+    pub fn with_surge(mut self, surge: LatencySurge) -> Self {
+        self.surge = Some(surge);
+        self
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// One-way delivery latency for a packet sent at `now` from `src` to
+    /// `dst` node.
+    pub fn latency(&self, now: SimTime, src: NodeId, dst: NodeId, rng: &mut SmallRng) -> SimDuration {
+        let base = if src == dst {
+            self.cfg.local_base
+        } else {
+            self.cfg.remote_base
+        };
+        let jitter_mean = self.cfg.jitter_mean.as_nanos() as f64;
+        let jitter = if jitter_mean > 0.0 {
+            let u: f64 = rng.random::<f64>();
+            SimDuration::from_nanos((-jitter_mean * (1.0f64 - u).max(1e-12).ln()).round() as u64)
+        } else {
+            SimDuration::ZERO
+        };
+        let surge_extra = match self.surge {
+            Some(s) if src != dst && now >= s.start && now < s.end => s.extra,
+            _ => SimDuration::ZERO,
+        };
+        base + jitter + surge_extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn local_is_faster_than_remote() {
+        let cfg = NetworkConfig {
+            jitter_mean: SimDuration::ZERO,
+            ..Default::default()
+        };
+        let net = Network::new(cfg);
+        let mut r = rng();
+        let local = net.latency(SimTime::ZERO, NodeId(0), NodeId(0), &mut r);
+        let remote = net.latency(SimTime::ZERO, NodeId(0), NodeId(1), &mut r);
+        assert_eq!(local, cfg.local_base);
+        assert_eq!(remote, cfg.remote_base);
+        assert!(local < remote);
+    }
+
+    #[test]
+    fn jitter_is_nonnegative_and_varies() {
+        let net = Network::new(NetworkConfig::default());
+        let mut r = rng();
+        let samples: Vec<SimDuration> = (0..100)
+            .map(|_| net.latency(SimTime::ZERO, NodeId(0), NodeId(1), &mut r))
+            .collect();
+        assert!(samples.iter().all(|&s| s >= NetworkConfig::default().remote_base));
+        let distinct: std::collections::HashSet<_> = samples.iter().collect();
+        assert!(distinct.len() > 10, "jitter should vary");
+    }
+
+    #[test]
+    fn surge_applies_only_in_window_and_off_node() {
+        let cfg = NetworkConfig {
+            jitter_mean: SimDuration::ZERO,
+            ..Default::default()
+        };
+        let net = Network::new(cfg).with_surge(LatencySurge {
+            start: SimTime::from_millis(10),
+            end: SimTime::from_millis(20),
+            extra: SimDuration::from_millis(1),
+        });
+        let mut r = rng();
+        let before = net.latency(SimTime::from_millis(5), NodeId(0), NodeId(1), &mut r);
+        let during = net.latency(SimTime::from_millis(15), NodeId(0), NodeId(1), &mut r);
+        let after = net.latency(SimTime::from_millis(25), NodeId(0), NodeId(1), &mut r);
+        let local_during = net.latency(SimTime::from_millis(15), NodeId(0), NodeId(0), &mut r);
+        assert_eq!(before, cfg.remote_base);
+        assert_eq!(during, cfg.remote_base + SimDuration::from_millis(1));
+        assert_eq!(after, cfg.remote_base);
+        assert_eq!(local_during, cfg.local_base, "loopback unaffected");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let net = Network::new(NetworkConfig::default());
+        let a: Vec<_> = {
+            let mut r = rng();
+            (0..10)
+                .map(|_| net.latency(SimTime::ZERO, NodeId(0), NodeId(1), &mut r))
+                .collect()
+        };
+        let b: Vec<_> = {
+            let mut r = rng();
+            (0..10)
+                .map(|_| net.latency(SimTime::ZERO, NodeId(0), NodeId(1), &mut r))
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! Low-load profiling and calibration (paper §V and Artifact Description).
+//!
+//! The paper sets per-container parameters by running each workload at low
+//! load for 1–2 minutes and taking 2× the measured averages; the base
+//! request rate is set "slightly below the knee of the load–latency
+//! curve". This module reproduces both procedures against the simulator.
+
+use crate::cluster::SimConfig;
+use crate::controller::NoopFactory;
+use crate::runner::{RunResult, Simulation};
+use sg_core::config::ContainerParams;
+use sg_core::time::{SimDuration, SimTime};
+use sg_core::violation::percentile;
+
+/// Constant-rate arrival schedule: `rate` requests/second over
+/// `[start, end)`, deterministically paced (wrk2-style).
+pub fn constant_arrivals(rate: f64, start: SimTime, end: SimTime) -> Vec<SimTime> {
+    assert!(rate > 0.0, "rate must be positive");
+    let period = SimDuration::from_secs_f64(1.0 / rate);
+    let mut out = Vec::new();
+    let mut t = start;
+    while t < end {
+        out.push(t);
+        t += period;
+    }
+    out
+}
+
+/// Outcome of a profiling run.
+#[derive(Debug, Clone)]
+pub struct ProfileOutcome {
+    /// Derived per-container parameters (2× low-load averages).
+    pub params: Vec<ContainerParams>,
+    /// Mean low-load end-to-end latency.
+    pub e2e_mean: SimDuration,
+    /// P98 low-load end-to-end latency.
+    pub e2e_p98: SimDuration,
+    /// Raw run result, for inspection.
+    pub result: RunResult,
+}
+
+/// Run the application at `low_rate` with static allocations and derive
+/// the per-container parameters with the paper's 2× rule. The returned
+/// config embeds the derived parameters, the QoS hint, and leaves
+/// everything else untouched.
+pub fn profile_low_load(
+    mut cfg: SimConfig,
+    low_rate: f64,
+    duration: SimDuration,
+    factor: f64,
+) -> ProfileOutcome {
+    cfg.end = SimTime::ZERO + duration + SimDuration::from_millis(200);
+    cfg.measure_start = SimTime::ZERO + duration / 10;
+    cfg.trace_allocations = false;
+    let arrivals = constant_arrivals(low_rate, SimTime::ZERO, SimTime::ZERO + duration);
+    let sim = Simulation::new(cfg, &NoopFactory, arrivals);
+    let result = sim.run();
+
+    let params = result
+        .profile
+        .iter()
+        .map(|p| ContainerParams::from_profile(p.mean_exec_metric, p.mean_time_from_start, factor))
+        .collect();
+
+    let lats: Vec<SimDuration> = result.points.iter().map(|p| p.latency).collect();
+    let e2e_mean = if lats.is_empty() {
+        SimDuration::ZERO
+    } else {
+        lats.iter().fold(SimDuration::ZERO, |a, &b| a + b) / lats.len() as u64
+    };
+    let e2e_p98 = percentile(&lats, 98.0).unwrap_or(SimDuration::ZERO);
+
+    ProfileOutcome {
+        params,
+        e2e_mean,
+        e2e_p98,
+        result,
+    }
+}
+
+/// One point of a load–latency sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadLatencyPoint {
+    /// Offered request rate (requests/second).
+    pub rate: f64,
+    /// Measured P98 end-to-end latency.
+    pub p98: SimDuration,
+    /// Completed / injected ratio (below ~1.0 the system is saturated).
+    pub goodput: f64,
+}
+
+/// Sweep the load–latency curve with static allocations. Used to find the
+/// knee that anchors the base request rate.
+pub fn load_latency_sweep(
+    cfg: &SimConfig,
+    rates: &[f64],
+    duration: SimDuration,
+) -> Vec<LoadLatencyPoint> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let mut c = cfg.clone();
+            c.end = SimTime::ZERO + duration + SimDuration::from_millis(200);
+            c.measure_start = SimTime::ZERO + duration / 10;
+            c.trace_allocations = false;
+            let arrivals = constant_arrivals(rate, SimTime::ZERO, SimTime::ZERO + duration);
+            let sim = Simulation::new(c, &NoopFactory, arrivals);
+            let r = sim.run();
+            let lats: Vec<SimDuration> = r.points.iter().map(|p| p.latency).collect();
+            LoadLatencyPoint {
+                rate,
+                p98: percentile(&lats, 98.0).unwrap_or(SimDuration::MAX),
+                goodput: if r.injected == 0 {
+                    0.0
+                } else {
+                    r.completed as f64 / r.injected as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// Pick the knee of a load–latency sweep: the highest rate whose P98 stays
+/// under `knee_factor ×` the P98 at the lowest rate. Returns the rate
+/// *slightly below* the knee (the paper's base-rate rule).
+pub fn knee_rate(points: &[LoadLatencyPoint], knee_factor: f64, backoff: f64) -> f64 {
+    assert!(!points.is_empty());
+    let base = points[0].p98;
+    let mut knee = points[0].rate;
+    for p in points {
+        if p.p98 <= base.mul_f64(knee_factor) && p.goodput > 0.95 {
+            knee = knee.max(p.rate);
+        }
+    }
+    knee * backoff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_arrivals_are_paced() {
+        let a = constant_arrivals(1000.0, SimTime::ZERO, SimTime::from_millis(10));
+        assert_eq!(a.len(), 10);
+        assert_eq!(a[1] - a[0], SimDuration::from_millis(1));
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn knee_rate_picks_last_healthy_point() {
+        let mk = |rate, p98_ms, goodput| LoadLatencyPoint {
+            rate,
+            p98: SimDuration::from_millis(p98_ms),
+            goodput,
+        };
+        let pts = vec![
+            mk(100.0, 2, 1.0),
+            mk(200.0, 2, 1.0),
+            mk(400.0, 3, 1.0),
+            mk(800.0, 50, 1.0), // past the knee
+        ];
+        let r = knee_rate(&pts, 3.0, 0.9);
+        assert!((r - 400.0 * 0.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,823 @@
+//! The simulation runner: wires the task graph, cluster, network,
+//! controllers and load schedule into one deterministic event loop.
+
+use crate::app::{CallMode, TaskGraph};
+use crate::cluster::SimConfig;
+use crate::connpool::{Acquire, ConnPool};
+use crate::container::{sample_work, Container};
+use crate::controller::{
+    ContainerInit, ContainerSnapshot, ControlAction, Controller, ControllerFactory, NodeInit,
+    NodeSnapshot,
+};
+use crate::engine::Engine;
+use crate::event::{Event, InvocationId, Packet, PacketKind};
+use crate::network::Network;
+use crate::power::EnergyMeter;
+use crate::trace::AllocTrace;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sg_core::allocator::ContainerAlloc;
+use sg_core::ids::{ContainerId, NodeId, ServiceId};
+use sg_core::metadata::RpcMetadata;
+use sg_core::metrics::RequestSample;
+use sg_core::time::{SimDuration, SimTime};
+use sg_core::violation::LatencyPoint;
+
+/// Execution phase of an invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InvPhase {
+    /// Running the pre-call work slice.
+    Pre,
+    /// Waiting on child RPCs (holding no CPU).
+    Children,
+    /// Running the post-call work slice.
+    Post,
+}
+
+/// Per-invocation state (one service execution of one request).
+#[derive(Debug, Clone)]
+struct Invocation {
+    service: ServiceId,
+    /// `(parent invocation, edge index in the parent's child list)`.
+    parent: Option<(InvocationId, u16)>,
+    /// End-to-end job start (client send time).
+    req_start: SimTime,
+    /// Metadata as received.
+    meta_in: RpcMetadata,
+    /// Arrival at this container.
+    arrival: SimTime,
+    conn_wait: SimDuration,
+    phase: InvPhase,
+    next_child: u16,
+    outstanding: u16,
+    post_work: SimDuration,
+    in_use: bool,
+}
+
+/// Low-load profiling aggregates per container (used to derive the
+/// per-container QoS parameters, §IV "SurgeGuard Parameters").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProfileStats {
+    /// Requests completed at this container.
+    pub requests: u64,
+    /// Mean `execMetric`.
+    pub mean_exec_metric: SimDuration,
+    /// Mean `execTime`.
+    pub mean_exec_time: SimDuration,
+    /// Mean observed time-from-job-start at request arrival.
+    pub mean_time_from_start: SimDuration,
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Completed end-to-end requests, in completion order.
+    pub points: Vec<LatencyPoint>,
+    /// Requests injected by the open-loop client.
+    pub injected: u64,
+    /// Requests completed (response reached the client).
+    pub completed: u64,
+    /// Arrivals dropped by the in-flight safety valve.
+    pub dropped: u64,
+    /// Time-averaged allocated cores over the measurement window.
+    pub avg_cores: f64,
+    /// Energy over the measurement window, joules.
+    pub energy_j: f64,
+    /// Events processed (simulator diagnostics).
+    pub events: u64,
+    /// Per-container profiling aggregates over the whole run.
+    pub profile: Vec<ProfileStats>,
+    /// Allocation timeline, when enabled.
+    pub alloc_trace: Option<AllocTrace>,
+    /// Peak simultaneous in-flight requests.
+    pub peak_in_flight: usize,
+    /// Controller actions that had to be clamped to fit constraints.
+    pub clamped_actions: u64,
+    /// `SetFreq` actions originating from packet hooks (FirstResponder
+    /// boost count).
+    pub packet_freq_boosts: u64,
+}
+
+/// Internal per-container profile accumulators.
+#[derive(Debug, Clone, Copy, Default)]
+struct ProfileAcc {
+    requests: u64,
+    sum_exec_metric: u64,
+    sum_exec_time: u64,
+    sum_tfs: u64,
+}
+
+/// The simulation.
+pub struct Simulation {
+    cfg: SimConfig,
+    engine: Engine,
+    rng: SmallRng,
+    network: Network,
+    containers: Vec<Container>,
+    /// `pools[container][edge]`.
+    pools: Vec<Vec<ConnPool>>,
+    /// Current allocation mirror (what the controllers believe).
+    allocs: Vec<ContainerAlloc>,
+    /// Workload cores currently allocated per node.
+    node_alloc: Vec<u32>,
+    controllers: Vec<Box<dyn Controller>>,
+    invocations: Vec<Invocation>,
+    free_list: Vec<InvocationId>,
+    arrivals: Vec<SimTime>,
+    meter: EnergyMeter,
+    trace: Option<AllocTrace>,
+    profile: Vec<ProfileAcc>,
+    points: Vec<LatencyPoint>,
+    injected: u64,
+    completed: u64,
+    dropped: u64,
+    in_flight: usize,
+    peak_in_flight: usize,
+    clamped_actions: u64,
+    packet_freq_boosts: u64,
+    meter_reset_done: bool,
+    /// True while inside a packet-hook action application (to attribute
+    /// freq boosts to the fast path).
+    in_packet_hook: bool,
+}
+
+impl Simulation {
+    /// Build a simulation from a validated config, a controller factory,
+    /// and the open-loop arrival schedule (ascending client send times).
+    pub fn new(cfg: SimConfig, factory: &dyn ControllerFactory, arrivals: Vec<SimTime>) -> Self {
+        cfg.validate().expect("invalid SimConfig");
+        debug_assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals must be sorted"
+        );
+        let n = cfg.graph.len();
+
+        let mut containers = Vec::with_capacity(n);
+        let mut pools = Vec::with_capacity(n);
+        let mut allocs = Vec::with_capacity(n);
+        let mut node_alloc = vec![0u32; cfg.placement.nodes as usize];
+        for s in 0..n {
+            let node = cfg.placement.node(ServiceId(s as u32));
+            let cores = cfg.initial_cores[s];
+            let mut container = Container::new(ContainerId(s as u32), node, ServiceId(s as u32), cores);
+            if let Some(cap) = cfg.bw_caps.get(s).copied().flatten() {
+                container.set_bw_cap(SimTime::ZERO, Some(cap));
+            }
+            containers.push(container);
+            pools.push(
+                cfg.graph.services[s]
+                    .children
+                    .iter()
+                    .map(|e| ConnPool::new(e.conn.capacity()))
+                    .collect(),
+            );
+            allocs.push(ContainerAlloc {
+                id: ContainerId(s as u32),
+                cores,
+                freq_level: 0,
+            });
+            node_alloc[node.index()] += cores;
+        }
+
+        // Per-node controllers, each seeing only its node.
+        let mut controllers = Vec::with_capacity(cfg.placement.nodes as usize);
+        for node in 0..cfg.placement.nodes {
+            let node = NodeId(node);
+            let container_inits: Vec<ContainerInit> = cfg
+                .placement
+                .services_on(node)
+                .into_iter()
+                .map(|s| {
+                    let local_downstream: Vec<ContainerId> = cfg
+                        .graph
+                        .children(s)
+                        .filter(|c| cfg.placement.node(*c) == node)
+                        .map(|c| ContainerId(c.0))
+                        .collect();
+                    ContainerInit {
+                        id: ContainerId(s.0),
+                        service: s,
+                        name: cfg.graph.services[s.index()].name.clone(),
+                        params: cfg.params[s.index()],
+                        local_downstream,
+                        initial: allocs[s.index()],
+                    }
+                })
+                .collect();
+            controllers.push(factory.make(NodeInit {
+                node,
+                containers: container_inits,
+                constraints: cfg.constraints,
+                freq_table: cfg.freq_table.clone(),
+                e2e_low_load: cfg.e2e_low_load,
+                max_container_id: n - 1,
+            }));
+        }
+
+        let mut meter = EnergyMeter::new(cfg.power, n);
+        for s in 0..n {
+            meter.set_state(
+                SimTime::ZERO,
+                s,
+                cfg.initial_cores[s],
+                cfg.freq_table.ghz(0),
+            );
+        }
+
+        let network = match cfg.latency_surge {
+            Some(surge) => Network::new(cfg.network).with_surge(surge),
+            None => Network::new(cfg.network),
+        };
+
+        let trace = cfg.trace_allocations.then(AllocTrace::new);
+        let seed = cfg.seed;
+
+        Simulation {
+            engine: Engine::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            network,
+            containers,
+            pools,
+            allocs,
+            node_alloc,
+            controllers,
+            invocations: Vec::new(),
+            free_list: Vec::new(),
+            arrivals,
+            meter,
+            trace,
+            profile: vec![ProfileAcc::default(); n],
+            points: Vec::new(),
+            injected: 0,
+            completed: 0,
+            dropped: 0,
+            in_flight: 0,
+            peak_in_flight: 0,
+            clamped_actions: 0,
+            packet_freq_boosts: 0,
+            meter_reset_done: false,
+            in_packet_hook: false,
+            cfg,
+        }
+    }
+
+    /// Run to completion and produce the results.
+    pub fn run(mut self) -> RunResult {
+        // Seed the event loop: first arrival + a tick per node.
+        if !self.arrivals.is_empty() {
+            self.engine
+                .schedule(self.arrivals[0], Event::ClientArrival { arrival_idx: 0 });
+        }
+        for node in 0..self.cfg.placement.nodes as usize {
+            let at = SimTime::ZERO + self.controllers[node].tick_interval();
+            self.engine.schedule(
+                at,
+                Event::ControllerTick {
+                    node: NodeId(node as u32),
+                },
+            );
+        }
+
+        let end = self.cfg.end;
+        while let Some((now, event)) = self.engine.pop() {
+            if !self.meter_reset_done && now >= self.cfg.measure_start {
+                self.meter.reset_window(self.cfg.measure_start);
+                self.meter_reset_done = true;
+            }
+            if now > end {
+                break;
+            }
+            self.dispatch(now, event);
+        }
+
+        // Responses are recorded at send time but stamped with their
+        // client-delivery completion, so near-simultaneous completions can
+        // land slightly out of order; analysis code expects completion
+        // order.
+        self.points.sort_by_key(|p| p.completion);
+
+        let end_time = end;
+        let avg_cores = self.meter.avg_cores(end_time, self.cfg.measure_start);
+        let energy_j = self.meter.energy_joules(end_time);
+        let profile = self
+            .profile
+            .iter()
+            .map(|acc| {
+                if acc.requests == 0 {
+                    ProfileStats::default()
+                } else {
+                    ProfileStats {
+                        requests: acc.requests,
+                        mean_exec_metric: SimDuration::from_nanos(
+                            acc.sum_exec_metric / acc.requests,
+                        ),
+                        mean_exec_time: SimDuration::from_nanos(acc.sum_exec_time / acc.requests),
+                        mean_time_from_start: SimDuration::from_nanos(acc.sum_tfs / acc.requests),
+                    }
+                }
+            })
+            .collect();
+
+        RunResult {
+            points: self.points,
+            injected: self.injected,
+            completed: self.completed,
+            dropped: self.dropped,
+            avg_cores,
+            energy_j,
+            events: self.engine.processed(),
+            profile,
+            alloc_trace: self.trace,
+            peak_in_flight: self.peak_in_flight,
+            clamped_actions: self.clamped_actions,
+            packet_freq_boosts: self.packet_freq_boosts,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // event dispatch
+    // ---------------------------------------------------------------
+
+    fn dispatch(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::ClientArrival { arrival_idx } => self.on_client_arrival(now, arrival_idx),
+            Event::Deliver { packet } => match packet.kind {
+                PacketKind::Request => self.on_request_delivered(now, packet),
+                PacketKind::Response => self.on_response_delivered(now, packet),
+            },
+            Event::PhaseComplete { container, epoch } => {
+                if epoch == self.containers[container.index()].epoch() {
+                    let done = self.containers[container.index()].pop_completed(now);
+                    for inv in done {
+                        self.on_phase_done(now, inv);
+                    }
+                    self.reschedule(now, container);
+                }
+            }
+            Event::ControllerTick { node } => self.on_controller_tick(now, node),
+            Event::FreqApply { container, level } => self.apply_freq(now, container, level),
+        }
+    }
+
+    fn on_client_arrival(&mut self, now: SimTime, arrival_idx: u32) {
+        let idx = arrival_idx as usize;
+        if idx + 1 < self.arrivals.len() {
+            self.engine.schedule(
+                self.arrivals[idx + 1],
+                Event::ClientArrival {
+                    arrival_idx: arrival_idx + 1,
+                },
+            );
+        }
+        self.injected += 1;
+        if self.in_flight >= self.cfg.max_in_flight {
+            self.dropped += 1;
+            return;
+        }
+        self.in_flight += 1;
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight);
+
+        let meta = RpcMetadata::new_job(now);
+        let inv = self.alloc_invocation(TaskGraph::ROOT, None, now, meta);
+        let frontend = ContainerId(TaskGraph::ROOT.0);
+        let delay = self.network.latency(
+            now,
+            self.cfg.placement.client_node(),
+            self.cfg.placement.node(TaskGraph::ROOT),
+            &mut self.rng,
+        );
+        self.engine.schedule(
+            now + delay,
+            Event::Deliver {
+                packet: Packet {
+                    kind: PacketKind::Request,
+                    invocation: inv,
+                    dest: frontend,
+                    edge: 0,
+                    meta,
+                },
+            },
+        );
+    }
+
+    fn on_request_delivered(&mut self, now: SimTime, packet: Packet) {
+        // FirstResponder site: every request packet crosses the rx hook of
+        // its destination node before reaching the container.
+        let node = self.containers[packet.dest.index()].node;
+        let actions =
+            self.controllers[node.index()].on_packet(now, packet.dest, packet.meta);
+        if !actions.is_empty() {
+            self.in_packet_hook = true;
+            self.apply_actions(now, node, actions);
+            self.in_packet_hook = false;
+        }
+
+        let inv_id = packet.invocation;
+        let svc = self.invocations[inv_id as usize].service;
+        let spec = &self.cfg.graph.services[svc.index()];
+        let u: f64 = self.rng.random();
+        let work = sample_work(spec.work_mean, spec.work_cv, u);
+        let pre = work.mul_f64(spec.pre_fraction);
+        let post = work.saturating_sub(pre);
+        {
+            let inv = &mut self.invocations[inv_id as usize];
+            inv.arrival = now;
+            inv.post_work = post;
+            inv.phase = InvPhase::Pre;
+        }
+        let c = packet.dest;
+        self.containers[c.index()].add_phase(now, inv_id, pre);
+        self.reschedule(now, c);
+    }
+
+    fn on_response_delivered(&mut self, now: SimTime, packet: Packet) {
+        let parent_id = packet.invocation;
+        let parent_c = packet.dest;
+        let edge = packet.edge as usize;
+
+        // Return the connection; a queued waiter gets it immediately.
+        if let Some((waiter, enq)) = self.pools[parent_c.index()][edge].release() {
+            let waited = now.saturating_since(enq);
+            self.send_child_rpc(now, waiter, edge, waited);
+        }
+
+        let (phase_over, next_edge) = {
+            let inv = &mut self.invocations[parent_id as usize];
+            debug_assert!(inv.in_use && inv.phase == InvPhase::Children);
+            inv.outstanding -= 1;
+            let n_children = self.cfg.graph.services[inv.service.index()].children.len();
+            match self.cfg.graph.services[inv.service.index()].call_mode {
+                CallMode::Sequential => {
+                    if (inv.next_child as usize) < n_children {
+                        let e = inv.next_child as usize;
+                        inv.next_child += 1;
+                        inv.outstanding += 1;
+                        (false, Some(e))
+                    } else {
+                        (inv.outstanding == 0, None)
+                    }
+                }
+                CallMode::Parallel => (inv.outstanding == 0, None),
+            }
+        };
+
+        if let Some(e) = next_edge {
+            self.try_issue_child(now, parent_id, e);
+        } else if phase_over {
+            self.start_post_phase(now, parent_id);
+        }
+    }
+
+    fn on_phase_done(&mut self, now: SimTime, inv_id: InvocationId) {
+        let phase = self.invocations[inv_id as usize].phase;
+        match phase {
+            InvPhase::Pre => {
+                let svc = self.invocations[inv_id as usize].service;
+                let spec = &self.cfg.graph.services[svc.index()];
+                if spec.children.is_empty() {
+                    self.start_post_phase(now, inv_id);
+                } else {
+                    let (mode, n_children) = (spec.call_mode, spec.children.len());
+                    {
+                        let inv = &mut self.invocations[inv_id as usize];
+                        inv.phase = InvPhase::Children;
+                    }
+                    match mode {
+                        CallMode::Sequential => {
+                            {
+                                let inv = &mut self.invocations[inv_id as usize];
+                                inv.next_child = 1;
+                                inv.outstanding = 1;
+                            }
+                            self.try_issue_child(now, inv_id, 0);
+                        }
+                        CallMode::Parallel => {
+                            {
+                                let inv = &mut self.invocations[inv_id as usize];
+                                inv.next_child = n_children as u16;
+                                inv.outstanding = n_children as u16;
+                            }
+                            for e in 0..n_children {
+                                self.try_issue_child(now, inv_id, e);
+                            }
+                        }
+                    }
+                }
+            }
+            InvPhase::Post => self.respond(now, inv_id),
+            InvPhase::Children => {
+                unreachable!("Children phase has no CPU work to complete")
+            }
+        }
+    }
+
+    /// Begin the post-call work slice, or respond immediately if empty.
+    fn start_post_phase(&mut self, now: SimTime, inv_id: InvocationId) {
+        let (post, container) = {
+            let inv = &mut self.invocations[inv_id as usize];
+            inv.phase = InvPhase::Post;
+            (inv.post_work, ContainerId(inv.service.0))
+        };
+        if post.is_zero() {
+            self.respond(now, inv_id);
+        } else {
+            self.containers[container.index()].add_phase(now, inv_id, post);
+            self.reschedule(now, container);
+        }
+    }
+
+    /// Attempt to issue child RPC `edge` of `parent`: acquire a connection
+    /// or queue on the pool.
+    fn try_issue_child(&mut self, now: SimTime, parent: InvocationId, edge: usize) {
+        let parent_c = {
+            let inv = &self.invocations[parent as usize];
+            ContainerId(inv.service.0)
+        };
+        match self.pools[parent_c.index()][edge].acquire(now, parent) {
+            Acquire::Granted => self.send_child_rpc(now, parent, edge, SimDuration::ZERO),
+            Acquire::Queued => {
+                // The invocation now sits in the hidden threadpool queue:
+                // no CPU held, nothing visible on the network.
+            }
+        }
+    }
+
+    /// Actually send child RPC `edge` of `parent` (a connection is held).
+    fn send_child_rpc(&mut self, now: SimTime, parent: InvocationId, edge: usize, waited: SimDuration) {
+        let (svc, req_start, meta_out) = {
+            let inv = &mut self.invocations[parent as usize];
+            inv.conn_wait += waited;
+            let parent_c = ContainerId(inv.service.0);
+            let hint = self.containers[parent_c.index()].egress_hint;
+            let mut meta = inv.meta_in.propagate();
+            if hint > 0 {
+                meta = meta.with_hint(hint);
+            }
+            (inv.service, inv.req_start, meta)
+        };
+        let child_svc = self.cfg.graph.services[svc.index()].children[edge].child;
+        let child_c = ContainerId(child_svc.0);
+        let child_inv =
+            self.alloc_invocation(child_svc, Some((parent, edge as u16)), req_start, meta_out);
+        let delay = self.network.latency(
+            now,
+            self.cfg.placement.node(svc),
+            self.cfg.placement.node(child_svc),
+            &mut self.rng,
+        );
+        self.engine.schedule(
+            now + delay,
+            Event::Deliver {
+                packet: Packet {
+                    kind: PacketKind::Request,
+                    invocation: child_inv,
+                    dest: child_c,
+                    edge: edge as u16,
+                    meta: meta_out,
+                },
+            },
+        );
+    }
+
+    /// The invocation finished all local work: record metrics and reply.
+    fn respond(&mut self, now: SimTime, inv_id: InvocationId) {
+        let (service, parent, req_start, arrival, conn_wait, hinted) = {
+            let inv = &self.invocations[inv_id as usize];
+            (
+                inv.service,
+                inv.parent,
+                inv.req_start,
+                inv.arrival,
+                inv.conn_wait,
+                inv.meta_in.has_hint(),
+            )
+        };
+        let c = ContainerId(service.0);
+        let exec_time = now.saturating_since(arrival);
+        let sample = RequestSample {
+            exec_time,
+            conn_wait,
+        };
+        self.containers[c.index()].window.record(sample, hinted);
+        let acc = &mut self.profile[c.index()];
+        acc.requests += 1;
+        acc.sum_exec_metric += sample.exec_metric().as_nanos();
+        acc.sum_exec_time += exec_time.as_nanos();
+        acc.sum_tfs += arrival.saturating_since(req_start).as_nanos();
+
+        match parent {
+            Some((parent_inv, edge)) => {
+                let parent_svc = self.invocations[parent_inv as usize].service;
+                let meta = self.invocations[inv_id as usize].meta_in;
+                let delay = self.network.latency(
+                    now,
+                    self.cfg.placement.node(service),
+                    self.cfg.placement.node(parent_svc),
+                    &mut self.rng,
+                );
+                self.free_invocation(inv_id);
+                self.engine.schedule(
+                    now + delay,
+                    Event::Deliver {
+                        packet: Packet {
+                            kind: PacketKind::Response,
+                            invocation: parent_inv,
+                            dest: ContainerId(parent_svc.0),
+                            edge,
+                            meta,
+                        },
+                    },
+                );
+            }
+            None => {
+                // Root: deliver to the client and record the end-to-end
+                // latency (no event needed; the client is passive).
+                let delay = self.network.latency(
+                    now,
+                    self.cfg.placement.node(service),
+                    self.cfg.placement.client_node(),
+                    &mut self.rng,
+                );
+                let completion = now + delay;
+                self.points.push(LatencyPoint {
+                    completion,
+                    latency: completion.saturating_since(req_start),
+                });
+                self.completed += 1;
+                self.in_flight -= 1;
+                self.free_invocation(inv_id);
+            }
+        }
+    }
+
+    fn on_controller_tick(&mut self, now: SimTime, node: NodeId) {
+        let snapshot = NodeSnapshot {
+            node,
+            containers: self
+                .cfg
+                .placement
+                .services_on(node)
+                .into_iter()
+                .map(|s| {
+                    let i = s.index();
+                    ContainerSnapshot {
+                        id: ContainerId(s.0),
+                        metrics: self.containers[i].window.flush(),
+                        alloc: self.allocs[i],
+                    }
+                })
+                .collect(),
+        };
+        let actions = self.controllers[node.index()].on_tick(now, &snapshot);
+        self.apply_actions(now, node, actions);
+        let next = now + self.controllers[node.index()].tick_interval();
+        self.engine.schedule(next, Event::ControllerTick { node });
+    }
+
+    // ---------------------------------------------------------------
+    // action application
+    // ---------------------------------------------------------------
+
+    fn apply_actions(&mut self, now: SimTime, node: NodeId, actions: Vec<ControlAction>) {
+        for action in actions {
+            match action {
+                ControlAction::SetCores { id, cores } => self.apply_cores(now, node, id, cores),
+                ControlAction::SetFreq { id, level } => {
+                    if self.in_packet_hook {
+                        self.packet_freq_boosts += 1;
+                    }
+                    self.engine.schedule(
+                        now + self.cfg.freq_apply_delay,
+                        Event::FreqApply {
+                            container: id,
+                            level,
+                        },
+                    );
+                }
+                ControlAction::SetBandwidth { id, units } => {
+                    let node_of = self.containers[id.index()].node;
+                    if node_of == node {
+                        let cap = if units == 0 {
+                            None
+                        } else {
+                            Some(units as f64 / 10.0)
+                        };
+                        self.containers[id.index()].set_bw_cap(now, cap);
+                        self.reschedule(now, id);
+                    } else {
+                        self.clamped_actions += 1;
+                    }
+                }
+                ControlAction::SetEgressHint { id, hops } => {
+                    self.containers[id.index()].egress_hint = hops;
+                }
+            }
+        }
+    }
+
+    fn apply_cores(&mut self, now: SimTime, node: NodeId, id: ContainerId, cores: u32) {
+        let i = id.index();
+        if self.containers[i].node != node {
+            // Controllers may only manage local containers.
+            self.clamped_actions += 1;
+            return;
+        }
+        let cons = &self.cfg.constraints;
+        let mut target = cores.clamp(cons.min_cores, cons.max_cores);
+        let current = self.allocs[i].cores;
+        // Node budget: growing beyond the node's workload cores is clamped
+        // to what is actually spare.
+        if target > current {
+            let spare = cons.total_cores - self.node_alloc[node.index()];
+            let grant = (target - current).min(spare);
+            if grant < target - current {
+                self.clamped_actions += 1;
+            }
+            target = current + grant;
+        }
+        if target == current {
+            return;
+        }
+        self.node_alloc[node.index()] = self.node_alloc[node.index()] + target - current;
+        self.allocs[i].cores = target;
+        self.containers[i].set_cores(now, target);
+        self.meter.set_state(
+            now,
+            i,
+            target,
+            self.cfg.freq_table.ghz(self.allocs[i].freq_level),
+        );
+        if let Some(tr) = &mut self.trace {
+            tr.record(now, id, target, self.cfg.freq_table.ghz(self.allocs[i].freq_level));
+        }
+        self.reschedule(now, id);
+    }
+
+    fn apply_freq(&mut self, now: SimTime, id: ContainerId, level: u8) {
+        let i = id.index();
+        let level = level.min(self.cfg.freq_table.max_level());
+        if self.allocs[i].freq_level == level {
+            return;
+        }
+        self.allocs[i].freq_level = level;
+        let speedup = self.cfg.freq_table.speedup(level);
+        self.containers[i].set_freq_speedup(now, speedup);
+        self.meter
+            .set_state(now, i, self.allocs[i].cores, self.cfg.freq_table.ghz(level));
+        if let Some(tr) = &mut self.trace {
+            tr.record(now, id, self.allocs[i].cores, self.cfg.freq_table.ghz(level));
+        }
+        self.reschedule(now, id);
+    }
+
+    // ---------------------------------------------------------------
+    // plumbing
+    // ---------------------------------------------------------------
+
+    fn reschedule(&mut self, now: SimTime, c: ContainerId) {
+        let ct = &mut self.containers[c.index()];
+        if let Some(at) = ct.next_completion(now) {
+            let epoch = ct.epoch();
+            self.engine
+                .schedule(at, Event::PhaseComplete { container: c, epoch });
+        }
+    }
+
+    fn alloc_invocation(
+        &mut self,
+        service: ServiceId,
+        parent: Option<(InvocationId, u16)>,
+        req_start: SimTime,
+        meta: RpcMetadata,
+    ) -> InvocationId {
+        let inv = Invocation {
+            service,
+            parent,
+            req_start,
+            meta_in: meta,
+            arrival: SimTime::ZERO,
+            conn_wait: SimDuration::ZERO,
+            phase: InvPhase::Pre,
+            next_child: 0,
+            outstanding: 0,
+            post_work: SimDuration::ZERO,
+            in_use: true,
+        };
+        match self.free_list.pop() {
+            Some(id) => {
+                self.invocations[id as usize] = inv;
+                id
+            }
+            None => {
+                self.invocations.push(inv);
+                (self.invocations.len() - 1) as InvocationId
+            }
+        }
+    }
+
+    fn free_invocation(&mut self, id: InvocationId) {
+        debug_assert!(self.invocations[id as usize].in_use, "double free");
+        self.invocations[id as usize].in_use = false;
+        self.free_list.push(id);
+    }
+}

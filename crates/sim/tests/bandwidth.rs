@@ -1,0 +1,225 @@
+//! §VII extension — managing memory bandwidth.
+//!
+//! "As FirstResponder is designed to respond to very short spikes, it can
+//! manage any resources that can be quickly upscaled and have an immediate
+//! impact on the execution time (e.g. memory bandwidth for bandwidth
+//! constrained services)." These tests exercise the bandwidth-partition
+//! mechanism end to end: a bandwidth-capped service cannot be helped by
+//! cores or frequency, only by widening its partition — and a controller
+//! using `SetBandwidth` does exactly that.
+
+use sg_core::allocator::AllocConstraints;
+use sg_core::config::PROFILE_TARGET_FACTOR;
+use sg_core::ids::ContainerId;
+use sg_core::time::{SimDuration, SimTime};
+use sg_sim::app::{linear_chain, ConnModel};
+use sg_sim::cluster::{Placement, SimConfig};
+use sg_sim::controller::{
+    ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot, NoopFactory,
+};
+use sg_sim::profile::profile_low_load;
+use sg_sim::runner::Simulation;
+use sg_core::config::ContainerParams;
+use sg_loadgen::{RunReport, SpikePattern};
+use std::collections::HashMap;
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_micros(v)
+}
+
+/// Two-service chain; the leaf is memory-bandwidth-bound: 8 cores but a
+/// 3.6-core-equivalent memory partition.
+fn scenario() -> (SimConfig, f64, SimDuration) {
+    let graph = linear_chain("bw", &[us(400), us(800)], ConnModel::PerRequest, 0.1);
+    let mut cfg = SimConfig::new(graph, Placement::single_node(2));
+    cfg.constraints = AllocConstraints {
+        total_cores: 20,
+        min_cores: 2,
+        max_cores: 20,
+        core_step: 2,
+    };
+    cfg.initial_cores = vec![4, 8];
+    cfg.bw_caps = vec![None, Some(3.6)];
+    cfg.seed = 17;
+    // s1 capacity: min(8 cores, 3.6 bw) / 0.8ms = 4500 req/s. Run at 3000.
+    let base = 3000.0;
+    let outcome = profile_low_load(cfg.clone(), 300.0, SimDuration::from_secs(2), PROFILE_TARGET_FACTOR);
+    cfg.params = outcome.params;
+    cfg.e2e_low_load = outcome.e2e_mean;
+    (cfg, base, outcome.e2e_p98.mul_f64(2.0))
+}
+
+/// A minimal §VII bandwidth manager: widens the partition of any container
+/// whose execMetric violates its target, narrows it back on deep surplus.
+struct BandwidthManager {
+    params: HashMap<ContainerId, ContainerParams>,
+    /// Current caps in tenths (mirrors what it has set).
+    caps: HashMap<ContainerId, u32>,
+}
+
+impl Controller for BandwidthManager {
+    fn name(&self) -> &'static str {
+        "bw-manager"
+    }
+    fn tick_interval(&self) -> SimDuration {
+        SimDuration::from_millis(100)
+    }
+    fn on_tick(&mut self, _now: SimTime, snapshot: &NodeSnapshot) -> Vec<ControlAction> {
+        let mut actions = Vec::new();
+        for c in &snapshot.containers {
+            let Some(&cap) = self.caps.get(&c.id) else {
+                continue; // not bandwidth-managed
+            };
+            if c.metrics.requests == 0 {
+                continue;
+            }
+            let expected = self.params[&c.id].expected_exec_metric.as_nanos() as f64;
+            let observed = c.metrics.mean_exec_metric.as_nanos() as f64;
+            if observed > expected {
+                // Widen by one core-equivalent (10 tenths).
+                let units = cap + 10;
+                self.caps.insert(c.id, units);
+                actions.push(ControlAction::SetBandwidth { id: c.id, units });
+            } else if observed < 0.4 * expected && cap > 36 {
+                let units = cap - 10;
+                self.caps.insert(c.id, units);
+                actions.push(ControlAction::SetBandwidth { id: c.id, units });
+            }
+        }
+        actions
+    }
+}
+
+struct BwFactory;
+impl ControllerFactory for BwFactory {
+    fn name(&self) -> &'static str {
+        "bw-manager"
+    }
+    fn make(&self, init: NodeInit) -> Box<dyn Controller> {
+        Box::new(BandwidthManager {
+            params: init.containers.iter().map(|c| (c.id, c.params)).collect(),
+            // Only s1 starts with a partition (36 tenths = 3.6).
+            caps: init
+                .containers
+                .iter()
+                .filter(|c| c.id == ContainerId(1))
+                .map(|c| (c.id, 36))
+                .collect(),
+        })
+    }
+}
+
+fn run(cfg: &SimConfig, factory: &dyn ControllerFactory, base: f64, secs: u64) -> sg_sim::runner::RunResult {
+    let pattern = SpikePattern {
+        base_rate: base,
+        spike_rate: base * 1.75,
+        spike_len: SimDuration::from_secs(20),
+        period: SimDuration::from_secs(100),
+        first_spike: SimTime::from_secs(3),
+    };
+    let mut cfg = cfg.clone();
+    cfg.end = SimTime::from_secs(secs) + SimDuration::from_millis(200);
+    cfg.measure_start = SimTime::from_secs(2);
+    let arrivals = pattern.arrivals(SimTime::ZERO, SimTime::from_secs(secs));
+    Simulation::new(cfg, factory, arrivals).run()
+}
+
+#[test]
+fn bandwidth_bound_service_saturates_under_surge_without_management() {
+    // 1.75× surge = 5250 req/s > the leaf's 4500 bandwidth-bound capacity:
+    // the static run drowns even though cores are plentiful.
+    let (cfg, base, qos) = scenario();
+    let r = run(&cfg, &NoopFactory, base, 10);
+    let rep = RunReport::from_points(
+        &r.points,
+        qos,
+        SimTime::from_secs(2),
+        SimTime::from_secs(10),
+        r.avg_cores,
+        r.energy_j,
+    );
+    assert!(
+        rep.violation_rate > 0.2,
+        "the partition must be the bottleneck: {:.1}% violating",
+        rep.violation_rate * 100.0
+    );
+}
+
+#[test]
+fn widening_the_partition_fixes_what_cores_cannot() {
+    let (cfg, base, qos) = scenario();
+    let secs = 10;
+    let r_static = run(&cfg, &NoopFactory, base, secs);
+    let r_bw = run(&cfg, &BwFactory, base, secs);
+    let vv = |r: &sg_sim::runner::RunResult| {
+        RunReport::from_points(
+            &r.points,
+            qos,
+            SimTime::from_secs(2),
+            SimTime::from_secs(secs),
+            r.avg_cores,
+            r.energy_j,
+        )
+        .violation_volume
+    };
+    let (v_static, v_bw) = (vv(&r_static), vv(&r_bw));
+    assert!(
+        v_bw < 0.2 * v_static,
+        "bandwidth manager must fix the surge: {v_bw} vs static {v_static}"
+    );
+}
+
+#[test]
+fn set_bandwidth_zero_removes_the_cap() {
+    // A one-shot controller that uncaps s1 at its first tick: afterwards
+    // the leaf behaves like an uncapped container.
+    struct Uncapper {
+        done: bool,
+    }
+    impl Controller for Uncapper {
+        fn name(&self) -> &'static str {
+            "uncapper"
+        }
+        fn tick_interval(&self) -> SimDuration {
+            SimDuration::from_millis(100)
+        }
+        fn on_tick(&mut self, _now: SimTime, _s: &NodeSnapshot) -> Vec<ControlAction> {
+            if self.done {
+                return Vec::new();
+            }
+            self.done = true;
+            vec![ControlAction::SetBandwidth {
+                id: ContainerId(1),
+                units: 0,
+            }]
+        }
+    }
+    struct UncapFactory;
+    impl ControllerFactory for UncapFactory {
+        fn name(&self) -> &'static str {
+            "uncapper"
+        }
+        fn make(&self, _init: NodeInit) -> Box<dyn Controller> {
+            Box::new(Uncapper { done: false })
+        }
+    }
+
+    let (cfg, base, qos) = scenario();
+    let secs = 10;
+    let r = run(&cfg, &UncapFactory, base, secs);
+    let rep = RunReport::from_points(
+        &r.points,
+        qos,
+        SimTime::from_secs(2),
+        SimTime::from_secs(secs),
+        r.avg_cores,
+        r.energy_j,
+    );
+    // With the cap gone, 8 cores / 0.8ms = 10000 req/s ≫ the surge: the
+    // run is healthy.
+    assert!(
+        rep.violation_rate < 0.02,
+        "uncapped leaf must absorb the surge: {:.1}%",
+        rep.violation_rate * 100.0
+    );
+}

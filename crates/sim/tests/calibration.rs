@@ -1,0 +1,83 @@
+//! Tests for the profiling/calibration pipeline (paper §V protocol).
+
+use sg_core::allocator::AllocConstraints;
+use sg_core::config::PROFILE_TARGET_FACTOR;
+use sg_core::time::SimDuration;
+use sg_sim::app::{linear_chain, ConnModel};
+use sg_sim::cluster::{Placement, SimConfig};
+use sg_sim::profile::{knee_rate, load_latency_sweep, profile_low_load};
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_micros(v)
+}
+
+fn chain_config() -> SimConfig {
+    let g = linear_chain("cal", &[us(500), us(500), us(500)], ConnModel::PerRequest, 0.1);
+    let mut cfg = SimConfig::new(g, Placement::single_node(3));
+    cfg.constraints = AllocConstraints {
+        total_cores: 16,
+        min_cores: 2,
+        max_cores: 16,
+        core_step: 2,
+    };
+    cfg.initial_cores = vec![4, 4, 4];
+    cfg.seed = 3;
+    cfg
+}
+
+#[test]
+fn low_load_profile_orders_time_from_start_along_the_chain() {
+    let cfg = chain_config();
+    let out = profile_low_load(cfg, 200.0, SimDuration::from_secs(2), PROFILE_TARGET_FACTOR);
+    // Deeper services see the job later: expectedTimeFromStart must be
+    // strictly increasing along the chain.
+    let tfs: Vec<u64> = out
+        .params
+        .iter()
+        .map(|p| p.expected_time_from_start.as_nanos())
+        .collect();
+    assert!(tfs[0] < tfs[1] && tfs[1] < tfs[2], "{tfs:?}");
+    // Upstream exec time includes downstream time: decreasing exec metric.
+    let exec: Vec<u64> = out
+        .params
+        .iter()
+        .map(|p| p.expected_exec_metric.as_nanos())
+        .collect();
+    assert!(exec[0] > exec[1] && exec[1] > exec[2], "{exec:?}");
+    assert!(out.e2e_mean > SimDuration::from_micros(1500), "{}", out.e2e_mean);
+    assert!(out.e2e_p98 >= out.e2e_mean);
+}
+
+#[test]
+fn load_latency_curve_has_a_knee() {
+    let cfg = chain_config();
+    // Capacity: 4 cores / 0.5ms = 8000 rps per service; the last point
+    // sits past it, where the open-loop queue grows without bound.
+    let rates = [500.0, 2000.0, 4000.0, 6000.0, 8400.0];
+    let pts = load_latency_sweep(&cfg, &rates, SimDuration::from_secs(2));
+    assert_eq!(pts.len(), rates.len());
+    assert!(
+        pts[4].p98 > pts[0].p98.mul_f64(3.0),
+        "past-capacity p98 {} must far exceed low-load {}",
+        pts[4].p98,
+        pts[0].p98
+    );
+    // The knee finder picks something strictly inside the range.
+    let knee = knee_rate(&pts, 3.0, 0.9);
+    assert!(
+        knee > 500.0 && knee < 8400.0,
+        "knee {knee} out of the plausible band"
+    );
+}
+
+#[test]
+fn profile_factor_scales_targets_linearly() {
+    let cfg = chain_config();
+    let a = profile_low_load(cfg.clone(), 200.0, SimDuration::from_secs(2), 2.0);
+    let b = profile_low_load(cfg, 200.0, SimDuration::from_secs(2), 3.0);
+    for (pa, pb) in a.params.iter().zip(&b.params) {
+        let ratio = pb.expected_exec_metric.as_nanos() as f64
+            / pa.expected_exec_metric.as_nanos() as f64;
+        assert!((ratio - 1.5).abs() < 0.01, "factor must scale targets, got {ratio}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Structural decentralization guarantees (paper Fig. 1): each node's
+//! controller sees only local containers and can only act locally.
+
+use sg_core::allocator::AllocConstraints;
+use sg_core::ids::{ContainerId, NodeId};
+use sg_core::time::{SimDuration, SimTime};
+use sg_sim::app::{linear_chain, ConnModel};
+use sg_sim::cluster::{Placement, SimConfig};
+use sg_sim::controller::{
+    ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot,
+};
+use sg_sim::profile::constant_arrivals;
+use sg_sim::runner::Simulation;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn config(nodes: u32) -> SimConfig {
+    let g = linear_chain(
+        "d",
+        &[SimDuration::from_micros(200); 4],
+        ConnModel::PerRequest,
+        0.0,
+    );
+    let mut cfg = SimConfig::new(g, Placement::round_robin(4, nodes));
+    cfg.constraints = AllocConstraints {
+        total_cores: 16,
+        min_cores: 2,
+        max_cores: 16,
+        core_step: 2,
+    };
+    cfg.initial_cores = vec![2; 4];
+    cfg.end = SimTime::from_secs(2);
+    cfg.measure_start = SimTime::from_millis(100);
+    cfg
+}
+
+/// Records which containers each node's controller was shown.
+struct Snooper {
+    node: NodeId,
+    locals: Vec<ContainerId>,
+    violations: Arc<AtomicU64>,
+}
+
+impl Controller for Snooper {
+    fn name(&self) -> &'static str {
+        "snooper"
+    }
+    fn tick_interval(&self) -> SimDuration {
+        SimDuration::from_millis(100)
+    }
+    fn on_tick(&mut self, _now: SimTime, snapshot: &NodeSnapshot) -> Vec<ControlAction> {
+        assert_eq!(snapshot.node, self.node);
+        for c in &snapshot.containers {
+            if !self.locals.contains(&c.id) {
+                self.violations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Vec::new()
+    }
+    fn on_packet(
+        &mut self,
+        _now: SimTime,
+        dest: ContainerId,
+        _meta: sg_core::metadata::RpcMetadata,
+    ) -> Vec<ControlAction> {
+        if !self.locals.contains(&dest) {
+            self.violations.fetch_add(1, Ordering::Relaxed);
+        }
+        Vec::new()
+    }
+}
+
+struct SnooperFactory {
+    violations: Arc<AtomicU64>,
+}
+
+impl ControllerFactory for SnooperFactory {
+    fn name(&self) -> &'static str {
+        "snooper"
+    }
+    fn make(&self, init: NodeInit) -> Box<dyn Controller> {
+        Box::new(Snooper {
+            node: init.node,
+            locals: init.containers.iter().map(|c| c.id).collect(),
+            violations: Arc::clone(&self.violations),
+        })
+    }
+}
+
+#[test]
+fn controllers_only_ever_see_their_own_node() {
+    let violations = Arc::new(AtomicU64::new(0));
+    let cfg = config(3);
+    let arrivals = constant_arrivals(500.0, SimTime::ZERO, SimTime::from_millis(1800));
+    let r = Simulation::new(
+        cfg,
+        &SnooperFactory {
+            violations: Arc::clone(&violations),
+        },
+        arrivals,
+    )
+    .run();
+    assert!(r.completed > 0);
+    assert_eq!(
+        violations.load(Ordering::Relaxed),
+        0,
+        "snapshots and packet hooks must be strictly node-local"
+    );
+}
+
+/// A controller that tries to manage a container on another node.
+struct Meddler {
+    victim: ContainerId,
+    is_owner: bool,
+}
+
+impl Controller for Meddler {
+    fn name(&self) -> &'static str {
+        "meddler"
+    }
+    fn tick_interval(&self) -> SimDuration {
+        SimDuration::from_millis(100)
+    }
+    fn on_tick(&mut self, _now: SimTime, _s: &NodeSnapshot) -> Vec<ControlAction> {
+        if self.is_owner {
+            return Vec::new();
+        }
+        // Not my container: the harness must refuse this.
+        vec![ControlAction::SetCores {
+            id: self.victim,
+            cores: 16,
+        }]
+    }
+}
+
+struct MeddlerFactory;
+impl ControllerFactory for MeddlerFactory {
+    fn name(&self) -> &'static str {
+        "meddler"
+    }
+    fn make(&self, init: NodeInit) -> Box<dyn Controller> {
+        let victim = ContainerId(0); // lives on node 0
+        Box::new(Meddler {
+            victim,
+            is_owner: init.containers.iter().any(|c| c.id == victim),
+        })
+    }
+}
+
+#[test]
+fn cross_node_actions_are_rejected_and_counted() {
+    let cfg = config(2); // containers 0,2 on node0; 1,3 on node1
+    let arrivals = constant_arrivals(200.0, SimTime::ZERO, SimTime::from_millis(1800));
+    let r = Simulation::new(cfg, &MeddlerFactory, arrivals).run();
+    assert!(
+        r.clamped_actions > 0,
+        "remote SetCores must be rejected and counted"
+    );
+    // The victim's allocation was never touched: trace is empty because
+    // tracing is off, but the run's average cores stays at the initial 8.
+    assert!(
+        (r.avg_cores - 8.0).abs() < 0.01,
+        "allocations must be unchanged, avg {}",
+        r.avg_cores
+    );
+}

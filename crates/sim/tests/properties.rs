@@ -1,0 +1,152 @@
+//! Property-based tests over the simulator's building blocks.
+
+use proptest::prelude::*;
+use sg_core::ids::{ContainerId, NodeId, ServiceId};
+use sg_core::time::{SimDuration, SimTime};
+use sg_sim::connpool::{Acquire, ConnPool};
+use sg_sim::container::{sample_work, Container};
+use sg_sim::engine::Engine;
+use sg_sim::event::Event;
+
+proptest! {
+    #[test]
+    fn engine_pops_in_nondecreasing_time_order(
+        times in prop::collection::vec(0u64..1_000_000_000u64, 1..200),
+    ) {
+        let mut e = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            e.schedule(
+                SimTime::from_nanos(t),
+                Event::ControllerTick { node: NodeId(i as u32) },
+            );
+        }
+        let mut prev = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = e.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn conn_pool_never_exceeds_capacity(
+        cap in 1u32..16,
+        ops in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut p = ConnPool::new(Some(cap));
+        let mut outstanding: u32 = 0; // held connections we must release
+        for (i, op) in ops.iter().enumerate() {
+            if *op {
+                match p.acquire(SimTime::from_nanos(i as u64), i as u32) {
+                    Acquire::Granted => outstanding += 1,
+                    Acquire::Queued => {}
+                }
+            } else if outstanding > 0 {
+                if p.release().is_some() {
+                    // Connection handed to a waiter: still outstanding.
+                } else {
+                    outstanding -= 1;
+                }
+            }
+            prop_assert!(p.in_use() <= cap);
+            prop_assert_eq!(p.in_use(), outstanding);
+        }
+    }
+
+    #[test]
+    fn conn_pool_grants_waiters_fifo(
+        cap in 1u32..4,
+        waiters in 2usize..20,
+    ) {
+        let mut p = ConnPool::new(Some(cap));
+        for i in 0..cap {
+            prop_assert_eq!(p.acquire(SimTime::ZERO, i), Acquire::Granted);
+        }
+        for w in 0..waiters {
+            prop_assert_eq!(
+                p.acquire(SimTime::from_nanos(w as u64), 1000 + w as u32),
+                Acquire::Queued
+            );
+        }
+        for w in 0..waiters {
+            let (inv, _) = p.release().unwrap();
+            prop_assert_eq!(inv, 1000 + w as u32, "grants must be FIFO");
+        }
+    }
+
+    #[test]
+    fn processor_sharing_conserves_work(
+        works in prop::collection::vec(1u64..1_000_000u64, 1..30),
+        cores in 1u32..8,
+    ) {
+        // All phases admitted at t=0 must complete by total_work/cores
+        // (perfect sharing) and no earlier than max(total/capacity, longest
+        // job alone).
+        let mut c = Container::new(ContainerId(0), NodeId(0), ServiceId(0), cores);
+        let t0 = SimTime::ZERO;
+        for (i, &w) in works.iter().enumerate() {
+            c.add_phase(t0, i as u32, SimDuration::from_nanos(w));
+        }
+        let mut done = Vec::new();
+        let mut now = t0;
+        let mut guard = 0;
+        while let Some(next) = c.next_completion(now) {
+            now = next;
+            done.extend(c.pop_completed(now));
+            guard += 1;
+            prop_assert!(guard < 10_000, "must terminate");
+        }
+        prop_assert_eq!(done.len(), works.len());
+        let total: u64 = works.iter().sum();
+        let lower = total.div_ceil(cores as u64);
+        // Finish time >= work-conservation bound; <= bound + per-event
+        // ceil rounding slack (1ns per completion event).
+        prop_assert!(now.as_nanos() + 1 >= lower);
+        prop_assert!(now.as_nanos() <= total + works.len() as u64 + 1);
+    }
+
+    #[test]
+    fn processor_sharing_completion_order_follows_work(
+        w1 in 1u64..1_000_000u64,
+        extra in 1u64..1_000_000u64,
+    ) {
+        // Two phases admitted together on one core: the smaller finishes
+        // first (equal share => order by remaining work).
+        let mut c = Container::new(ContainerId(0), NodeId(0), ServiceId(0), 1);
+        c.add_phase(SimTime::ZERO, 1, SimDuration::from_nanos(w1));
+        c.add_phase(SimTime::ZERO, 2, SimDuration::from_nanos(w1 + extra));
+        let t1 = c.next_completion(SimTime::ZERO).unwrap();
+        let first = c.pop_completed(t1);
+        prop_assert_eq!(first, vec![1]);
+    }
+
+    #[test]
+    fn sample_work_is_positive_and_bounded_below(
+        mean_us in 1u64..100_000u64,
+        cv in 0.0f64..1.0,
+        u in 0.0f64..1.0,
+    ) {
+        let mean = SimDuration::from_micros(mean_us);
+        let w = sample_work(mean, cv, u);
+        // Deterministic floor: mean·(1−cv).
+        let floor = mean.mul_f64(1.0 - cv);
+        prop_assert!(w >= floor.saturating_sub(SimDuration::from_nanos(1)));
+    }
+
+    #[test]
+    fn faster_container_finishes_sooner(
+        work in 1_000u64..10_000_000u64,
+        speedup_tenths in 11u64..30,
+    ) {
+        let speedup = speedup_tenths as f64 / 10.0;
+        let run = |s: f64| {
+            let mut c = Container::new(ContainerId(0), NodeId(0), ServiceId(0), 2);
+            c.set_freq_speedup(SimTime::ZERO, s);
+            c.add_phase(SimTime::ZERO, 1, SimDuration::from_nanos(work));
+            c.next_completion(SimTime::ZERO).unwrap()
+        };
+        prop_assert!(run(speedup) <= run(1.0));
+    }
+}

@@ -1,0 +1,32 @@
+//! # sg-workloads — DeathStarBench-equivalent applications
+//!
+//! Task-graph models of the five actions the paper evaluates (Table III):
+//!
+//! | Workload | Action | Depth | RPC | Threadpool |
+//! |---|---|---|---|---|
+//! | CHAIN | — | 5 | Thrift | fixed |
+//! | socialNetwork | ReadUserTimeline | 5 | Thrift | fixed |
+//! | socialNetwork | ComposePost | 8 | Thrift | fixed |
+//! | hotelReservation | searchHotel | 11 | gRPC | ∞ (per-request) |
+//! | hotelReservation | recommendHotel | 5 | gRPC | ∞ (per-request) |
+//!
+//! plus `mediaMicroservices:composeReview` ([`media`]) from the paper's
+//! artifact (not part of the reproduced figures), the synthetic datasets
+//! ([`dataset`]) that set the storage-tier
+//! service-time distributions, and the calibration pipeline ([`setup`])
+//! that reproduces the paper's experimental protocol: 34-core initial
+//! allocation, base rate below the knee, Little's-law pool provisioning,
+//! low-load parameter profiling and QoS-limit selection.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chain;
+pub mod dataset;
+pub mod hotel;
+pub mod media;
+pub mod setup;
+pub mod social;
+
+pub use dataset::{SocialGraph, SocialGraphConfig};
+pub use setup::{prepare, CalibrationOptions, PreparedWorkload, Workload};

@@ -1,0 +1,110 @@
+//! DeathStarBench `mediaMicroservices` — `composeReview`.
+//!
+//! The paper's evaluation (Table III) covers socialNetwork,
+//! hotelReservation and CHAIN, but its artifact ships
+//! `mediaMicroservices` (with the tmdb dataset) alongside them. This
+//! module provides the `composeReview` task graph as an additional,
+//! ready-to-calibrate workload for library users — it is *not* part of
+//! the reproduced figures.
+//!
+//! Topology (simplified like the other workloads, Thrift-style fixed
+//! pools): nginx fronts a compose-review pipeline that resolves the movie
+//! id, validates the user, rates the movie and stores the review.
+
+use crate::dataset::{SocialGraph, SocialGraphConfig};
+use sg_core::ids::ServiceId;
+use sg_core::time::SimDuration;
+use sg_sim::app::{CallMode, ConnModel, EdgeSpec, ServiceSpec, TaskGraph};
+
+/// Nominal Thrift threadpool size (as in Table III's Thrift workloads).
+pub const NOMINAL_POOL: u32 = 512;
+
+fn svc(name: &str, work_us: u64, cv: f64, children: Vec<u32>) -> ServiceSpec {
+    ServiceSpec {
+        name: name.to_string(),
+        work_mean: SimDuration::from_micros(work_us),
+        work_cv: cv,
+        pre_fraction: 0.7,
+        children: children
+            .into_iter()
+            .map(|c| EdgeSpec {
+                child: ServiceId(c),
+                conn: ConnModel::FixedPool(NOMINAL_POOL),
+            })
+            .collect(),
+        call_mode: CallMode::Sequential,
+    }
+}
+
+/// `composeReview`: depth 7, 9 services.
+///
+/// ```text
+/// nginx ─► compose-review ─► movie-id ─► rating ─► review-storage
+///                        │           └► text (leaf)      ─► review-db
+///                        └► user-review (leaf)
+/// ```
+pub fn compose_review(dataset_seed: u64) -> TaskGraph {
+    // Review lengths drive the text/storage dispersion, same statistical
+    // role the tmdb dataset plays in the artifact.
+    let ds = SocialGraph::generate(
+        SocialGraphConfig {
+            users: 1200,
+            posts_per_user: 12,
+            ..Default::default()
+        },
+        dataset_seed,
+    );
+    let storage_cv = ds.timeline_cost_cv();
+    TaskGraph {
+        name: "mediaMicroservices:composeReview".to_string(),
+        services: vec![
+            svc("nginx", 300, 0.1, vec![1]),                       // 0
+            svc("compose-review-service", 900, 0.2, vec![2, 8]),   // 1
+            svc("movie-id-service", 600, 0.2, vec![3, 7]),         // 2
+            svc("rating-service", 700, 0.2, vec![4]),              // 3
+            svc("review-storage-service", 800, 0.2, vec![5]),      // 4
+            svc("review-storage-mongodb", 1300, storage_cv, vec![6]), // 5
+            svc("review-storage-memcached", 400, storage_cv, vec![]), // 6
+            svc("text-service", 500, 0.4, vec![]),                 // 7
+            svc("user-review-service", 500, 0.2, vec![]),          // 8
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{scale_pools, solve_initial_allocation};
+
+    #[test]
+    fn compose_review_is_a_valid_thrift_graph() {
+        let g = compose_review(7);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 9);
+        assert_eq!(g.depth(), 7);
+        assert!(!g.is_connection_per_request(), "Thrift fixed pools");
+    }
+
+    #[test]
+    fn compose_review_is_calibratable_like_the_table3_workloads() {
+        let mut g = compose_review(7);
+        let (rate, alloc) = solve_initial_allocation(&g, 34, 0.6, 2, 2);
+        assert!(rate > 100.0);
+        assert!(alloc.iter().sum::<u32>() <= 34);
+        scale_pools(&mut g, rate, SimDuration::from_micros(100), 4.0);
+        for s in &g.services {
+            for e in &s.children {
+                match e.conn {
+                    ConnModel::FixedPool(n) => assert!(n >= 4 && n < NOMINAL_POOL),
+                    ConnModel::PerRequest => panic!("pools must stay fixed"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        assert_eq!(compose_review(3), compose_review(3));
+        assert_ne!(compose_review(3), compose_review(4));
+    }
+}

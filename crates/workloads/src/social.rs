@@ -1,0 +1,222 @@
+//! DeathStarBench `socialNetwork` actions (paper Table III).
+//!
+//! Two actions are modelled, both Thrift-based with fixed-size threadpools:
+//!
+//! * `ReadUserTimeline` — depth 5. The path the paper dissects in Fig. 14:
+//!   `nginx → user-timeline-service → post-storage-service →
+//!   post-storage-memcached → post-storage-mongodb`, with a
+//!   `user-timeline-redis` lookup on the side.
+//! * `ComposePost` — depth 8, the deepest Thrift action: text processing,
+//!   mention resolution, then the storage pipeline.
+//!
+//! Topologies are simplified from the full DeathStarBench call graphs but
+//! preserve the Table III properties that matter to the controllers:
+//! depth, RPC framework, threading model, and which services are
+//! compute-heavy vs. cache-light (the source of sensitivity differences,
+//! Fig. 6). Service-time dispersion for the storage tier is derived from
+//! the synthetic social dataset (`dataset` module).
+
+use crate::dataset::{SocialGraph, SocialGraphConfig};
+use sg_core::ids::ServiceId;
+use sg_core::time::SimDuration;
+use sg_sim::app::{CallMode, ConnModel, EdgeSpec, ServiceSpec, TaskGraph};
+
+/// Nominal Thrift threadpool size (Table III).
+pub const NOMINAL_POOL: u32 = 512;
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_micros(v)
+}
+
+fn svc(
+    name: &str,
+    work_us: u64,
+    cv: f64,
+    children: Vec<u32>,
+    mode: CallMode,
+) -> ServiceSpec {
+    ServiceSpec {
+        name: name.to_string(),
+        work_mean: us(work_us),
+        work_cv: cv,
+        pre_fraction: 0.7,
+        children: children
+            .into_iter()
+            .map(|c| EdgeSpec {
+                child: ServiceId(c),
+                conn: ConnModel::FixedPool(NOMINAL_POOL),
+            })
+            .collect(),
+        call_mode: mode,
+    }
+}
+
+/// `ReadUserTimeline`: depth 5, 6 services.
+///
+/// ```text
+/// nginx ─► user-timeline-service ─► user-timeline-redis
+///                                ─► post-storage-service
+///                                      ─► post-storage-memcached
+///                                            ─► post-storage-mongodb
+/// ```
+pub fn read_user_timeline(dataset_seed: u64) -> TaskGraph {
+    let ds = SocialGraph::generate(SocialGraphConfig::default(), dataset_seed);
+    let storage_cv = ds.timeline_cost_cv();
+    TaskGraph {
+        name: "socialNetwork:readUserTimeline".to_string(),
+        services: vec![
+            // 0: frontend proxy — light, flat sensitivity beyond a couple
+            // of cores.
+            svc("nginx", 300, 0.1, vec![1], CallMode::Sequential),
+            // 1: the service Fig. 14 shows being over-scaled by Parties.
+            svc(
+                "user-timeline-service",
+                1200,
+                0.2,
+                vec![2, 3],
+                CallMode::Sequential,
+            ),
+            // 2: redis lookup — cheap.
+            svc("user-timeline-redis", 500, storage_cv, vec![], CallMode::Sequential),
+            // 3: the true downstream bottleneck during surges.
+            svc(
+                "post-storage-service",
+                900,
+                0.2,
+                vec![4],
+                CallMode::Sequential,
+            ),
+            // 4: memcached — light per-hit cost.
+            svc(
+                "post-storage-memcached",
+                500,
+                storage_cv,
+                vec![5],
+                CallMode::Sequential,
+            ),
+            // 5: mongodb — the heavy tail of the chain.
+            svc(
+                "post-storage-mongodb",
+                1500,
+                storage_cv,
+                vec![],
+                CallMode::Sequential,
+            ),
+        ],
+    }
+}
+
+/// `ComposePost`: depth 8, 10 services.
+///
+/// ```text
+/// nginx ─► compose-post ─► text ─► user-mention ─► user ─► post-storage
+///                     │        └► url-shorten          ─► ps-memcached
+///                     └► unique-id                        ─► ps-mongodb
+/// ```
+pub fn compose_post(dataset_seed: u64) -> TaskGraph {
+    let ds = SocialGraph::generate(SocialGraphConfig::default(), dataset_seed);
+    let storage_cv = ds.timeline_cost_cv();
+    // Post length drives text-processing cost dispersion.
+    let text_cv = 0.4;
+    TaskGraph {
+        name: "socialNetwork:composePost".to_string(),
+        services: vec![
+            // 0
+            svc("nginx", 300, 0.1, vec![1], CallMode::Sequential),
+            // 1
+            svc(
+                "compose-post-service",
+                1000,
+                0.2,
+                vec![2, 8],
+                CallMode::Sequential,
+            ),
+            // 2
+            svc("text-service", 800, text_cv, vec![3, 9], CallMode::Sequential),
+            // 3
+            svc(
+                "user-mention-service",
+                700,
+                text_cv,
+                vec![4],
+                CallMode::Sequential,
+            ),
+            // 4
+            svc("user-service", 800, 0.2, vec![5], CallMode::Sequential),
+            // 5
+            svc(
+                "post-storage-service",
+                900,
+                0.2,
+                vec![6],
+                CallMode::Sequential,
+            ),
+            // 6
+            svc(
+                "post-storage-memcached",
+                500,
+                storage_cv,
+                vec![7],
+                CallMode::Sequential,
+            ),
+            // 7
+            svc(
+                "post-storage-mongodb",
+                1400,
+                storage_cv,
+                vec![],
+                CallMode::Sequential,
+            ),
+            // 8
+            svc("unique-id-service", 300, 0.05, vec![], CallMode::Sequential),
+            // 9
+            svc("url-shorten-service", 400, text_cv, vec![], CallMode::Sequential),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_user_timeline_matches_table3() {
+        let g = read_user_timeline(42);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.depth(), 5, "Table III: depth 5");
+        assert!(!g.is_connection_per_request(), "Thrift fixed pools");
+        assert_eq!(g.len(), 6);
+        // Fig. 14 names exist.
+        let names: Vec<&str> = g.services.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"user-timeline-service"));
+        assert!(names.contains(&"post-storage-service"));
+        assert!(names.contains(&"post-storage-memcached"));
+    }
+
+    #[test]
+    fn compose_post_matches_table3() {
+        let g = compose_post(42);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.depth(), 8, "Table III: depth 8");
+        assert!(!g.is_connection_per_request());
+        assert_eq!(g.len(), 10);
+    }
+
+    #[test]
+    fn dataset_seed_controls_dispersion_deterministically() {
+        let a = read_user_timeline(1);
+        let b = read_user_timeline(1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn storage_services_inherit_dataset_cv() {
+        let g = read_user_timeline(42);
+        let mongo = g
+            .services
+            .iter()
+            .find(|s| s.name == "post-storage-mongodb")
+            .unwrap();
+        assert!(mongo.work_cv > 0.0 && mongo.work_cv <= 1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Bring your own application: define a custom task graph, calibrate it,
+//! and protect it with SurgeGuard.
+//!
+//! Models a small checkout pipeline with a scatter-gather stage (pricing
+//! and inventory queried in parallel) and a fixed-threadpool edge to a
+//! payment service — then shows the full calibration pipeline the
+//! `workloads` crate automates: initial allocation, pool sizing via
+//! Little's law, low-load parameter profiling, and a surge run.
+//!
+//! Run with: `cargo run --release --example custom_app`
+
+use surgeguard::controllers::SurgeGuardFactory;
+use surgeguard::core::config::PROFILE_TARGET_FACTOR;
+use surgeguard::core::ids::ServiceId;
+use surgeguard::core::littles_law::threadpool_size;
+use surgeguard::core::time::{SimDuration, SimTime};
+use surgeguard::loadgen::{RunReport, SpikePattern};
+use surgeguard::sim::app::{CallMode, ConnModel, EdgeSpec, ServiceSpec, TaskGraph};
+use surgeguard::sim::cluster::{Placement, SimConfig};
+use surgeguard::sim::profile::profile_low_load;
+use surgeguard::sim::runner::Simulation;
+use surgeguard::workloads::setup::solve_initial_allocation;
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_micros(v)
+}
+
+fn main() {
+    // 1. Describe the application.
+    let svc = |name: &str, work_us, cv, children: Vec<EdgeSpec>, mode| ServiceSpec {
+        name: name.into(),
+        work_mean: us(work_us),
+        work_cv: cv,
+        pre_fraction: 0.7,
+        children,
+        call_mode: mode,
+    };
+    let per_req = |child: u32| EdgeSpec {
+        child: ServiceId(child),
+        conn: ConnModel::PerRequest,
+    };
+    let base_rate_guess = 2500.0;
+    // Payment holds a pooled connection for roughly its own subtree time.
+    let payment_pool = threadpool_size(base_rate_guess * 4.0, us(1600));
+    let graph = TaskGraph {
+        name: "checkout".into(),
+        services: vec![
+            svc(
+                "gateway",
+                300,
+                0.1,
+                vec![per_req(1)],
+                CallMode::Sequential,
+            ),
+            // Scatter-gather: pricing and inventory in parallel, then pay.
+            svc(
+                "checkout",
+                700,
+                0.2,
+                vec![
+                    per_req(2),
+                    per_req(3),
+                    EdgeSpec {
+                        child: ServiceId(4),
+                        conn: ConnModel::FixedPool(payment_pool),
+                    },
+                ],
+                CallMode::Parallel,
+            ),
+            svc("pricing", 800, 0.3, vec![], CallMode::Sequential),
+            svc("inventory", 600, 0.3, vec![], CallMode::Sequential),
+            svc("payment", 1200, 0.2, vec![per_req(5)], CallMode::Sequential),
+            svc("payment-db", 400, 0.3, vec![], CallMode::Sequential),
+        ],
+    };
+    graph.validate().expect("valid graph");
+    println!(
+        "checkout app: {} services, depth {}, payment pool {}",
+        graph.len(),
+        graph.depth(),
+        payment_pool
+    );
+
+    // 2. Size the initial allocation for a 34-core budget and find the
+    //    base rate just below the knee.
+    let (base_rate, initial) = solve_initial_allocation(&graph, 34, 0.6, 2, 2);
+    println!("base rate {base_rate:.0} req/s, initial cores {initial:?}");
+
+    // 3. Profile low-load parameters (the paper's 2x rule).
+    let mut cfg = SimConfig::new(graph, Placement::single_node(6));
+    cfg.initial_cores = initial;
+    let outcome = profile_low_load(
+        cfg.clone(),
+        base_rate * 0.15,
+        SimDuration::from_secs(3),
+        PROFILE_TARGET_FACTOR,
+    );
+    cfg.params = outcome.params.clone();
+    cfg.e2e_low_load = outcome.e2e_mean;
+    let qos = outcome.e2e_p98.mul_f64(2.0);
+    println!("low-load e2e {} -> QoS {}", outcome.e2e_mean, qos);
+
+    // 4. Surge it with SurgeGuard in charge.
+    let pattern = SpikePattern::periodic(base_rate, 1.75, SimDuration::from_secs(2));
+    let warmup = SimTime::from_secs(5);
+    let end = SimTime::from_secs(25);
+    cfg.end = end + SimDuration::from_millis(200);
+    cfg.measure_start = warmup;
+    let arrivals = pattern.arrivals(SimTime::ZERO, end);
+    let result = Simulation::new(cfg, &SurgeGuardFactory::full(), arrivals).run();
+    let report = RunReport::from_points(
+        &result.points,
+        qos,
+        warmup,
+        end,
+        result.avg_cores,
+        result.energy_j,
+    );
+    println!(
+        "under 1.75x surges: VV {:.4} s^2, P98 {}, {:.2}% violating, avg {:.1} cores",
+        report.violation_volume,
+        report.p98,
+        report.violation_rate * 100.0,
+        report.avg_cores
+    );
+}

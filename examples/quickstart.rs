@@ -1,0 +1,68 @@
+//! Quickstart: protect the CHAIN microbenchmark from request surges.
+//!
+//! Calibrates the workload, injects the paper's §VI-B surge pattern
+//! (1.75× for 2 s every 10 s), and compares a static allocation against
+//! the full SurgeGuard controller on violation volume — the paper's
+//! magnitude-×-duration QoS metric.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use surgeguard::controllers::SurgeGuardFactory;
+use surgeguard::core::time::{SimDuration, SimTime};
+use surgeguard::loadgen::{RunReport, SpikePattern};
+use surgeguard::sim::controller::{ControllerFactory, NoopFactory};
+use surgeguard::sim::runner::Simulation;
+use surgeguard::workloads::{prepare, CalibrationOptions, Workload};
+
+fn main() {
+    // 1. Calibrate: 34-core initial allocation, base rate just below the
+    //    knee, per-container QoS parameters profiled at low load (2× rule),
+    //    Thrift pools provisioned by Little's law.
+    println!("calibrating CHAIN ...");
+    let pw = prepare(Workload::Chain, 1, CalibrationOptions::default());
+    println!(
+        "  base rate {:.0} req/s, e2e low-load {} -> QoS limit {}",
+        pw.base_rate, pw.e2e_low, pw.qos
+    );
+
+    // 2. The surge pattern under test.
+    let pattern = SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_secs(2));
+    let warmup = SimTime::from_secs(5);
+    let end = SimTime::from_secs(35);
+
+    // 3. Run both controllers on identical arrivals and seed.
+    for factory in [
+        &NoopFactory as &dyn ControllerFactory,
+        &SurgeGuardFactory::full(),
+    ] {
+        let mut cfg = pw.cfg.clone();
+        cfg.end = end + SimDuration::from_millis(200);
+        cfg.measure_start = warmup;
+        cfg.seed = 42;
+        let arrivals = pattern.arrivals(SimTime::ZERO, end);
+        let result = Simulation::new(cfg, factory, arrivals).run();
+        let report = RunReport::from_points(
+            &result.points,
+            pw.qos,
+            warmup,
+            end,
+            result.avg_cores,
+            result.energy_j,
+        );
+        println!(
+            "\n{:<12} violation volume {:.4} s^2 | P98 {} | mean {} | avg cores {:.1} | energy {:.0} J",
+            factory.name(),
+            report.violation_volume,
+            report.p98,
+            report.mean,
+            report.avg_cores,
+            report.energy_j,
+        );
+        println!(
+            "             {} requests, {:.2}% violating, {} FirstResponder boosts",
+            report.requests,
+            report.violation_rate * 100.0,
+            result.packet_freq_boosts,
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! # surgeguard — fast and efficient scaling for microservices
+//!
+//! A from-scratch Rust reproduction of *Fast and Efficient Scaling for
+//! Microservices with SurgeGuard* (SC 2024): a decentralized, per-node
+//! vertical-scaling controller that guards application QoS during request
+//! surges with two complementary paths —
+//!
+//! * **FirstResponder**: per-packet slack tracking at the network receive
+//!   hook, boosting core frequency within microseconds of a violation;
+//! * **Escalator**: a slower decision cycle that splits container latency
+//!   into true execution time (`execMetric`) and hidden threadpool
+//!   queueing (`queueBuildup`), propagates upscale hints downstream inside
+//!   RPC metadata, and allocates cores using an online-profiled
+//!   sensitivity matrix.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] | the controller algorithms (simulator-independent) |
+//! | [`sim`] | deterministic discrete-event cluster substrate |
+//! | [`workloads`] | DeathStarBench-like task graphs + calibration |
+//! | [`loadgen`] | wrk2-style spiking open-loop load generation |
+//! | [`controllers`] | SurgeGuard, Parties, CaladanAlgo, oracle |
+//! | [`experiments`] | per-figure reproduction harness |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use surgeguard::controllers::SurgeGuardFactory;
+//! use surgeguard::loadgen::{RunReport, SpikePattern};
+//! use surgeguard::sim::runner::Simulation;
+//! use surgeguard::workloads::{prepare, CalibrationOptions, Workload};
+//! use surgeguard::core::time::{SimDuration, SimTime};
+//!
+//! // Calibrate the CHAIN microbenchmark for one node (34-core initial
+//! // allocation, base rate below the knee, profiled QoS parameters).
+//! let pw = prepare(Workload::Chain, 1, CalibrationOptions::default());
+//!
+//! // 1.75x surges of 2s every 10s, as in the paper's §VI-B protocol.
+//! let pattern = SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_secs(2));
+//!
+//! let mut cfg = pw.cfg.clone();
+//! cfg.end = SimTime::from_secs(12);
+//! cfg.measure_start = SimTime::from_secs(2);
+//! let arrivals = pattern.arrivals(SimTime::ZERO, SimTime::from_secs(12));
+//!
+//! let result = Simulation::new(cfg, &SurgeGuardFactory::full(), arrivals).run();
+//! let report = RunReport::from_points(
+//!     &result.points, pw.qos,
+//!     SimTime::from_secs(2), SimTime::from_secs(12),
+//!     result.avg_cores, result.energy_j,
+//! );
+//! assert!(report.requests > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use sg_controllers as controllers;
+pub use sg_core as core;
+pub use sg_experiments as experiments;
+pub use sg_loadgen as loadgen;
+pub use sg_sim as sim;
+pub use sg_workloads as workloads;
