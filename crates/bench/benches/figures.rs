@@ -8,8 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sg_bench::BenchScenario;
 use sg_controllers::{
-    CaladanFactory, OracleConfig, OracleFactory, OracleKnowledge, PartiesFactory,
-    SurgeGuardFactory,
+    CaladanFactory, OracleConfig, OracleFactory, OracleKnowledge, PartiesFactory, SurgeGuardFactory,
 };
 use sg_core::time::{SimDuration, SimTime};
 use sg_loadgen::short_surge;
@@ -61,7 +60,14 @@ fn bench_fig04_style(c: &mut Criterion) {
         let surge_start = SimTime::from_secs(2);
         let surge_end = SimTime::from_secs(3);
         let knowledge = OracleKnowledge {
-            work: sc.pw.cfg.graph.services.iter().map(|s| s.work_mean).collect(),
+            work: sc
+                .pw
+                .cfg
+                .graph
+                .services
+                .iter()
+                .map(|s| s.work_mean)
+                .collect(),
         };
         b.iter(|| {
             for delay_ms in [1u64, 200] {
@@ -84,5 +90,10 @@ fn bench_fig04_style(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig11_style, bench_fig10_style, bench_fig04_style);
+criterion_group!(
+    benches,
+    bench_fig11_style,
+    bench_fig10_style,
+    bench_fig04_style
+);
 criterion_main!(benches);

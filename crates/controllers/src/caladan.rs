@@ -125,8 +125,7 @@ impl Controller for Caladan {
             let target = self.params[&c.id].expected_exec_metric.as_nanos() as f64;
             let idle = c.metrics.queue_buildup < self.cfg.idle_th
                 && target > 0.0
-                && (c.metrics.mean_exec_time.as_nanos() as f64)
-                    < self.cfg.surplus_ratio * target;
+                && (c.metrics.mean_exec_time.as_nanos() as f64) < self.cfg.surplus_ratio * target;
             if idle {
                 let streak = self.idle_streak.entry(c.id).or_insert(0);
                 *streak += 1;
@@ -290,10 +289,7 @@ mod tests {
             let _ = c.on_tick(SimTime::from_millis(20 * i), &quiet);
         }
         // Congestion burst resets.
-        let _ = c.on_tick(
-            SimTime::from_millis(120),
-            &snap(&[(0, 8, 2000, 3.0, 100)]),
-        );
+        let _ = c.on_tick(SimTime::from_millis(120), &snap(&[(0, 8, 2000, 3.0, 100)]));
         for i in 7..=12 {
             let a = c.on_tick(SimTime::from_millis(20 * i), &quiet);
             assert!(

@@ -87,7 +87,11 @@ impl Oracle {
         let w = self.knowledge.work[id.index()].as_secs_f64();
         let u = self.cfg.utilization;
         // Capacity of the initial allocation, in req/s.
-        let capacity = if w > 0.0 { initial as f64 / w } else { f64::MAX };
+        let capacity = if w > 0.0 {
+            initial as f64 / w
+        } else {
+            f64::MAX
+        };
         // Work queued during the blind window (core-seconds).
         let overload = (self.cfg.spike_rate - capacity).max(0.0);
         let backlog = overload * self.cfg.delay.as_secs_f64() * w;

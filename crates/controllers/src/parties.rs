@@ -21,9 +21,7 @@ use sg_core::config::ContainerParams;
 use sg_core::ids::ContainerId;
 use sg_core::metrics::WindowMetrics;
 use sg_core::time::{SimDuration, SimTime};
-use sg_sim::controller::{
-    ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot,
-};
+use sg_sim::controller::{ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot};
 use std::collections::HashMap;
 
 /// Tuning constants for the Parties reimplementation.

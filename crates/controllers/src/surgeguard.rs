@@ -344,10 +344,7 @@ mod tests {
 
     #[test]
     fn escalator_only_variant_has_no_fast_path() {
-        let mut sg = SurgeGuard::new(
-            SurgeGuardFactory::escalator_only().cfg.clone(),
-            &init(),
-        );
+        let mut sg = SurgeGuard::new(SurgeGuardFactory::escalator_only().cfg.clone(), &init());
         let meta = RpcMetadata::new_job(SimTime::ZERO);
         assert!(sg
             .on_packet(SimTime::from_secs(1), ContainerId(0), meta)

@@ -31,7 +31,10 @@ fn scenario(conn: ConnModel) -> Scenario {
     // req/s), which is the Fig. 5 situation: a surge saturates s1 first.
     let graph = linear_chain(
         "pair",
-        &[SimDuration::from_micros(600), SimDuration::from_micros(1200)],
+        &[
+            SimDuration::from_micros(600),
+            SimDuration::from_micros(1200),
+        ],
         conn,
         0.1,
     );
@@ -48,7 +51,12 @@ fn scenario(conn: ConnModel) -> Scenario {
     let base_rate = 3000.0;
 
     // Profile per-container params the paper's way.
-    let outcome = profile_low_load(cfg.clone(), 300.0, SimDuration::from_secs(2), PROFILE_TARGET_FACTOR);
+    let outcome = profile_low_load(
+        cfg.clone(),
+        300.0,
+        SimDuration::from_secs(2),
+        PROFILE_TARGET_FACTOR,
+    );
     cfg.params = outcome.params.clone();
     cfg.e2e_low_load = outcome.e2e_mean;
     let qos = outcome.e2e_p98.mul_f64(2.0);
@@ -211,7 +219,10 @@ fn caladan_feeds_the_queueing_container_not_downstream() {
     let r = run(&sc, &CaladanFactory::default(), &pattern, 10, true);
     let s0 = peak_cores(&r, 0, 4);
     let s1 = peak_cores(&r, 1, 6);
-    assert!(s0 > 4, "CaladanAlgo pours cores into the congested s0: {s0}");
+    assert!(
+        s0 > 4,
+        "CaladanAlgo pours cores into the congested s0: {s0}"
+    );
     assert!(
         s1 <= 7,
         "CaladanAlgo must miss the downstream root cause, s1={s1}"
@@ -252,7 +263,13 @@ fn firstresponder_engages_on_short_surges() {
     );
     let secs = 6;
     let r_full = run(&sc, &SurgeGuardFactory::full(), &pattern, secs, false);
-    let r_esc = run(&sc, &SurgeGuardFactory::escalator_only(), &pattern, secs, false);
+    let r_esc = run(
+        &sc,
+        &SurgeGuardFactory::escalator_only(),
+        &pattern,
+        secs,
+        false,
+    );
     assert!(
         r_full.packet_freq_boosts > 0,
         "FirstResponder must fire on short surges"
@@ -279,7 +296,10 @@ fn surgeguard_propagates_hints_across_nodes() {
     // upscaled by its own node's controller.
     let graph = linear_chain(
         "pair",
-        &[SimDuration::from_micros(600), SimDuration::from_micros(1200)],
+        &[
+            SimDuration::from_micros(600),
+            SimDuration::from_micros(1200),
+        ],
         ConnModel::FixedPool(10),
         0.1,
     );
@@ -292,7 +312,12 @@ fn surgeguard_propagates_hints_across_nodes() {
     };
     cfg.initial_cores = vec![4, 6];
     cfg.seed = 13;
-    let outcome = profile_low_load(cfg.clone(), 300.0, SimDuration::from_secs(2), PROFILE_TARGET_FACTOR);
+    let outcome = profile_low_load(
+        cfg.clone(),
+        300.0,
+        SimDuration::from_secs(2),
+        PROFILE_TARGET_FACTOR,
+    );
     cfg.params = outcome.params;
     cfg.e2e_low_load = outcome.e2e_mean;
     cfg.end = SimTime::from_secs(10) + ms(200);

@@ -33,7 +33,12 @@ fn scenario() -> (SimConfig, f64, SimDuration) {
     };
     cfg.initial_cores = vec![4, 6];
     cfg.seed = 31;
-    let outcome = profile_low_load(cfg.clone(), 300.0, SimDuration::from_secs(2), PROFILE_TARGET_FACTOR);
+    let outcome = profile_low_load(
+        cfg.clone(),
+        300.0,
+        SimDuration::from_secs(2),
+        PROFILE_TARGET_FACTOR,
+    );
     cfg.params = outcome.params;
     cfg.e2e_low_load = outcome.e2e_mean;
     let qos = outcome.e2e_p98.mul_f64(2.0);
@@ -80,12 +85,7 @@ fn centralized_rebaselines_to_sustained_load() {
     };
     let r = run(&cfg, &CentralizedFactory::default(), &pattern, 12);
     let tr = r.alloc_trace.as_ref().unwrap();
-    let final_s1 = tr
-        .cores_at(
-            sg_core::ids::ContainerId(1),
-            &[SimTime::from_secs(11)],
-            6,
-        )[0];
+    let final_s1 = tr.cores_at(sg_core::ids::ContainerId(1), &[SimTime::from_secs(11)], 6)[0];
     assert!(
         final_s1 > 6,
         "ML controller must grow the bottleneck for sustained load, got {final_s1}"

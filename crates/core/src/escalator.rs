@@ -23,9 +23,9 @@ use crate::allocator::{AllocAction, AllocConstraints, ContainerAlloc, CoreLedger
 use crate::config::EscalatorConfig;
 use crate::ids::ContainerId;
 use crate::metrics::WindowMetrics;
-use crate::time::SimDuration;
 use crate::score::{score_cycle, ContainerObservation, ScoreBoard};
 use crate::sensitivity::SensitivityMatrix;
+use crate::time::SimDuration;
 use std::collections::HashMap;
 
 /// Per-cycle input for one container: its observation plus current
@@ -126,7 +126,11 @@ impl Escalator {
     /// Run one decision cycle over the node's containers. `window` is the
     /// length of the observation window behind each input's metrics (the
     /// decision-cycle period), used for utilization estimates.
-    pub fn decide(&mut self, inputs: &[EscalatorObservation], window: SimDuration) -> EscalatorDecision {
+    pub fn decide(
+        &mut self,
+        inputs: &[EscalatorObservation],
+        window: SimDuration,
+    ) -> EscalatorDecision {
         // Age out stale sensitivity evidence first: measurements taken
         // under a different load regime must not steer decisions forever.
         self.sens.tick();
@@ -362,8 +366,7 @@ impl Escalator {
                     && expected > 0.0
                     && (self.exec_signal(m) as f64) < self.cfg.downscale_frac * expected;
                 if under {
-                    let above_floor =
-                        cur.cores >= self.floor_of(id) + self.constraints.core_step;
+                    let above_floor = cur.cores >= self.floor_of(id) + self.constraints.core_step;
                     let streak = self.underutil_streak.entry(id).or_insert(0);
                     *streak += 1;
                     if *streak >= self.cfg.downscale_hold_cycles && above_floor {
@@ -380,7 +383,6 @@ impl Escalator {
                     self.underutil_streak.remove(&id);
                 }
             }
-
         }
 
         decision
@@ -424,7 +426,9 @@ impl Escalator {
         }
         let cores = allocs[&id].cores as usize;
         let step = self.constraints.core_step as usize;
-        self.sens.upscale_sens_step(id.index(), cores, step).unwrap_or(f64::INFINITY)
+        self.sens
+            .upscale_sens_step(id.index(), cores, step)
+            .unwrap_or(f64::INFINITY)
     }
 
     /// Estimated busy fraction of a container if it held `cores` cores:
@@ -466,7 +470,11 @@ impl Escalator {
             // true bottleneck's resources to the container showing the
             // symptom.
             .filter(|id| allocs[id].freq_level == 0)
-            .filter(|id| allocs[id].cores >= self.floor_of(*id).max(self.constraints.min_cores) + self.constraints.core_step)
+            .filter(|id| {
+                allocs[id].cores
+                    >= self.floor_of(*id).max(self.constraints.min_cores)
+                        + self.constraints.core_step
+            })
             .filter(|id| {
                 let inp = inputs
                     .iter()

@@ -288,10 +288,7 @@ mod tests {
 
     fn fr(containers: usize, expected_us: u64, cooldown_us: u64) -> FirstResponder {
         FirstResponder::new(FirstResponderConfig {
-            expected_time_from_start: vec![
-                Some(SimDuration::from_micros(expected_us));
-                containers
-            ],
+            expected_time_from_start: vec![Some(SimDuration::from_micros(expected_us)); containers],
             local_downstream: (0..containers)
                 .map(|i| {
                     if i + 1 < containers {

@@ -38,10 +38,7 @@ mod tests {
     #[test]
     fn basic_sizing() {
         // 1000 rps × 10ms = 10 in-flight connections.
-        assert_eq!(
-            threadpool_size(1000.0, SimDuration::from_millis(10)),
-            10
-        );
+        assert_eq!(threadpool_size(1000.0, SimDuration::from_millis(10)), 10);
     }
 
     #[test]

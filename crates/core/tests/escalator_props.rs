@@ -27,15 +27,16 @@ fn constraints() -> AllocConstraints {
 /// Strategy: 4 containers with arbitrary (but structurally valid) metrics
 /// and a valid starting allocation.
 fn inputs_strategy() -> impl Strategy<Value = Vec<EscalatorObservation>> {
-    let metric = (0u64..100, 1u64..20_000, 1.0f64..8.0, 0u64..5).prop_map(
-        |(reqs, exec_us, qb, hints)| WindowMetrics {
-            requests: reqs,
-            mean_exec_time: SimDuration::from_micros((exec_us as f64 * qb) as u64),
-            mean_exec_metric: SimDuration::from_micros(exec_us),
-            queue_buildup: qb,
-            upscale_hints: hints.min(reqs),
-        },
-    );
+    let metric =
+        (0u64..100, 1u64..20_000, 1.0f64..8.0, 0u64..5).prop_map(|(reqs, exec_us, qb, hints)| {
+            WindowMetrics {
+                requests: reqs,
+                mean_exec_time: SimDuration::from_micros((exec_us as f64 * qb) as u64),
+                mean_exec_metric: SimDuration::from_micros(exec_us),
+                queue_buildup: qb,
+                upscale_hints: hints.min(reqs),
+            }
+        });
     let cores = prop::sample::select(vec![2u32, 4, 6]);
     let freq = 0u8..4;
     prop::collection::vec((metric, cores, freq), 4).prop_map(|v| {

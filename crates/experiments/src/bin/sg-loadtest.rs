@@ -5,18 +5,26 @@
 //! the violation volume.
 //!
 //! ```text
-//! sg-loadtest [--workload NAME] [--controller NAME] [--nodes N]
-//!             [--rate R] [--spikerate R] [--spikelen SECS]
+//! sg-loadtest [--workload NAME] [--controller NAME] [--backend NAME]
+//!             [--nodes N] [--rate R] [--spikerate R] [--spikelen SECS]
 //!             [--duration SECS] [--qos MS] [--seed N]
 //!
 //!   --workload    chain | read | compose | search | reco   (default chain)
 //!   --controller  static | parties | caladan | surgeguard | escalator
 //!                 | ml | hybrid                            (default surgeguard)
+//!   --backend     sim | live                               (default sim)
+//!                 `live` replays the same schedule in real time on the
+//!                 wall-clock backend (`sg-live`): the run blocks for
+//!                 warmup + duration seconds of actual time.
 //!   --rate        steady request rate; default: the calibrated base rate
 //!   --spikerate   rate during spikes; default: 1.75 × rate
 //!   --spikelen    spike duration in seconds (default 2; 0 disables spikes)
-//!   --duration    measurement seconds after a 5 s warmup (default 30)
+//!   --duration    measurement seconds after warmup (default 30 sim, 5 live)
 //!   --qos         QoS limit in ms; default: calibrated limit
+//!
+//! Warmup is 5 s with the first spike at 10 s on the simulator; the live
+//! backend shortens both (1 s warmup, first spike at 2 s) so short real
+//! runs still exercise a surge.
 //! ```
 
 use sg_controllers::{
@@ -48,9 +56,19 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let live = match arg(&args, "--backend").as_deref().unwrap_or("sim") {
+        "sim" => false,
+        "live" => true,
+        other => {
+            eprintln!("unknown backend '{other}'");
+            std::process::exit(2);
+        }
+    };
     let nodes: u32 = arg(&args, "--nodes").map_or(1, |v| v.parse().expect("--nodes"));
     let seed: u64 = arg(&args, "--seed").map_or(42, |v| v.parse().expect("--seed"));
-    let duration: u64 = arg(&args, "--duration").map_or(30, |v| v.parse().expect("--duration"));
+    let default_duration = if live { 5 } else { 30 };
+    let duration: u64 =
+        arg(&args, "--duration").map_or(default_duration, |v| v.parse().expect("--duration"));
 
     eprintln!("calibrating {workload:?} on {nodes} node(s) ...");
     let pw = prepare(workload, nodes, CalibrationOptions::default());
@@ -58,8 +76,7 @@ fn main() {
     let rate: f64 = arg(&args, "--rate").map_or(pw.base_rate, |v| v.parse().expect("--rate"));
     let spike_rate: f64 =
         arg(&args, "--spikerate").map_or(rate * 1.75, |v| v.parse().expect("--spikerate"));
-    let spike_len_s: f64 =
-        arg(&args, "--spikelen").map_or(2.0, |v| v.parse().expect("--spikelen"));
+    let spike_len_s: f64 = arg(&args, "--spikelen").map_or(2.0, |v| v.parse().expect("--spikelen"));
     let qos = arg(&args, "--qos").map_or(pw.qos, |v| {
         SimDuration::from_secs_f64(v.parse::<f64>().expect("--qos") / 1e3)
     });
@@ -79,19 +96,28 @@ fn main() {
         }
     };
 
+    let first_spike = if live {
+        SimTime::from_secs(2)
+    } else {
+        SimTime::from_secs(10)
+    };
     let pattern = if spike_len_s > 0.0 && spike_rate > rate {
         SpikePattern {
             base_rate: rate,
             spike_rate,
             spike_len: SimDuration::from_secs_f64(spike_len_s),
             period: SimDuration::from_secs(10),
-            first_spike: SimTime::from_secs(10),
+            first_spike,
         }
     } else {
         SpikePattern::constant(rate)
     };
 
-    let warmup = SimTime::from_secs(5);
+    let warmup = if live {
+        SimTime::from_secs(1)
+    } else {
+        SimTime::from_secs(5)
+    };
     let end = warmup + SimDuration::from_secs(duration);
     let mut cfg = pw.cfg.clone();
     cfg.end = end + SimDuration::from_millis(200);
@@ -99,10 +125,25 @@ fn main() {
     cfg.seed = seed;
     let arrivals = pattern.arrivals(SimTime::ZERO, end);
     eprintln!(
-        "running {} for {duration}s at {rate:.0} req/s (spikes: {spike_rate:.0} req/s x {spike_len_s}s), qos {qos}",
-        controller_name
+        "running {} on the {} backend for {duration}s at {rate:.0} req/s (spikes: {spike_rate:.0} req/s x {spike_len_s}s), qos {qos}",
+        controller_name,
+        if live { "live" } else { "sim" },
     );
-    let result = Simulation::new(cfg, factory.as_ref(), arrivals).run();
+    let result = if live {
+        let (result, stats) = sg_live::run_live_with_stats(
+            cfg,
+            factory.as_ref(),
+            arrivals,
+            sg_live::LiveOpts::default(),
+        );
+        eprintln!(
+            "live substrate: {} deliveries, {} freq updates applied, {} dropped",
+            stats.deliveries, stats.fr_applied, stats.fr_dropped
+        );
+        result
+    } else {
+        Simulation::new(cfg, factory.as_ref(), arrivals).run()
+    };
 
     // wrk2-style output.
     let mut hist = LatencyHistogram::with_default_resolution();
@@ -134,7 +175,10 @@ fn main() {
     println!();
     println!("  QoS limit:          {qos}");
     println!("  Violation volume:   {:.6} s^2", report.violation_volume);
-    println!("  Violating requests: {:.2}%", report.violation_rate * 100.0);
+    println!(
+        "  Violating requests: {:.2}%",
+        report.violation_rate * 100.0
+    );
     println!("  Avg allocated cores: {:.1}", report.avg_cores);
     println!("  Energy (idle-subtracted): {:.0} J", report.energy_j);
     println!("  FirstResponder boosts: {}", result.packet_freq_boosts);

@@ -26,7 +26,10 @@ use sg_workloads::Workload;
 fn two_service(conn: ConnModel) -> PreparedWorkload {
     let graph = linear_chain(
         "c1-c2",
-        &[SimDuration::from_micros(600), SimDuration::from_micros(1200)],
+        &[
+            SimDuration::from_micros(600),
+            SimDuration::from_micros(1200),
+        ],
         conn,
         0.1,
     );

@@ -43,8 +43,7 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
             ],
         );
         for &ms in &DURATIONS_MS {
-            let pattern =
-                SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_millis(ms));
+            let pattern = SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_millis(ms));
             let p = run_trials(&pw, &parties, &pattern, profile);
             let c = run_trials(&pw, &caladan, &pattern, profile);
             let s = run_trials(&pw, &surgeguard, &pattern, profile);

@@ -29,7 +29,13 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
     let arms: [&str; 3] = ["ml-centralized", "surgeguard", "hybrid"];
     let mut t = Table::new(
         "§VII extension — ML-class vs SurgeGuard vs hybrid (readUserTimeline, 1.75x surges)",
-        &["controller", "VV (s^2)", "P98 (ms)", "avg cores", "energy (J)"],
+        &[
+            "controller",
+            "VV (s^2)",
+            "P98 (ms)",
+            "avg cores",
+            "energy (J)",
+        ],
     );
     for arm in arms {
         let reports: Vec<RunReport> = (0..profile.trials)
@@ -52,9 +58,18 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
                 .0
             })
             .collect();
-        let vv = trimmed_mean(&reports.iter().map(|r| r.violation_volume).collect::<Vec<_>>());
-        let p98 =
-            trimmed_mean(&reports.iter().map(|r| r.p98.as_secs_f64() * 1e3).collect::<Vec<_>>());
+        let vv = trimmed_mean(
+            &reports
+                .iter()
+                .map(|r| r.violation_volume)
+                .collect::<Vec<_>>(),
+        );
+        let p98 = trimmed_mean(
+            &reports
+                .iter()
+                .map(|r| r.p98.as_secs_f64() * 1e3)
+                .collect::<Vec<_>>(),
+        );
         let cores = trimmed_mean(&reports.iter().map(|r| r.avg_cores).collect::<Vec<_>>());
         let energy = trimmed_mean(&reports.iter().map(|r| r.energy_j).collect::<Vec<_>>());
         t.row(vec![

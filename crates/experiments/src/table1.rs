@@ -52,7 +52,12 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
 
     let mut t = Table::new(
         "Table I — controller comparison",
-        &["controller", "dependence aware", "distributed", "update interval"],
+        &[
+            "controller",
+            "dependence aware",
+            "distributed",
+            "update interval",
+        ],
     );
     // The ML row is quoted from the paper (no ML controller is built here;
     // the paper's point is its >1s decision latency, which motivates

@@ -1,0 +1,318 @@
+//! Shared allocation state and action application.
+//!
+//! [`ClusterState`] is the live analogue of the simulator's allocation
+//! mirror: current per-container allocations, per-node core ledgers, the
+//! energy meter, and the optional allocation trace. Its `apply_*` methods
+//! reproduce `Simulation::apply_cores` / `apply_freq` / bandwidth clamping
+//! byte-for-byte in semantics (same-node checks, min/max clamp, node
+//! budget, clamp counting) so an unmodified controller sees identical
+//! enforcement on both substrates.
+//!
+//! It is deliberately free of references to the request path so the
+//! FirstResponder runtime's apply closure can own an `Arc<ClusterState>`
+//! without creating a reference cycle with the rest of the backend.
+
+use crate::clock::LiveClock;
+use crate::throttle::CoreGate;
+use sg_core::allocator::{AllocConstraints, ContainerAlloc, FreqTable};
+use sg_core::ids::{ContainerId, NodeId};
+use sg_sim::cluster::SimConfig;
+use sg_sim::power::EnergyMeter;
+use sg_sim::trace::AllocTrace;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Mutable allocation mirror, updated under one lock so cores/freq/budget
+/// stay mutually consistent.
+struct AllocState {
+    allocs: Vec<ContainerAlloc>,
+    /// Workload cores currently allocated per node.
+    node_alloc: Vec<u32>,
+    /// Current bandwidth cap per container, core-equivalents.
+    bw_caps: Vec<Option<f64>>,
+}
+
+/// The energy meter demands monotonic timestamps, but live threads read
+/// the wall clock *before* taking this lock, so their reads can arrive
+/// out of order (by nanoseconds). Clamp to a high-water mark under the
+/// lock; the bias is far below the meter's reporting resolution.
+struct MeterCell {
+    meter: EnergyMeter,
+    high_water: sg_core::time::SimTime,
+}
+
+impl MeterCell {
+    fn clamp(&mut self, now: sg_core::time::SimTime) -> sg_core::time::SimTime {
+        let t = now.max(self.high_water);
+        self.high_water = t;
+        t
+    }
+}
+
+/// Cluster-wide allocation state shared by tick threads, the rx hook, and
+/// the FirstResponder apply worker.
+pub struct ClusterState {
+    clock: LiveClock,
+    constraints: AllocConstraints,
+    freq_table: FreqTable,
+    /// Node of each container, dense by container id.
+    node_of: Vec<NodeId>,
+    alloc: Mutex<AllocState>,
+    /// One capacity gate per container; workers run request work through
+    /// these.
+    pub gates: Vec<CoreGate>,
+    /// Egress upscale hint per container (SetEgressHint target).
+    pub hints: Vec<AtomicU8>,
+    meter: Mutex<MeterCell>,
+    trace: Mutex<Option<AllocTrace>>,
+    /// Actions clamped to fit constraints (diagnostics, mirrors the sim).
+    pub clamped: AtomicU64,
+}
+
+impl ClusterState {
+    /// Build from a validated config; gates start at the initial
+    /// allocation and base frequency.
+    pub fn new(cfg: &SimConfig, clock: LiveClock) -> Self {
+        let n = cfg.graph.len();
+        let base_speedup = cfg.freq_table.speedup(0);
+        let mut allocs = Vec::with_capacity(n);
+        let mut node_alloc = vec![0u32; cfg.placement.nodes as usize];
+        let mut bw_caps = vec![None; n];
+        let mut gates = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // one index drives four parallel vecs
+        for s in 0..n {
+            let node = cfg.placement.node(sg_core::ids::ServiceId(s as u32));
+            let cores = cfg.initial_cores[s];
+            allocs.push(ContainerAlloc {
+                id: ContainerId(s as u32),
+                cores,
+                freq_level: 0,
+            });
+            node_alloc[node.index()] += cores;
+            if let Some(cap) = cfg.bw_caps.get(s).copied().flatten() {
+                bw_caps[s] = Some(cap);
+            }
+            gates.push(CoreGate::new(cores, base_speedup, bw_caps[s]));
+        }
+
+        let now = clock.now();
+        let mut meter = EnergyMeter::new(cfg.power, n);
+        for s in 0..n {
+            meter.set_state(now, s, cfg.initial_cores[s], cfg.freq_table.ghz(0));
+        }
+        let meter = MeterCell {
+            meter,
+            high_water: now,
+        };
+
+        ClusterState {
+            clock,
+            constraints: cfg.constraints,
+            freq_table: cfg.freq_table.clone(),
+            node_of: (0..n)
+                .map(|s| cfg.placement.node(sg_core::ids::ServiceId(s as u32)))
+                .collect(),
+            alloc: Mutex::new(AllocState {
+                allocs,
+                node_alloc,
+                bw_caps,
+            }),
+            gates,
+            hints: (0..n).map(|_| AtomicU8::new(0)).collect(),
+            meter: Mutex::new(meter),
+            trace: Mutex::new(cfg.trace_allocations.then(AllocTrace::new)),
+            clamped: AtomicU64::new(0),
+        }
+    }
+
+    /// Node a container runs on.
+    pub fn node_of(&self, id: ContainerId) -> NodeId {
+        self.node_of[id.index()]
+    }
+
+    /// Snapshot of a container's current allocation.
+    pub fn alloc_of(&self, id: ContainerId) -> ContainerAlloc {
+        self.alloc.lock().unwrap().allocs[id.index()]
+    }
+
+    /// Reset the energy meter's measurement window (once, at
+    /// `measure_start`).
+    pub fn reset_meter_window(&self, at: sg_core::time::SimTime) {
+        let mut cell = self.meter.lock().unwrap();
+        let at = cell.clamp(at);
+        cell.meter.reset_window(at);
+    }
+
+    /// Finalize: average cores and energy over the measurement window,
+    /// plus the recorded allocation trace.
+    pub fn finish(
+        &self,
+        end: sg_core::time::SimTime,
+        measure_start: sg_core::time::SimTime,
+    ) -> (f64, f64, Option<AllocTrace>) {
+        let mut cell = self.meter.lock().unwrap();
+        let end = cell.clamp(end);
+        let avg_cores = cell.meter.avg_cores(end, measure_start);
+        let energy_j = cell.meter.energy_joules(end);
+        (avg_cores, energy_j, self.trace.lock().unwrap().take())
+    }
+
+    /// `SetCores`, with the simulator's exact clamping rules: local-node
+    /// only, min/max clamp, and growth limited to the node's spare budget.
+    pub fn apply_cores(&self, from_node: NodeId, id: ContainerId, cores: u32) {
+        let i = id.index();
+        if self.node_of[i] != from_node {
+            self.clamped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let now = self.clock.now();
+        let mut a = self.alloc.lock().unwrap();
+        let cons = &self.constraints;
+        let mut target = cores.clamp(cons.min_cores, cons.max_cores);
+        let current = a.allocs[i].cores;
+        if target > current {
+            let spare = cons.total_cores - a.node_alloc[from_node.index()];
+            let grant = (target - current).min(spare);
+            if grant < target - current {
+                self.clamped.fetch_add(1, Ordering::Relaxed);
+            }
+            target = current + grant;
+        }
+        if target == current {
+            return;
+        }
+        a.node_alloc[from_node.index()] = a.node_alloc[from_node.index()] + target - current;
+        a.allocs[i].cores = target;
+        let level = a.allocs[i].freq_level;
+        let bw = a.bw_caps[i];
+        drop(a);
+
+        self.gates[i].set_capacity(target, self.freq_table.speedup(level), bw);
+        let ghz = self.freq_table.ghz(level);
+        {
+            let mut cell = self.meter.lock().unwrap();
+            let t = cell.clamp(now);
+            cell.meter.set_state(t, i, target, ghz);
+        }
+        if let Some(tr) = self.trace.lock().unwrap().as_mut() {
+            tr.record(now, id, target, ghz);
+        }
+    }
+
+    /// `SetFreq`, applied by the FirstResponder worker thread after the
+    /// configured apply delay.
+    pub fn apply_freq(&self, id: ContainerId, level: u8) {
+        let i = id.index();
+        let level = level.min(self.freq_table.max_level());
+        let now = self.clock.now();
+        let mut a = self.alloc.lock().unwrap();
+        if a.allocs[i].freq_level == level {
+            return;
+        }
+        a.allocs[i].freq_level = level;
+        let cores = a.allocs[i].cores;
+        let bw = a.bw_caps[i];
+        drop(a);
+
+        self.gates[i].set_capacity(cores, self.freq_table.speedup(level), bw);
+        let ghz = self.freq_table.ghz(level);
+        {
+            let mut cell = self.meter.lock().unwrap();
+            let t = cell.clamp(now);
+            cell.meter.set_state(t, i, cores, ghz);
+        }
+        if let Some(tr) = self.trace.lock().unwrap().as_mut() {
+            tr.record(now, id, cores, ghz);
+        }
+    }
+
+    /// `SetBandwidth` (same-node only; `units` is tenths of a
+    /// core-equivalent, 0 uncaps).
+    pub fn apply_bandwidth(&self, from_node: NodeId, id: ContainerId, units: u32) {
+        let i = id.index();
+        if self.node_of[i] != from_node {
+            self.clamped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let cap = if units == 0 {
+            None
+        } else {
+            Some(units as f64 / 10.0)
+        };
+        let mut a = self.alloc.lock().unwrap();
+        a.bw_caps[i] = cap;
+        let cores = a.allocs[i].cores;
+        let level = a.allocs[i].freq_level;
+        drop(a);
+        self.gates[i].set_capacity(cores, self.freq_table.speedup(level), cap);
+    }
+
+    /// `SetEgressHint`.
+    pub fn apply_hint(&self, id: ContainerId, hops: u8) {
+        self.hints[id.index()].store(hops, Ordering::Relaxed);
+    }
+
+    /// Close all gates (shutdown).
+    pub fn close_gates(&self) {
+        for gate in &self.gates {
+            gate.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::time::SimDuration;
+    use sg_sim::app::{linear_chain, ConnModel};
+    use sg_sim::cluster::Placement;
+
+    fn state() -> ClusterState {
+        let graph = linear_chain(
+            "t",
+            &[SimDuration::from_micros(100), SimDuration::from_micros(100)],
+            ConnModel::PerRequest,
+            0.0,
+        );
+        let placement = Placement::single_node(2);
+        let mut cfg = SimConfig::new(graph, placement);
+        cfg.constraints = AllocConstraints {
+            total_cores: 8,
+            min_cores: 1,
+            max_cores: 6,
+            core_step: 1,
+        };
+        cfg.initial_cores = vec![2, 2];
+        ClusterState::new(&cfg, LiveClock::start())
+    }
+
+    #[test]
+    fn cores_clamp_to_node_budget() {
+        let s = state();
+        // 4 allocated of 8; growing c0 to 10 clamps at max_cores (6),
+        // which the spare budget (4) covers exactly → 6, no budget clamp.
+        s.apply_cores(NodeId(0), ContainerId(0), 10);
+        assert_eq!(s.alloc_of(ContainerId(0)).cores, 6);
+        assert_eq!(s.clamped.load(Ordering::Relaxed), 0);
+        // Node is now full (8/8): any further growth is budget-clamped.
+        s.apply_cores(NodeId(0), ContainerId(1), 4);
+        assert_eq!(s.alloc_of(ContainerId(1)).cores, 2);
+        assert_eq!(s.clamped.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn remote_actions_are_rejected() {
+        let s = state();
+        s.apply_cores(NodeId(1), ContainerId(0), 4);
+        assert_eq!(s.alloc_of(ContainerId(0)).cores, 2);
+        assert_eq!(s.clamped.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn freq_level_saturates_at_table_max() {
+        let s = state();
+        s.apply_freq(ContainerId(1), 250);
+        let lvl = s.alloc_of(ContainerId(1)).freq_level;
+        assert!(lvl > 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Backend-conformance harness.
+//!
+//! Both substrates — the discrete-event simulator and the wall-clock live
+//! backend — must agree on SurgeGuard's *directional* behaviours, even
+//! though absolute numbers differ (the live backend pays real scheduler
+//! jitter). This module holds the shared scenario builders and assertion
+//! helpers; `tests/conformance.rs` runs every assertion against both
+//! backends.
+
+use crate::driver::{run_live_with_stats, LiveOpts, LiveStats};
+use sg_core::config::ContainerParams;
+use sg_core::time::{SimDuration, SimTime};
+use sg_sim::app::{linear_chain, ConnModel, TaskGraph};
+use sg_sim::cluster::{Placement, SimConfig};
+use sg_sim::controller::ControllerFactory;
+use sg_sim::runner::{RunResult, Simulation};
+
+/// Which substrate to run a scenario on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Discrete-event simulator (`sg_sim::runner::Simulation`).
+    Sim,
+    /// Wall-clock live backend (`sg_live::run_live`).
+    Live,
+}
+
+impl Backend {
+    /// Both substrates, for "run everything twice" loops.
+    pub fn both() -> [Backend; 2] {
+        [Backend::Sim, Backend::Live]
+    }
+
+    /// Short name for assertion messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Live => "live",
+        }
+    }
+}
+
+/// Run `cfg` under `factory` on the chosen substrate. Live runs also
+/// return the substrate diagnostics (`None` for sim).
+pub fn run_backend(
+    backend: Backend,
+    cfg: SimConfig,
+    factory: &dyn ControllerFactory,
+    arrivals: Vec<SimTime>,
+) -> (RunResult, Option<LiveStats>) {
+    match backend {
+        Backend::Sim => (Simulation::new(cfg, factory, arrivals).run(), None),
+        Backend::Live => {
+            let (result, stats) = run_live_with_stats(cfg, factory, arrivals, LiveOpts::default());
+            (result, Some(stats))
+        }
+    }
+}
+
+/// A two-service chain small enough that a live run finishes in well under
+/// a second: a few hundred µs of work per request, single node.
+///
+/// QoS parameters are sized so both substrates agree at the margins: loose
+/// enough that low-load traffic stays healthy despite the live backend's
+/// real scheduler jitter (tens of µs per sleep), tight enough that a
+/// saturating surge violates them by a wide margin on either substrate.
+pub fn two_stage_cfg(conn: ConnModel, end: SimTime) -> SimConfig {
+    let graph: TaskGraph = linear_chain(
+        "conform",
+        &[SimDuration::from_micros(300), SimDuration::from_micros(150)],
+        conn,
+        0.3,
+    );
+    let placement = Placement::single_node(graph.len());
+    let mut cfg = SimConfig::new(graph, placement);
+    cfg.initial_cores = vec![2, 2];
+    cfg.end = end;
+    cfg.measure_start = SimTime::ZERO;
+    cfg.seed = 7;
+    cfg.params = vec![
+        ContainerParams {
+            expected_exec_metric: SimDuration::from_micros(1500),
+            expected_time_from_start: SimDuration::from_micros(500),
+        },
+        ContainerParams {
+            expected_exec_metric: SimDuration::from_micros(600),
+            expected_time_from_start: SimDuration::from_micros(600),
+        },
+    ];
+    cfg.e2e_low_load = SimDuration::from_micros(800);
+    cfg
+}
+
+/// Arrival schedule with one 20× surge: `base` req/s, spiking to
+/// `20 × base` over `[100 ms, 200 ms)` — enough to saturate the
+/// two-stage chain's initial allocation on either substrate.
+pub fn surge_arrivals(base: f64, end: SimTime) -> Vec<SimTime> {
+    use sg_loadgen::SpikePattern;
+    SpikePattern {
+        base_rate: base,
+        spike_rate: base * 20.0,
+        spike_len: SimDuration::from_millis(100),
+        period: SimDuration::from_secs(10),
+        first_spike: SimTime::from_millis(100),
+    }
+    .arrivals(SimTime::ZERO, end)
+}
+
+/// Constant-rate schedule (the pool-exhaustion scenarios).
+pub fn constant_arrivals(rate: f64, end: SimTime) -> Vec<SimTime> {
+    use sg_loadgen::SpikePattern;
+    SpikePattern::constant(rate).arrivals(SimTime::ZERO, end)
+}
+
+/// Directional check: with a `FixedPool(1)` edge under load, the *parent*
+/// accumulates connection wait (`execTime > execMetric`), and strictly
+/// more of it than the identical run with connection-per-request edges.
+pub fn assert_pool_exhaustion_queues_upstream(
+    backend: Backend,
+    fixed: &RunResult,
+    per_request: &RunResult,
+) {
+    let label = backend.label();
+    let parent_fixed = &fixed.profile[0];
+    let parent_pr = &per_request.profile[0];
+    assert!(
+        parent_fixed.requests > 0 && parent_pr.requests > 0,
+        "[{label}] scenario produced no completed parent requests"
+    );
+    let wait_fixed = parent_fixed
+        .mean_exec_time
+        .saturating_sub(parent_fixed.mean_exec_metric);
+    let wait_pr = parent_pr
+        .mean_exec_time
+        .saturating_sub(parent_pr.mean_exec_metric);
+    assert!(
+        wait_fixed > SimDuration::ZERO,
+        "[{label}] fixed pool showed no upstream connection wait"
+    );
+    assert!(
+        wait_pr.is_zero(),
+        "[{label}] connection-per-request run recorded connection wait: {wait_pr}"
+    );
+    assert!(
+        wait_fixed > wait_pr,
+        "[{label}] pool exhaustion did not queue upstream: fixed {wait_fixed} vs per-request {wait_pr}"
+    );
+}
+
+/// Directional check: the per-packet fast path reacted — at least one
+/// `SetFreq` originated from a packet hook, not a tick. (The boost counter
+/// is only ever incremented on the rx-hook path, on both substrates, so a
+/// nonzero value proves a within-one-packet reaction.)
+pub fn assert_first_responder_reacted(backend: Backend, result: &RunResult) {
+    assert!(
+        result.packet_freq_boosts > 0,
+        "[{}] FirstResponder never boosted from the packet hook (completed={}, injected={})",
+        backend.label(),
+        result.completed,
+        result.injected
+    );
+}
+
+/// Directional check: boosts retire once the surge passes. With a spike
+/// early in the run and a long quiet tail, every container that was ever
+/// boosted above base frequency must end the run back at the base level
+/// (the Escalator substitutes cores for the boost and drops the level).
+pub fn assert_boost_retires(backend: Backend, result: &RunResult, base_ghz: f64) {
+    let label = backend.label();
+    let trace = result
+        .alloc_trace
+        .as_ref()
+        .expect("run must set trace_allocations");
+    let n = 1 + trace
+        .events
+        .iter()
+        .map(|e| e.container.index())
+        .max()
+        .unwrap_or(0);
+    let mut boosted = vec![false; n];
+    let mut final_ghz = vec![base_ghz; n];
+    for e in &trace.events {
+        if e.freq_ghz > base_ghz + 1e-9 {
+            boosted[e.container.index()] = true;
+        }
+        final_ghz[e.container.index()] = e.freq_ghz;
+    }
+    assert!(
+        boosted.iter().any(|&b| b),
+        "[{label}] no container was ever boosted above {base_ghz} GHz"
+    );
+    for c in 0..n {
+        if boosted[c] {
+            assert!(
+                (final_ghz[c] - base_ghz).abs() < 1e-9,
+                "[{label}] boost did not retire: container {c} ended at {} GHz (base {base_ghz})",
+                final_ghz[c]
+            );
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Run orchestration: build the live cluster from a `SimConfig`, drive the
+//! open-loop client in real time, and tear everything down into the same
+//! [`RunResult`] the discrete-event backend produces.
+
+use crate::clock::LiveClock;
+use crate::cluster::ClusterState;
+use crate::net::DelayLine;
+use crate::pool::LiveConnPool;
+use crate::sync::{JobQueue, ReplyTo};
+use crate::worker::{LiveCluster, ProfileAcc};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sg_core::firstresponder::FrRuntime;
+use sg_core::ids::{ContainerId, NodeId};
+use sg_core::metadata::RpcMetadata;
+use sg_core::metrics::MetricsWindow;
+use sg_core::time::{SimDuration, SimTime};
+use sg_sim::app::TaskGraph;
+use sg_sim::cluster::SimConfig;
+use sg_sim::controller::{ContainerInit, ControllerFactory, NodeInit};
+use sg_sim::network::Network;
+use sg_sim::runner::{ProfileStats, RunResult};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Knobs specific to the live substrate (the shared `SimConfig` covers
+/// everything semantic).
+#[derive(Debug, Clone, Copy)]
+pub struct LiveOpts {
+    /// Worker threads per container. Sized generously so the capacity
+    /// gate — not the thread count — is the binding resource, matching
+    /// the simulator's processor-sharing container.
+    pub workers_per_container: usize,
+    /// Capacity of the FirstResponder coordinator→worker SPSC queue.
+    pub fr_queue_capacity: usize,
+}
+
+impl Default for LiveOpts {
+    fn default() -> Self {
+        LiveOpts {
+            workers_per_container: 8,
+            fr_queue_capacity: 1024,
+        }
+    }
+}
+
+/// Live-substrate diagnostics that have no `RunResult` slot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveStats {
+    /// Frequency updates applied by the FirstResponder worker thread.
+    pub fr_applied: u64,
+    /// Updates dropped because the SPSC queue was full (should be zero).
+    pub fr_dropped: u64,
+    /// Messages delivered by the delay line.
+    pub deliveries: u64,
+}
+
+/// Run the workload in real time. Blocks the calling thread for
+/// `cfg.end` of wall-clock time.
+pub fn run_live(
+    cfg: SimConfig,
+    factory: &dyn ControllerFactory,
+    arrivals: Vec<SimTime>,
+) -> RunResult {
+    run_live_with_stats(cfg, factory, arrivals, LiveOpts::default()).0
+}
+
+/// [`run_live`] plus live-substrate diagnostics.
+pub fn run_live_with_stats(
+    cfg: SimConfig,
+    factory: &dyn ControllerFactory,
+    arrivals: Vec<SimTime>,
+    opts: LiveOpts,
+) -> (RunResult, LiveStats) {
+    cfg.validate().expect("invalid SimConfig");
+    debug_assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
+    let n = cfg.graph.len();
+    let clock = LiveClock::start();
+    let state = Arc::new(ClusterState::new(&cfg, clock.clone()));
+
+    // Controllers: identical construction to `Simulation::new`, so the
+    // factory cannot tell which substrate it is wiring into.
+    let mut controllers = Vec::with_capacity(cfg.placement.nodes as usize);
+    for node in 0..cfg.placement.nodes {
+        let node = NodeId(node);
+        let container_inits: Vec<ContainerInit> = cfg
+            .placement
+            .services_on(node)
+            .into_iter()
+            .map(|s| {
+                let local_downstream: Vec<ContainerId> = cfg
+                    .graph
+                    .children(s)
+                    .filter(|c| cfg.placement.node(*c) == node)
+                    .map(|c| ContainerId(c.0))
+                    .collect();
+                ContainerInit {
+                    id: ContainerId(s.0),
+                    service: s,
+                    name: cfg.graph.services[s.index()].name.clone(),
+                    params: cfg.params[s.index()],
+                    local_downstream,
+                    initial: state.alloc_of(ContainerId(s.0)),
+                }
+            })
+            .collect();
+        controllers.push(Mutex::new(factory.make(NodeInit {
+            node,
+            containers: container_inits,
+            constraints: cfg.constraints,
+            freq_table: cfg.freq_table.clone(),
+            e2e_low_load: cfg.e2e_low_load,
+            max_container_id: n - 1,
+        })));
+    }
+
+    // The real Fig. 9 fast path: the rx hook enqueues, this worker thread
+    // applies after the emulated MSR-write delay.
+    let apply_state = Arc::clone(&state);
+    let apply_delay = cfg.freq_apply_delay;
+    let fr = FrRuntime::spawn(n, 0, opts.fr_queue_capacity, move |update| {
+        if !apply_delay.is_zero() {
+            std::thread::sleep(std::time::Duration::from_nanos(apply_delay.as_nanos()));
+        }
+        apply_state.apply_freq(update.container, update.level);
+    });
+
+    let network = match cfg.latency_surge {
+        Some(surge) => Network::new(cfg.network).with_surge(surge),
+        None => Network::new(cfg.network),
+    };
+
+    let cluster = Arc::new(LiveCluster {
+        clock: clock.clone(),
+        network,
+        state: Arc::clone(&state),
+        queues: (0..n).map(|_| JobQueue::new()).collect(),
+        windows: (0..n).map(|_| Mutex::new(MetricsWindow::new())).collect(),
+        pools: (0..n)
+            .map(|s| {
+                cfg.graph.services[s]
+                    .children
+                    .iter()
+                    .map(|e| Arc::new(LiveConnPool::new(e.conn.capacity())))
+                    .collect()
+            })
+            .collect(),
+        controllers,
+        delay: DelayLine::spawn(),
+        fr: Mutex::new(Some(fr)),
+        shutdown: AtomicBool::new(false),
+        points: Mutex::new(Vec::new()),
+        profile: (0..n).map(|_| ProfileAcc::default()).collect(),
+        completed: AtomicU64::new(0),
+        in_flight: AtomicUsize::new(0),
+        peak_in_flight: AtomicUsize::new(0),
+        packet_freq_boosts: AtomicU64::new(0),
+        cfg,
+    });
+    let cfg = &cluster.cfg;
+
+    let mut threads: Vec<JoinHandle<()>> = Vec::new();
+    for c in 0..n {
+        for w in 0..opts.workers_per_container.max(1) {
+            let cl = Arc::clone(&cluster);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sg-live-c{c}w{w}"))
+                    .spawn(move || cl.worker_loop(c, w))
+                    .expect("spawn worker"),
+            );
+        }
+    }
+    for node in 0..cfg.placement.nodes as usize {
+        let cl = Arc::clone(&cluster);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("sg-live-tick{node}"))
+                .spawn(move || cl.tick_loop(node))
+                .expect("spawn tick thread"),
+        );
+    }
+    if cfg.measure_start <= cfg.end {
+        let cl = Arc::clone(&cluster);
+        let at = cfg.measure_start;
+        threads.push(std::thread::spawn(move || {
+            if cl.clock.sleep_until_or_stop(at, &cl.shutdown) {
+                cl.state.reset_meter_window(at);
+            }
+        }));
+    }
+
+    // Open-loop client on this thread: pace the schedule in real time,
+    // behind the same in-flight safety valve as the sim.
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut injected = 0u64;
+    let mut dropped = 0u64;
+    let client_node = cfg.placement.client_node();
+    let root = ContainerId(TaskGraph::ROOT.0);
+    for &t in &arrivals {
+        if t > cfg.end {
+            break;
+        }
+        clock.sleep_until(t);
+        injected += 1;
+        if cluster.in_flight.load(Ordering::Relaxed) >= cfg.max_in_flight {
+            dropped += 1;
+            continue;
+        }
+        let cur = cluster.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        cluster.peak_in_flight.fetch_max(cur, Ordering::Relaxed);
+        let now = clock.now();
+        let meta = RpcMetadata::new_job(now);
+        cluster.send_request(client_node, root, now, meta, ReplyTo::Client, &mut rng);
+    }
+    clock.sleep_until(cfg.end);
+
+    // Orderly teardown: raise the flag, unblock every wait, join.
+    cluster.shutdown.store(true, Ordering::Relaxed);
+    state.close_gates();
+    for q in &cluster.queues {
+        q.close();
+    }
+    for pools in &cluster.pools {
+        for p in pools {
+            p.close();
+        }
+    }
+    for h in threads {
+        let _ = h.join();
+    }
+    cluster.delay.shutdown();
+    let (fr_applied, fr_dropped) = {
+        let fr = cluster.fr.lock().unwrap().take().expect("fr runtime");
+        let dropped = fr.dropped();
+        (fr.shutdown(), dropped)
+    };
+
+    let mut points = std::mem::take(&mut *cluster.points.lock().unwrap());
+    points.sort_by_key(|p| p.completion);
+    let completed = points.len() as u64;
+    let (avg_cores, energy_j, alloc_trace) = state.finish(cfg.end, cfg.measure_start);
+    let profile = cluster
+        .profile
+        .iter()
+        .map(|acc| {
+            let requests = acc.requests.load(Ordering::Relaxed);
+            if requests == 0 {
+                ProfileStats::default()
+            } else {
+                ProfileStats {
+                    requests,
+                    mean_exec_metric: SimDuration::from_nanos(
+                        acc.sum_exec_metric.load(Ordering::Relaxed) / requests,
+                    ),
+                    mean_exec_time: SimDuration::from_nanos(
+                        acc.sum_exec_time.load(Ordering::Relaxed) / requests,
+                    ),
+                    mean_time_from_start: SimDuration::from_nanos(
+                        acc.sum_tfs.load(Ordering::Relaxed) / requests,
+                    ),
+                }
+            }
+        })
+        .collect();
+
+    let result = RunResult {
+        points,
+        injected,
+        completed,
+        dropped,
+        avg_cores,
+        energy_j,
+        events: cluster.delay.delivered(),
+        profile,
+        alloc_trace,
+        peak_in_flight: cluster.peak_in_flight.load(Ordering::Relaxed),
+        clamped_actions: state.clamped.load(Ordering::Relaxed),
+        packet_freq_boosts: cluster.packet_freq_boosts.load(Ordering::Relaxed),
+    };
+    let stats = LiveStats {
+        fr_applied,
+        fr_dropped,
+        deliveries: result.events,
+    };
+    (result, stats)
+}

@@ -1,0 +1,367 @@
+//! The live request path: real worker threads executing task-graph
+//! invocations against token-bucket cores, blocking connection pools, and
+//! the delay-line network.
+//!
+//! Control flow per request mirrors `sg_sim::runner` exactly:
+//!
+//! 1. The delay line delivers the request; the destination node's
+//!    per-packet rx hook runs first (FirstResponder site), then the job is
+//!    enqueued on the container's worker queue.
+//! 2. A worker thread samples the request's work, runs the pre-call slice
+//!    through the container's [`CoreGate`], issues child RPCs
+//!    (sequentially or in parallel per the graph's call mode) through
+//!    *blocking* connection pools, runs the post-call slice, and records
+//!    the `execTime`/`connWait` sample.
+//! 3. The response travels back through the delay line; delivering it
+//!    releases the parent's connection and wakes the parent thread.
+//!
+//! [`CoreGate`]: crate::throttle::CoreGate
+
+use crate::clock::LiveClock;
+use crate::cluster::ClusterState;
+use crate::net::DelayLine;
+use crate::pool::LiveConnPool;
+use crate::sync::{Job, JobQueue, ReplySlot, ReplyTo};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sg_core::firstresponder::{FrRuntime, FreqUpdate};
+use sg_core::ids::{ContainerId, NodeId, ServiceId};
+use sg_core::metadata::RpcMetadata;
+use sg_core::metrics::{MetricsWindow, RequestSample};
+use sg_core::time::{SimDuration, SimTime};
+use sg_core::violation::LatencyPoint;
+use sg_sim::app::CallMode;
+use sg_sim::cluster::SimConfig;
+use sg_sim::container::sample_work;
+use sg_sim::controller::{ControlAction, Controller};
+use sg_sim::network::Network;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-container profile accumulators (atomics; workers update them
+/// concurrently).
+#[derive(Default)]
+pub struct ProfileAcc {
+    pub requests: AtomicU64,
+    pub sum_exec_metric: AtomicU64,
+    pub sum_exec_time: AtomicU64,
+    pub sum_tfs: AtomicU64,
+}
+
+/// Everything the live run shares between its threads.
+pub struct LiveCluster {
+    pub cfg: SimConfig,
+    pub clock: LiveClock,
+    pub network: Network,
+    pub state: Arc<ClusterState>,
+    /// Per-container job queues.
+    pub queues: Vec<JobQueue>,
+    /// Per-container metric windows (flushed by the tick threads).
+    pub windows: Vec<Mutex<MetricsWindow>>,
+    /// `pools[container][edge]`, shared so response delivery can release.
+    pub pools: Vec<Vec<Arc<LiveConnPool>>>,
+    /// One controller per node, unmodified, behind a lock so the rx hook
+    /// (delay thread) and the tick thread share it.
+    pub controllers: Vec<Mutex<Box<dyn Controller>>>,
+    pub delay: DelayLine,
+    /// The real SPSC coordinator/worker fast path (Fig. 9); `SetFreq`
+    /// actions are applied off the critical path by its worker thread.
+    pub fr: Mutex<Option<FrRuntime>>,
+    /// Run-wide shutdown flag polled by every blocking wait.
+    pub shutdown: AtomicBool,
+    pub points: Mutex<Vec<LatencyPoint>>,
+    pub profile: Vec<ProfileAcc>,
+    pub completed: AtomicU64,
+    pub in_flight: AtomicUsize,
+    pub peak_in_flight: AtomicUsize,
+    /// `SetFreq` actions originating from packet hooks.
+    pub packet_freq_boosts: AtomicU64,
+}
+
+impl LiveCluster {
+    /// Apply controller actions, counting packet-hook `SetFreq` as
+    /// FirstResponder boosts — same attribution as the sim.
+    pub fn apply_actions(&self, node: NodeId, actions: Vec<ControlAction>, in_packet_hook: bool) {
+        for action in actions {
+            match action {
+                ControlAction::SetCores { id, cores } => {
+                    self.state.apply_cores(node, id, cores);
+                }
+                ControlAction::SetFreq { id, level } => {
+                    if in_packet_hook {
+                        self.packet_freq_boosts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(fr) = self.fr.lock().unwrap().as_mut() {
+                        fr.submit(FreqUpdate {
+                            container: id,
+                            level,
+                        });
+                    }
+                }
+                ControlAction::SetBandwidth { id, units } => {
+                    self.state.apply_bandwidth(node, id, units);
+                }
+                ControlAction::SetEgressHint { id, hops } => {
+                    self.state.apply_hint(id, hops);
+                }
+            }
+        }
+    }
+
+    /// Deliver one request packet to container `dest`: run the node's rx
+    /// hook, then hand the job to the container's worker pool. Runs on the
+    /// delay-line thread — the live analogue of the kernel receive path.
+    pub fn deliver_request(
+        self: &Arc<Self>,
+        dest: ContainerId,
+        req_start: SimTime,
+        meta: RpcMetadata,
+        reply: ReplyTo,
+    ) {
+        let now = self.clock.now();
+        let node = self.state.node_of(dest);
+        let actions = self.controllers[node.index()]
+            .lock()
+            .unwrap()
+            .on_packet(now, dest, meta);
+        if !actions.is_empty() {
+            self.apply_actions(node, actions, true);
+        }
+        self.queues[dest.index()].push(Job {
+            req_start,
+            meta_in: meta,
+            arrival: now,
+            reply,
+        });
+    }
+
+    /// Schedule a request packet: sample the network latency and submit
+    /// the delivery.
+    pub fn send_request(
+        self: &Arc<Self>,
+        src: NodeId,
+        dest: ContainerId,
+        req_start: SimTime,
+        meta: RpcMetadata,
+        reply: ReplyTo,
+        rng: &mut SmallRng,
+    ) {
+        let now = self.clock.now();
+        let delay = self
+            .network
+            .latency(now, src, self.state.node_of(dest), rng);
+        let cluster = Arc::clone(self);
+        self.delay.submit(
+            self.clock.instant_at(now + delay),
+            Box::new(move || cluster.deliver_request(dest, req_start, meta, reply)),
+        );
+    }
+
+    /// Outgoing metadata for a child RPC of container `c` (propagated hop
+    /// count plus any egress hint the controller configured).
+    fn child_meta(&self, c: usize, meta_in: RpcMetadata) -> RpcMetadata {
+        let hint = self.state.hints[c].load(Ordering::Relaxed);
+        let meta = meta_in.propagate();
+        if hint > 0 {
+            meta.with_hint(hint)
+        } else {
+            meta
+        }
+    }
+
+    /// Issue child RPC `edge` of container `c`: block for a connection,
+    /// then send. Returns the reply slot and the connection wait, or
+    /// `None` when shut down mid-call.
+    fn call_child(
+        self: &Arc<Self>,
+        c: usize,
+        edge: usize,
+        meta_in: RpcMetadata,
+        req_start: SimTime,
+        rng: &mut SmallRng,
+    ) -> Option<(Arc<ReplySlot>, SimDuration)> {
+        let pool = Arc::clone(&self.pools[c][edge]);
+        let waited = pool.acquire()?;
+        let waited = SimDuration::from_nanos(waited.as_nanos() as u64);
+        let child = self.cfg.graph.services[c].children[edge].child;
+        let slot = Arc::new(ReplySlot::new());
+        let reply = ReplyTo::Parent {
+            node: self.state.node_of(ContainerId(c as u32)),
+            slot: Arc::clone(&slot),
+            pool,
+        };
+        let meta_out = self.child_meta(c, meta_in);
+        self.send_request(
+            self.state.node_of(ContainerId(c as u32)),
+            ContainerId(child.0),
+            req_start,
+            meta_out,
+            reply,
+            rng,
+        );
+        Some((slot, waited))
+    }
+
+    /// Execute one job end to end on the calling worker thread.
+    fn handle_job(self: &Arc<Self>, c: usize, job: Job, rng: &mut SmallRng) {
+        let spec = &self.cfg.graph.services[c];
+        let u: f64 = rng.random();
+        let work = sample_work(spec.work_mean, spec.work_cv, u);
+        let pre = work.mul_f64(spec.pre_fraction);
+        let post = work.saturating_sub(pre);
+
+        let gate = &self.state.gates[c];
+        if !gate.run(pre, &self.shutdown) {
+            return;
+        }
+
+        let mut conn_wait = SimDuration::ZERO;
+        if !spec.children.is_empty() {
+            match spec.call_mode {
+                CallMode::Sequential => {
+                    for edge in 0..spec.children.len() {
+                        let Some((slot, waited)) =
+                            self.call_child(c, edge, job.meta_in, job.req_start, rng)
+                        else {
+                            return;
+                        };
+                        conn_wait += waited;
+                        if !slot.wait(&self.shutdown) {
+                            return;
+                        }
+                    }
+                }
+                CallMode::Parallel => {
+                    let mut slots = Vec::with_capacity(spec.children.len());
+                    for edge in 0..spec.children.len() {
+                        let Some((slot, waited)) =
+                            self.call_child(c, edge, job.meta_in, job.req_start, rng)
+                        else {
+                            return;
+                        };
+                        conn_wait += waited;
+                        slots.push(slot);
+                    }
+                    for slot in slots {
+                        if !slot.wait(&self.shutdown) {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+
+        if !gate.run(post, &self.shutdown) {
+            return;
+        }
+
+        let now = self.clock.now();
+        let exec_time = now.saturating_since(job.arrival);
+        let sample = RequestSample {
+            exec_time,
+            conn_wait,
+        };
+        self.windows[c]
+            .lock()
+            .unwrap()
+            .record(sample, job.meta_in.has_hint());
+        let acc = &self.profile[c];
+        acc.requests.fetch_add(1, Ordering::Relaxed);
+        acc.sum_exec_metric
+            .fetch_add(sample.exec_metric().as_nanos(), Ordering::Relaxed);
+        acc.sum_exec_time
+            .fetch_add(exec_time.as_nanos(), Ordering::Relaxed);
+        acc.sum_tfs.fetch_add(
+            job.arrival.saturating_since(job.req_start).as_nanos(),
+            Ordering::Relaxed,
+        );
+
+        // Route the response back through the delay line.
+        let src = self.state.node_of(ContainerId(c as u32));
+        match job.reply {
+            ReplyTo::Parent { node, slot, pool } => {
+                let delay = self.network.latency(now, src, node, rng);
+                self.delay.submit(
+                    self.clock.instant_at(now + delay),
+                    Box::new(move || {
+                        // Response delivery frees the parent's connection
+                        // first (a queued waiter proceeds), then wakes the
+                        // parent — the sim's `on_response_delivered` order.
+                        pool.release();
+                        slot.complete();
+                    }),
+                );
+            }
+            ReplyTo::Client => {
+                let delay = self
+                    .network
+                    .latency(now, src, self.cfg.placement.client_node(), rng);
+                let completion = now + delay;
+                let latency = completion.saturating_since(job.req_start);
+                let cluster = Arc::clone(self);
+                self.delay.submit(
+                    self.clock.instant_at(completion),
+                    Box::new(move || {
+                        cluster.points.lock().unwrap().push(LatencyPoint {
+                            completion,
+                            latency,
+                        });
+                        cluster.completed.fetch_add(1, Ordering::Relaxed);
+                        cluster.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Worker thread body: pull jobs until the queue closes.
+    pub fn worker_loop(self: Arc<Self>, c: usize, worker_idx: usize) {
+        // Distinct deterministic stream per worker thread.
+        let mut rng = SmallRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((c as u64) << 16)
+                .wrapping_add(worker_idx as u64),
+        );
+        while let Some(job) = self.queues[c].pop() {
+            self.handle_job(c, job, &mut rng);
+        }
+    }
+
+    /// Tick thread body for one node: flush windows into a snapshot, run
+    /// the controller, apply its actions — on the controller's own cadence.
+    pub fn tick_loop(self: Arc<Self>, node: usize) {
+        let interval = self.controllers[node].lock().unwrap().tick_interval();
+        let mut next = SimTime::ZERO + interval;
+        loop {
+            if !self.clock.sleep_until_or_stop(next, &self.shutdown) {
+                return;
+            }
+            let now = self.clock.now();
+            let services: Vec<ServiceId> = self.cfg.placement.services_on(NodeId(node as u32));
+            let snapshot = sg_sim::controller::NodeSnapshot {
+                node: NodeId(node as u32),
+                containers: services
+                    .into_iter()
+                    .map(|s| sg_sim::controller::ContainerSnapshot {
+                        id: ContainerId(s.0),
+                        metrics: self.windows[s.index()].lock().unwrap().flush(),
+                        alloc: self.state.alloc_of(ContainerId(s.0)),
+                    })
+                    .collect(),
+            };
+            let actions = self.controllers[node]
+                .lock()
+                .unwrap()
+                .on_tick(now, &snapshot);
+            self.apply_actions(NodeId(node as u32), actions, false);
+            next += interval;
+            // If a tick overran its slot, skip ahead instead of spiralling.
+            let now = self.clock.now();
+            while next < now {
+                next += interval;
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Live-backend smoke test (ISSUE satellite): a real wall-clock run with
+//! SurgeGuard, short enough for CI (≲0.5 s of traffic, ≤2 s wall) and
+//! timing-tolerant — it asserts *that* the machinery moved (requests
+//! completed, the fast path fired, allocations changed, nothing dropped),
+//! never absolute latencies.
+
+use sg_controllers::SurgeGuardFactory;
+use sg_core::time::SimTime;
+use sg_live::conformance::{surge_arrivals, two_stage_cfg};
+use sg_live::{run_live_with_stats, LiveOpts};
+use sg_sim::app::ConnModel;
+
+#[test]
+fn live_surge_run_exercises_the_whole_stack() {
+    let end = SimTime::from_millis(400);
+    let mut cfg = two_stage_cfg(ConnModel::FixedPool(4), end);
+    cfg.trace_allocations = true;
+    let arrivals = surge_arrivals(400.0, end);
+    let expected = arrivals.len() as u64;
+
+    let started = std::time::Instant::now();
+    let (result, stats) = run_live_with_stats(
+        cfg,
+        &SurgeGuardFactory::full(),
+        arrivals,
+        LiveOpts::default(),
+    );
+    let wall = started.elapsed();
+
+    // The run paces itself on the wall clock: it must take at least the
+    // configured horizon, but teardown overhead must stay bounded.
+    assert!(
+        wall >= std::time::Duration::from_millis(400),
+        "run too fast: {wall:?}"
+    );
+    assert!(
+        wall <= std::time::Duration::from_secs(2),
+        "run too slow: {wall:?}"
+    );
+
+    // Traffic flowed end to end.
+    assert_eq!(result.injected, expected);
+    assert_eq!(result.dropped, 0, "safety valve should not engage");
+    assert!(
+        result.completed > expected / 2,
+        "most requests should complete: {} of {expected}",
+        result.completed
+    );
+    assert!(result.events > 0, "delay line delivered nothing");
+
+    // The controller actually ran: the surge forced per-packet boosts,
+    // every queued frequency update survived the SPSC hop, and the
+    // allocation trace shows the cluster state moving.
+    assert!(result.packet_freq_boosts > 0, "FirstResponder never fired");
+    assert_eq!(stats.fr_dropped, 0, "FirstResponder queue overflowed");
+    assert!(stats.fr_applied > 0, "no frequency update was applied");
+    let trace = result.alloc_trace.as_ref().expect("trace enabled");
+    assert!(!trace.events.is_empty(), "no allocation changes recorded");
+}

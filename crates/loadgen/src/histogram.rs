@@ -223,7 +223,19 @@ mod tests {
     fn bucket_roundtrip_monotone() {
         let h = LatencyHistogram::new(6);
         let mut prev = 0;
-        for v in [0u64, 1, 63, 64, 65, 127, 128, 1000, 65_535, 1 << 30, 1 << 50] {
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            65_535,
+            1 << 30,
+            1 << 50,
+        ] {
             let b = h.bucket_of(v);
             assert!(b >= prev, "buckets must be monotone in value");
             prev = b;

@@ -111,9 +111,8 @@ pub struct AggregateReport {
 impl AggregateReport {
     /// Aggregate trial reports.
     pub fn from_reports(reports: &[RunReport]) -> Self {
-        let get = |f: fn(&RunReport) -> f64| {
-            trimmed_mean(&reports.iter().map(f).collect::<Vec<_>>())
-        };
+        let get =
+            |f: fn(&RunReport) -> f64| trimmed_mean(&reports.iter().map(f).collect::<Vec<_>>());
         AggregateReport {
             trials: reports.len(),
             violation_volume: get(|r| r.violation_volume),

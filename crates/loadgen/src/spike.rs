@@ -70,7 +70,10 @@ impl SpikePattern {
 
     /// Deterministically paced arrival schedule over `[start, end)`.
     pub fn arrivals(&self, start: SimTime, end: SimTime) -> Vec<SimTime> {
-        assert!(self.base_rate > 0.0 && self.spike_rate > 0.0, "rates must be positive");
+        assert!(
+            self.base_rate > 0.0 && self.spike_rate > 0.0,
+            "rates must be positive"
+        );
         let mut out = Vec::new();
         let mut t = start;
         while t < end {
@@ -183,7 +186,11 @@ mod tests {
 
     #[test]
     fn short_surge_is_20x() {
-        let p = short_surge(2000.0, SimDuration::from_micros(100), SimDuration::from_millis(50));
+        let p = short_surge(
+            2000.0,
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(50),
+        );
         assert_eq!(p.spike_rate, 40_000.0);
         // Inside the first surge window at t = period.
         assert!(p.in_spike(SimTime::from_millis(50)));

@@ -195,12 +195,7 @@ impl TaskGraph {
 
 /// Convenience builder for linear chains, used by tests and the CHAIN
 /// microbenchmark.
-pub fn linear_chain(
-    name: &str,
-    works: &[SimDuration],
-    conn: ConnModel,
-    work_cv: f64,
-) -> TaskGraph {
+pub fn linear_chain(name: &str, works: &[SimDuration], conn: ConnModel, work_cv: f64) -> TaskGraph {
     let n = works.len();
     let services = works
         .iter()

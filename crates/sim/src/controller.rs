@@ -121,7 +121,11 @@ pub enum ControlAction {
 }
 
 /// A per-node resource controller under test.
-pub trait Controller {
+///
+/// `Send` is required so the same controller object can run unmodified on
+/// either substrate: single-threaded inside the discrete-event simulator,
+/// or owned by a per-node control thread in the wall-clock live backend.
+pub trait Controller: Send {
     /// Controller name (for reports).
     fn name(&self) -> &'static str;
 

@@ -58,7 +58,11 @@ impl Engine {
     /// "now" to keep time monotone.
     #[inline]
     pub fn schedule(&mut self, at: SimTime, event: Event) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let key = HeapKey {
             time: at,
@@ -100,11 +104,12 @@ mod tests {
         e.schedule(SimTime::from_micros(30), tick(3));
         e.schedule(SimTime::from_micros(10), tick(1));
         e.schedule(SimTime::from_micros(20), tick(2));
-        let order: Vec<u32> = std::iter::from_fn(|| e.pop()).map(|(_, ev)| match ev {
-            Event::ControllerTick { node } => node.0,
-            _ => unreachable!(),
-        })
-        .collect();
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop())
+            .map(|(_, ev)| match ev {
+                Event::ControllerTick { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
         assert_eq!(e.now(), SimTime::from_micros(30));
         assert_eq!(e.processed(), 3);
@@ -117,11 +122,12 @@ mod tests {
         for i in 0..10 {
             e.schedule(t, tick(i));
         }
-        let order: Vec<u32> = std::iter::from_fn(|| e.pop()).map(|(_, ev)| match ev {
-            Event::ControllerTick { node } => node.0,
-            _ => unreachable!(),
-        })
-        .collect();
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop())
+            .map(|(_, ev)| match ev {
+                Event::ControllerTick { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 

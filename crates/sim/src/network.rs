@@ -75,7 +75,13 @@ impl Network {
 
     /// One-way delivery latency for a packet sent at `now` from `src` to
     /// `dst` node.
-    pub fn latency(&self, now: SimTime, src: NodeId, dst: NodeId, rng: &mut SmallRng) -> SimDuration {
+    pub fn latency(
+        &self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        rng: &mut SmallRng,
+    ) -> SimDuration {
         let base = if src == dst {
             self.cfg.local_base
         } else {
@@ -127,7 +133,9 @@ mod tests {
         let samples: Vec<SimDuration> = (0..100)
             .map(|_| net.latency(SimTime::ZERO, NodeId(0), NodeId(1), &mut r))
             .collect();
-        assert!(samples.iter().all(|&s| s >= NetworkConfig::default().remote_base));
+        assert!(samples
+            .iter()
+            .all(|&s| s >= NetworkConfig::default().remote_base));
         let distinct: std::collections::HashSet<_> = samples.iter().collect();
         assert!(distinct.len() > 10, "jitter should vary");
     }

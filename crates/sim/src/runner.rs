@@ -159,7 +159,8 @@ impl Simulation {
         for s in 0..n {
             let node = cfg.placement.node(ServiceId(s as u32));
             let cores = cfg.initial_cores[s];
-            let mut container = Container::new(ContainerId(s as u32), node, ServiceId(s as u32), cores);
+            let mut container =
+                Container::new(ContainerId(s as u32), node, ServiceId(s as u32), cores);
             if let Some(cap) = cfg.bw_caps.get(s).copied().flatten() {
                 container.set_bw_cap(SimTime::ZERO, Some(cap));
             }
@@ -404,8 +405,7 @@ impl Simulation {
         // FirstResponder site: every request packet crosses the rx hook of
         // its destination node before reaching the container.
         let node = self.containers[packet.dest.index()].node;
-        let actions =
-            self.controllers[node.index()].on_packet(now, packet.dest, packet.meta);
+        let actions = self.controllers[node.index()].on_packet(now, packet.dest, packet.meta);
         if !actions.is_empty() {
             self.in_packet_hook = true;
             self.apply_actions(now, node, actions);
@@ -543,7 +543,13 @@ impl Simulation {
     }
 
     /// Actually send child RPC `edge` of `parent` (a connection is held).
-    fn send_child_rpc(&mut self, now: SimTime, parent: InvocationId, edge: usize, waited: SimDuration) {
+    fn send_child_rpc(
+        &mut self,
+        now: SimTime,
+        parent: InvocationId,
+        edge: usize,
+        waited: SimDuration,
+    ) {
         let (svc, req_start, meta_out) = {
             let inv = &mut self.invocations[parent as usize];
             inv.conn_wait += waited;
@@ -748,7 +754,12 @@ impl Simulation {
             self.cfg.freq_table.ghz(self.allocs[i].freq_level),
         );
         if let Some(tr) = &mut self.trace {
-            tr.record(now, id, target, self.cfg.freq_table.ghz(self.allocs[i].freq_level));
+            tr.record(
+                now,
+                id,
+                target,
+                self.cfg.freq_table.ghz(self.allocs[i].freq_level),
+            );
         }
         self.reschedule(now, id);
     }
@@ -765,7 +776,12 @@ impl Simulation {
         self.meter
             .set_state(now, i, self.allocs[i].cores, self.cfg.freq_table.ghz(level));
         if let Some(tr) = &mut self.trace {
-            tr.record(now, id, self.allocs[i].cores, self.cfg.freq_table.ghz(level));
+            tr.record(
+                now,
+                id,
+                self.allocs[i].cores,
+                self.cfg.freq_table.ghz(level),
+            );
         }
         self.reschedule(now, id);
     }
@@ -778,8 +794,13 @@ impl Simulation {
         let ct = &mut self.containers[c.index()];
         if let Some(at) = ct.next_completion(now) {
             let epoch = ct.epoch();
-            self.engine
-                .schedule(at, Event::PhaseComplete { container: c, epoch });
+            self.engine.schedule(
+                at,
+                Event::PhaseComplete {
+                    container: c,
+                    epoch,
+                },
+            );
         }
     }
 

@@ -9,9 +9,11 @@
 //! using `SetBandwidth` does exactly that.
 
 use sg_core::allocator::AllocConstraints;
+use sg_core::config::ContainerParams;
 use sg_core::config::PROFILE_TARGET_FACTOR;
 use sg_core::ids::ContainerId;
 use sg_core::time::{SimDuration, SimTime};
+use sg_loadgen::{RunReport, SpikePattern};
 use sg_sim::app::{linear_chain, ConnModel};
 use sg_sim::cluster::{Placement, SimConfig};
 use sg_sim::controller::{
@@ -19,8 +21,6 @@ use sg_sim::controller::{
 };
 use sg_sim::profile::profile_low_load;
 use sg_sim::runner::Simulation;
-use sg_core::config::ContainerParams;
-use sg_loadgen::{RunReport, SpikePattern};
 use std::collections::HashMap;
 
 fn us(v: u64) -> SimDuration {
@@ -43,7 +43,12 @@ fn scenario() -> (SimConfig, f64, SimDuration) {
     cfg.seed = 17;
     // s1 capacity: min(8 cores, 3.6 bw) / 0.8ms = 4500 req/s. Run at 3000.
     let base = 3000.0;
-    let outcome = profile_low_load(cfg.clone(), 300.0, SimDuration::from_secs(2), PROFILE_TARGET_FACTOR);
+    let outcome = profile_low_load(
+        cfg.clone(),
+        300.0,
+        SimDuration::from_secs(2),
+        PROFILE_TARGET_FACTOR,
+    );
     cfg.params = outcome.params;
     cfg.e2e_low_load = outcome.e2e_mean;
     (cfg, base, outcome.e2e_p98.mul_f64(2.0))
@@ -109,7 +114,12 @@ impl ControllerFactory for BwFactory {
     }
 }
 
-fn run(cfg: &SimConfig, factory: &dyn ControllerFactory, base: f64, secs: u64) -> sg_sim::runner::RunResult {
+fn run(
+    cfg: &SimConfig,
+    factory: &dyn ControllerFactory,
+    base: f64,
+    secs: u64,
+) -> sg_sim::runner::RunResult {
     let pattern = SpikePattern {
         base_rate: base,
         spike_rate: base * 1.75,

@@ -12,7 +12,12 @@ fn us(v: u64) -> SimDuration {
 }
 
 fn chain_config() -> SimConfig {
-    let g = linear_chain("cal", &[us(500), us(500), us(500)], ConnModel::PerRequest, 0.1);
+    let g = linear_chain(
+        "cal",
+        &[us(500), us(500), us(500)],
+        ConnModel::PerRequest,
+        0.1,
+    );
     let mut cfg = SimConfig::new(g, Placement::single_node(3));
     cfg.constraints = AllocConstraints {
         total_cores: 16,
@@ -44,7 +49,11 @@ fn low_load_profile_orders_time_from_start_along_the_chain() {
         .map(|p| p.expected_exec_metric.as_nanos())
         .collect();
     assert!(exec[0] > exec[1] && exec[1] > exec[2], "{exec:?}");
-    assert!(out.e2e_mean > SimDuration::from_micros(1500), "{}", out.e2e_mean);
+    assert!(
+        out.e2e_mean > SimDuration::from_micros(1500),
+        "{}",
+        out.e2e_mean
+    );
     assert!(out.e2e_p98 >= out.e2e_mean);
 }
 
@@ -76,8 +85,11 @@ fn profile_factor_scales_targets_linearly() {
     let a = profile_low_load(cfg.clone(), 200.0, SimDuration::from_secs(2), 2.0);
     let b = profile_low_load(cfg, 200.0, SimDuration::from_secs(2), 3.0);
     for (pa, pb) in a.params.iter().zip(&b.params) {
-        let ratio = pb.expected_exec_metric.as_nanos() as f64
-            / pa.expected_exec_metric.as_nanos() as f64;
-        assert!((ratio - 1.5).abs() < 0.01, "factor must scale targets, got {ratio}");
+        let ratio =
+            pb.expected_exec_metric.as_nanos() as f64 / pa.expected_exec_metric.as_nanos() as f64;
+        assert!(
+            (ratio - 1.5).abs() < 0.01,
+            "factor must scale targets, got {ratio}"
+        );
     }
 }

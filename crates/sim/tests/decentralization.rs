@@ -6,9 +6,7 @@ use sg_core::ids::{ContainerId, NodeId};
 use sg_core::time::{SimDuration, SimTime};
 use sg_sim::app::{linear_chain, ConnModel};
 use sg_sim::cluster::{Placement, SimConfig};
-use sg_sim::controller::{
-    ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot,
-};
+use sg_sim::controller::{ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot};
 use sg_sim::profile::constant_arrivals;
 use sg_sim::runner::Simulation;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -82,10 +82,7 @@ fn identical_seeds_identical_results() {
     assert_eq!(a.events, b.events);
     assert_eq!(a.energy_j, b.energy_j);
     let c = run(8);
-    assert_ne!(
-        a.points, c.points,
-        "different seed should perturb the run"
-    );
+    assert_ne!(a.points, c.points, "different seed should perturb the run");
 }
 
 #[test]

@@ -41,17 +41,17 @@ pub fn search_hotel() -> TaskGraph {
     TaskGraph {
         name: "hotelReservation:searchHotel".to_string(),
         services: vec![
-            svc("frontend", 400, 0.1, vec![1]),              // 0
-            svc("search", 1000, 0.2, vec![2]),               // 1
-            svc("geo", 800, 0.2, vec![3]),                   // 2
-            svc("geo-memcached", 400, 0.3, vec![4]),         // 3
-            svc("geo-mongodb", 1100, 0.3, vec![5]),          // 4
-            svc("rate", 800, 0.2, vec![6]),                  // 5
-            svc("rate-memcached", 400, 0.3, vec![7]),        // 6
-            svc("rate-mongodb", 1100, 0.3, vec![8]),         // 7
-            svc("reservation", 800, 0.2, vec![9]),           // 8
+            svc("frontend", 400, 0.1, vec![1]),               // 0
+            svc("search", 1000, 0.2, vec![2]),                // 1
+            svc("geo", 800, 0.2, vec![3]),                    // 2
+            svc("geo-memcached", 400, 0.3, vec![4]),          // 3
+            svc("geo-mongodb", 1100, 0.3, vec![5]),           // 4
+            svc("rate", 800, 0.2, vec![6]),                   // 5
+            svc("rate-memcached", 400, 0.3, vec![7]),         // 6
+            svc("rate-mongodb", 1100, 0.3, vec![8]),          // 7
+            svc("reservation", 800, 0.2, vec![9]),            // 8
             svc("reservation-memcached", 400, 0.3, vec![10]), // 9
-            svc("reservation-mongodb", 1100, 0.3, vec![]),   // 10
+            svc("reservation-mongodb", 1100, 0.3, vec![]),    // 10
         ],
     }
 }
@@ -61,11 +61,11 @@ pub fn recommend_hotel() -> TaskGraph {
     TaskGraph {
         name: "hotelReservation:recommendHotel".to_string(),
         services: vec![
-            svc("frontend", 400, 0.1, vec![1]),       // 0
-            svc("recommendation", 1000, 0.2, vec![2]), // 1
-            svc("profile", 800, 0.2, vec![3]),        // 2
+            svc("frontend", 400, 0.1, vec![1]),          // 0
+            svc("recommendation", 1000, 0.2, vec![2]),   // 1
+            svc("profile", 800, 0.2, vec![3]),           // 2
             svc("profile-memcached", 500, 0.3, vec![4]), // 3
-            svc("profile-mongodb", 1300, 0.3, vec![]), // 4
+            svc("profile-mongodb", 1300, 0.3, vec![]),   // 4
         ],
     }
 }

@@ -58,15 +58,15 @@ pub fn compose_review(dataset_seed: u64) -> TaskGraph {
     TaskGraph {
         name: "mediaMicroservices:composeReview".to_string(),
         services: vec![
-            svc("nginx", 300, 0.1, vec![1]),                       // 0
-            svc("compose-review-service", 900, 0.2, vec![2, 8]),   // 1
-            svc("movie-id-service", 600, 0.2, vec![3, 7]),         // 2
-            svc("rating-service", 700, 0.2, vec![4]),              // 3
-            svc("review-storage-service", 800, 0.2, vec![5]),      // 4
+            svc("nginx", 300, 0.1, vec![1]),                          // 0
+            svc("compose-review-service", 900, 0.2, vec![2, 8]),      // 1
+            svc("movie-id-service", 600, 0.2, vec![3, 7]),            // 2
+            svc("rating-service", 700, 0.2, vec![4]),                 // 3
+            svc("review-storage-service", 800, 0.2, vec![5]),         // 4
             svc("review-storage-mongodb", 1300, storage_cv, vec![6]), // 5
             svc("review-storage-memcached", 400, storage_cv, vec![]), // 6
-            svc("text-service", 500, 0.4, vec![]),                 // 7
-            svc("user-review-service", 500, 0.2, vec![]),          // 8
+            svc("text-service", 500, 0.4, vec![]),                    // 7
+            svc("user-review-service", 500, 0.2, vec![]),             // 8
         ],
     }
 }
@@ -95,7 +95,7 @@ mod tests {
         for s in &g.services {
             for e in &s.children {
                 match e.conn {
-                    ConnModel::FixedPool(n) => assert!(n >= 4 && n < NOMINAL_POOL),
+                    ConnModel::FixedPool(n) => assert!((4..NOMINAL_POOL).contains(&n)),
                     ConnModel::PerRequest => panic!("pools must stay fixed"),
                 }
             }

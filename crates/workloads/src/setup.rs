@@ -333,19 +333,17 @@ mod tests {
         // CHAIN is uniform: allocations should be equal-ish.
         let max = *alloc.iter().max().unwrap();
         let min = *alloc.iter().min().unwrap();
-        assert!(max - min <= 2, "uniform chain should be balanced: {alloc:?}");
+        assert!(
+            max - min <= 2,
+            "uniform chain should be balanced: {alloc:?}"
+        );
     }
 
     #[test]
     fn heavier_services_get_more_cores() {
         let g = social::read_user_timeline(42);
         let (_, alloc) = solve_initial_allocation(&g, 34, 0.6, 2, 2);
-        let idx = |name: &str| {
-            g.services
-                .iter()
-                .position(|s| s.name == name)
-                .unwrap()
-        };
+        let idx = |name: &str| g.services.iter().position(|s| s.name == name).unwrap();
         assert!(
             alloc[idx("post-storage-mongodb")] >= alloc[idx("nginx")],
             "{alloc:?}"

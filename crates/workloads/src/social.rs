@@ -28,13 +28,7 @@ fn us(v: u64) -> SimDuration {
     SimDuration::from_micros(v)
 }
 
-fn svc(
-    name: &str,
-    work_us: u64,
-    cv: f64,
-    children: Vec<u32>,
-    mode: CallMode,
-) -> ServiceSpec {
+fn svc(name: &str, work_us: u64, cv: f64, children: Vec<u32>, mode: CallMode) -> ServiceSpec {
     ServiceSpec {
         name: name.to_string(),
         work_mean: us(work_us),
@@ -77,7 +71,13 @@ pub fn read_user_timeline(dataset_seed: u64) -> TaskGraph {
                 CallMode::Sequential,
             ),
             // 2: redis lookup — cheap.
-            svc("user-timeline-redis", 500, storage_cv, vec![], CallMode::Sequential),
+            svc(
+                "user-timeline-redis",
+                500,
+                storage_cv,
+                vec![],
+                CallMode::Sequential,
+            ),
             // 3: the true downstream bottleneck during surges.
             svc(
                 "post-storage-service",
@@ -132,7 +132,13 @@ pub fn compose_post(dataset_seed: u64) -> TaskGraph {
                 CallMode::Sequential,
             ),
             // 2
-            svc("text-service", 800, text_cv, vec![3, 9], CallMode::Sequential),
+            svc(
+                "text-service",
+                800,
+                text_cv,
+                vec![3, 9],
+                CallMode::Sequential,
+            ),
             // 3
             svc(
                 "user-mention-service",
@@ -170,7 +176,13 @@ pub fn compose_post(dataset_seed: u64) -> TaskGraph {
             // 8
             svc("unique-id-service", 300, 0.05, vec![], CallMode::Sequential),
             // 9
-            svc("url-shorten-service", 400, text_cv, vec![], CallMode::Sequential),
+            svc(
+                "url-shorten-service",
+                400,
+                text_cv,
+                vec![],
+                CallMode::Sequential,
+            ),
         ],
     }
 }

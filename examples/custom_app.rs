@@ -45,13 +45,7 @@ fn main() {
     let graph = TaskGraph {
         name: "checkout".into(),
         services: vec![
-            svc(
-                "gateway",
-                300,
-                0.1,
-                vec![per_req(1)],
-                CallMode::Sequential,
-            ),
+            svc("gateway", 300, 0.1, vec![per_req(1)], CallMode::Sequential),
             // Scatter-gather: pricing and inventory in parallel, then pay.
             svc(
                 "checkout",

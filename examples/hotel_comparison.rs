@@ -19,7 +19,10 @@ use surgeguard::workloads::{prepare, CalibrationOptions, Workload};
 fn main() {
     println!("calibrating hotelReservation:recommendHotel ...");
     let pw = prepare(Workload::RecommendHotel, 1, CalibrationOptions::default());
-    println!("  base rate {:.0} req/s, QoS limit {}", pw.base_rate, pw.qos);
+    println!(
+        "  base rate {:.0} req/s, QoS limit {}",
+        pw.base_rate, pw.qos
+    );
 
     let pattern = SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_secs(2));
     let warmup = SimTime::from_secs(5);
@@ -48,7 +51,10 @@ fn main() {
         rows.push((factory.name(), report));
     }
 
-    println!("\n{:<12} {:>14} {:>12} {:>10} {:>10}", "controller", "VV (s^2)", "P98", "cores", "energy(J)");
+    println!(
+        "\n{:<12} {:>14} {:>12} {:>10} {:>10}",
+        "controller", "VV (s^2)", "P98", "cores", "energy(J)"
+    );
     for (name, r) in &rows {
         println!(
             "{:<12} {:>14.4} {:>12} {:>10.1} {:>10.0}",

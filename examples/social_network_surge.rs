@@ -18,7 +18,10 @@ use surgeguard::workloads::{prepare, CalibrationOptions, Workload};
 fn main() {
     println!("calibrating socialNetwork:readUserTimeline ...");
     let pw = prepare(Workload::ReadUserTimeline, 1, CalibrationOptions::default());
-    println!("  base rate {:.0} req/s, QoS limit {}", pw.base_rate, pw.qos);
+    println!(
+        "  base rate {:.0} req/s, QoS limit {}",
+        pw.base_rate, pw.qos
+    );
 
     // One 10s surge at 1.75x starting at t=15s (the Fig. 14 scenario).
     let pattern = SpikePattern {
@@ -83,11 +86,7 @@ fn main() {
         println!();
         for name in services {
             let id = idx(name);
-            let series = trace.cores_at(
-                ContainerId(id),
-                &times,
-                pw.cfg.initial_cores[id as usize],
-            );
+            let series = trace.cores_at(ContainerId(id), &times, pw.cfg.initial_cores[id as usize]);
             print!("  {name:<22} ");
             for c in series {
                 print!("{c:>3}");

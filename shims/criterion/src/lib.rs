@@ -1,0 +1,248 @@
+//! Offline stand-in for `criterion`: runs each benchmark closure in a
+//! calibrated timing loop and prints a mean `ns/iter` line. No warmup
+//! statistics, outlier analysis, or HTML reports — just honest wall-clock
+//! means, which is what the paper-comparison benches need.
+//!
+//! Target time per benchmark is ~`CRITERION_SHIM_MS` milliseconds
+//! (default 120), overridable via that environment variable to trade
+//! precision for total run time.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites may use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// The shim times each routine invocation individually, so the variants
+/// only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: batch many per allocation.
+    SmallInput,
+    /// Large inputs: fewer per batch.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn target_time() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(120);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Measurement state handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    mean_ns: f64,
+    /// Iterations actually timed.
+    iters: u64,
+    target: Duration,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Bencher {
+            mean_ns: f64::NAN,
+            iters: 0,
+            target,
+        }
+    }
+
+    /// Time `routine` repeatedly and record the mean cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until it is long enough to time
+        // reliably (≥ ~1 ms), then run batches until the target elapses.
+        let mut batch: u64 = 1;
+        let batch_floor = Duration::from_millis(1);
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= batch_floor || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 8;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.target {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            total += t0.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.target {
+            let input = setup();
+            let t0 = Instant::now();
+            hint::black_box(routine(input));
+            total += t0.elapsed();
+            iters += 1;
+            if iters >= 1 << 22 {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn report(group: Option<&str>, name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let mut line = format!(
+        "bench {full:<40} {:>12.1} ns/iter ({} iters)",
+        b.mean_ns, b.iters
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        if n > 0 && b.mean_ns > 0.0 {
+            let meps = (n as f64) / b.mean_ns * 1e3;
+            line.push_str(&format!(" {meps:>10.2} Melem/s"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Benchmark registry/runner (the `c` in `fn bench(c: &mut Criterion)`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(target_time());
+        f(&mut b);
+        report(None, name, &b, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Attach a throughput so reports derive rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; the shim sizes runs by wall clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(target_time());
+        f(&mut b);
+        report(Some(&self.name), name, &b, self.throughput);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        std::env::set_var("CRITERION_SHIM_MS", "5");
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        std::env::set_var("CRITERION_SHIM_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for `crossbeam`: the one type this workspace uses,
+//! `queue::ArrayQueue` — a lock-free bounded MPMC queue implemented as a
+//! Vyukov sequence-stamped ring buffer (the same algorithm the real crate
+//! uses). Push fails instead of blocking when the ring is full, which is
+//! exactly the drop-not-block property the FirstResponder hot path needs.
+
+/// Lock-free bounded queues.
+pub mod queue {
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Slot<T> {
+        /// Vyukov stamp: `index` when empty and writable at `index`,
+        /// `index + 1` when holding the value pushed at `index`,
+        /// `index + capacity` once popped (writable one lap later).
+        stamp: AtomicUsize,
+        value: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    /// Bounded multi-producer multi-consumer lock-free queue.
+    pub struct ArrayQueue<T> {
+        head: AtomicUsize,
+        tail: AtomicUsize,
+        buffer: Box<[Slot<T>]>,
+    }
+
+    unsafe impl<T: Send> Send for ArrayQueue<T> {}
+    unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+    impl<T> ArrayQueue<T> {
+        /// A queue holding at most `cap` elements.
+        ///
+        /// # Panics
+        /// If `cap` is zero.
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be non-zero");
+            let buffer: Box<[Slot<T>]> = (0..cap)
+                .map(|i| Slot {
+                    stamp: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect();
+            ArrayQueue {
+                head: AtomicUsize::new(0),
+                tail: AtomicUsize::new(0),
+                buffer,
+            }
+        }
+
+        /// Maximum number of elements.
+        pub fn capacity(&self) -> usize {
+            self.buffer.len()
+        }
+
+        /// Attempt to push; returns `Err(value)` when full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let cap = self.buffer.len();
+            let mut tail = self.tail.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.buffer[tail % cap];
+                let stamp = slot.stamp.load(Ordering::Acquire);
+                if stamp == tail {
+                    match self.tail.compare_exchange_weak(
+                        tail,
+                        tail.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.stamp.store(tail.wrapping_add(1), Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(t) => tail = t,
+                    }
+                } else if stamp.wrapping_sub(tail) as isize > 0 {
+                    // Another producer advanced past us; reload.
+                    tail = self.tail.load(Ordering::Relaxed);
+                } else {
+                    // One full lap behind: the ring is full — unless a
+                    // concurrent pop just freed the slot; re-check once.
+                    let head = self.head.load(Ordering::Relaxed);
+                    if tail.wrapping_sub(head) >= cap {
+                        return Err(value);
+                    }
+                    std::hint::spin_loop();
+                    tail = self.tail.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Attempt to pop; `None` when empty.
+        pub fn pop(&self) -> Option<T> {
+            let cap = self.buffer.len();
+            let mut head = self.head.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.buffer[head % cap];
+                let stamp = slot.stamp.load(Ordering::Acquire);
+                if stamp == head.wrapping_add(1) {
+                    match self.head.compare_exchange_weak(
+                        head,
+                        head.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.stamp.store(head.wrapping_add(cap), Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(h) => head = h,
+                    }
+                } else if (stamp.wrapping_sub(head.wrapping_add(1)) as isize) < 0 {
+                    // Slot not yet written at this lap: empty — unless a
+                    // concurrent push is mid-flight; one re-check.
+                    let tail = self.tail.load(Ordering::Relaxed);
+                    if tail == head {
+                        return None;
+                    }
+                    std::hint::spin_loop();
+                    head = self.head.load(Ordering::Relaxed);
+                } else {
+                    head = self.head.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Snapshot of the element count (racy, as in the real crate).
+        pub fn len(&self) -> usize {
+            let tail = self.tail.load(Ordering::SeqCst);
+            let head = self.head.load(Ordering::SeqCst);
+            tail.wrapping_sub(head).min(self.buffer.len())
+        }
+
+        /// Whether the queue appears empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Whether the queue appears full.
+        pub fn is_full(&self) -> bool {
+            self.len() == self.buffer.len()
+        }
+    }
+
+    impl<T> Drop for ArrayQueue<T> {
+        fn drop(&mut self) {
+            while self.pop().is_some() {}
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::ArrayQueue;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        #[test]
+        fn fifo_single_thread() {
+            let q = ArrayQueue::new(4);
+            assert!(q.pop().is_none());
+            for i in 0..4 {
+                q.push(i).unwrap();
+            }
+            assert!(q.push(99).is_err(), "full queue must reject");
+            for i in 0..4 {
+                assert_eq!(q.pop(), Some(i));
+            }
+            assert!(q.pop().is_none());
+        }
+
+        #[test]
+        fn wraps_many_laps() {
+            let q = ArrayQueue::new(3);
+            for i in 0..1000 {
+                q.push(i).unwrap();
+                assert_eq!(q.pop(), Some(i));
+            }
+        }
+
+        #[test]
+        fn mpmc_conserves_sum() {
+            let q = Arc::new(ArrayQueue::new(64));
+            let sum = Arc::new(AtomicU64::new(0));
+            const PER: u64 = 5000;
+            let producers: Vec<_> = (0..2)
+                .map(|p| {
+                    let q = q.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..PER {
+                            let mut v = p * PER + i + 1;
+                            loop {
+                                match q.push(v) {
+                                    Ok(()) => break,
+                                    Err(back) => {
+                                        v = back;
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    let q = q.clone();
+                    let sum = sum.clone();
+                    std::thread::spawn(move || {
+                        let mut got = 0u64;
+                        let mut acc = 0u64;
+                        while got < PER {
+                            if let Some(v) = q.pop() {
+                                acc += v;
+                                got += 1;
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                        sum.fetch_add(acc, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in producers.into_iter().chain(consumers) {
+                h.join().unwrap();
+            }
+            let n = 2 * PER;
+            assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! Offline stand-in for `proptest`: deterministic random-input testing
+//! with the same macro and strategy surface the workspace uses.
+//!
+//! Differences from the real crate: inputs are generated from a
+//! deterministic per-test seed (derived from the test's module path and
+//! name), and failing cases are **not shrunk** — the failure message
+//! reports the case index so a run is reproducible by construction.
+
+/// Test-runner plumbing: config, RNG, case outcome.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config requiring `cases` passing cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed — the whole test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs — the case is skipped.
+        Reject(String),
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic generator state (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG seeded from an identifying string (FNV-1a hash).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `[0, bound)`; `bound` must be non-zero.
+        pub fn index(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Something that can generate values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.next_f64() * (self.end - self.start);
+            // Guard against rounding up to the excluded endpoint.
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "empty range strategy");
+            // next_u64()/(2^64-1) spans [0, 1] inclusive.
+            let u = rng.next_u64() as f64 / u64::MAX as f64;
+            start + u * (end - start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + (rng.next_f64() as f32) * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!(
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F)
+    );
+}
+
+/// `any::<T>()` — canonical strategy for a type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Canonical whole-domain strategy for `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any(PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible collection lengths: `[min, max)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of element-strategy outputs.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min;
+            let len = if span <= 1 {
+                self.size.min
+            } else {
+                self.size.min + rng.index(span)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly among fixed options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice among `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.index(self.options.len())].clone()
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced strategy modules, as in the real crate's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// becomes a standard test that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr) $(#[test] fn $name:ident ($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                // The attempt cap bounds pathological prop_assume! filters.
+                while passed < config.cases && attempts < config.cases.saturating_mul(16) {
+                    attempts += 1;
+                    let outcome: $crate::test_runner::TestCaseResult = (|| {
+                        let ($($pat,)+) = (
+                            $($crate::strategy::Strategy::generate(&($strat), &mut rng),)+
+                        );
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "property '{}' failed at case {}: {}",
+                                stringify!($name),
+                                attempts,
+                                msg
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    passed >= config.cases,
+                    "property '{}' exhausted attempts: {}/{} cases passed \
+                     (prop_assume! rejected too much)",
+                    stringify!($name),
+                    passed,
+                    config.cases
+                );
+            }
+        )*
+    };
+}
+
+/// Fallible assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fallible inequality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Skip cases whose inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 0.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn maps_apply(v in (0u64..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(v < 20);
+        }
+
+        #[test]
+        fn select_picks_an_option(c in prop::sample::select(vec![2u32, 4, 6])) {
+            prop_assert!(c == 2 || c == 4 || c == 6);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_cases_run(_x in any::<bool>()) {
+            prop_assert!(true);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline stand-in for `rayon`: `into_par_iter().map().collect()` with
+//! a sequential implementation. This container exposes a single CPU, so
+//! the real crate's work-stealing pool would not run anything in
+//! parallel here anyway; the API shape (and closure `Sync + Send`
+//! requirements' absence) is all callers rely on.
+
+use std::ops::Range;
+
+/// A "parallel" iterator — sequential under the hood.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Transform each element.
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Keep matching elements.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    /// Collect into any `FromIterator` target.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Apply `f` to every element.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+
+    /// Sum the elements.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+}
+
+/// Conversion into a [`ParIter`].
+pub trait IntoParallelIterator: Sized {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Begin "parallel" iteration.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Range<T>
+where
+    Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type Iter = Range<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let out: Vec<u64> = (0..10u64).into_par_iter().map(|i| i * i).collect();
+        let expect: Vec<u64> = (0..10u64).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn vec_source() {
+        let out: Vec<i32> = vec![3, 1, 2].into_par_iter().filter(|&x| x > 1).collect();
+        assert_eq!(out, vec![3, 2]);
+    }
+}

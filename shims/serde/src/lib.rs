@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: the two marker traits plus no-op derive
+//! macros. The workspace's derives are annotations only — no code path
+//! serializes through the trait — so empty traits keep every call site
+//! source-compatible with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of serde's `Serialize` (no-op here).
+pub trait Serialize {}
+
+/// Marker counterpart of serde's `Deserialize` (no-op here).
+pub trait Deserialize<'de>: Sized {}

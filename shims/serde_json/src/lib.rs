@@ -1,0 +1,339 @@
+//! Offline stand-in for `serde_json`: a concrete [`Value`] tree, the
+//! `json!` construction macro (tt-muncher, so values may be arbitrary
+//! expressions or nested `{...}` literals), and `to_string` /
+//! `to_string_pretty` emitting standards-compliant JSON. Object key order
+//! is insertion order, matching how the experiment sinks build rows.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The elements when this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Look up `key` when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<f32> for Value {
+    fn from(f: f32) -> Self {
+        Value::Float(f as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        match i64::try_from(v) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::UInt(v),
+        }
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::from(v as u64)
+    }
+}
+macro_rules! from_small_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Int(v as i64)
+            }
+        }
+    )*};
+}
+from_small_int!(i8, i16, i32, i64, u8, u16, u32);
+
+macro_rules! from_ref_copy {
+    ($($t:ty),*) => {$(
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Self {
+                Value::from(*v)
+            }
+        }
+    )*};
+}
+from_ref_copy!(bool, f32, f64, i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value> + Clone, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{}` prints integral floats without a dot; both forms are valid
+        // JSON numbers.
+        out.push_str(&format!("{f}"));
+    } else {
+        // JSON has no NaN/Inf; mirror serde_json's lossy `null`.
+        out.push_str("null");
+    }
+}
+
+fn render(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * (depth + 1)),
+            " ".repeat(w * depth),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                render(item, out, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                escape_into(out, k);
+                out.push_str(colon);
+                render(v, out, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        render(self, &mut s, None, 0);
+        f.write_str(&s)
+    }
+}
+
+/// Serialization error (cannot occur for `Value` trees; kept for
+/// call-site compatibility with the real crate's `Result` API).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON text.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    render(value, &mut s, None, 0);
+    Ok(s)
+}
+
+/// Two-space-indented JSON text.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    render(value, &mut s, Some(2), 0);
+    Ok(s)
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Values may be nested
+/// `{...}` objects, `null`, or arbitrary Rust expressions convertible
+/// with `Value::from`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let entries = {
+            let mut entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+                ::std::vec::Vec::new();
+            $crate::json_internal!(@object entries () $($body)*);
+            entries
+        };
+        $crate::Value::Object(entries)
+    }};
+    ($($val:tt)+) => { $crate::Value::from($($val)+) };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs,
+/// accumulating value tokens until a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // End of input.
+    (@object $entries:ident ()) => {};
+    // Trailing comma.
+    (@object $entries:ident () ,) => {};
+    // Start a new entry: capture the key, hand off to value munching.
+    (@object $entries:ident () $key:literal : $($rest:tt)*) => {
+        $crate::json_internal!(@value $entries ($key) [] $($rest)*)
+    };
+    // Value finished by a top-level comma: emit, continue with the rest.
+    (@value $entries:ident ($key:literal) [$($val:tt)+] , $($rest:tt)*) => {
+        $entries.push(($key.to_string(), $crate::json!($($val)+)));
+        $crate::json_internal!(@object $entries () $($rest)*);
+    };
+    // Value runs to end of input: emit.
+    (@value $entries:ident ($key:literal) [$($val:tt)+]) => {
+        $entries.push(($key.to_string(), $crate::json!($($val)+)));
+    };
+    // Accumulate one more value token.
+    (@value $entries:ident ($key:literal) [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@value $entries ($key) [$($val)* $next] $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_nesting() {
+        let x = 2.5f64;
+        let v = json!({
+            "name": "chain",
+            "n": 3u32,
+            "ratio": x * 2.0,
+            "inner": {"a": 1, "b": [1u32, 2, 3].to_vec()},
+            "none": null,
+        });
+        assert_eq!(v.get("name"), Some(&Value::Str("chain".into())));
+        assert_eq!(v.get("ratio"), Some(&Value::Float(5.0)));
+        assert_eq!(v.get("inner").unwrap().get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let v = json!({"a": 1, "b": {"c": [1u32].to_vec()}});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": 1"));
+        assert!(s.contains("\"c\": ["));
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, "{\"a\":1,\"b\":{\"c\":[1]}}");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = json!({"s": "a\"b\\c\nd"});
+        assert_eq!(to_string(&v).unwrap(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let big = u64::MAX;
+        let v = json!({ "x": big });
+        assert_eq!(to_string(&v).unwrap(), format!("{{\"x\":{big}}}"));
+    }
+}

@@ -19,6 +19,7 @@
 //! |---|---|
 //! | [`core`] | the controller algorithms (simulator-independent) |
 //! | [`sim`] | deterministic discrete-event cluster substrate |
+//! | [`live`] | wall-clock live-execution substrate (real threads) |
 //! | [`workloads`] | DeathStarBench-like task graphs + calibration |
 //! | [`loadgen`] | wrk2-style spiking open-loop load generation |
 //! | [`controllers`] | SurgeGuard, Parties, CaladanAlgo, oracle |
@@ -60,6 +61,7 @@
 pub use sg_controllers as controllers;
 pub use sg_core as core;
 pub use sg_experiments as experiments;
+pub use sg_live as live;
 pub use sg_loadgen as loadgen;
 pub use sg_sim as sim;
 pub use sg_workloads as workloads;

@@ -110,9 +110,7 @@ fn caladan_never_upscales_connection_per_request_workloads() {
         .unwrap()
         .events
         .iter()
-        .filter(|e| {
-            e.cores > pw.cfg.initial_cores[e.container.index()]
-        })
+        .filter(|e| e.cores > pw.cfg.initial_cores[e.container.index()])
         .count();
     assert_eq!(
         upscales, 0,
