@@ -19,7 +19,7 @@ use sg_core::allocator::{AllocConstraints, ContainerAlloc, FreqTable};
 use sg_core::config::{ContainerParams, EscalatorConfig};
 use sg_core::escalator::{Escalator, EscalatorObservation};
 use sg_core::firstresponder::{FirstResponder, FirstResponderConfig, FreqUpdate};
-use sg_core::ids::ContainerId;
+use sg_core::ids::{ContainerId, NodeId};
 use sg_core::metadata::RpcMetadata;
 use sg_core::metrics::{MetricsWindow, RequestSample, WindowMetrics};
 use sg_core::score::ContainerObservation;
@@ -83,6 +83,7 @@ fn bench_firstresponder(c: &mut Criterion) {
         let q = crossbeam::queue::ArrayQueue::new(1 << 16);
         b.iter(|| {
             if q.push(FreqUpdate {
+                from: NodeId(0),
                 container: ContainerId(1),
                 level: 8,
             })
@@ -102,6 +103,7 @@ fn bench_firstresponder(c: &mut Criterion) {
             || {
                 for i in 0..64u32 {
                     let _ = q.push(FreqUpdate {
+                        from: NodeId(0),
                         container: ContainerId(i % 16),
                         level: (i % 9) as u8,
                     });
@@ -164,12 +166,111 @@ fn bench_fr_backend(c: &mut Criterion) {
                 .expect("always violating");
             for id in boost.targets {
                 black_box(runtime.submit(FreqUpdate {
+                    from: NodeId(0),
                     container: id,
                     level: boost.level,
                 }));
             }
         });
         runtime.shutdown();
+    });
+
+    // Telemetry guard on the packet hook, sink disabled (the default).
+    // Both substrates emit through `if let Some(sink) = &self.sink { .. }`;
+    // with no sink attached the event is never even constructed, so this
+    // must price out within noise of the bare decision above.
+    g.bench_function("sim_hook_decision_disabled_sink", |b| {
+        let mut fr = boosting_fr();
+        let meta = RpcMetadata::new_job(SimTime::ZERO);
+        let sink: Option<sg_telemetry::SharedSink> = None;
+        b.iter(|| {
+            let boost = fr.on_packet(ContainerId(3), black_box(meta), SimTime::from_micros(900));
+            if let (Some(s), Some(boost)) = (&sink, &boost) {
+                s.emit(sg_telemetry::TelemetryEvent::FrBoost {
+                    at: SimTime::from_micros(900),
+                    node: NodeId(0),
+                    dest: ContainerId(3),
+                    slack_ns: -1,
+                    level: boost.level,
+                    targets: boost.targets.len() as u32,
+                });
+            }
+            black_box(boost)
+        });
+    });
+
+    g.bench_function("live_path_submit_disabled_sink", |b| {
+        let mut fr = boosting_fr();
+        let meta = RpcMetadata::new_job(SimTime::ZERO);
+        let applied = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&applied);
+        let mut runtime = FrRuntime::spawn(16, 0, 1 << 16, move |u| {
+            counter.fetch_add(u.level as u64, Ordering::Relaxed);
+        });
+        let sink: Option<sg_telemetry::SharedSink> = None;
+        b.iter(|| {
+            let boost = fr
+                .on_packet(ContainerId(3), black_box(meta), SimTime::from_micros(900))
+                .expect("always violating");
+            for id in boost.targets {
+                black_box(runtime.submit(FreqUpdate {
+                    from: NodeId(0),
+                    container: id,
+                    level: boost.level,
+                }));
+            }
+            if let Some(s) = &sink {
+                s.emit(sg_telemetry::TelemetryEvent::FrBoost {
+                    at: SimTime::from_micros(900),
+                    node: NodeId(0),
+                    dest: ContainerId(3),
+                    slack_ns: -1,
+                    level: boost.level,
+                    targets: 1,
+                });
+            }
+        });
+        runtime.shutdown();
+    });
+    g.finish();
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    // Enabled-path costs, for scale: what one emission costs when a sink
+    // IS attached. The live substrate pays `ring_emit` on the hot path
+    // (lock-free push; the JSONL encode happens on the drainer thread);
+    // the sim pays the direct encode.
+    use sg_telemetry::{RingSink, TelemetryEvent, TelemetrySink};
+    use std::sync::Arc;
+
+    /// Discards everything: isolates the relay cost from downstream I/O
+    /// and keeps a long bench run from accumulating events in memory.
+    struct NullSink;
+    impl TelemetrySink for NullSink {
+        fn emit(&self, _event: TelemetryEvent) {}
+    }
+
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Elements(1));
+    let event = || TelemetryEvent::FrBoost {
+        at: SimTime::from_micros(900),
+        node: NodeId(0),
+        dest: ContainerId(3),
+        slack_ns: -123_456,
+        level: 8,
+        targets: 1,
+    };
+
+    g.bench_function("ring_emit", |b| {
+        let (ring, drainer) = RingSink::spawn(Arc::new(NullSink), 1 << 16);
+        b.iter(|| ring.emit(black_box(event())));
+        drop(ring);
+        drainer.shutdown();
+    });
+
+    g.bench_function("event_to_json_line", |b| {
+        let e = event();
+        b.iter(|| black_box(black_box(&e).to_json_line()));
     });
     g.finish();
 }
@@ -276,6 +377,7 @@ criterion_group!(
     benches,
     bench_firstresponder,
     bench_fr_backend,
+    bench_telemetry,
     bench_metrics,
     bench_escalator,
     bench_engine

@@ -22,6 +22,7 @@ use sg_core::score::ContainerObservation;
 use sg_core::time::{SimDuration, SimTime};
 use sg_core::{AllocAction, EscalatorConfig};
 use sg_sim::controller::{ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot};
+use sg_telemetry::{ActionKind, ScoredAction, SharedSink, TelemetryEvent};
 use std::collections::{HashMap, HashSet};
 
 /// Configuration of the full controller.
@@ -64,6 +65,8 @@ pub struct SurgeGuard {
     local_downstream: HashMap<ContainerId, Vec<ContainerId>>,
     /// Containers whose egress hint is currently set (to emit clears).
     hinted: HashSet<ContainerId>,
+    /// Decision-trace sink for scoreboard events (None = telemetry off).
+    sink: Option<SharedSink>,
 }
 
 impl SurgeGuard {
@@ -106,6 +109,7 @@ impl SurgeGuard {
                 .map(|c| (c.id, c.local_downstream.clone()))
                 .collect(),
             hinted: HashSet::new(),
+            sink: None,
         }
     }
 
@@ -146,7 +150,11 @@ impl Controller for SurgeGuard {
         }
     }
 
-    fn on_tick(&mut self, _now: SimTime, snapshot: &NodeSnapshot) -> Vec<ControlAction> {
+    fn attach_telemetry(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+    }
+
+    fn on_tick(&mut self, now: SimTime, snapshot: &NodeSnapshot) -> Vec<ControlAction> {
         let inputs: Vec<EscalatorObservation> = snapshot
             .containers
             .iter()
@@ -184,6 +192,70 @@ impl Controller for SurgeGuard {
             actions.push(ControlAction::SetEgressHint { id, hops: 0 });
         }
         self.hinted = new_hints;
+
+        // Record the cycle's scoreboard with a reason per emitted action:
+        // the controller is the only place that knows *why* (the paper's
+        // Table II candidate scores), so the harness can't derive this.
+        if let Some(sink) = &self.sink {
+            let score_of: HashMap<ContainerId, u32> =
+                decision.board.scores.iter().copied().collect();
+            let current: HashMap<ContainerId, (u32, u8)> = snapshot
+                .containers
+                .iter()
+                .map(|c| (c.id, (c.alloc.cores, c.alloc.freq_level)))
+                .collect();
+            let scored = actions
+                .iter()
+                .map(|a| {
+                    let (container, kind, reason) = match *a {
+                        ControlAction::SetCores { id, cores } => {
+                            let cur = current.get(&id).map_or(0, |c| c.0);
+                            let score = score_of.get(&id).copied().unwrap_or(0);
+                            let verb = if cores >= cur { "upscale" } else { "downscale" };
+                            (
+                                id,
+                                ActionKind::SetCores { cores },
+                                format!("{verb}: score {score}, cores {cur}->{cores}"),
+                            )
+                        }
+                        ControlAction::SetFreq { id, level } => {
+                            let cur = current.get(&id).map_or(0, |c| c.1);
+                            let score = score_of.get(&id).copied().unwrap_or(0);
+                            let verb = if level >= cur { "boost" } else { "retire" };
+                            (
+                                id,
+                                ActionKind::SetFreq { level },
+                                format!("{verb}: score {score}, level {cur}->{level}"),
+                            )
+                        }
+                        ControlAction::SetBandwidth { id, units } => (
+                            id,
+                            ActionKind::SetBandwidth { units },
+                            "bandwidth partition".to_string(),
+                        ),
+                        ControlAction::SetEgressHint { id, hops } => {
+                            let reason = if hops > 0 {
+                                "queueBuildup violation: hint off-node downstream".to_string()
+                            } else {
+                                "recovered: clear egress hint".to_string()
+                            };
+                            (id, ActionKind::SetEgressHint { hops }, reason)
+                        }
+                    };
+                    ScoredAction {
+                        container,
+                        kind,
+                        reason,
+                    }
+                })
+                .collect();
+            sink.emit(TelemetryEvent::Scoreboard {
+                at: now,
+                node: snapshot.node,
+                scores: decision.board.scores.clone(),
+                actions: scored,
+            });
+        }
 
         actions
     }

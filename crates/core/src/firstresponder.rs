@@ -19,7 +19,7 @@
 //!   level to the `shFreq` shared-memory analogue. Benchmarks measure the
 //!   paper's reported overheads against this implementation.
 
-use crate::ids::ContainerId;
+use crate::ids::{ContainerId, NodeId};
 use crate::metadata::RpcMetadata;
 use crate::slack::{is_violation, per_packet_slack, CooldownTable};
 use crate::time::{SimDuration, SimTime};
@@ -31,6 +31,10 @@ use std::thread::JoinHandle;
 /// A frequency update produced by the fast path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FreqUpdate {
+    /// Node whose rx hook issued the update. DVFS is a node-local register
+    /// write, so the apply side re-checks that `container` lives on this
+    /// node (decentralization contract).
+    pub from: NodeId,
     /// Container whose cores should change frequency.
     pub container: ContainerId,
     /// New DVFS level.
@@ -366,6 +370,7 @@ mod tests {
         let shfreq = rt.shared_freq();
         for i in 0..4u32 {
             assert!(rt.submit(FreqUpdate {
+                from: NodeId(0),
                 container: ContainerId(i),
                 level: 8,
             }));
@@ -391,6 +396,7 @@ mod tests {
         let mut ok = 0;
         for _ in 0..4 {
             if rt.submit(FreqUpdate {
+                from: NodeId(0),
                 container: ContainerId(0),
                 level: 1,
             }) {

@@ -7,7 +7,7 @@
 //! ```text
 //! sg-loadtest [--workload NAME] [--controller NAME] [--backend NAME]
 //!             [--nodes N] [--rate R] [--spikerate R] [--spikelen SECS]
-//!             [--duration SECS] [--qos MS] [--seed N]
+//!             [--duration SECS] [--qos MS] [--seed N] [--telemetry PATH]
 //!
 //!   --workload    chain | read | compose | search | reco   (default chain)
 //!   --controller  static | parties | caladan | surgeguard | escalator
@@ -21,6 +21,8 @@
 //!   --spikelen    spike duration in seconds (default 2; 0 disables spikes)
 //!   --duration    measurement seconds after warmup (default 30 sim, 5 live)
 //!   --qos         QoS limit in ms; default: calibrated limit
+//!   --telemetry   write the decision trace (why every scaling action
+//!                 happened) as JSONL to PATH; summarize with `sg-trace`
 //!
 //! Warmup is 5 s with the first spike at 10 s on the simulator; the live
 //! backend shortens both (1 s warmup, first spike at 2 s) so short real
@@ -34,7 +36,9 @@ use sg_core::time::{SimDuration, SimTime};
 use sg_loadgen::{LatencyHistogram, RunReport, SpikePattern};
 use sg_sim::controller::{ControllerFactory, NoopFactory};
 use sg_sim::runner::Simulation;
+use sg_telemetry::{JsonlSink, SharedSink};
 use sg_workloads::{prepare, CalibrationOptions, Workload};
+use std::sync::Arc;
 
 fn arg(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -129,21 +133,44 @@ fn main() {
         controller_name,
         if live { "live" } else { "sim" },
     );
+    let telemetry_path = arg(&args, "--telemetry");
+    let telemetry: Option<SharedSink> = telemetry_path.as_ref().map(|p| {
+        let sink = JsonlSink::create(std::path::Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("cannot create telemetry file '{p}': {e}");
+            std::process::exit(2);
+        });
+        Arc::new(sink) as SharedSink
+    });
+
     let result = if live {
-        let (result, stats) = sg_live::run_live_with_stats(
-            cfg,
-            factory.as_ref(),
-            arrivals,
-            sg_live::LiveOpts::default(),
-        );
+        let opts = sg_live::LiveOpts {
+            telemetry: telemetry.clone(),
+            ..sg_live::LiveOpts::default()
+        };
+        let (result, stats) = sg_live::run_live_with_stats(cfg, factory.as_ref(), arrivals, opts);
         eprintln!(
-            "live substrate: {} deliveries, {} freq updates applied, {} dropped",
+            "live substrate: {} deliveries, {} freq updates applied, {} dropped (fr_dropped)",
             stats.deliveries, stats.fr_applied, stats.fr_dropped
         );
+        if telemetry.is_some() {
+            eprintln!(
+                "telemetry: {} events forwarded, {} dropped by the relay ring",
+                stats.telemetry_forwarded, stats.telemetry_dropped
+            );
+        }
         result
     } else {
-        Simulation::new(cfg, factory.as_ref(), arrivals).run()
+        let mut sim = Simulation::new(cfg, factory.as_ref(), arrivals);
+        if let Some(sink) = &telemetry {
+            sim = sim.with_telemetry(Arc::clone(sink));
+        }
+        sim.run()
     };
+    // Drop our handle so the JSONL writer flushes before we report.
+    drop(telemetry);
+    if let Some(p) = &telemetry_path {
+        eprintln!("decision trace written to {p} (summarize with: sg-trace {p})");
+    }
 
     // wrk2-style output.
     let mut hist = LatencyHistogram::with_default_resolution();

@@ -19,6 +19,7 @@ use sg_core::ids::{ContainerId, NodeId};
 use sg_sim::cluster::SimConfig;
 use sg_sim::power::EnergyMeter;
 use sg_sim::trace::AllocTrace;
+use sg_telemetry::{ActionOutcome, SharedSink, TelemetryEvent};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 
@@ -67,6 +68,9 @@ pub struct ClusterState {
     trace: Mutex<Option<AllocTrace>>,
     /// Actions clamped to fit constraints (diagnostics, mirrors the sim).
     pub clamped: AtomicU64,
+    /// Decision-trace sink for allocation-change events. On the live
+    /// substrate this is the ring front-end, so emitting never blocks.
+    sink: Option<SharedSink>,
 }
 
 impl ClusterState {
@@ -122,7 +126,15 @@ impl ClusterState {
             meter: Mutex::new(meter),
             trace: Mutex::new(cfg.trace_allocations.then(AllocTrace::new)),
             clamped: AtomicU64::new(0),
+            sink: None,
         }
+    }
+
+    /// Enable allocation-change telemetry. Call before sharing the state
+    /// across threads (the sink handle is immutable afterwards).
+    pub fn with_telemetry(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Node a container runs on.
@@ -157,29 +169,51 @@ impl ClusterState {
         (avg_cores, energy_j, self.trace.lock().unwrap().take())
     }
 
+    /// Record an allocation change in the decision trace, if enabled.
+    fn emit_alloc(
+        &self,
+        now: sg_core::time::SimTime,
+        id: ContainerId,
+        cores: u32,
+        freq_level: u8,
+        freq_ghz: f64,
+    ) {
+        if let Some(sink) = &self.sink {
+            sink.emit(TelemetryEvent::Alloc {
+                at: now,
+                container: id,
+                cores,
+                freq_level,
+                freq_ghz,
+            });
+        }
+    }
+
     /// `SetCores`, with the simulator's exact clamping rules: local-node
     /// only, min/max clamp, and growth limited to the node's spare budget.
-    pub fn apply_cores(&self, from_node: NodeId, id: ContainerId, cores: u32) {
+    pub fn apply_cores(&self, from_node: NodeId, id: ContainerId, cores: u32) -> ActionOutcome {
         let i = id.index();
         if self.node_of[i] != from_node {
             self.clamped.fetch_add(1, Ordering::Relaxed);
-            return;
+            return ActionOutcome::RejectedCrossNode;
         }
         let now = self.clock.now();
         let mut a = self.alloc.lock().unwrap();
         let cons = &self.constraints;
         let mut target = cores.clamp(cons.min_cores, cons.max_cores);
         let current = a.allocs[i].cores;
+        let mut outcome = ActionOutcome::Applied;
         if target > current {
             let spare = cons.total_cores - a.node_alloc[from_node.index()];
             let grant = (target - current).min(spare);
             if grant < target - current {
                 self.clamped.fetch_add(1, Ordering::Relaxed);
+                outcome = ActionOutcome::Clamped;
             }
             target = current + grant;
         }
         if target == current {
-            return;
+            return outcome;
         }
         a.node_alloc[from_node.index()] = a.node_alloc[from_node.index()] + target - current;
         a.allocs[i].cores = target;
@@ -197,17 +231,25 @@ impl ClusterState {
         if let Some(tr) = self.trace.lock().unwrap().as_mut() {
             tr.record(now, id, target, ghz);
         }
+        self.emit_alloc(now, id, target, level, ghz);
+        outcome
     }
 
     /// `SetFreq`, applied by the FirstResponder worker thread after the
-    /// configured apply delay.
-    pub fn apply_freq(&self, id: ContainerId, level: u8) {
+    /// configured apply delay. Same-node only: DVFS is a per-node register
+    /// write, so an update whose `from_node` does not own the container is
+    /// rejected and counted, exactly as on the simulator substrate.
+    pub fn apply_freq(&self, from_node: NodeId, id: ContainerId, level: u8) -> ActionOutcome {
         let i = id.index();
+        if self.node_of[i] != from_node {
+            self.clamped.fetch_add(1, Ordering::Relaxed);
+            return ActionOutcome::RejectedCrossNode;
+        }
         let level = level.min(self.freq_table.max_level());
         let now = self.clock.now();
         let mut a = self.alloc.lock().unwrap();
         if a.allocs[i].freq_level == level {
-            return;
+            return ActionOutcome::Applied;
         }
         a.allocs[i].freq_level = level;
         let cores = a.allocs[i].cores;
@@ -224,15 +266,17 @@ impl ClusterState {
         if let Some(tr) = self.trace.lock().unwrap().as_mut() {
             tr.record(now, id, cores, ghz);
         }
+        self.emit_alloc(now, id, cores, level, ghz);
+        ActionOutcome::Applied
     }
 
     /// `SetBandwidth` (same-node only; `units` is tenths of a
     /// core-equivalent, 0 uncaps).
-    pub fn apply_bandwidth(&self, from_node: NodeId, id: ContainerId, units: u32) {
+    pub fn apply_bandwidth(&self, from_node: NodeId, id: ContainerId, units: u32) -> ActionOutcome {
         let i = id.index();
         if self.node_of[i] != from_node {
             self.clamped.fetch_add(1, Ordering::Relaxed);
-            return;
+            return ActionOutcome::RejectedCrossNode;
         }
         let cap = if units == 0 {
             None
@@ -245,11 +289,19 @@ impl ClusterState {
         let level = a.allocs[i].freq_level;
         drop(a);
         self.gates[i].set_capacity(cores, self.freq_table.speedup(level), cap);
+        ActionOutcome::Applied
     }
 
-    /// `SetEgressHint`.
-    pub fn apply_hint(&self, id: ContainerId, hops: u8) {
-        self.hints[id.index()].store(hops, Ordering::Relaxed);
+    /// `SetEgressHint` (same-node only: the hint is stamped by the local
+    /// container runtime, which only its own node configures).
+    pub fn apply_hint(&self, from_node: NodeId, id: ContainerId, hops: u8) -> ActionOutcome {
+        let i = id.index();
+        if self.node_of[i] != from_node {
+            self.clamped.fetch_add(1, Ordering::Relaxed);
+            return ActionOutcome::RejectedCrossNode;
+        }
+        self.hints[i].store(hops, Ordering::Relaxed);
+        ActionOutcome::Applied
     }
 
     /// Close all gates (shutdown).
@@ -303,15 +355,50 @@ mod tests {
     #[test]
     fn remote_actions_are_rejected() {
         let s = state();
-        s.apply_cores(NodeId(1), ContainerId(0), 4);
+        assert_eq!(
+            s.apply_cores(NodeId(1), ContainerId(0), 4),
+            ActionOutcome::RejectedCrossNode
+        );
         assert_eq!(s.alloc_of(ContainerId(0)).cores, 2);
         assert_eq!(s.clamped.load(Ordering::Relaxed), 1);
     }
 
     #[test]
+    fn remote_freq_and_hint_are_rejected() {
+        let s = state();
+        assert_eq!(
+            s.apply_freq(NodeId(1), ContainerId(0), 8),
+            ActionOutcome::RejectedCrossNode
+        );
+        assert_eq!(s.alloc_of(ContainerId(0)).freq_level, 0, "freq unchanged");
+        assert_eq!(
+            s.apply_hint(NodeId(1), ContainerId(0), 3),
+            ActionOutcome::RejectedCrossNode
+        );
+        assert_eq!(s.hints[0].load(Ordering::Relaxed), 0, "hint unchanged");
+        assert_eq!(
+            s.apply_bandwidth(NodeId(1), ContainerId(0), 10),
+            ActionOutcome::RejectedCrossNode
+        );
+        assert_eq!(s.clamped.load(Ordering::Relaxed), 3);
+        // The same calls from the owning node land.
+        assert_eq!(
+            s.apply_freq(NodeId(0), ContainerId(0), 1),
+            ActionOutcome::Applied
+        );
+        assert_eq!(s.alloc_of(ContainerId(0)).freq_level, 1);
+        assert_eq!(
+            s.apply_hint(NodeId(0), ContainerId(0), 3),
+            ActionOutcome::Applied
+        );
+        assert_eq!(s.hints[0].load(Ordering::Relaxed), 3);
+        assert_eq!(s.clamped.load(Ordering::Relaxed), 3, "no new clamps");
+    }
+
+    #[test]
     fn freq_level_saturates_at_table_max() {
         let s = state();
-        s.apply_freq(ContainerId(1), 250);
+        s.apply_freq(NodeId(0), ContainerId(1), 250);
         let lvl = s.alloc_of(ContainerId(1)).freq_level;
         assert!(lvl > 0);
     }

@@ -9,11 +9,14 @@
 
 use crate::driver::{run_live_with_stats, LiveOpts, LiveStats};
 use sg_core::config::ContainerParams;
+use sg_core::ids::ContainerId;
 use sg_core::time::{SimDuration, SimTime};
 use sg_sim::app::{linear_chain, ConnModel, TaskGraph};
 use sg_sim::cluster::{Placement, SimConfig};
-use sg_sim::controller::ControllerFactory;
+use sg_sim::controller::{ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot};
 use sg_sim::runner::{RunResult, Simulation};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Which substrate to run a scenario on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +112,126 @@ pub fn surge_arrivals(base: f64, end: SimTime) -> Vec<SimTime> {
 pub fn constant_arrivals(rate: f64, end: SimTime) -> Vec<SimTime> {
     use sg_loadgen::SpikePattern;
     SpikePattern::constant(rate).arrivals(SimTime::ZERO, end)
+}
+
+/// A four-service chain spread round-robin over two nodes: containers
+/// 0 and 2 land on node 0, containers 1 and 3 on node 1. Short enough
+/// for a live run, long enough for several decision cycles.
+pub fn two_node_cfg(end: SimTime) -> SimConfig {
+    let graph: TaskGraph = linear_chain(
+        "xnode",
+        &[SimDuration::from_micros(200); 4],
+        ConnModel::PerRequest,
+        0.0,
+    );
+    let mut cfg = SimConfig::new(graph, Placement::round_robin(4, 2));
+    cfg.end = end;
+    cfg.measure_start = SimTime::ZERO;
+    cfg.seed = 11;
+    cfg
+}
+
+/// A controller that keeps trying to manage a container on the *other*
+/// node, through every actuator with a cross-node failure mode: `SetFreq`
+/// (the FirstResponder apply path) and `SetEgressHint` (the runtime
+/// stamping path). Every emission is counted so the harness-side
+/// rejection count can be compared exactly.
+struct CrossNodeMeddler {
+    victim: ContainerId,
+    is_owner: bool,
+    emitted: Arc<AtomicU64>,
+}
+
+impl Controller for CrossNodeMeddler {
+    fn name(&self) -> &'static str {
+        "cross-node-meddler"
+    }
+    fn tick_interval(&self) -> SimDuration {
+        SimDuration::from_millis(50)
+    }
+    fn on_tick(&mut self, _now: SimTime, _s: &NodeSnapshot) -> Vec<ControlAction> {
+        if self.is_owner {
+            return Vec::new();
+        }
+        // Not my container: both substrates must refuse both actions.
+        self.emitted.fetch_add(2, Ordering::Relaxed);
+        vec![
+            ControlAction::SetFreq {
+                id: self.victim,
+                level: 2,
+            },
+            ControlAction::SetEgressHint {
+                id: self.victim,
+                hops: 3,
+            },
+        ]
+    }
+}
+
+/// Factory for the cross-node meddler: the node that owns container 0
+/// stays quiet; every other node attacks it each tick.
+pub struct CrossNodeMeddlerFactory {
+    /// Total cross-node actions emitted across all controllers.
+    pub emitted: Arc<AtomicU64>,
+}
+
+impl CrossNodeMeddlerFactory {
+    /// Factory with a fresh emission counter.
+    pub fn new() -> Self {
+        CrossNodeMeddlerFactory {
+            emitted: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Default for CrossNodeMeddlerFactory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ControllerFactory for CrossNodeMeddlerFactory {
+    fn name(&self) -> &'static str {
+        "cross-node-meddler"
+    }
+    fn make(&self, init: NodeInit) -> Box<dyn Controller> {
+        let victim = ContainerId(0); // lives on node 0
+        Box::new(CrossNodeMeddler {
+            victim,
+            is_owner: init.containers.iter().any(|c| c.id == victim),
+            emitted: Arc::clone(&self.emitted),
+        })
+    }
+}
+
+/// Decentralization check (the ownership bugfix this PR enforces): every
+/// cross-node `SetFreq`/`SetEgressHint` the meddler emitted must be
+/// rejected and counted — no more, no fewer — and none may reach the
+/// FirstResponder boost counter or the victim's allocation.
+pub fn assert_cross_node_control_rejected(backend: Backend, result: &RunResult, emitted: u64) {
+    let label = backend.label();
+    assert!(
+        emitted > 0,
+        "[{label}] scenario never emitted a cross-node action"
+    );
+    assert_eq!(
+        result.clamped_actions, emitted,
+        "[{label}] every cross-node SetFreq/SetEgressHint must be rejected and counted exactly \
+         (emitted {emitted}, clamped {})",
+        result.clamped_actions
+    );
+    assert_eq!(
+        result.packet_freq_boosts, 0,
+        "[{label}] a rejected cross-node SetFreq was attributed as a boost"
+    );
+    if let Some(trace) = &result.alloc_trace {
+        assert!(
+            trace.events.is_empty(),
+            "[{label}] allocations changed under a controller that only emitted rejected \
+             actions: {} events",
+            trace.events.len()
+        );
+    }
 }
 
 /// Directional check: with a `FixedPool(1)` edge under load, the *parent*

@@ -20,13 +20,14 @@ use sg_sim::cluster::SimConfig;
 use sg_sim::controller::{ContainerInit, ControllerFactory, NodeInit};
 use sg_sim::network::Network;
 use sg_sim::runner::{ProfileStats, RunResult};
+use sg_telemetry::{RingSink, SharedSink};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Knobs specific to the live substrate (the shared `SimConfig` covers
 /// everything semantic).
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct LiveOpts {
     /// Worker threads per container. Sized generously so the capacity
     /// gate — not the thread count — is the binding resource, matching
@@ -34,6 +35,13 @@ pub struct LiveOpts {
     pub workers_per_container: usize,
     /// Capacity of the FirstResponder coordinator→worker SPSC queue.
     pub fr_queue_capacity: usize,
+    /// Decision-trace destination. The driver wraps it in a bounded
+    /// lock-free ring ([`sg_telemetry::RingSink`]) so hot-path emissions
+    /// never block; drops are counted in [`LiveStats::telemetry_dropped`]
+    /// and testified to inside the trace itself.
+    pub telemetry: Option<SharedSink>,
+    /// Capacity of that telemetry relay ring.
+    pub telemetry_ring_capacity: usize,
 }
 
 impl Default for LiveOpts {
@@ -41,6 +49,8 @@ impl Default for LiveOpts {
         LiveOpts {
             workers_per_container: 8,
             fr_queue_capacity: 1024,
+            telemetry: None,
+            telemetry_ring_capacity: 64 * 1024,
         }
     }
 }
@@ -54,6 +64,10 @@ pub struct LiveStats {
     pub fr_dropped: u64,
     /// Messages delivered by the delay line.
     pub deliveries: u64,
+    /// Telemetry events forwarded to the user's sink.
+    pub telemetry_forwarded: u64,
+    /// Telemetry events lost to a full relay ring (should be zero).
+    pub telemetry_dropped: u64,
 }
 
 /// Run the workload in real time. Blocks the calling thread for
@@ -80,7 +94,22 @@ pub fn run_live_with_stats(
     );
     let n = cfg.graph.len();
     let clock = LiveClock::start();
-    let state = Arc::new(ClusterState::new(&cfg, clock.clone()));
+
+    // Telemetry: every hot-path emitter gets the ring front-end; the
+    // drainer thread forwards to the user's sink off-path.
+    let (sink, telemetry_drainer) = match opts.telemetry.clone() {
+        Some(user_sink) => {
+            let (ring, drainer) = RingSink::spawn(user_sink, opts.telemetry_ring_capacity);
+            (Some(ring as SharedSink), Some(drainer))
+        }
+        None => (None, None),
+    };
+
+    let mut state = ClusterState::new(&cfg, clock.clone());
+    if let Some(s) = &sink {
+        state = state.with_telemetry(Arc::clone(s));
+    }
+    let state = Arc::new(state);
 
     // Controllers: identical construction to `Simulation::new`, so the
     // factory cannot tell which substrate it is wiring into.
@@ -108,14 +137,18 @@ pub fn run_live_with_stats(
                 }
             })
             .collect();
-        controllers.push(Mutex::new(factory.make(NodeInit {
+        let mut controller = factory.make(NodeInit {
             node,
             containers: container_inits,
             constraints: cfg.constraints,
             freq_table: cfg.freq_table.clone(),
             e2e_low_load: cfg.e2e_low_load,
             max_container_id: n - 1,
-        })));
+        });
+        if let Some(s) = &sink {
+            controller.attach_telemetry(Arc::clone(s));
+        }
+        controllers.push(Mutex::new(controller));
     }
 
     // The real Fig. 9 fast path: the rx hook enqueues, this worker thread
@@ -126,7 +159,7 @@ pub fn run_live_with_stats(
         if !apply_delay.is_zero() {
             std::thread::sleep(std::time::Duration::from_nanos(apply_delay.as_nanos()));
         }
-        apply_state.apply_freq(update.container, update.level);
+        apply_state.apply_freq(update.from, update.container, update.level);
     });
 
     let network = match cfg.latency_surge {
@@ -159,6 +192,7 @@ pub fn run_live_with_stats(
         in_flight: AtomicUsize::new(0),
         peak_in_flight: AtomicUsize::new(0),
         packet_freq_boosts: AtomicU64::new(0),
+        sink,
         cfg,
     });
     let cfg = &cluster.cfg;
@@ -239,6 +273,14 @@ pub fn run_live_with_stats(
         let dropped = fr.dropped();
         (fr.shutdown(), dropped)
     };
+    // All emitting threads are joined; draining now loses nothing.
+    let (telemetry_forwarded, telemetry_dropped) = match telemetry_drainer {
+        Some(drainer) => {
+            let stats = drainer.shutdown();
+            (stats.forwarded, stats.dropped)
+        }
+        None => (0, 0),
+    };
 
     let mut points = std::mem::take(&mut *cluster.points.lock().unwrap());
     points.sort_by_key(|p| p.completion);
@@ -286,6 +328,8 @@ pub fn run_live_with_stats(
         fr_applied,
         fr_dropped,
         deliveries: result.events,
+        telemetry_forwarded,
+        telemetry_dropped,
     };
     (result, stats)
 }

@@ -28,6 +28,7 @@ use sg_core::firstresponder::{FrRuntime, FreqUpdate};
 use sg_core::ids::{ContainerId, NodeId, ServiceId};
 use sg_core::metadata::RpcMetadata;
 use sg_core::metrics::{MetricsWindow, RequestSample};
+use sg_core::slack::per_packet_slack;
 use sg_core::time::{SimDuration, SimTime};
 use sg_core::violation::LatencyPoint;
 use sg_sim::app::CallMode;
@@ -35,6 +36,7 @@ use sg_sim::cluster::SimConfig;
 use sg_sim::container::sample_work;
 use sg_sim::controller::{ControlAction, Controller};
 use sg_sim::network::Network;
+use sg_telemetry::{ActionKind, ActionOrigin, ActionOutcome, SharedSink, TelemetryEvent};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -76,35 +78,90 @@ pub struct LiveCluster {
     pub peak_in_flight: AtomicUsize,
     /// `SetFreq` actions originating from packet hooks.
     pub packet_freq_boosts: AtomicU64,
+    /// Decision-trace sink (the ring front-end when telemetry is on, so
+    /// emitting from the rx hook or a tick thread never blocks on I/O).
+    pub sink: Option<SharedSink>,
 }
 
 impl LiveCluster {
     /// Apply controller actions, counting packet-hook `SetFreq` as
     /// FirstResponder boosts — same attribution as the sim.
     pub fn apply_actions(&self, node: NodeId, actions: Vec<ControlAction>, in_packet_hook: bool) {
+        let origin = if in_packet_hook {
+            ActionOrigin::PacketHook
+        } else {
+            ActionOrigin::Tick
+        };
         for action in actions {
             match action {
                 ControlAction::SetCores { id, cores } => {
-                    self.state.apply_cores(node, id, cores);
+                    let outcome = self.state.apply_cores(node, id, cores);
+                    self.emit_action(node, id, origin, ActionKind::SetCores { cores }, outcome);
                 }
                 ControlAction::SetFreq { id, level } => {
+                    let kind = ActionKind::SetFreq { level };
+                    // Reject cross-node boosts on the submitting side, so
+                    // they are counted exactly like the sim and never
+                    // consume FirstResponder queue space. The apply side
+                    // re-checks via `FreqUpdate::from` (defense in depth).
+                    if self.state.node_of(id) != node {
+                        self.state.clamped.fetch_add(1, Ordering::Relaxed);
+                        self.emit_action(node, id, origin, kind, ActionOutcome::RejectedCrossNode);
+                        continue;
+                    }
                     if in_packet_hook {
                         self.packet_freq_boosts.fetch_add(1, Ordering::Relaxed);
                     }
                     if let Some(fr) = self.fr.lock().unwrap().as_mut() {
                         fr.submit(FreqUpdate {
+                            from: node,
                             container: id,
                             level,
                         });
                     }
+                    self.emit_action(node, id, origin, kind, ActionOutcome::Deferred);
                 }
                 ControlAction::SetBandwidth { id, units } => {
-                    self.state.apply_bandwidth(node, id, units);
+                    let outcome = self.state.apply_bandwidth(node, id, units);
+                    self.emit_action(
+                        node,
+                        id,
+                        origin,
+                        ActionKind::SetBandwidth { units },
+                        outcome,
+                    );
                 }
                 ControlAction::SetEgressHint { id, hops } => {
-                    self.state.apply_hint(id, hops);
+                    let outcome = self.state.apply_hint(node, id, hops);
+                    self.emit_action(
+                        node,
+                        id,
+                        origin,
+                        ActionKind::SetEgressHint { hops },
+                        outcome,
+                    );
                 }
             }
+        }
+    }
+
+    fn emit_action(
+        &self,
+        node: NodeId,
+        container: ContainerId,
+        origin: ActionOrigin,
+        kind: ActionKind,
+        outcome: ActionOutcome,
+    ) {
+        if let Some(sink) = &self.sink {
+            sink.emit(TelemetryEvent::Action {
+                at: self.clock.now(),
+                node,
+                container,
+                origin,
+                kind,
+                outcome,
+            });
         }
     }
 
@@ -125,6 +182,31 @@ impl LiveCluster {
             .unwrap()
             .on_packet(now, dest, meta);
         if !actions.is_empty() {
+            if let Some(sink) = &self.sink {
+                let targets = actions
+                    .iter()
+                    .filter(|a| matches!(a, ControlAction::SetFreq { .. }))
+                    .count() as u32;
+                if targets > 0 {
+                    let expected = self.cfg.params[dest.index()].expected_time_from_start;
+                    let level = actions
+                        .iter()
+                        .filter_map(|a| match a {
+                            ControlAction::SetFreq { level, .. } => Some(*level),
+                            _ => None,
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    sink.emit(TelemetryEvent::FrBoost {
+                        at: now,
+                        node,
+                        dest,
+                        slack_ns: per_packet_slack(expected, now, meta.start_time),
+                        level,
+                        targets,
+                    });
+                }
+            }
             self.apply_actions(node, actions, true);
         }
         self.queues[dest.index()].push(Job {
@@ -351,6 +433,20 @@ impl LiveCluster {
                     })
                     .collect(),
             };
+            if let Some(sink) = &self.sink {
+                for cs in &snapshot.containers {
+                    sink.emit(TelemetryEvent::Window {
+                        at: now,
+                        node: NodeId(node as u32),
+                        container: cs.id,
+                        requests: cs.metrics.requests,
+                        mean_exec_time_ns: cs.metrics.mean_exec_time.as_nanos(),
+                        mean_exec_metric_ns: cs.metrics.mean_exec_metric.as_nanos(),
+                        queue_buildup: cs.metrics.queue_buildup,
+                        upscale_hints: cs.metrics.upscale_hints,
+                    });
+                }
+            }
             let actions = self.controllers[node]
                 .lock()
                 .unwrap()

@@ -7,8 +7,9 @@
 use sg_controllers::SurgeGuardFactory;
 use sg_core::time::SimTime;
 use sg_live::conformance::{
-    assert_boost_retires, assert_first_responder_reacted, assert_pool_exhaustion_queues_upstream,
-    constant_arrivals, run_backend, surge_arrivals, two_stage_cfg, Backend,
+    assert_boost_retires, assert_cross_node_control_rejected, assert_first_responder_reacted,
+    assert_pool_exhaustion_queues_upstream, constant_arrivals, run_backend, surge_arrivals,
+    two_node_cfg, two_stage_cfg, Backend, CrossNodeMeddlerFactory,
 };
 use sg_sim::app::ConnModel;
 use sg_sim::controller::NoopFactory;
@@ -63,6 +64,30 @@ fn first_responder_reacts_on_both_backends() {
                 "[live] no frequency update reached the apply worker"
             );
         }
+    }
+}
+
+/// Decentralization contract (this PR's ownership bugfix): a controller
+/// emitting cross-node `SetFreq` and `SetEgressHint` must see every one
+/// of them rejected and counted in `clamped_actions`, identically on both
+/// substrates — and the rejected boosts must never reach the packet-boost
+/// counter or the victim's allocation.
+#[test]
+fn cross_node_freq_and_hint_rejected_on_both_backends() {
+    use std::sync::atomic::Ordering;
+    let end = SimTime::from_millis(400);
+    for backend in Backend::both() {
+        let mut cfg = two_node_cfg(end);
+        cfg.trace_allocations = true;
+        let factory = CrossNodeMeddlerFactory::new();
+        let (result, _) = run_backend(backend, cfg, &factory, constant_arrivals(200.0, end));
+        assert!(
+            result.completed > 0,
+            "[{}] two-node scenario completed no requests",
+            backend.label()
+        );
+        let emitted = factory.emitted.load(Ordering::Relaxed);
+        assert_cross_node_control_rejected(backend, &result, emitted);
     }
 }
 

@@ -9,6 +9,7 @@ use sg_core::time::SimTime;
 use sg_live::conformance::{surge_arrivals, two_stage_cfg};
 use sg_live::{run_live_with_stats, LiveOpts};
 use sg_sim::app::ConnModel;
+use sg_telemetry::{TelemetryEvent, VecSink};
 
 #[test]
 fn live_surge_run_exercises_the_whole_stack() {
@@ -18,13 +19,13 @@ fn live_surge_run_exercises_the_whole_stack() {
     let arrivals = surge_arrivals(400.0, end);
     let expected = arrivals.len() as u64;
 
+    let telemetry = VecSink::shared();
+    let opts = LiveOpts {
+        telemetry: Some(telemetry.clone()),
+        ..LiveOpts::default()
+    };
     let started = std::time::Instant::now();
-    let (result, stats) = run_live_with_stats(
-        cfg,
-        &SurgeGuardFactory::full(),
-        arrivals,
-        LiveOpts::default(),
-    );
+    let (result, stats) = run_live_with_stats(cfg, &SurgeGuardFactory::full(), arrivals, opts);
     let wall = started.elapsed();
 
     // The run paces itself on the wall clock: it must take at least the
@@ -56,4 +57,32 @@ fn live_surge_run_exercises_the_whole_stack() {
     assert!(stats.fr_applied > 0, "no frequency update was applied");
     let trace = result.alloc_trace.as_ref().expect("trace enabled");
     assert!(!trace.events.is_empty(), "no allocation changes recorded");
+
+    // The decision trace rode along without losing anything, and it
+    // explains the counters above: every packet boost has an fr_boost
+    // event, every allocation change an alloc event.
+    assert_eq!(stats.telemetry_dropped, 0, "telemetry ring overflowed");
+    let events = telemetry.take();
+    assert_eq!(stats.telemetry_forwarded, events.len() as u64);
+    // One fr_boost event per triggering packet; its `targets` counts the
+    // SetFreq actions it spawned, which is what packet_freq_boosts tallies.
+    let boost_targets: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::FrBoost { targets, .. } => Some(*targets as u64),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(boost_targets, result.packet_freq_boosts);
+    let allocs = events
+        .iter()
+        .filter(|e| matches!(e, TelemetryEvent::Alloc { .. }))
+        .count();
+    assert_eq!(allocs, trace.events.len());
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TelemetryEvent::Scoreboard { .. })),
+        "SurgeGuard never published a scoreboard"
+    );
 }

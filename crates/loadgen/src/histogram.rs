@@ -61,7 +61,7 @@ impl LatencyHistogram {
         (sub + (octave as u64 - 1) * (sub / 2) + (shifted - sub / 2)) as usize
     }
 
-    /// Lower edge of `bucket` (the reported representative value).
+    /// Lower edge of `bucket`.
     fn bucket_low(&self, bucket: usize) -> u64 {
         let sub = (1u64 << self.sig_bits) as usize;
         if bucket < sub {
@@ -71,7 +71,19 @@ impl LatencyHistogram {
         let half = sub / 2;
         let octave = (rel / half) as u32 + 1;
         let pos = (rel % half) as u64 + half as u64;
-        pos << octave
+        pos.checked_shl(octave).unwrap_or(u64::MAX)
+    }
+
+    /// Highest value equivalent to `bucket` (inclusive upper edge): the
+    /// reported representative, matching HdrHistogram/wrk2 semantics so
+    /// quantiles never understate the latency they summarize.
+    fn bucket_high(&self, bucket: usize) -> u64 {
+        let sub = (1u64 << self.sig_bits) as usize;
+        if bucket < sub {
+            // Linear region: exact single-value buckets.
+            return bucket as u64;
+        }
+        self.bucket_low(bucket + 1).saturating_sub(1)
     }
 
     /// Record one latency.
@@ -111,8 +123,12 @@ impl LatencyHistogram {
         (self.total > 0).then(|| SimDuration::from_nanos((self.sum_ns / self.total as u128) as u64))
     }
 
-    /// Quantile `q` in `[0,100]` by cumulative bucket counts; within-bucket
-    /// error bounded by the bucket width (≤ 1/2^sig_bits relative).
+    /// Quantile `q` in `[0,100]` by cumulative bucket counts. Reports the
+    /// highest value equivalent to the rank's bucket (upper edge, clamped
+    /// to the exact observed maximum) — HdrHistogram/wrk2 semantics. The
+    /// within-bucket error is one-sided: the report never understates the
+    /// true quantile, and overstates by at most the bucket width
+    /// (≤ 1/2^(sig_bits-1) relative).
     pub fn percentile(&self, q: f64) -> Option<SimDuration> {
         if self.total == 0 {
             return None;
@@ -123,7 +139,9 @@ impl LatencyHistogram {
         for (b, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Some(SimDuration::from_nanos(self.bucket_low(b).max(self.min_ns)));
+                return Some(SimDuration::from_nanos(
+                    self.bucket_high(b).min(self.max_ns),
+                ));
             }
         }
         Some(SimDuration::from_nanos(self.max_ns))
@@ -172,8 +190,22 @@ mod tests {
         for q in [50.0, 90.0, 98.0, 99.0, 99.9] {
             let exact = values[((q / 100.0) * values.len() as f64).ceil() as usize - 1] * 1_000;
             let got = h.percentile(q).unwrap().as_nanos();
-            let rel = (got as f64 - exact as f64).abs() / exact as f64;
+            // One-sided bound: reported quantiles never understate the
+            // exact order statistic and overstate by under a bucket width.
+            assert!(got >= exact, "q{q}: got {got} understates exact {exact}");
+            let rel = (got as f64 - exact as f64) / exact as f64;
             assert!(rel < 0.04, "q{q}: got {got}, exact {exact}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_a_single_value_is_exact() {
+        // One sample: every quantile is that sample — the upper-edge
+        // report must clamp to the observed maximum, not the bucket edge.
+        let mut h = LatencyHistogram::with_default_resolution();
+        h.record(SimDuration::from_nanos(1_000_003));
+        for q in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(q).unwrap().as_nanos(), 1_000_003, "q{q}");
         }
     }
 

@@ -147,6 +147,14 @@ pub trait Controller: Send {
         let _ = (now, dest, meta);
         Vec::new()
     }
+
+    /// Hand the controller a telemetry sink for decision-trace events the
+    /// harness cannot see from the outside (e.g. the Escalator's candidate
+    /// scoreboard). Called once per controller, before any hook, and only
+    /// when the run has telemetry enabled. Default: ignore the sink.
+    fn attach_telemetry(&mut self, sink: sg_telemetry::SharedSink) {
+        let _ = sink;
+    }
 }
 
 /// Builds one [`Controller`] per node. The factory pattern keeps

@@ -20,8 +20,11 @@ use sg_core::allocator::ContainerAlloc;
 use sg_core::ids::{ContainerId, NodeId, ServiceId};
 use sg_core::metadata::RpcMetadata;
 use sg_core::metrics::RequestSample;
+use sg_core::slack::per_packet_slack;
 use sg_core::time::{SimDuration, SimTime};
 use sg_core::violation::LatencyPoint;
+use sg_telemetry::{ActionKind, ActionOrigin, ActionOutcome, SharedSink, TelemetryEvent};
+use std::sync::Arc;
 
 /// Execution phase of an invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +142,8 @@ pub struct Simulation {
     /// True while inside a packet-hook action application (to attribute
     /// freq boosts to the fast path).
     in_packet_hook: bool,
+    /// Decision-trace sink; `None` costs one branch per emission site.
+    sink: Option<SharedSink>,
 }
 
 impl Simulation {
@@ -258,8 +263,22 @@ impl Simulation {
             packet_freq_boosts: 0,
             meter_reset_done: false,
             in_packet_hook: false,
+            sink: None,
             cfg,
         }
+    }
+
+    /// Enable decision-trace telemetry: the harness emits action, alloc,
+    /// FirstResponder-boost and window events into `sink`, and every
+    /// controller is offered the sink for its own events (scoreboards).
+    /// The simulator is single-threaded, so events are recorded directly —
+    /// no relay ring is needed on this substrate.
+    pub fn with_telemetry(mut self, sink: SharedSink) -> Self {
+        for controller in &mut self.controllers {
+            controller.attach_telemetry(Arc::clone(&sink));
+        }
+        self.sink = Some(sink);
+        self
     }
 
     /// Run to completion and produce the results.
@@ -407,6 +426,31 @@ impl Simulation {
         let node = self.containers[packet.dest.index()].node;
         let actions = self.controllers[node.index()].on_packet(now, packet.dest, packet.meta);
         if !actions.is_empty() {
+            if let Some(sink) = &self.sink {
+                let targets = actions
+                    .iter()
+                    .filter(|a| matches!(a, ControlAction::SetFreq { .. }))
+                    .count() as u32;
+                if targets > 0 {
+                    let expected = self.cfg.params[packet.dest.index()].expected_time_from_start;
+                    let level = actions
+                        .iter()
+                        .filter_map(|a| match a {
+                            ControlAction::SetFreq { level, .. } => Some(*level),
+                            _ => None,
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    sink.emit(TelemetryEvent::FrBoost {
+                        at: now,
+                        node,
+                        dest: packet.dest,
+                        slack_ns: per_packet_slack(expected, now, packet.meta.start_time),
+                        level,
+                        targets,
+                    });
+                }
+            }
             self.in_packet_hook = true;
             self.apply_actions(now, node, actions);
             self.in_packet_hook = false;
@@ -674,6 +718,20 @@ impl Simulation {
                 })
                 .collect(),
         };
+        if let Some(sink) = &self.sink {
+            for cs in &snapshot.containers {
+                sink.emit(TelemetryEvent::Window {
+                    at: now,
+                    node,
+                    container: cs.id,
+                    requests: cs.metrics.requests,
+                    mean_exec_time_ns: cs.metrics.mean_exec_time.as_nanos(),
+                    mean_exec_metric_ns: cs.metrics.mean_exec_metric.as_nanos(),
+                    queue_buildup: cs.metrics.queue_buildup,
+                    upscale_hints: cs.metrics.upscale_hints,
+                });
+            }
+        }
         let actions = self.controllers[node.index()].on_tick(now, &snapshot);
         self.apply_actions(now, node, actions);
         let next = now + self.controllers[node.index()].tick_interval();
@@ -685,10 +743,41 @@ impl Simulation {
     // ---------------------------------------------------------------
 
     fn apply_actions(&mut self, now: SimTime, node: NodeId, actions: Vec<ControlAction>) {
+        let origin = if self.in_packet_hook {
+            ActionOrigin::PacketHook
+        } else {
+            ActionOrigin::Tick
+        };
         for action in actions {
             match action {
-                ControlAction::SetCores { id, cores } => self.apply_cores(now, node, id, cores),
+                ControlAction::SetCores { id, cores } => {
+                    let outcome = self.apply_cores(now, node, id, cores);
+                    self.emit_action(
+                        now,
+                        node,
+                        id,
+                        origin,
+                        ActionKind::SetCores { cores },
+                        outcome,
+                    );
+                }
                 ControlAction::SetFreq { id, level } => {
+                    let kind = ActionKind::SetFreq { level };
+                    // Decentralization contract: DVFS is a node-local
+                    // register write; a controller cannot boost containers
+                    // it does not own.
+                    if self.containers[id.index()].node != node {
+                        self.clamped_actions += 1;
+                        self.emit_action(
+                            now,
+                            node,
+                            id,
+                            origin,
+                            kind,
+                            ActionOutcome::RejectedCrossNode,
+                        );
+                        continue;
+                    }
                     if self.in_packet_hook {
                         self.packet_freq_boosts += 1;
                     }
@@ -699,8 +788,10 @@ impl Simulation {
                             level,
                         },
                     );
+                    self.emit_action(now, node, id, origin, kind, ActionOutcome::Deferred);
                 }
                 ControlAction::SetBandwidth { id, units } => {
+                    let kind = ActionKind::SetBandwidth { units };
                     let node_of = self.containers[id.index()].node;
                     if node_of == node {
                         let cap = if units == 0 {
@@ -710,27 +801,80 @@ impl Simulation {
                         };
                         self.containers[id.index()].set_bw_cap(now, cap);
                         self.reschedule(now, id);
+                        self.emit_action(now, node, id, origin, kind, ActionOutcome::Applied);
                     } else {
                         self.clamped_actions += 1;
+                        self.emit_action(
+                            now,
+                            node,
+                            id,
+                            origin,
+                            kind,
+                            ActionOutcome::RejectedCrossNode,
+                        );
                     }
                 }
                 ControlAction::SetEgressHint { id, hops } => {
+                    let kind = ActionKind::SetEgressHint { hops };
+                    // Same contract: the hint is stamped by the local
+                    // container runtime, which only this node configures.
+                    if self.containers[id.index()].node != node {
+                        self.clamped_actions += 1;
+                        self.emit_action(
+                            now,
+                            node,
+                            id,
+                            origin,
+                            kind,
+                            ActionOutcome::RejectedCrossNode,
+                        );
+                        continue;
+                    }
                     self.containers[id.index()].egress_hint = hops;
+                    self.emit_action(now, node, id, origin, kind, ActionOutcome::Applied);
                 }
             }
         }
     }
 
-    fn apply_cores(&mut self, now: SimTime, node: NodeId, id: ContainerId, cores: u32) {
+    fn emit_action(
+        &self,
+        now: SimTime,
+        node: NodeId,
+        container: ContainerId,
+        origin: ActionOrigin,
+        kind: ActionKind,
+        outcome: ActionOutcome,
+    ) {
+        if let Some(sink) = &self.sink {
+            sink.emit(TelemetryEvent::Action {
+                at: now,
+                node,
+                container,
+                origin,
+                kind,
+                outcome,
+            });
+        }
+    }
+
+    fn apply_cores(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        id: ContainerId,
+        cores: u32,
+    ) -> ActionOutcome {
         let i = id.index();
         if self.containers[i].node != node {
             // Controllers may only manage local containers.
             self.clamped_actions += 1;
-            return;
+            return ActionOutcome::RejectedCrossNode;
         }
         let cons = &self.cfg.constraints;
         let mut target = cores.clamp(cons.min_cores, cons.max_cores);
         let current = self.allocs[i].cores;
+        let mut outcome = ActionOutcome::Applied;
         // Node budget: growing beyond the node's workload cores is clamped
         // to what is actually spare.
         if target > current {
@@ -738,11 +882,12 @@ impl Simulation {
             let grant = (target - current).min(spare);
             if grant < target - current {
                 self.clamped_actions += 1;
+                outcome = ActionOutcome::Clamped;
             }
             target = current + grant;
         }
         if target == current {
-            return;
+            return outcome;
         }
         self.node_alloc[node.index()] = self.node_alloc[node.index()] + target - current;
         self.allocs[i].cores = target;
@@ -761,7 +906,17 @@ impl Simulation {
                 self.cfg.freq_table.ghz(self.allocs[i].freq_level),
             );
         }
+        if let Some(sink) = &self.sink {
+            sink.emit(TelemetryEvent::Alloc {
+                at: now,
+                container: id,
+                cores: target,
+                freq_level: self.allocs[i].freq_level,
+                freq_ghz: self.cfg.freq_table.ghz(self.allocs[i].freq_level),
+            });
+        }
         self.reschedule(now, id);
+        outcome
     }
 
     fn apply_freq(&mut self, now: SimTime, id: ContainerId, level: u8) {
@@ -782,6 +937,15 @@ impl Simulation {
                 self.allocs[i].cores,
                 self.cfg.freq_table.ghz(level),
             );
+        }
+        if let Some(sink) = &self.sink {
+            sink.emit(TelemetryEvent::Alloc {
+                at: now,
+                container: id,
+                cores: self.allocs[i].cores,
+                freq_level: level,
+                freq_ghz: self.cfg.freq_table.ghz(level),
+            });
         }
         self.reschedule(now, id);
     }

@@ -106,10 +106,12 @@ fn controllers_only_ever_see_their_own_node() {
     );
 }
 
-/// A controller that tries to manage a container on another node.
+/// A controller that tries to manage a container on another node,
+/// through every actuator: cores, frequency, and egress hints.
 struct Meddler {
     victim: ContainerId,
     is_owner: bool,
+    emitted: Arc<AtomicU64>,
 }
 
 impl Controller for Meddler {
@@ -123,15 +125,29 @@ impl Controller for Meddler {
         if self.is_owner {
             return Vec::new();
         }
-        // Not my container: the harness must refuse this.
-        vec![ControlAction::SetCores {
-            id: self.victim,
-            cores: 16,
-        }]
+        // Not my container: the harness must refuse all three.
+        self.emitted.fetch_add(3, Ordering::Relaxed);
+        vec![
+            ControlAction::SetCores {
+                id: self.victim,
+                cores: 16,
+            },
+            ControlAction::SetFreq {
+                id: self.victim,
+                level: 2,
+            },
+            ControlAction::SetEgressHint {
+                id: self.victim,
+                hops: 3,
+            },
+        ]
     }
 }
 
-struct MeddlerFactory;
+struct MeddlerFactory {
+    emitted: Arc<AtomicU64>,
+}
+
 impl ControllerFactory for MeddlerFactory {
     fn name(&self) -> &'static str {
         "meddler"
@@ -141,6 +157,7 @@ impl ControllerFactory for MeddlerFactory {
         Box::new(Meddler {
             victim,
             is_owner: init.containers.iter().any(|c| c.id == victim),
+            emitted: Arc::clone(&self.emitted),
         })
     }
 }
@@ -149,11 +166,18 @@ impl ControllerFactory for MeddlerFactory {
 fn cross_node_actions_are_rejected_and_counted() {
     let cfg = config(2); // containers 0,2 on node0; 1,3 on node1
     let arrivals = constant_arrivals(200.0, SimTime::ZERO, SimTime::from_millis(1800));
-    let r = Simulation::new(cfg, &MeddlerFactory, arrivals).run();
-    assert!(
-        r.clamped_actions > 0,
-        "remote SetCores must be rejected and counted"
+    let factory = MeddlerFactory {
+        emitted: Arc::new(AtomicU64::new(0)),
+    };
+    let r = Simulation::new(cfg, &factory, arrivals).run();
+    let emitted = factory.emitted.load(Ordering::Relaxed);
+    assert!(emitted > 0, "meddler never ticked");
+    assert_eq!(
+        r.clamped_actions, emitted,
+        "every remote SetCores/SetFreq/SetEgressHint must be rejected and counted"
     );
+    // None of the rejected SetFreq emissions may be attributed as boosts.
+    assert_eq!(r.packet_freq_boosts, 0);
     // The victim's allocation was never touched: trace is empty because
     // tracing is off, but the run's average cores stays at the initial 8.
     assert!(

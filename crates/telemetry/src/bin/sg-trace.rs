@@ -1,0 +1,60 @@
+//! `sg-trace` — summarize a telemetry JSONL trace.
+//!
+//! Usage: `sg-trace TRACE.jsonl`
+//!
+//! Reads a trace produced by `sg-loadtest --telemetry` (or any
+//! `JsonlSink`) and prints the per-container allocation timeline, the
+//! boost→retire latency distribution, the decision-cycle action
+//! histogram, and the clamp/rejection audit. Unparseable lines are
+//! counted and reported, not fatal — a trace truncated by a crash should
+//! still summarize.
+
+use sg_telemetry::{TelemetryEvent, TraceSummary};
+use std::io::{BufRead, BufReader};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let path = match args.next() {
+        Some(p) if p != "--help" && p != "-h" => p,
+        _ => {
+            eprintln!("usage: sg-trace TRACE.jsonl");
+            eprintln!("  summarize a telemetry trace recorded with sg-loadtest --telemetry");
+            return ExitCode::from(2);
+        }
+    };
+
+    let file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sg-trace: cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut events = Vec::new();
+    let mut bad_lines = 0u64;
+    for line in BufReader::new(file).lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("sg-trace: read error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TelemetryEvent::from_json_line(&line) {
+            Ok(event) => events.push(event),
+            Err(_) => bad_lines += 1,
+        }
+    }
+
+    let summary = TraceSummary::from_events(events);
+    print!("{}", summary.render());
+    if bad_lines > 0 {
+        eprintln!("sg-trace: skipped {bad_lines} unparseable line(s)");
+    }
+    ExitCode::SUCCESS
+}

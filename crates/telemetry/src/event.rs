@@ -1,0 +1,543 @@
+//! The typed event taxonomy and its JSONL encoding.
+//!
+//! Every event is one self-describing JSON object per line, keyed by a
+//! `"type"` discriminator, so traces stream, concatenate, and survive
+//! partial writes. Encoding and decoding round-trip exactly — `sg-trace`
+//! reads back what the sinks wrote.
+
+use serde_json::{json, Value};
+use sg_core::ids::{ContainerId, NodeId};
+use sg_core::time::SimTime;
+
+/// What a control action asked for (the action's single argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionKind {
+    /// `SetCores { cores }`.
+    SetCores {
+        /// Absolute core count requested.
+        cores: u32,
+    },
+    /// `SetFreq { level }`.
+    SetFreq {
+        /// DVFS level requested.
+        level: u8,
+    },
+    /// `SetBandwidth { units }` (tenths of a core-equivalent; 0 uncaps).
+    SetBandwidth {
+        /// Cap requested.
+        units: u32,
+    },
+    /// `SetEgressHint { hops }` (0 clears).
+    SetEgressHint {
+        /// Hop count requested.
+        hops: u8,
+    },
+}
+
+impl ActionKind {
+    /// Stable wire name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActionKind::SetCores { .. } => "set_cores",
+            ActionKind::SetFreq { .. } => "set_freq",
+            ActionKind::SetBandwidth { .. } => "set_bandwidth",
+            ActionKind::SetEgressHint { .. } => "set_egress_hint",
+        }
+    }
+
+    /// The action's argument as a plain number (for the wire format).
+    pub fn arg(self) -> u32 {
+        match self {
+            ActionKind::SetCores { cores } => cores,
+            ActionKind::SetFreq { level } => level as u32,
+            ActionKind::SetBandwidth { units } => units,
+            ActionKind::SetEgressHint { hops } => hops as u32,
+        }
+    }
+
+    fn from_wire(name: &str, arg: u32) -> Option<ActionKind> {
+        Some(match name {
+            "set_cores" => ActionKind::SetCores { cores: arg },
+            "set_freq" => ActionKind::SetFreq { level: arg as u8 },
+            "set_bandwidth" => ActionKind::SetBandwidth { units: arg },
+            "set_egress_hint" => ActionKind::SetEgressHint { hops: arg as u8 },
+            _ => return None,
+        })
+    }
+}
+
+/// Which path produced an action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionOrigin {
+    /// The controller's decision cycle (`on_tick`).
+    Tick,
+    /// The per-packet rx hook (`on_packet` — the FirstResponder site).
+    PacketHook,
+}
+
+impl ActionOrigin {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActionOrigin::Tick => "tick",
+            ActionOrigin::PacketHook => "packet_hook",
+        }
+    }
+
+    fn from_wire(name: &str) -> Option<ActionOrigin> {
+        Some(match name {
+            "tick" => ActionOrigin::Tick,
+            "packet_hook" => ActionOrigin::PacketHook,
+            _ => return None,
+        })
+    }
+}
+
+/// What the harness's enforcement layer did with an action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionOutcome {
+    /// Applied as requested (possibly a no-op if already at the target).
+    Applied,
+    /// Accepted, but takes effect after the configured apply delay (the
+    /// MSR-write latency on `SetFreq`).
+    Deferred,
+    /// Partially honoured: clamped to min/max bounds or the node's spare
+    /// core budget.
+    Clamped,
+    /// Refused outright: the acting node does not own the target
+    /// container (decentralization violation).
+    RejectedCrossNode,
+}
+
+impl ActionOutcome {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActionOutcome::Applied => "applied",
+            ActionOutcome::Deferred => "deferred",
+            ActionOutcome::Clamped => "clamped",
+            ActionOutcome::RejectedCrossNode => "rejected_cross_node",
+        }
+    }
+
+    fn from_wire(name: &str) -> Option<ActionOutcome> {
+        Some(match name {
+            "applied" => ActionOutcome::Applied,
+            "deferred" => ActionOutcome::Deferred,
+            "clamped" => ActionOutcome::Clamped,
+            "rejected_cross_node" => ActionOutcome::RejectedCrossNode,
+            _ => return None,
+        })
+    }
+}
+
+/// One Escalator action with the score that motivated it and a
+/// human-readable reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredAction {
+    /// Target container.
+    pub container: ContainerId,
+    /// What was asked.
+    pub kind: ActionKind,
+    /// Why (e.g. `"upscale: score 3, sensitivity-ranked"`).
+    pub reason: String,
+}
+
+/// One structured observability event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// A controller action passing through the harness's enforcement
+    /// layer (ownership check, constraint clamp, apply delay).
+    Action {
+        /// When the harness processed the action.
+        at: SimTime,
+        /// The node whose controller emitted it.
+        node: NodeId,
+        /// The targeted container.
+        container: ContainerId,
+        /// Emitting path.
+        origin: ActionOrigin,
+        /// The request.
+        kind: ActionKind,
+        /// What enforcement did with it.
+        outcome: ActionOutcome,
+    },
+    /// An allocation change that actually landed.
+    Alloc {
+        /// When it took effect.
+        at: SimTime,
+        /// The container affected.
+        container: ContainerId,
+        /// Cores after the change.
+        cores: u32,
+        /// DVFS level after the change.
+        freq_level: u8,
+        /// Frequency in GHz after the change.
+        freq_ghz: f64,
+    },
+    /// FirstResponder fired from the packet hook.
+    FrBoost {
+        /// Packet delivery time.
+        at: SimTime,
+        /// Node whose rx hook fired.
+        node: NodeId,
+        /// Destination container of the violating packet.
+        dest: ContainerId,
+        /// The triggering per-packet slack, nanoseconds (negative ⇒
+        /// the request is behind its expected progress).
+        slack_ns: i64,
+        /// Boost level issued.
+        level: u8,
+        /// Number of containers boosted (dest + local downstream).
+        targets: u32,
+    },
+    /// Per-container window metrics as seen by one decision cycle.
+    Window {
+        /// Tick time.
+        at: SimTime,
+        /// Observing node.
+        node: NodeId,
+        /// The container.
+        container: ContainerId,
+        /// Requests completed in the window.
+        requests: u64,
+        /// Mean `execTime`, nanoseconds.
+        mean_exec_time_ns: u64,
+        /// Mean `execMetric`, nanoseconds.
+        mean_exec_metric_ns: u64,
+        /// Mean `queueBuildup`.
+        queue_buildup: f64,
+        /// Requests that arrived carrying an `upscale` hint.
+        upscale_hints: u64,
+    },
+    /// The Escalator's candidate scoreboard for one decision cycle, with
+    /// a reason per emitted action.
+    Scoreboard {
+        /// Tick time.
+        at: SimTime,
+        /// Deciding node.
+        node: NodeId,
+        /// `(container, score)` for every observed container; score 0
+        /// means "not a candidate".
+        scores: Vec<(ContainerId, u32)>,
+        /// The cycle's actions with their motivating reasons.
+        actions: Vec<ScoredAction>,
+    },
+    /// Events lost in a bounded relay (emitted once at shutdown by the
+    /// live ring when its drop counter is nonzero).
+    Dropped {
+        /// How many events were lost.
+        count: u64,
+    },
+}
+
+impl TelemetryEvent {
+    /// Encode as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let value = match self {
+            TelemetryEvent::Action {
+                at,
+                node,
+                container,
+                origin,
+                kind,
+                outcome,
+            } => json!({
+                "type": "action",
+                "at_ns": at.as_nanos(),
+                "node": node.0,
+                "container": container.0,
+                "origin": origin.name(),
+                "kind": kind.name(),
+                "arg": kind.arg(),
+                "outcome": outcome.name(),
+            }),
+            TelemetryEvent::Alloc {
+                at,
+                container,
+                cores,
+                freq_level,
+                freq_ghz,
+            } => json!({
+                "type": "alloc",
+                "at_ns": at.as_nanos(),
+                "container": container.0,
+                "cores": *cores,
+                "freq_level": *freq_level,
+                "freq_ghz": *freq_ghz,
+            }),
+            TelemetryEvent::FrBoost {
+                at,
+                node,
+                dest,
+                slack_ns,
+                level,
+                targets,
+            } => json!({
+                "type": "fr_boost",
+                "at_ns": at.as_nanos(),
+                "node": node.0,
+                "dest": dest.0,
+                "slack_ns": *slack_ns,
+                "level": *level,
+                "targets": *targets,
+            }),
+            TelemetryEvent::Window {
+                at,
+                node,
+                container,
+                requests,
+                mean_exec_time_ns,
+                mean_exec_metric_ns,
+                queue_buildup,
+                upscale_hints,
+            } => json!({
+                "type": "window",
+                "at_ns": at.as_nanos(),
+                "node": node.0,
+                "container": container.0,
+                "requests": *requests,
+                "mean_exec_time_ns": *mean_exec_time_ns,
+                "mean_exec_metric_ns": *mean_exec_metric_ns,
+                "queue_buildup": *queue_buildup,
+                "upscale_hints": *upscale_hints,
+            }),
+            TelemetryEvent::Scoreboard {
+                at,
+                node,
+                scores,
+                actions,
+            } => {
+                let scores: Vec<Value> = scores
+                    .iter()
+                    .map(|(c, s)| Value::Array(vec![Value::from(c.0), Value::from(*s)]))
+                    .collect();
+                let actions: Vec<Value> = actions
+                    .iter()
+                    .map(|a| {
+                        json!({
+                            "container": a.container.0,
+                            "kind": a.kind.name(),
+                            "arg": a.kind.arg(),
+                            "reason": a.reason.as_str(),
+                        })
+                    })
+                    .collect();
+                json!({
+                    "type": "scoreboard",
+                    "at_ns": at.as_nanos(),
+                    "node": node.0,
+                    "scores": scores,
+                    "actions": actions,
+                })
+            }
+            TelemetryEvent::Dropped { count } => json!({
+                "type": "dropped",
+                "count": *count,
+            }),
+        };
+        value.to_string()
+    }
+
+    /// Decode one JSON line produced by [`Self::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<TelemetryEvent, String> {
+        let v = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        let typ = field_str(&v, "type")?;
+        let at = || Ok::<_, String>(SimTime::from_nanos(field_u64(&v, "at_ns")?));
+        match typ {
+            "action" => Ok(TelemetryEvent::Action {
+                at: at()?,
+                node: NodeId(field_u64(&v, "node")? as u32),
+                container: ContainerId(field_u64(&v, "container")? as u32),
+                origin: ActionOrigin::from_wire(field_str(&v, "origin")?)
+                    .ok_or("unknown action origin")?,
+                kind: ActionKind::from_wire(field_str(&v, "kind")?, field_u64(&v, "arg")? as u32)
+                    .ok_or("unknown action kind")?,
+                outcome: ActionOutcome::from_wire(field_str(&v, "outcome")?)
+                    .ok_or("unknown action outcome")?,
+            }),
+            "alloc" => Ok(TelemetryEvent::Alloc {
+                at: at()?,
+                container: ContainerId(field_u64(&v, "container")? as u32),
+                cores: field_u64(&v, "cores")? as u32,
+                freq_level: field_u64(&v, "freq_level")? as u8,
+                freq_ghz: field_f64(&v, "freq_ghz")?,
+            }),
+            "fr_boost" => Ok(TelemetryEvent::FrBoost {
+                at: at()?,
+                node: NodeId(field_u64(&v, "node")? as u32),
+                dest: ContainerId(field_u64(&v, "dest")? as u32),
+                slack_ns: v
+                    .get("slack_ns")
+                    .and_then(Value::as_i64)
+                    .ok_or("missing slack_ns")?,
+                level: field_u64(&v, "level")? as u8,
+                targets: field_u64(&v, "targets")? as u32,
+            }),
+            "window" => Ok(TelemetryEvent::Window {
+                at: at()?,
+                node: NodeId(field_u64(&v, "node")? as u32),
+                container: ContainerId(field_u64(&v, "container")? as u32),
+                requests: field_u64(&v, "requests")?,
+                mean_exec_time_ns: field_u64(&v, "mean_exec_time_ns")?,
+                mean_exec_metric_ns: field_u64(&v, "mean_exec_metric_ns")?,
+                queue_buildup: field_f64(&v, "queue_buildup")?,
+                upscale_hints: field_u64(&v, "upscale_hints")?,
+            }),
+            "scoreboard" => {
+                let scores = v
+                    .get("scores")
+                    .and_then(Value::as_array)
+                    .ok_or("missing scores")?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_array().ok_or("bad score pair")?;
+                        let c = pair.first().and_then(Value::as_u64).ok_or("bad score id")?;
+                        let s = pair.get(1).and_then(Value::as_u64).ok_or("bad score")?;
+                        Ok((ContainerId(c as u32), s as u32))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                let actions = v
+                    .get("actions")
+                    .and_then(Value::as_array)
+                    .ok_or("missing actions")?
+                    .iter()
+                    .map(|a| {
+                        Ok(ScoredAction {
+                            container: ContainerId(field_u64(a, "container")? as u32),
+                            kind: ActionKind::from_wire(
+                                field_str(a, "kind")?,
+                                field_u64(a, "arg")? as u32,
+                            )
+                            .ok_or("unknown action kind")?,
+                            reason: field_str(a, "reason")?.to_string(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(TelemetryEvent::Scoreboard {
+                    at: at()?,
+                    node: NodeId(field_u64(&v, "node")? as u32),
+                    scores,
+                    actions,
+                })
+            }
+            "dropped" => Ok(TelemetryEvent::Dropped {
+                count: field_u64(&v, "count")?,
+            }),
+            other => Err(format!("unknown event type '{other}'")),
+        }
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+fn field_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+fn field_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::Action {
+                at: SimTime::from_micros(1500),
+                node: NodeId(1),
+                container: ContainerId(3),
+                origin: ActionOrigin::PacketHook,
+                kind: ActionKind::SetFreq { level: 8 },
+                outcome: ActionOutcome::Deferred,
+            },
+            TelemetryEvent::Action {
+                at: SimTime::from_micros(1600),
+                node: NodeId(0),
+                container: ContainerId(9),
+                origin: ActionOrigin::Tick,
+                kind: ActionKind::SetEgressHint { hops: 2 },
+                outcome: ActionOutcome::RejectedCrossNode,
+            },
+            TelemetryEvent::Alloc {
+                at: SimTime::from_millis(2),
+                container: ContainerId(0),
+                cores: 4,
+                freq_level: 2,
+                freq_ghz: 2.2,
+            },
+            TelemetryEvent::FrBoost {
+                at: SimTime::from_millis(3),
+                node: NodeId(0),
+                dest: ContainerId(1),
+                slack_ns: -12_345,
+                level: 8,
+                targets: 2,
+            },
+            TelemetryEvent::Window {
+                at: SimTime::from_millis(100),
+                node: NodeId(0),
+                container: ContainerId(1),
+                requests: 42,
+                mean_exec_time_ns: 812_000,
+                mean_exec_metric_ns: 700_000,
+                queue_buildup: 1.16,
+                upscale_hints: 3,
+            },
+            TelemetryEvent::Scoreboard {
+                at: SimTime::from_millis(100),
+                node: NodeId(0),
+                scores: vec![(ContainerId(0), 3), (ContainerId(1), 0)],
+                actions: vec![ScoredAction {
+                    container: ContainerId(0),
+                    kind: ActionKind::SetCores { cores: 6 },
+                    reason: "upscale: score 3".into(),
+                }],
+            },
+            TelemetryEvent::Dropped { count: 7 },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        for event in samples() {
+            let line = event.to_json_line();
+            assert!(!line.contains('\n'), "one event per line: {line}");
+            let back = TelemetryEvent::from_json_line(&line).expect("parse back");
+            assert_eq!(back, event, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn negative_slack_survives() {
+        let line = TelemetryEvent::FrBoost {
+            at: SimTime::ZERO,
+            node: NodeId(0),
+            dest: ContainerId(0),
+            slack_ns: i64::MIN + 1,
+            level: 1,
+            targets: 1,
+        }
+        .to_json_line();
+        match TelemetryEvent::from_json_line(&line).unwrap() {
+            TelemetryEvent::FrBoost { slack_ns, .. } => assert_eq!(slack_ns, i64::MIN + 1),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_type_is_an_error() {
+        assert!(TelemetryEvent::from_json_line("{\"type\":\"nope\"}").is_err());
+        assert!(TelemetryEvent::from_json_line("not json").is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # sg-telemetry — structured observability for SurgeGuard
+//!
+//! Records *why* every scaling decision happened, on both execution
+//! substrates. The harnesses (the discrete-event simulator and the live
+//! backend) and the SurgeGuard controller emit typed [`TelemetryEvent`]s
+//! into a [`TelemetrySink`]; sinks serialize to JSONL ([`JsonlSink`]),
+//! buffer in memory ([`VecSink`]), or relay through a bounded lock-free
+//! ring ([`RingSink`]) so the live packet hot path never blocks on I/O.
+//!
+//! The event taxonomy covers the full decision loop:
+//!
+//! * [`TelemetryEvent::Action`] — every controller action as it passes
+//!   the harness's enforcement layer, with its origin (decision cycle vs
+//!   packet hook) and outcome (applied, deferred behind the MSR-write
+//!   delay, clamped to constraints, or rejected as a cross-node
+//!   violation of the decentralization contract).
+//! * [`TelemetryEvent::Alloc`] — every allocation change that actually
+//!   landed (cores, DVFS level, GHz).
+//! * [`TelemetryEvent::FrBoost`] — FirstResponder packet-hook boosts
+//!   with the triggering per-packet slack.
+//! * [`TelemetryEvent::Window`] — the per-container window metrics each
+//!   decision cycle saw.
+//! * [`TelemetryEvent::Scoreboard`] — the Escalator's Table II candidate
+//!   scoreboard plus a human-readable reason per emitted action.
+//! * [`TelemetryEvent::Dropped`] — events lost in a bounded relay
+//!   (explicit, never silent).
+//!
+//! The `sg-trace` binary summarizes a recorded JSONL trace: per-container
+//! allocation timeline, boost→retire latency distribution, action
+//! histogram, and a clamp/rejection audit (see [`summary`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod ring;
+pub mod sink;
+pub mod summary;
+
+pub use event::{ActionKind, ActionOrigin, ActionOutcome, ScoredAction, TelemetryEvent};
+pub use ring::{RingDrainer, RingSink, RingStats};
+pub use sink::{JsonlSink, SharedSink, TelemetrySink, VecSink};
+pub use summary::TraceSummary;

@@ -1,0 +1,155 @@
+//! The sink contract and the two direct (synchronous) sinks.
+//!
+//! A sink must be cheap when unused: harnesses hold an
+//! `Option<SharedSink>` and skip event construction entirely when it is
+//! `None`, so a disabled sink costs one branch on the packet hot path.
+
+use crate::event::TelemetryEvent;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where telemetry events go.
+///
+/// `emit` must be callable from any thread; implementations choose their
+/// own synchronization. Synchronous sinks (this module) may block on I/O
+/// and are therefore only suitable for the simulator or for off-path
+/// threads; the live packet path must go through
+/// [`crate::ring::RingSink`], which never blocks.
+pub trait TelemetrySink: Send + Sync {
+    /// Record one event.
+    fn emit(&self, event: TelemetryEvent);
+
+    /// Make all previously emitted events durable (no-op by default).
+    fn flush(&self) {}
+}
+
+/// A shareable handle to any sink.
+pub type SharedSink = Arc<dyn TelemetrySink>;
+
+/// In-memory sink for tests and programmatic inspection.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Mutex<Vec<TelemetryEvent>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty sink, pre-wrapped for sharing.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Remove and return everything recorded so far.
+    pub fn take(&self) -> Vec<TelemetryEvent> {
+        std::mem::take(&mut self.events.lock().expect("VecSink poisoned"))
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("VecSink poisoned").len()
+    }
+
+    /// True when nothing has been recorded (or everything was taken).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TelemetrySink for VecSink {
+    fn emit(&self, event: TelemetryEvent) {
+        self.events.lock().expect("VecSink poisoned").push(event);
+    }
+}
+
+/// Sink writing one JSON object per line to a buffered file.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    written: AtomicU64,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            written: AtomicU64::new(0),
+        })
+    }
+
+    /// Events written so far.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn emit(&self, event: TelemetryEvent) {
+        let line = event.to_json_line();
+        let mut w = self.writer.lock().expect("JsonlSink poisoned");
+        // Trace files are best-effort diagnostics: a full disk should not
+        // take down the run it is observing.
+        if writeln!(w, "{line}").is_ok() {
+            self.written.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("JsonlSink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::time::SimTime;
+
+    #[test]
+    fn vec_sink_records_and_takes() {
+        let sink = VecSink::shared();
+        assert!(sink.is_empty());
+        sink.emit(TelemetryEvent::Dropped { count: 1 });
+        sink.emit(TelemetryEvent::Dropped { count: 2 });
+        assert_eq!(sink.len(), 2);
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("sg-telemetry-test-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).expect("create trace file");
+        sink.emit(TelemetryEvent::Alloc {
+            at: SimTime::from_micros(10),
+            container: sg_core::ids::ContainerId(2),
+            cores: 3,
+            freq_level: 1,
+            freq_ghz: 1.8,
+        });
+        sink.emit(TelemetryEvent::Dropped { count: 0 });
+        assert_eq!(sink.written(), 2);
+        sink.flush();
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<_> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            TelemetryEvent::from_json_line(line).expect("every line parses");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

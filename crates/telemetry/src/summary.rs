@@ -1,0 +1,277 @@
+//! Trace aggregation behind the `sg-trace` binary.
+//!
+//! Consumes a stream of [`TelemetryEvent`]s and produces the four views
+//! the tentpole asks for: per-container allocation timeline, the
+//! boost→retire latency distribution, the decision-cycle action
+//! histogram (by origin × kind × outcome), and the clamp/rejection
+//! audit, plus the explicit drop count.
+
+use crate::event::{ActionOutcome, TelemetryEvent};
+use sg_core::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One step in a container's allocation timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocStep {
+    /// When the allocation changed.
+    pub at: SimTime,
+    /// Cores after the change.
+    pub cores: u32,
+    /// DVFS level after the change.
+    pub freq_level: u8,
+    /// Frequency in GHz after the change.
+    pub freq_ghz: f64,
+}
+
+/// Aggregated view of one trace.
+#[derive(Debug, Default)]
+pub struct TraceSummary {
+    /// Total events consumed (excluding unparseable lines).
+    pub events: u64,
+    /// Allocation timeline per container, in trace order.
+    pub timeline: BTreeMap<u32, Vec<AllocStep>>,
+    /// Completed boost episodes (level left 0 → returned to 0) per
+    /// container: durations in nanoseconds.
+    pub boost_retire_ns: Vec<u64>,
+    /// Boost episodes still open when the trace ended.
+    pub open_boosts: u64,
+    /// FirstResponder boosts observed, with min/sum of triggering slack.
+    pub fr_boosts: u64,
+    /// Most negative triggering slack seen (ns), if any boost fired.
+    pub worst_slack_ns: Option<i64>,
+    /// Action counts keyed by `(origin, kind, outcome)` wire names.
+    pub action_histogram: BTreeMap<(String, String, String), u64>,
+    /// Cross-node rejections per offending `(node, container)` pair.
+    pub cross_node_rejections: BTreeMap<(u32, u32), u64>,
+    /// Actions clamped to constraints (not cross-node).
+    pub clamped: u64,
+    /// Decision cycles observed (scoreboard events).
+    pub cycles: u64,
+    /// Window records observed.
+    pub windows: u64,
+    /// Events the recording pipeline itself dropped (from `Dropped`
+    /// records in the trace).
+    pub dropped: u64,
+}
+
+impl TraceSummary {
+    /// Aggregate a stream of events.
+    pub fn from_events<I: IntoIterator<Item = TelemetryEvent>>(events: I) -> Self {
+        let mut s = TraceSummary::default();
+        // Per-container open boost episode: (start, level) while level > 0.
+        let mut open: BTreeMap<u32, SimTime> = BTreeMap::new();
+        for event in events {
+            s.events += 1;
+            match event {
+                TelemetryEvent::Action {
+                    node,
+                    container,
+                    origin,
+                    kind,
+                    outcome,
+                    ..
+                } => {
+                    *s.action_histogram
+                        .entry((
+                            origin.name().to_string(),
+                            kind.name().to_string(),
+                            outcome.name().to_string(),
+                        ))
+                        .or_insert(0) += 1;
+                    match outcome {
+                        ActionOutcome::RejectedCrossNode => {
+                            *s.cross_node_rejections
+                                .entry((node.0, container.0))
+                                .or_insert(0) += 1;
+                        }
+                        ActionOutcome::Clamped => s.clamped += 1,
+                        _ => {}
+                    }
+                }
+                TelemetryEvent::Alloc {
+                    at,
+                    container,
+                    cores,
+                    freq_level,
+                    freq_ghz,
+                } => {
+                    s.timeline.entry(container.0).or_default().push(AllocStep {
+                        at,
+                        cores,
+                        freq_level,
+                        freq_ghz,
+                    });
+                    if freq_level > 0 {
+                        open.entry(container.0).or_insert(at);
+                    } else if let Some(start) = open.remove(&container.0) {
+                        s.boost_retire_ns
+                            .push(at.as_nanos().saturating_sub(start.as_nanos()));
+                    }
+                }
+                TelemetryEvent::FrBoost { slack_ns, .. } => {
+                    s.fr_boosts += 1;
+                    s.worst_slack_ns = Some(s.worst_slack_ns.map_or(slack_ns, |w| w.min(slack_ns)));
+                }
+                TelemetryEvent::Window { .. } => s.windows += 1,
+                TelemetryEvent::Scoreboard { .. } => s.cycles += 1,
+                TelemetryEvent::Dropped { count } => s.dropped += count,
+            }
+        }
+        s.open_boosts = open.len() as u64;
+        s.boost_retire_ns.sort_unstable();
+        s
+    }
+
+    /// Percentile (0.0–1.0) of the boost→retire distribution, ns.
+    pub fn boost_retire_percentile(&self, q: f64) -> Option<u64> {
+        if self.boost_retire_ns.is_empty() {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0)) * (self.boost_retire_ns.len() - 1) as f64).round() as usize;
+        Some(self.boost_retire_ns[rank])
+    }
+
+    /// Total cross-node rejections.
+    pub fn cross_node_total(&self) -> u64 {
+        self.cross_node_rejections.values().sum()
+    }
+
+    /// Render the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace: {} events", self.events);
+        let _ = writeln!(
+            out,
+            "  {} decision cycles, {} window records, {} FirstResponder boosts",
+            self.cycles, self.windows, self.fr_boosts
+        );
+        if let Some(worst) = self.worst_slack_ns {
+            let _ = writeln!(out, "  worst triggering slack: {worst} ns");
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  !! {} events dropped by the recording pipeline",
+                self.dropped
+            );
+        }
+
+        let _ = writeln!(out, "\nallocation timeline (per container):");
+        if self.timeline.is_empty() {
+            let _ = writeln!(out, "  (no allocation changes recorded)");
+        }
+        for (container, steps) in &self.timeline {
+            let _ = writeln!(out, "  c{container}: {} changes", steps.len());
+            for step in steps {
+                let _ = writeln!(
+                    out,
+                    "    {:>12} ns  cores={:<3} level={:<2} ({:.2} GHz)",
+                    step.at.as_nanos(),
+                    step.cores,
+                    step.freq_level,
+                    step.freq_ghz
+                );
+            }
+        }
+
+        let _ = writeln!(out, "\nboost -> retire latency:");
+        if self.boost_retire_ns.is_empty() {
+            let _ = writeln!(out, "  (no completed boost episodes)");
+        } else {
+            let n = self.boost_retire_ns.len();
+            let mean = self.boost_retire_ns.iter().sum::<u64>() / n as u64;
+            let _ = writeln!(out, "  {n} completed episodes, mean {mean} ns");
+            for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("max", 1.0)] {
+                if let Some(v) = self.boost_retire_percentile(q) {
+                    let _ = writeln!(out, "  {label}: {v} ns");
+                }
+            }
+        }
+        if self.open_boosts > 0 {
+            let _ = writeln!(out, "  ({} episodes still open at end)", self.open_boosts);
+        }
+
+        let _ = writeln!(out, "\naction histogram (origin / kind / outcome):");
+        if self.action_histogram.is_empty() {
+            let _ = writeln!(out, "  (no actions recorded)");
+        }
+        for ((origin, kind, outcome), count) in &self.action_histogram {
+            let _ = writeln!(out, "  {origin:<12} {kind:<16} {outcome:<20} {count:>8}");
+        }
+
+        let _ = writeln!(out, "\nclamp audit:");
+        let _ = writeln!(out, "  constraint-clamped actions: {}", self.clamped);
+        let _ = writeln!(out, "  cross-node rejections: {}", self.cross_node_total());
+        for ((node, container), count) in &self.cross_node_rejections {
+            let _ = writeln!(out, "    node {node} -> c{container}: {count}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ActionKind, ActionOrigin, TelemetryEvent};
+    use sg_core::ids::{ContainerId, NodeId};
+
+    fn action(outcome: ActionOutcome) -> TelemetryEvent {
+        TelemetryEvent::Action {
+            at: SimTime::from_micros(5),
+            node: NodeId(1),
+            container: ContainerId(0),
+            origin: ActionOrigin::Tick,
+            kind: ActionKind::SetFreq { level: 3 },
+            outcome,
+        }
+    }
+
+    fn alloc(at_us: u64, level: u8) -> TelemetryEvent {
+        TelemetryEvent::Alloc {
+            at: SimTime::from_micros(at_us),
+            container: ContainerId(2),
+            cores: 2,
+            freq_level: level,
+            freq_ghz: 1.0 + level as f64,
+        }
+    }
+
+    #[test]
+    fn boost_retire_episodes_are_paired() {
+        let s = TraceSummary::from_events(vec![
+            alloc(100, 8), // boost opens
+            alloc(150, 8), // still boosted: same episode
+            alloc(300, 0), // retires: 200us episode
+            alloc(400, 5), // opens again, never retires
+        ]);
+        assert_eq!(s.boost_retire_ns, vec![200_000]);
+        assert_eq!(s.open_boosts, 1);
+        assert_eq!(s.timeline[&2].len(), 4);
+        assert_eq!(s.boost_retire_percentile(0.5), Some(200_000));
+    }
+
+    #[test]
+    fn audit_counts_rejections_and_clamps_separately() {
+        let s = TraceSummary::from_events(vec![
+            action(ActionOutcome::Applied),
+            action(ActionOutcome::Clamped),
+            action(ActionOutcome::RejectedCrossNode),
+            action(ActionOutcome::RejectedCrossNode),
+            TelemetryEvent::Dropped { count: 3 },
+        ]);
+        assert_eq!(s.clamped, 1);
+        assert_eq!(s.cross_node_total(), 2);
+        assert_eq!(s.cross_node_rejections[&(1, 0)], 2);
+        assert_eq!(s.dropped, 3);
+        let report = s.render();
+        assert!(report.contains("cross-node rejections: 2"));
+        assert!(report.contains("dropped"));
+    }
+
+    #[test]
+    fn render_survives_empty_trace() {
+        let report = TraceSummary::from_events(vec![]).render();
+        assert!(report.contains("0 events"));
+    }
+}

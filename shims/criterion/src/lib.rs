@@ -6,9 +6,27 @@
 //! Target time per benchmark is ~`CRITERION_SHIM_MS` milliseconds
 //! (default 120), overridable via that environment variable to trade
 //! precision for total run time.
+//!
+//! Like real criterion, a positional command-line argument filters by
+//! substring: `cargo bench -p sg-bench -- fr_backend` runs only the
+//! benchmarks whose `group/name` contains `fr_backend`.
 
 use std::hint;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Substring filter from the command line (first non-flag argument),
+/// matching real criterion's positional-filter behaviour.
+fn name_filter() -> Option<&'static str> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
+
+fn selected(full_name: &str) -> bool {
+    name_filter().is_none_or(|f| full_name.contains(f))
+}
 
 /// Re-export so call sites may use `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -152,6 +170,9 @@ impl Criterion {
 
     /// Run one stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !selected(name) {
+            return self;
+        }
         let mut b = Bencher::new(target_time());
         f(&mut b);
         report(None, name, &b, None);
@@ -185,6 +206,9 @@ impl BenchmarkGroup<'_> {
 
     /// Run one benchmark inside the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !selected(&format!("{}/{name}", self.name)) {
+            return self;
+        }
         let mut b = Bencher::new(target_time());
         f(&mut b);
         report(Some(&self.name), name, &b, self.throughput);

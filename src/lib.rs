@@ -24,6 +24,7 @@
 //! | [`loadgen`] | wrk2-style spiking open-loop load generation |
 //! | [`controllers`] | SurgeGuard, Parties, CaladanAlgo, oracle |
 //! | [`experiments`] | per-figure reproduction harness |
+//! | [`telemetry`] | structured decision-trace events, sinks, `sg-trace` |
 //!
 //! ## Quickstart
 //!
@@ -64,4 +65,5 @@ pub use sg_experiments as experiments;
 pub use sg_live as live;
 pub use sg_loadgen as loadgen;
 pub use sg_sim as sim;
+pub use sg_telemetry as telemetry;
 pub use sg_workloads as workloads;
