@@ -275,6 +275,82 @@ fn bench_telemetry(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_spans(c: &mut Criterion) {
+    // Span-tracing hot-path costs (ISSUE 3 acceptance: the disabled path
+    // must price out within noise of not having the feature at all). Both
+    // substrates guard every span stamp behind `sink.is_some() &&
+    // sampler.sampled(trace)` — with no sink the record is never built.
+    use sg_telemetry::{RingSink, SpanRecord, SpanSampler, TelemetryEvent, TelemetrySink};
+    use std::sync::Arc;
+
+    struct NullSink;
+    impl TelemetrySink for NullSink {
+        fn emit(&self, _event: TelemetryEvent) {}
+    }
+
+    let record = || SpanRecord {
+        trace: 12_345,
+        span: 7,
+        parent: Some(6),
+        container: Some(ContainerId(3)),
+        node: Some(NodeId(0)),
+        start: SimTime::from_micros(900),
+        end: SimTime::from_micros(1700),
+        net_in: SimDuration::from_micros(12),
+        conn_wait: SimDuration::from_micros(340),
+        service: SimDuration::from_micros(300),
+        downstream: SimDuration::from_micros(148),
+        freq_level: 2,
+        slack_ns: -123_456,
+    };
+
+    let mut g = c.benchmark_group("span");
+    g.throughput(Throughput::Elements(1));
+
+    // The cost every request pays when spans are off (the default): a
+    // None check, no sampler draw, no record construction.
+    g.bench_function("disabled_guard", |b| {
+        let sink: Option<sg_telemetry::SharedSink> = None;
+        let sampler = SpanSampler::all();
+        let mut trace = 0u64;
+        b.iter(|| {
+            trace += 1;
+            if sink.is_some() && sampler.sampled(black_box(trace)) {
+                if let Some(s) = &sink {
+                    s.emit(TelemetryEvent::Span(record()));
+                }
+            }
+            black_box(trace)
+        });
+    });
+
+    // Per-request sampler draw when spans ARE on (deterministic 1/8).
+    g.bench_function("sampler_sampled", |b| {
+        let sampler = SpanSampler::rate(1, 8, 42);
+        let mut trace = 0u64;
+        b.iter(|| {
+            trace += 1;
+            black_box(sampler.sampled(black_box(trace)))
+        });
+    });
+
+    // Enabled live path: one lock-free ring push per span record (the
+    // JSONL encode happens on the drainer thread, off the hot path).
+    g.bench_function("ring_emit", |b| {
+        let (ring, drainer) = RingSink::spawn(Arc::new(NullSink), 1 << 16);
+        b.iter(|| ring.emit(TelemetryEvent::Span(black_box(record()))));
+        drop(ring);
+        drainer.shutdown();
+    });
+
+    // Enabled sim path / drainer cost: encode one span record to JSONL.
+    g.bench_function("record_to_json_line", |b| {
+        let e = TelemetryEvent::Span(record());
+        b.iter(|| black_box(black_box(&e).to_json_line()));
+    });
+    g.finish();
+}
+
 fn bench_metrics(c: &mut Criterion) {
     let mut g = c.benchmark_group("metrics");
     g.throughput(Throughput::Elements(1));
@@ -378,6 +454,7 @@ criterion_group!(
     bench_firstresponder,
     bench_fr_backend,
     bench_telemetry,
+    bench_spans,
     bench_metrics,
     bench_escalator,
     bench_engine

@@ -43,6 +43,35 @@ pub fn is_violation(slack: SlackNs) -> bool {
     slack < 0
 }
 
+/// What the rx hook saw when a request entered a container: the
+/// per-packet slack (Eqs. 4–5) and the DVFS level the hop will execute
+/// under. Span tracing stamps this on every hop so post-hoc analysis can
+/// distinguish "slow because the work was slow" from "slow because the
+/// request was already behind and the boost had not landed yet".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryAnnotation {
+    /// Per-packet slack at arrival; negative = behind schedule.
+    pub slack_ns: SlackNs,
+    /// The container's DVFS level at arrival (0 = base frequency).
+    pub freq_level: u8,
+}
+
+/// Capture the [`EntryAnnotation`] for one arriving request packet. Both
+/// execution substrates call this at their rx hook so the stamped values
+/// are computed identically.
+#[inline]
+pub fn annotate_entry(
+    expected_time_from_start: SimDuration,
+    now: SimTime,
+    pkt_start_time: SimTime,
+    freq_level: u8,
+) -> EntryAnnotation {
+    EntryAnnotation {
+        slack_ns: per_packet_slack(expected_time_from_start, now, pkt_start_time),
+        freq_level,
+    }
+}
+
 /// Per-path cooldown bookkeeping ("Mitigating Frequent Updates", §IV-A).
 ///
 /// Per-packet slack is noisy; once FirstResponder has upscaled a path it
@@ -166,6 +195,19 @@ mod tests {
         assert!(t.try_fire(0, now));
         assert!(t.try_fire(1, now), "other paths are unaffected");
         assert!(!t.try_fire(0, now));
+    }
+
+    #[test]
+    fn entry_annotation_matches_raw_slack() {
+        let ann = annotate_entry(
+            SimDuration::from_micros(500),
+            SimTime::from_micros(1800),
+            SimTime::from_micros(1000),
+            3,
+        );
+        assert_eq!(ann.slack_ns, -300_000);
+        assert_eq!(ann.freq_level, 3);
+        assert!(is_violation(ann.slack_ns));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! sg-loadtest [--workload NAME] [--controller NAME] [--backend NAME]
 //!             [--nodes N] [--rate R] [--spikerate R] [--spikelen SECS]
 //!             [--duration SECS] [--qos MS] [--seed N] [--telemetry PATH]
+//!             [--spans PATH] [--span-sample N/M]
 //!
 //!   --workload    chain | read | compose | search | reco   (default chain)
 //!   --controller  static | parties | caladan | surgeguard | escalator
@@ -23,6 +24,11 @@
 //!   --qos         QoS limit in ms; default: calibrated limit
 //!   --telemetry   write the decision trace (why every scaling action
 //!                 happened) as JSONL to PATH; summarize with `sg-trace`
+//!   --spans       write per-request span trees (per-hop pool wait,
+//!                 service, downstream and network time) as JSONL to
+//!                 PATH; analyze with `sg-trace` (critical-path report)
+//!   --span-sample trace N out of every M requests, deterministically
+//!                 seeded by --seed (default 1/1 = every request)
 //!
 //! Warmup is 5 s with the first spike at 10 s on the simulator; the live
 //! backend shortens both (1 s warmup, first spike at 2 s) so short real
@@ -36,7 +42,7 @@ use sg_core::time::{SimDuration, SimTime};
 use sg_loadgen::{LatencyHistogram, RunReport, SpikePattern};
 use sg_sim::controller::{ControllerFactory, NoopFactory};
 use sg_sim::runner::Simulation;
-use sg_telemetry::{JsonlSink, SharedSink};
+use sg_telemetry::{JsonlSink, SharedSink, SpanSampler};
 use sg_workloads::{prepare, CalibrationOptions, Workload};
 use std::sync::Arc;
 
@@ -141,10 +147,30 @@ fn main() {
         });
         Arc::new(sink) as SharedSink
     });
+    let spans_path = arg(&args, "--spans");
+    let spans: Option<SharedSink> = spans_path.as_ref().map(|p| {
+        let sink = JsonlSink::create(std::path::Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("cannot create span file '{p}': {e}");
+            std::process::exit(2);
+        });
+        Arc::new(sink) as SharedSink
+    });
+    let sampler = match arg(&args, "--span-sample") {
+        Some(ratio) => match SpanSampler::parse_ratio(&ratio) {
+            Some((n, m)) => SpanSampler::rate(n, m, seed),
+            None => {
+                eprintln!("bad --span-sample '{ratio}' (want N/M with 1 <= N <= M)");
+                std::process::exit(2);
+            }
+        },
+        None => SpanSampler::all(),
+    };
 
     let result = if live {
         let opts = sg_live::LiveOpts {
             telemetry: telemetry.clone(),
+            spans: spans.clone(),
+            span_sampler: sampler,
             ..sg_live::LiveOpts::default()
         };
         let (result, stats) = sg_live::run_live_with_stats(cfg, factory.as_ref(), arrivals, opts);
@@ -152,7 +178,7 @@ fn main() {
             "live substrate: {} deliveries, {} freq updates applied, {} dropped (fr_dropped)",
             stats.deliveries, stats.fr_applied, stats.fr_dropped
         );
-        if telemetry.is_some() {
+        if telemetry.is_some() || spans.is_some() {
             eprintln!(
                 "telemetry: {} events forwarded, {} dropped by the relay ring",
                 stats.telemetry_forwarded, stats.telemetry_dropped
@@ -164,12 +190,19 @@ fn main() {
         if let Some(sink) = &telemetry {
             sim = sim.with_telemetry(Arc::clone(sink));
         }
+        if let Some(sink) = &spans {
+            sim = sim.with_spans(Arc::clone(sink), sampler);
+        }
         sim.run()
     };
-    // Drop our handle so the JSONL writer flushes before we report.
+    // Drop our handles so the JSONL writers flush before we report.
     drop(telemetry);
+    drop(spans);
     if let Some(p) = &telemetry_path {
         eprintln!("decision trace written to {p} (summarize with: sg-trace {p})");
+    }
+    if let Some(p) = &spans_path {
+        eprintln!("span trace written to {p} (analyze with: sg-trace {p})");
     }
 
     // wrk2-style output.

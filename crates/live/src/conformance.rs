@@ -15,6 +15,8 @@ use sg_sim::app::{linear_chain, ConnModel, TaskGraph};
 use sg_sim::cluster::{Placement, SimConfig};
 use sg_sim::controller::{ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot};
 use sg_sim::runner::{RunResult, Simulation};
+use sg_telemetry::{SharedSink, SpanRecord, SpanSampler, TelemetryEvent, VecSink};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -57,6 +59,115 @@ pub fn run_backend(
             (result, Some(stats))
         }
     }
+}
+
+/// Run `cfg` on the chosen substrate with span tracing into an in-memory
+/// sink; returns the result plus every span record emitted. The `opts`
+/// span fields are overwritten with the harness sink and `sampler`; the
+/// rest (worker threads, ring capacity) pass through to a live run.
+pub fn run_backend_with_spans(
+    backend: Backend,
+    cfg: SimConfig,
+    factory: &dyn ControllerFactory,
+    arrivals: Vec<SimTime>,
+    sampler: SpanSampler,
+    opts: LiveOpts,
+) -> (RunResult, Vec<SpanRecord>) {
+    let sink = VecSink::shared();
+    let result = match backend {
+        Backend::Sim => Simulation::new(cfg, factory, arrivals)
+            .with_spans(Arc::clone(&sink) as SharedSink, sampler)
+            .run(),
+        Backend::Live => {
+            let opts = LiveOpts {
+                spans: Some(Arc::clone(&sink) as SharedSink),
+                span_sampler: sampler,
+                ..opts
+            };
+            run_live_with_stats(cfg, factory, arrivals, opts).0
+        }
+    };
+    let records = sink
+        .take()
+        .into_iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    (result, records)
+}
+
+/// Span-tree conformance: every synthetic root span must carry exactly
+/// the `(completion, latency)` pair of one [`sg_core::violation::LatencyPoint`]
+/// — *exactly*, on both substrates, because the live backend stamps the
+/// root span from the same precomputed values it pushes into the point
+/// list — every trace must have exactly one root, and every child span
+/// whose parent was recorded must nest inside the parent's interval.
+pub fn assert_span_tree_conformance(backend: Backend, result: &RunResult, records: &[SpanRecord]) {
+    let label = backend.label();
+    let roots: Vec<&SpanRecord> = records.iter().filter(|r| r.is_root()).collect();
+    assert!(!roots.is_empty(), "[{label}] no root spans recorded");
+
+    let mut points: HashMap<(u64, u64), u64> = HashMap::new();
+    for p in &result.points {
+        *points
+            .entry((p.completion.as_nanos(), p.latency.as_nanos()))
+            .or_insert(0) += 1;
+    }
+    for root in &roots {
+        let key = (root.end.as_nanos(), root.duration().as_nanos());
+        let matched = match points.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        };
+        assert!(
+            matched,
+            "[{label}] root span of trace {} has no LatencyPoint with completion {} and \
+             latency {}",
+            root.trace,
+            root.end,
+            root.duration()
+        );
+    }
+
+    let mut roots_per_trace: HashMap<u64, u64> = HashMap::new();
+    for r in &roots {
+        *roots_per_trace.entry(r.trace).or_insert(0) += 1;
+    }
+    for (trace, n) in roots_per_trace {
+        assert_eq!(n, 1, "[{label}] trace {trace} has {n} root spans");
+    }
+
+    let by_id: HashMap<(u64, u64), &SpanRecord> =
+        records.iter().map(|r| ((r.trace, r.span), r)).collect();
+    let mut nested = 0u64;
+    for r in records {
+        let Some(parent) = r.parent else { continue };
+        // A parent lost to relay backpressure is reported elsewhere
+        // (incomplete traces); nesting is only checkable when both ends
+        // of the edge survived.
+        if let Some(p) = by_id.get(&(r.trace, parent)) {
+            assert!(
+                r.start >= p.start && r.end <= p.end,
+                "[{label}] span {} of trace {} escapes its parent: [{}, {}] outside [{}, {}]",
+                r.span,
+                r.trace,
+                r.start,
+                r.end,
+                p.start,
+                p.end
+            );
+            nested += 1;
+        }
+    }
+    assert!(
+        nested > 0,
+        "[{label}] no child span had its parent recorded"
+    );
 }
 
 /// A two-service chain small enough that a live run finishes in well under

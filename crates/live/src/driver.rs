@@ -6,7 +6,7 @@ use crate::clock::LiveClock;
 use crate::cluster::ClusterState;
 use crate::net::DelayLine;
 use crate::pool::LiveConnPool;
-use crate::sync::{JobQueue, ReplyTo};
+use crate::sync::{Dispatch, JobQueue, JobSpan, ReplyTo};
 use crate::worker::{LiveCluster, ProfileAcc};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -20,7 +20,7 @@ use sg_sim::cluster::SimConfig;
 use sg_sim::controller::{ContainerInit, ControllerFactory, NodeInit};
 use sg_sim::network::Network;
 use sg_sim::runner::{ProfileStats, RunResult};
-use sg_telemetry::{RingSink, SharedSink};
+use sg_telemetry::{DemuxSink, RingSink, SharedSink, SpanSampler};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -42,6 +42,13 @@ pub struct LiveOpts {
     pub telemetry: Option<SharedSink>,
     /// Capacity of that telemetry relay ring.
     pub telemetry_ring_capacity: usize,
+    /// Span-trace destination. Shares the single relay ring with
+    /// `telemetry` (one lock-free push on the hot path regardless of how
+    /// many streams are open); a [`DemuxSink`] behind the ring routes
+    /// span records here and decision events to `telemetry`.
+    pub spans: Option<SharedSink>,
+    /// Which requests get span trees (deterministic, seeded N-out-of-M).
+    pub span_sampler: SpanSampler,
 }
 
 impl Default for LiveOpts {
@@ -51,6 +58,8 @@ impl Default for LiveOpts {
             fr_queue_capacity: 1024,
             telemetry: None,
             telemetry_ring_capacity: 64 * 1024,
+            spans: None,
+            span_sampler: SpanSampler::all(),
         }
     }
 }
@@ -96,13 +105,23 @@ pub fn run_live_with_stats(
     let clock = LiveClock::start();
 
     // Telemetry: every hot-path emitter gets the ring front-end; the
-    // drainer thread forwards to the user's sink off-path.
-    let (sink, telemetry_drainer) = match opts.telemetry.clone() {
-        Some(user_sink) => {
-            let (ring, drainer) = RingSink::spawn(user_sink, opts.telemetry_ring_capacity);
-            (Some(ring as SharedSink), Some(drainer))
+    // drainer thread forwards off-path through a demux that routes
+    // decision events and span records to their own destinations (and
+    // `Dropped` markers to both, so each file testifies to its losses).
+    let (sink, span_sink, telemetry_drainer) = match (opts.telemetry.clone(), opts.spans.clone()) {
+        (None, None) => (None, None, None),
+        (decision, spans) => {
+            let has_decision = decision.is_some();
+            let has_spans = spans.is_some();
+            let demux = Arc::new(DemuxSink::new(decision, spans)) as SharedSink;
+            let (ring, drainer) = RingSink::spawn(demux, opts.telemetry_ring_capacity);
+            let ring = ring as SharedSink;
+            (
+                has_decision.then(|| Arc::clone(&ring)),
+                has_spans.then(|| Arc::clone(&ring)),
+                Some(drainer),
+            )
         }
-        None => (None, None),
     };
 
     let mut state = ClusterState::new(&cfg, clock.clone());
@@ -193,6 +212,8 @@ pub fn run_live_with_stats(
         peak_in_flight: AtomicUsize::new(0),
         packet_freq_boosts: AtomicU64::new(0),
         sink,
+        span_sink,
+        span_ids: AtomicU64::new(0),
         cfg,
     });
     let cfg = &cluster.cfg;
@@ -249,7 +270,37 @@ pub fn run_live_with_stats(
         cluster.peak_in_flight.fetch_max(cur, Ordering::Relaxed);
         let now = clock.now();
         let meta = RpcMetadata::new_job(now);
-        cluster.send_request(client_node, root, now, meta, ReplyTo::Client, &mut rng);
+        // Trace ids are injection indices — same convention as the sim,
+        // stable against safety-valve drops (a dropped arrival consumes
+        // an id, no span).
+        let trace = injected - 1;
+        let (span, root_span) = if cluster.span_sink.is_some() && opts.span_sampler.sampled(trace) {
+            let root_id = cluster.span_ids.fetch_add(1, Ordering::Relaxed);
+            (
+                Some(JobSpan {
+                    trace,
+                    parent: root_id,
+                    sent_at: SimTime::ZERO,
+                    issue_wait: SimDuration::ZERO,
+                    freq_level: 0,
+                    slack_ns: 0,
+                }),
+                Some((trace, root_id)),
+            )
+        } else {
+            (None, None)
+        };
+        cluster.send_request(
+            client_node,
+            root,
+            Dispatch {
+                req_start: now,
+                meta,
+                span,
+                reply: ReplyTo::Client { root_span },
+            },
+            &mut rng,
+        );
     }
     clock.sleep_until(cfg.end);
 

@@ -5,16 +5,41 @@
 use crate::pool::LiveConnPool;
 use sg_core::ids::NodeId;
 use sg_core::metadata::RpcMetadata;
-use sg_core::time::SimTime;
+use sg_core::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+/// Tracing context a sampled request carries across the delay line: the
+/// live analogue of the sim runner's per-invocation span state. The hop
+/// span's own id is allocated by the worker that executes the job; this
+/// carries everything stamped *before* execution.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpan {
+    /// Trace id (the request's injection index).
+    pub trace: u64,
+    /// Span id of the calling hop (or of the synthetic root span for the
+    /// frontend hop).
+    pub parent: u64,
+    /// When the caller put the request on the wire.
+    pub sent_at: SimTime,
+    /// Time the caller waited on its connection pool to issue this RPC.
+    pub issue_wait: SimDuration,
+    /// DVFS level the rx hook saw on entry (pre-boost).
+    pub freq_level: u8,
+    /// Per-packet slack at entry, ns.
+    pub slack_ns: i64,
+}
+
 /// Where a finished invocation sends its response.
 pub enum ReplyTo {
     /// Root service: respond to the open-loop client.
-    Client,
+    Client {
+        /// `(trace, root span id)` when this request is traced: the
+        /// completion closure emits the synthetic root "request" span.
+        root_span: Option<(u64, u64)>,
+    },
     /// Child service: complete the parent's reply slot and return the
     /// parent's connection to `pool` (on response *delivery*, as the sim
     /// does).
@@ -28,6 +53,19 @@ pub enum ReplyTo {
     },
 }
 
+/// A request on the wire: what `send_request` carries through the delay
+/// line to the destination's rx hook.
+pub struct Dispatch {
+    /// End-to-end job start (client send time).
+    pub req_start: SimTime,
+    /// Metadata to deliver.
+    pub meta: RpcMetadata,
+    /// Present iff this request was sampled for tracing.
+    pub span: Option<JobSpan>,
+    /// Response routing.
+    pub reply: ReplyTo,
+}
+
 /// One request as seen by a container: everything a worker thread needs to
 /// execute it and route the response.
 pub struct Job {
@@ -37,6 +75,8 @@ pub struct Job {
     pub meta_in: RpcMetadata,
     /// Arrival at this container (stamped by the rx hook).
     pub arrival: SimTime,
+    /// Present iff this request was sampled for tracing.
+    pub span: Option<JobSpan>,
     /// Response routing.
     pub reply: ReplyTo,
 }
@@ -139,7 +179,8 @@ mod tests {
             req_start: SimTime::ZERO,
             meta_in: RpcMetadata::new_job(SimTime::ZERO),
             arrival: SimTime::ZERO,
-            reply: ReplyTo::Client,
+            span: None,
+            reply: ReplyTo::Client { root_span: None },
         }
     }
 

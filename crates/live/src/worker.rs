@@ -21,14 +21,14 @@ use crate::clock::LiveClock;
 use crate::cluster::ClusterState;
 use crate::net::DelayLine;
 use crate::pool::LiveConnPool;
-use crate::sync::{Job, JobQueue, ReplySlot, ReplyTo};
+use crate::sync::{Dispatch, Job, JobQueue, JobSpan, ReplySlot, ReplyTo};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use sg_core::firstresponder::{FrRuntime, FreqUpdate};
 use sg_core::ids::{ContainerId, NodeId, ServiceId};
 use sg_core::metadata::RpcMetadata;
 use sg_core::metrics::{MetricsWindow, RequestSample};
-use sg_core::slack::per_packet_slack;
+use sg_core::slack::{annotate_entry, per_packet_slack};
 use sg_core::time::{SimDuration, SimTime};
 use sg_core::violation::LatencyPoint;
 use sg_sim::app::CallMode;
@@ -36,7 +36,9 @@ use sg_sim::cluster::SimConfig;
 use sg_sim::container::sample_work;
 use sg_sim::controller::{ControlAction, Controller};
 use sg_sim::network::Network;
-use sg_telemetry::{ActionKind, ActionOrigin, ActionOutcome, SharedSink, TelemetryEvent};
+use sg_telemetry::{
+    ActionKind, ActionOrigin, ActionOutcome, SharedSink, SpanRecord, TelemetryEvent,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -81,6 +83,11 @@ pub struct LiveCluster {
     /// Decision-trace sink (the ring front-end when telemetry is on, so
     /// emitting from the rx hook or a tick thread never blocks on I/O).
     pub sink: Option<SharedSink>,
+    /// Span sink (also the ring front-end): worker threads stamp
+    /// wall-clock spans and relay them drop-not-block.
+    pub span_sink: Option<SharedSink>,
+    /// Process-wide span id allocator for this run.
+    pub span_ids: AtomicU64,
 }
 
 impl LiveCluster {
@@ -168,13 +175,13 @@ impl LiveCluster {
     /// Deliver one request packet to container `dest`: run the node's rx
     /// hook, then hand the job to the container's worker pool. Runs on the
     /// delay-line thread — the live analogue of the kernel receive path.
-    pub fn deliver_request(
-        self: &Arc<Self>,
-        dest: ContainerId,
-        req_start: SimTime,
-        meta: RpcMetadata,
-        reply: ReplyTo,
-    ) {
+    pub fn deliver_request(self: &Arc<Self>, dest: ContainerId, dispatch: Dispatch) {
+        let Dispatch {
+            req_start,
+            meta,
+            mut span,
+            reply,
+        } = dispatch;
         let now = self.clock.now();
         let node = self.state.node_of(dest);
         let actions = self.controllers[node.index()]
@@ -209,10 +216,25 @@ impl LiveCluster {
             }
             self.apply_actions(node, actions, true);
         }
+        if let Some(s) = &mut span {
+            // Stamp what the rx hook saw; any boost this packet triggers
+            // is still in the FirstResponder queue, so this is the
+            // pre-boost frequency state — same convention as the sim.
+            let expected = self.cfg.params[dest.index()].expected_time_from_start;
+            let ann = annotate_entry(
+                expected,
+                now,
+                meta.start_time,
+                self.state.alloc_of(dest).freq_level,
+            );
+            s.freq_level = ann.freq_level;
+            s.slack_ns = ann.slack_ns;
+        }
         self.queues[dest.index()].push(Job {
             req_start,
             meta_in: meta,
             arrival: now,
+            span,
             reply,
         });
     }
@@ -223,19 +245,20 @@ impl LiveCluster {
         self: &Arc<Self>,
         src: NodeId,
         dest: ContainerId,
-        req_start: SimTime,
-        meta: RpcMetadata,
-        reply: ReplyTo,
+        mut dispatch: Dispatch,
         rng: &mut SmallRng,
     ) {
         let now = self.clock.now();
+        if let Some(s) = &mut dispatch.span {
+            s.sent_at = now;
+        }
         let delay = self
             .network
             .latency(now, src, self.state.node_of(dest), rng);
         let cluster = Arc::clone(self);
         self.delay.submit(
             self.clock.instant_at(now + delay),
-            Box::new(move || cluster.deliver_request(dest, req_start, meta, reply)),
+            Box::new(move || cluster.deliver_request(dest, dispatch)),
         );
     }
 
@@ -260,6 +283,7 @@ impl LiveCluster {
         edge: usize,
         meta_in: RpcMetadata,
         req_start: SimTime,
+        span_ctx: Option<(u64, u64)>,
         rng: &mut SmallRng,
     ) -> Option<(Arc<ReplySlot>, SimDuration)> {
         let pool = Arc::clone(&self.pools[c][edge]);
@@ -272,13 +296,26 @@ impl LiveCluster {
             slot: Arc::clone(&slot),
             pool,
         };
+        // The pool wait happened here, but it delayed the *callee* —
+        // charge it to the child hop (same convention as the sim).
+        let span = span_ctx.map(|(trace, parent)| JobSpan {
+            trace,
+            parent,
+            sent_at: SimTime::ZERO,
+            issue_wait: waited,
+            freq_level: 0,
+            slack_ns: 0,
+        });
         let meta_out = self.child_meta(c, meta_in);
         self.send_request(
             self.state.node_of(ContainerId(c as u32)),
             ContainerId(child.0),
-            req_start,
-            meta_out,
-            reply,
+            Dispatch {
+                req_start,
+                meta: meta_out,
+                span,
+                reply,
+            },
             rng,
         );
         Some((slot, waited))
@@ -292,10 +329,23 @@ impl LiveCluster {
         let pre = work.mul_f64(spec.pre_fraction);
         let post = work.saturating_sub(pre);
 
+        // Allocate this hop's span id up front so child RPCs can parent
+        // under it. Clock reads for the phase boundaries happen only when
+        // the request is traced — the untraced path stays bare.
+        let self_span = job
+            .span
+            .map(|s| (s, self.span_ids.fetch_add(1, Ordering::Relaxed)));
+        let span_ctx = self_span.map(|(s, id)| (s.trace, id));
+
         let gate = &self.state.gates[c];
         if !gate.run(pre, &self.shutdown) {
             return;
         }
+        let pre_done = if self_span.is_some() {
+            self.clock.now()
+        } else {
+            SimTime::ZERO
+        };
 
         let mut conn_wait = SimDuration::ZERO;
         if !spec.children.is_empty() {
@@ -303,7 +353,7 @@ impl LiveCluster {
                 CallMode::Sequential => {
                     for edge in 0..spec.children.len() {
                         let Some((slot, waited)) =
-                            self.call_child(c, edge, job.meta_in, job.req_start, rng)
+                            self.call_child(c, edge, job.meta_in, job.req_start, span_ctx, rng)
                         else {
                             return;
                         };
@@ -317,7 +367,7 @@ impl LiveCluster {
                     let mut slots = Vec::with_capacity(spec.children.len());
                     for edge in 0..spec.children.len() {
                         let Some((slot, waited)) =
-                            self.call_child(c, edge, job.meta_in, job.req_start, rng)
+                            self.call_child(c, edge, job.meta_in, job.req_start, span_ctx, rng)
                         else {
                             return;
                         };
@@ -333,11 +383,36 @@ impl LiveCluster {
             }
         }
 
+        let post_start = if self_span.is_some() {
+            self.clock.now()
+        } else {
+            SimTime::ZERO
+        };
         if !gate.run(post, &self.shutdown) {
             return;
         }
 
         let now = self.clock.now();
+        if let Some((s, id)) = self_span {
+            if let Some(sink) = &self.span_sink {
+                sink.emit(TelemetryEvent::Span(SpanRecord {
+                    trace: s.trace,
+                    span: id,
+                    parent: Some(s.parent),
+                    container: Some(ContainerId(c as u32)),
+                    node: Some(self.state.node_of(ContainerId(c as u32))),
+                    start: job.arrival,
+                    end: now,
+                    net_in: job.arrival.saturating_since(s.sent_at),
+                    conn_wait: s.issue_wait,
+                    service: pre_done.saturating_since(job.arrival)
+                        + now.saturating_since(post_start),
+                    downstream: post_start.saturating_since(pre_done),
+                    freq_level: s.freq_level,
+                    slack_ns: s.slack_ns,
+                }));
+            }
+        }
         let exec_time = now.saturating_since(job.arrival);
         let sample = RequestSample {
             exec_time,
@@ -374,16 +449,42 @@ impl LiveCluster {
                     }),
                 );
             }
-            ReplyTo::Client => {
+            ReplyTo::Client { root_span } => {
                 let delay = self
                     .network
                     .latency(now, src, self.cfg.placement.client_node(), rng);
                 let completion = now + delay;
                 let latency = completion.saturating_since(job.req_start);
+                let req_start = job.req_start;
                 let cluster = Arc::clone(self);
                 self.delay.submit(
                     self.clock.instant_at(completion),
                     Box::new(move || {
+                        if let Some((trace, root_id)) = root_span {
+                            // Synthetic root "request" span, stamped with
+                            // the *same* precomputed (completion, latency)
+                            // pair as the LatencyPoint below — so the
+                            // span-tree conformance invariant (root
+                            // duration == point latency) is exact on this
+                            // substrate too, not clock-tolerant.
+                            if let Some(sink) = &cluster.span_sink {
+                                sink.emit(TelemetryEvent::Span(SpanRecord {
+                                    trace,
+                                    span: root_id,
+                                    parent: None,
+                                    container: None,
+                                    node: None,
+                                    start: req_start,
+                                    end: completion,
+                                    net_in: SimDuration::ZERO,
+                                    conn_wait: SimDuration::ZERO,
+                                    service: SimDuration::ZERO,
+                                    downstream: latency,
+                                    freq_level: 0,
+                                    slack_ns: 0,
+                                }));
+                            }
+                        }
                         cluster.points.lock().unwrap().push(LatencyPoint {
                             completion,
                             latency,

@@ -5,14 +5,16 @@
 //! up, whether the fast path fires, whether boosts converge back down.
 
 use sg_controllers::SurgeGuardFactory;
-use sg_core::time::SimTime;
+use sg_core::time::{SimDuration, SimTime};
 use sg_live::conformance::{
     assert_boost_retires, assert_cross_node_control_rejected, assert_first_responder_reacted,
-    assert_pool_exhaustion_queues_upstream, constant_arrivals, run_backend, surge_arrivals,
-    two_node_cfg, two_stage_cfg, Backend, CrossNodeMeddlerFactory,
+    assert_pool_exhaustion_queues_upstream, assert_span_tree_conformance, constant_arrivals,
+    run_backend, run_backend_with_spans, surge_arrivals, two_node_cfg, two_stage_cfg, Backend,
+    CrossNodeMeddlerFactory,
 };
 use sg_sim::app::ConnModel;
 use sg_sim::controller::NoopFactory;
+use sg_telemetry::{LossClass, SpanReport, SpanSampler, TelemetryEvent};
 
 /// With a `FixedPool(1)` parent→child edge under steady load, connection
 /// wait shows up *upstream* (the parent's `execTime` inflates past its
@@ -119,4 +121,155 @@ fn boosts_retire_after_surge_on_both_backends() {
         );
         assert_boost_retires(backend, &result, base_ghz);
     }
+}
+
+/// Span-tree conformance (tentpole): on both substrates, every traced
+/// request's synthetic root span carries exactly the `(completion,
+/// latency)` pair of its `LatencyPoint`, each trace has one root, and
+/// child spans nest inside their parents.
+#[test]
+fn span_trees_conform_on_both_backends() {
+    let end = SimTime::from_millis(400);
+    for backend in Backend::both() {
+        let cfg = two_stage_cfg(ConnModel::PerRequest, end);
+        let (result, records) = run_backend_with_spans(
+            backend,
+            cfg,
+            &SurgeGuardFactory::full(),
+            surge_arrivals(400.0, end),
+            SpanSampler::all(),
+            sg_live::LiveOpts::default(),
+        );
+        assert!(
+            result.completed > 0,
+            "[{}] span scenario completed no requests",
+            backend.label()
+        );
+        assert_span_tree_conformance(backend, &result, &records);
+    }
+}
+
+/// Fig. 5b inversion (ISSUE acceptance): with a `FixedPool(1)` edge under
+/// steady overload, the wait surfaces in the *parent's* execTime, but the
+/// critical-path analyzer must attribute the loss to the *downstream*
+/// container's pool-queue class — the inversion the paper's Fig. 5b
+/// shows — and that class must carry the majority of the violation loss.
+/// On BOTH substrates.
+#[test]
+fn threadpool_surge_attributes_downstream_pool_queue_on_both_backends() {
+    let end = SimTime::from_millis(400);
+    let qos = SimDuration::from_micros(1800);
+    for backend in Backend::both() {
+        // Give both services slack cores so processor-sharing stretch is
+        // negligible and the single shared connection is the only
+        // congested resource: with the child's work stretched to 600 us
+        // the connection is held ~630 us per RPC on the simulator, so
+        // 1400 req/s puts it at ~0.88 occupancy (millisecond queue
+        // waits) while neither container's CPU exceeds ~0.25 — violator
+        // overshoot is dominated by pool-queue wait, not service time.
+        // The wall-clock substrate holds the connection longer (each
+        // 500 us work chunk and each network hop is a `thread::sleep`
+        // that overshoots by tens of microseconds), so the live rate is
+        // lowered to land the *same* ~0.9 occupancy operating point —
+        // the conformance contract is behavioural, not absolute-latency.
+        let rate = match backend {
+            Backend::Sim => 1400.0,
+            Backend::Live => 950.0,
+        };
+        let mut cfg = two_stage_cfg(ConnModel::FixedPool(1), end);
+        cfg.initial_cores = vec![4, 4];
+        cfg.graph.services[1].work_mean = SimDuration::from_micros(600);
+        let opts = sg_live::LiveOpts {
+            // Parents hold a worker thread for the whole pool wait;
+            // size the pool of threads so the job queue never backs up.
+            workers_per_container: 32,
+            ..sg_live::LiveOpts::default()
+        };
+        let (result, records) = run_backend_with_spans(
+            backend,
+            cfg,
+            &NoopFactory,
+            constant_arrivals(rate, end),
+            SpanSampler::all(),
+            opts,
+        );
+        let label = backend.label();
+        assert!(result.completed > 0, "[{label}] no requests completed");
+        let report = SpanReport::from_records(&records, Some(qos));
+        assert!(
+            report.violations > 0,
+            "[{label}] overload produced no QoS violations to attribute"
+        );
+        let ((container, class), attr) = report
+            .dominant()
+            .unwrap_or_else(|| panic!("[{label}] no attribution recorded"));
+        assert_eq!(
+            (container, class),
+            (1, LossClass::PoolQueue),
+            "[{label}] dominant loss must be the downstream container's pool queue, got \
+             container {container} class {class:?}"
+        );
+        assert!(
+            attr.loss_ns * 2 > report.total_loss_ns(),
+            "[{label}] pool-queue class must carry the majority of violation loss: {} of {}",
+            attr.loss_ns,
+            report.total_loss_ns()
+        );
+    }
+}
+
+/// Deterministic sampling (satellite): the same seed and workload must
+/// produce byte-identical span output on the simulator.
+#[test]
+fn sim_span_output_is_byte_identical_across_runs() {
+    let end = SimTime::from_millis(300);
+    let run = || {
+        let (_, records) = run_backend_with_spans(
+            Backend::Sim,
+            two_stage_cfg(ConnModel::PerRequest, end),
+            &SurgeGuardFactory::full(),
+            surge_arrivals(400.0, end),
+            SpanSampler::rate(1, 3, 42),
+            sg_live::LiveOpts::default(),
+        );
+        records
+            .into_iter()
+            .map(|r| TelemetryEvent::Span(r).to_json_line())
+            .collect::<Vec<String>>()
+    };
+    let first = run();
+    let second = run();
+    assert!(!first.is_empty(), "sampled run produced no spans");
+    assert_eq!(first, second, "span output must be byte-identical");
+}
+
+/// Deterministic sampling (satellite): the N-out-of-M sampler must land
+/// within ±1 of the exact rate over the whole run.
+#[test]
+fn sim_sampling_rate_is_within_one_of_exact() {
+    // Arrivals stop 50 ms before the run ends so every injected request
+    // completes (and therefore emits its root span) before the cutoff.
+    let end = SimTime::from_secs(3);
+    let traffic_end = SimTime::from_millis(2950);
+    let (result, records) = run_backend_with_spans(
+        Backend::Sim,
+        two_stage_cfg(ConnModel::PerRequest, end),
+        &NoopFactory,
+        constant_arrivals(4000.0, traffic_end),
+        SpanSampler::rate(1, 7, 42),
+        sg_live::LiveOpts::default(),
+    );
+    assert_eq!(result.dropped, 0, "safety valve must not distort the count");
+    assert_eq!(
+        result.completed, result.injected,
+        "every injected request must complete for an exact census"
+    );
+    assert!(result.injected > 10_000, "want a long census");
+    let roots = records.iter().filter(|r| r.is_root()).count() as i64;
+    let exact = (result.injected as i64) / 7;
+    assert!(
+        (roots - exact).abs() <= 1,
+        "sampled {roots} roots over {} requests; want {exact} +/- 1",
+        result.injected
+    );
 }

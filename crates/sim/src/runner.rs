@@ -20,10 +20,12 @@ use sg_core::allocator::ContainerAlloc;
 use sg_core::ids::{ContainerId, NodeId, ServiceId};
 use sg_core::metadata::RpcMetadata;
 use sg_core::metrics::RequestSample;
-use sg_core::slack::per_packet_slack;
+use sg_core::slack::{annotate_entry, per_packet_slack};
 use sg_core::time::{SimDuration, SimTime};
 use sg_core::violation::LatencyPoint;
-use sg_telemetry::{ActionKind, ActionOrigin, ActionOutcome, SharedSink, TelemetryEvent};
+use sg_telemetry::{
+    ActionKind, ActionOrigin, ActionOutcome, SharedSink, SpanRecord, SpanSampler, TelemetryEvent,
+};
 use std::sync::Arc;
 
 /// Execution phase of an invocation.
@@ -35,6 +37,28 @@ enum InvPhase {
     Children,
     /// Running the post-call work slice.
     Post,
+}
+
+/// Tracing context carried by a sampled invocation: everything the hop
+/// span needs that is not already on [`Invocation`].
+#[derive(Debug, Clone, Copy)]
+struct SpanState {
+    trace: u64,
+    id: u64,
+    parent: u64,
+    /// When the caller put the request on the wire.
+    sent_at: SimTime,
+    /// Time the *caller* waited on its connection pool to issue this RPC
+    /// (the hidden-threadpool queue, charged to this hop).
+    issue_wait: SimDuration,
+    /// End of the pre-call work slice.
+    pre_done: SimTime,
+    /// Start of the post-call work slice.
+    post_start: SimTime,
+    /// DVFS level the rx hook saw on entry (pre-boost).
+    freq_level: u8,
+    /// Per-packet slack at entry, ns (negative ⇒ already late).
+    slack_ns: i64,
 }
 
 /// Per-invocation state (one service execution of one request).
@@ -55,6 +79,8 @@ struct Invocation {
     outstanding: u16,
     post_work: SimDuration,
     in_use: bool,
+    /// Present iff this request was sampled for tracing.
+    span: Option<SpanState>,
 }
 
 /// Low-load profiling aggregates per container (used to derive the
@@ -144,6 +170,10 @@ pub struct Simulation {
     in_packet_hook: bool,
     /// Decision-trace sink; `None` costs one branch per emission site.
     sink: Option<SharedSink>,
+    /// Span sink; `None` costs one branch per request.
+    span_sink: Option<SharedSink>,
+    sampler: SpanSampler,
+    next_span_id: u64,
 }
 
 impl Simulation {
@@ -264,6 +294,9 @@ impl Simulation {
             meter_reset_done: false,
             in_packet_hook: false,
             sink: None,
+            span_sink: None,
+            sampler: SpanSampler::all(),
+            next_span_id: 0,
             cfg,
         }
     }
@@ -278,6 +311,16 @@ impl Simulation {
             controller.attach_telemetry(Arc::clone(&sink));
         }
         self.sink = Some(sink);
+        self
+    }
+
+    /// Enable per-request span tracing: every request the deterministic
+    /// `sampler` selects emits one hop span per RPC in its call graph
+    /// plus a synthetic root "request" span, all into `sink`. The
+    /// simulator emits synchronously — spans are exact, not clocked.
+    pub fn with_spans(mut self, sink: SharedSink, sampler: SpanSampler) -> Self {
+        self.span_sink = Some(sink);
+        self.sampler = sampler;
         self
     }
 
@@ -390,6 +433,9 @@ impl Simulation {
             );
         }
         self.injected += 1;
+        // Trace ids are injection indices, so sampling is stable against
+        // safety-valve drops (dropped arrivals consume an id, no span).
+        let trace = self.injected - 1;
         if self.in_flight >= self.cfg.max_in_flight {
             self.dropped += 1;
             return;
@@ -397,8 +443,28 @@ impl Simulation {
         self.in_flight += 1;
         self.peak_in_flight = self.peak_in_flight.max(self.in_flight);
 
+        let span = if self.span_sink.is_some() && self.sampler.sampled(trace) {
+            // Reserve the synthetic root "request" span id and the
+            // frontend hop id together.
+            let root_id = self.next_span_id;
+            self.next_span_id += 2;
+            Some(SpanState {
+                trace,
+                id: root_id + 1,
+                parent: root_id,
+                sent_at: now,
+                issue_wait: SimDuration::ZERO,
+                pre_done: SimTime::ZERO,
+                post_start: SimTime::ZERO,
+                freq_level: 0,
+                slack_ns: 0,
+            })
+        } else {
+            None
+        };
+
         let meta = RpcMetadata::new_job(now);
-        let inv = self.alloc_invocation(TaskGraph::ROOT, None, now, meta);
+        let inv = self.alloc_invocation(TaskGraph::ROOT, None, now, meta, span);
         let frontend = ContainerId(TaskGraph::ROOT.0);
         let delay = self.network.latency(
             now,
@@ -464,10 +530,20 @@ impl Simulation {
         let pre = work.mul_f64(spec.pre_fraction);
         let post = work.saturating_sub(pre);
         {
+            let expected = self.cfg.params[packet.dest.index()].expected_time_from_start;
+            let freq_level = self.allocs[packet.dest.index()].freq_level;
             let inv = &mut self.invocations[inv_id as usize];
             inv.arrival = now;
             inv.post_work = post;
             inv.phase = InvPhase::Pre;
+            if let Some(span) = &mut inv.span {
+                // Stamp what the rx hook saw: any boost triggered by this
+                // very packet is still behind the MSR-write delay, so
+                // this is the *pre-boost* frequency state.
+                let ann = annotate_entry(expected, now, packet.meta.start_time, freq_level);
+                span.freq_level = ann.freq_level;
+                span.slack_ns = ann.slack_ns;
+            }
         }
         let c = packet.dest;
         self.containers[c.index()].add_phase(now, inv_id, pre);
@@ -516,6 +592,9 @@ impl Simulation {
         let phase = self.invocations[inv_id as usize].phase;
         match phase {
             InvPhase::Pre => {
+                if let Some(span) = &mut self.invocations[inv_id as usize].span {
+                    span.pre_done = now;
+                }
                 let svc = self.invocations[inv_id as usize].service;
                 let spec = &self.cfg.graph.services[svc.index()];
                 if spec.children.is_empty() {
@@ -560,6 +639,9 @@ impl Simulation {
         let (post, container) = {
             let inv = &mut self.invocations[inv_id as usize];
             inv.phase = InvPhase::Post;
+            if let Some(span) = &mut inv.span {
+                span.post_start = now;
+            }
             (inv.post_work, ContainerId(inv.service.0))
         };
         if post.is_zero() {
@@ -594,7 +676,7 @@ impl Simulation {
         edge: usize,
         waited: SimDuration,
     ) {
-        let (svc, req_start, meta_out) = {
+        let (svc, req_start, meta_out, parent_span) = {
             let inv = &mut self.invocations[parent as usize];
             inv.conn_wait += waited;
             let parent_c = ContainerId(inv.service.0);
@@ -603,12 +685,35 @@ impl Simulation {
             if hint > 0 {
                 meta = meta.with_hint(hint);
             }
-            (inv.service, inv.req_start, meta)
+            (inv.service, inv.req_start, meta, inv.span)
         };
+        let child_span = parent_span.map(|ps| {
+            let id = self.next_span_id;
+            self.next_span_id += 1;
+            SpanState {
+                trace: ps.trace,
+                id,
+                parent: ps.id,
+                sent_at: now,
+                // The pool wait happened in the parent, but it delayed
+                // *this* RPC — charge it to the callee hop so the
+                // critical path points at the congested downstream pool.
+                issue_wait: waited,
+                pre_done: SimTime::ZERO,
+                post_start: SimTime::ZERO,
+                freq_level: 0,
+                slack_ns: 0,
+            }
+        });
         let child_svc = self.cfg.graph.services[svc.index()].children[edge].child;
         let child_c = ContainerId(child_svc.0);
-        let child_inv =
-            self.alloc_invocation(child_svc, Some((parent, edge as u16)), req_start, meta_out);
+        let child_inv = self.alloc_invocation(
+            child_svc,
+            Some((parent, edge as u16)),
+            req_start,
+            meta_out,
+            child_span,
+        );
         let delay = self.network.latency(
             now,
             self.cfg.placement.node(svc),
@@ -631,7 +736,7 @@ impl Simulation {
 
     /// The invocation finished all local work: record metrics and reply.
     fn respond(&mut self, now: SimTime, inv_id: InvocationId) {
-        let (service, parent, req_start, arrival, conn_wait, hinted) = {
+        let (service, parent, req_start, arrival, conn_wait, hinted, span) = {
             let inv = &self.invocations[inv_id as usize];
             (
                 inv.service,
@@ -640,9 +745,31 @@ impl Simulation {
                 inv.arrival,
                 inv.conn_wait,
                 inv.meta_in.has_hint(),
+                inv.span,
             )
         };
         let c = ContainerId(service.0);
+        if let Some(s) = span {
+            let node = self.containers[c.index()].node;
+            if let Some(sink) = &self.span_sink {
+                sink.emit(TelemetryEvent::Span(SpanRecord {
+                    trace: s.trace,
+                    span: s.id,
+                    parent: Some(s.parent),
+                    container: Some(c),
+                    node: Some(node),
+                    start: arrival,
+                    end: now,
+                    net_in: arrival.saturating_since(s.sent_at),
+                    conn_wait: s.issue_wait,
+                    service: s.pre_done.saturating_since(arrival)
+                        + now.saturating_since(s.post_start),
+                    downstream: s.post_start.saturating_since(s.pre_done),
+                    freq_level: s.freq_level,
+                    slack_ns: s.slack_ns,
+                }));
+            }
+        }
         let exec_time = now.saturating_since(arrival);
         let sample = RequestSample {
             exec_time,
@@ -689,9 +816,32 @@ impl Simulation {
                     &mut self.rng,
                 );
                 let completion = now + delay;
+                let latency = completion.saturating_since(req_start);
+                if let Some(s) = span {
+                    // Synthetic root "request" span: client send to client
+                    // delivery. Its duration is exactly the LatencyPoint
+                    // latency — the span-tree conformance anchor.
+                    if let Some(sink) = &self.span_sink {
+                        sink.emit(TelemetryEvent::Span(SpanRecord {
+                            trace: s.trace,
+                            span: s.parent,
+                            parent: None,
+                            container: None,
+                            node: None,
+                            start: req_start,
+                            end: completion,
+                            net_in: SimDuration::ZERO,
+                            conn_wait: SimDuration::ZERO,
+                            service: SimDuration::ZERO,
+                            downstream: latency,
+                            freq_level: 0,
+                            slack_ns: 0,
+                        }));
+                    }
+                }
                 self.points.push(LatencyPoint {
                     completion,
-                    latency: completion.saturating_since(req_start),
+                    latency,
                 });
                 self.completed += 1;
                 self.in_flight -= 1;
@@ -974,6 +1124,7 @@ impl Simulation {
         parent: Option<(InvocationId, u16)>,
         req_start: SimTime,
         meta: RpcMetadata,
+        span: Option<SpanState>,
     ) -> InvocationId {
         let inv = Invocation {
             service,
@@ -987,6 +1138,7 @@ impl Simulation {
             outstanding: 0,
             post_work: SimDuration::ZERO,
             in_use: true,
+            span,
         };
         match self.free_list.pop() {
             Some(id) => {

@@ -1,27 +1,88 @@
-//! `sg-trace` — summarize a telemetry JSONL trace.
+//! `sg-trace` — summarize and audit a telemetry JSONL trace.
 //!
-//! Usage: `sg-trace TRACE.jsonl`
+//! Usage: `sg-trace [--json] [--qos MS] [--folded PATH] TRACE.jsonl`
 //!
-//! Reads a trace produced by `sg-loadtest --telemetry` (or any
-//! `JsonlSink`) and prints the per-container allocation timeline, the
-//! boost→retire latency distribution, the decision-cycle action
-//! histogram, and the clamp/rejection audit. Unparseable lines are
-//! counted and reported, not fatal — a trace truncated by a crash should
-//! still summarize.
+//! Reads a trace produced by `sg-loadtest --telemetry` / `--spans` (or
+//! any `JsonlSink`) and prints the per-container allocation timeline,
+//! the boost→retire latency distribution, the decision-cycle action
+//! histogram, and — when the trace carries span records — the
+//! critical-path attribution report for deadline-violating requests.
+//!
+//! Flags:
+//!
+//! * `--json`     emit one JSON object (`{"decision": …, "spans": …}`)
+//!   instead of the human-readable report.
+//! * `--qos MS`   classify violations against this deadline in
+//!   milliseconds (fractional OK); defaults to self-calibrating on the
+//!   p99 of observed request durations.
+//! * `--folded PATH` write the attribution histogram as collapsed
+//!   stacks (`client;c0;c1;pool_queue 1234`) for inferno / speedscope.
+//!
+//! Exit status: 0 on a clean trace, 1 when the clamp/reconciliation
+//! audit or the span structural audit finds a mismatch (unexplained
+//! alloc changes, dropped events, malformed span trees), 2 on usage
+//! errors. Unparseable lines are counted and reported, not fatal — a
+//! trace truncated by a crash should still summarize.
 
-use sg_telemetry::{TelemetryEvent, TraceSummary};
+use sg_core::time::SimDuration;
+use sg_telemetry::{SpanReport, TelemetryEvent, TraceSummary};
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
 
+fn usage() -> ExitCode {
+    eprintln!("usage: sg-trace [--json] [--qos MS] [--folded PATH] TRACE.jsonl");
+    eprintln!("  summarize a telemetry trace recorded with sg-loadtest --telemetry/--spans");
+    eprintln!("  exits nonzero when the reconciliation or span audit fails");
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let path = match args.next() {
-        Some(p) if p != "--help" && p != "-h" => p,
-        _ => {
-            eprintln!("usage: sg-trace TRACE.jsonl");
-            eprintln!("  summarize a telemetry trace recorded with sg-loadtest --telemetry");
-            return ExitCode::from(2);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut qos: Option<SimDuration> = None;
+    let mut folded: Option<String> = None;
+    let mut path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => return usage(),
+            "--json" => json = true,
+            "--qos" => {
+                i += 1;
+                let Some(ms) = args.get(i).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("sg-trace: --qos needs a millisecond value");
+                    return usage();
+                };
+                if ms.is_nan() || ms <= 0.0 {
+                    eprintln!("sg-trace: --qos must be positive");
+                    return usage();
+                }
+                qos = Some(SimDuration::from_nanos((ms * 1_000_000.0) as u64));
+            }
+            "--folded" => {
+                i += 1;
+                let Some(p) = args.get(i) else {
+                    eprintln!("sg-trace: --folded needs a path");
+                    return usage();
+                };
+                folded = Some(p.clone());
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("sg-trace: unknown flag {flag}");
+                return usage();
+            }
+            p => {
+                if path.replace(p.to_string()).is_some() {
+                    eprintln!("sg-trace: more than one trace file given");
+                    return usage();
+                }
+            }
         }
+        i += 1;
+    }
+    let Some(path) = path else {
+        return usage();
     };
 
     let file = match std::fs::File::open(&path) {
@@ -51,10 +112,47 @@ fn main() -> ExitCode {
         }
     }
 
-    let summary = TraceSummary::from_events(events);
-    print!("{}", summary.render());
+    let summary = TraceSummary::from_events(events.iter().cloned());
+    let report = SpanReport::from_events(events, qos);
+
+    if let Some(folded_path) = &folded {
+        if let Err(e) = std::fs::write(folded_path, report.folded_lines()) {
+            eprintln!("sg-trace: cannot write {folded_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let decision_audit = summary.audit();
+    let span_audit = report.audit();
+
+    if json {
+        let spans_json = if report.spans > 0 {
+            report.to_json()
+        } else {
+            serde_json::Value::Null
+        };
+        let obj = serde_json::json!({
+            "decision": summary.to_json(),
+            "spans": spans_json,
+            "bad_lines": bad_lines,
+        });
+        println!("{obj}");
+    } else {
+        print!("{}", summary.render());
+        if report.spans > 0 {
+            print!("{}", report.render());
+        }
+        for finding in decision_audit.iter().chain(span_audit.iter()) {
+            eprintln!("sg-trace: AUDIT: {finding}");
+        }
+    }
     if bad_lines > 0 {
         eprintln!("sg-trace: skipped {bad_lines} unparseable line(s)");
     }
-    ExitCode::SUCCESS
+
+    if decision_audit.is_empty() && span_audit.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -5,9 +5,10 @@
 //! partial writes. Encoding and decoding round-trip exactly — `sg-trace`
 //! reads back what the sinks wrote.
 
+use crate::span::SpanRecord;
 use serde_json::{json, Value};
 use sg_core::ids::{ContainerId, NodeId};
-use sg_core::time::SimTime;
+use sg_core::time::{SimDuration, SimTime};
 
 /// What a control action asked for (the action's single argument).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,6 +224,8 @@ pub enum TelemetryEvent {
         /// The cycle's actions with their motivating reasons.
         actions: Vec<ScoredAction>,
     },
+    /// One span of a traced request (see [`crate::span`]).
+    Span(SpanRecord),
     /// Events lost in a bounded relay (emitted once at shutdown by the
     /// live ring when its drop counter is nonzero).
     Dropped {
@@ -331,6 +334,22 @@ impl TelemetryEvent {
                     "actions": actions,
                 })
             }
+            TelemetryEvent::Span(s) => json!({
+                "type": "span",
+                "trace": s.trace,
+                "span": s.span,
+                "parent": s.parent,
+                "container": s.container.map(|c| c.0),
+                "node": s.node.map(|n| n.0),
+                "start_ns": s.start.as_nanos(),
+                "end_ns": s.end.as_nanos(),
+                "net_in_ns": s.net_in.as_nanos(),
+                "conn_wait_ns": s.conn_wait.as_nanos(),
+                "service_ns": s.service.as_nanos(),
+                "downstream_ns": s.downstream.as_nanos(),
+                "freq_level": s.freq_level,
+                "slack_ns": s.slack_ns,
+            }),
             TelemetryEvent::Dropped { count } => json!({
                 "type": "dropped",
                 "count": *count,
@@ -421,6 +440,24 @@ impl TelemetryEvent {
                     actions,
                 })
             }
+            "span" => Ok(TelemetryEvent::Span(SpanRecord {
+                trace: field_u64(&v, "trace")?,
+                span: field_u64(&v, "span")?,
+                parent: field_opt_u64(&v, "parent")?,
+                container: field_opt_u64(&v, "container")?.map(|c| ContainerId(c as u32)),
+                node: field_opt_u64(&v, "node")?.map(|n| NodeId(n as u32)),
+                start: SimTime::from_nanos(field_u64(&v, "start_ns")?),
+                end: SimTime::from_nanos(field_u64(&v, "end_ns")?),
+                net_in: SimDuration::from_nanos(field_u64(&v, "net_in_ns")?),
+                conn_wait: SimDuration::from_nanos(field_u64(&v, "conn_wait_ns")?),
+                service: SimDuration::from_nanos(field_u64(&v, "service_ns")?),
+                downstream: SimDuration::from_nanos(field_u64(&v, "downstream_ns")?),
+                freq_level: field_u64(&v, "freq_level")? as u8,
+                slack_ns: v
+                    .get("slack_ns")
+                    .and_then(Value::as_i64)
+                    .ok_or("missing slack_ns")?,
+            })),
             "dropped" => Ok(TelemetryEvent::Dropped {
                 count: field_u64(&v, "count")?,
             }),
@@ -433,6 +470,18 @@ fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Value::as_u64)
         .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+/// A field that must be present but may be JSON `null`.
+fn field_opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Err(format!("missing field '{key}'")),
+        Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("non-numeric field '{key}'")),
+    }
 }
 
 fn field_f64(v: &Value, key: &str) -> Result<f64, String> {
@@ -504,6 +553,36 @@ mod tests {
                     reason: "upscale: score 3".into(),
                 }],
             },
+            TelemetryEvent::Span(SpanRecord {
+                trace: 41,
+                span: 97,
+                parent: Some(96),
+                container: Some(ContainerId(1)),
+                node: Some(NodeId(0)),
+                start: SimTime::from_micros(1200),
+                end: SimTime::from_micros(1950),
+                net_in: SimDuration::from_micros(20),
+                conn_wait: SimDuration::from_micros(410),
+                service: SimDuration::from_micros(150),
+                downstream: SimDuration::from_micros(600),
+                freq_level: 8,
+                slack_ns: -77_000,
+            }),
+            TelemetryEvent::Span(SpanRecord {
+                trace: 41,
+                span: 96,
+                parent: None,
+                container: None,
+                node: None,
+                start: SimTime::from_micros(1180),
+                end: SimTime::from_micros(2000),
+                net_in: SimDuration::ZERO,
+                conn_wait: SimDuration::ZERO,
+                service: SimDuration::ZERO,
+                downstream: SimDuration::from_micros(820),
+                freq_level: 0,
+                slack_ns: 0,
+            }),
             TelemetryEvent::Dropped { count: 7 },
         ]
     }

@@ -22,22 +22,39 @@
 //!   decision cycle saw.
 //! * [`TelemetryEvent::Scoreboard`] — the Escalator's Table II candidate
 //!   scoreboard plus a human-readable reason per emitted action.
+//! * [`TelemetryEvent::Span`] — one span of a traced request's RPC call
+//!   graph (see [`span`]): per-hop arrival, connection-pool wait,
+//!   service and downstream time, network delay, and the frequency/slack
+//!   state the rx hook saw on entry.
 //! * [`TelemetryEvent::Dropped`] — events lost in a bounded relay
 //!   (explicit, never silent).
 //!
+//! Per-request tracing is sampled deterministically
+//! ([`span::SpanSampler`], seeded N-out-of-M) and analyzed by
+//! [`critical::SpanReport`]: for every deadline-violating request the
+//! span tree is walked to the dominant hop and the loss classified
+//! (pool queue vs service vs network vs pre-boost frequency), producing
+//! a per-container attribution histogram and folded-stack output for
+//! inferno/speedscope.
+//!
 //! The `sg-trace` binary summarizes a recorded JSONL trace: per-container
 //! allocation timeline, boost→retire latency distribution, action
-//! histogram, and a clamp/rejection audit (see [`summary`]).
+//! histogram, a clamp/reconciliation audit (see [`summary`]; mismatches
+//! exit nonzero), and the span-side critical-path report.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod critical;
 pub mod event;
 pub mod ring;
 pub mod sink;
+pub mod span;
 pub mod summary;
 
+pub use critical::{Attribution, LossClass, SpanReport};
 pub use event::{ActionKind, ActionOrigin, ActionOutcome, ScoredAction, TelemetryEvent};
 pub use ring::{RingDrainer, RingSink, RingStats};
-pub use sink::{JsonlSink, SharedSink, TelemetrySink, VecSink};
+pub use sink::{DemuxSink, JsonlSink, SharedSink, TelemetrySink, VecSink};
+pub use span::{SpanRecord, SpanSampler};
 pub use summary::TraceSummary;

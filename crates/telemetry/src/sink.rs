@@ -69,9 +69,17 @@ impl TelemetrySink for VecSink {
 }
 
 /// Sink writing one JSON object per line to a buffered file.
+///
+/// A full disk must not take down the run it is observing, so `emit`
+/// never panics or blocks the caller on an error — but it is not silent
+/// either: failed writes are counted, the last error message is kept,
+/// and dropping the sink flushes the buffer and reports any loss to
+/// stderr so tail events are never lost without a trace.
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
     written: AtomicU64,
+    write_errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
 }
 
 impl JsonlSink {
@@ -81,6 +89,8 @@ impl JsonlSink {
         Ok(JsonlSink {
             writer: Mutex::new(BufWriter::new(file)),
             written: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
         })
     }
 
@@ -88,27 +98,114 @@ impl JsonlSink {
     pub fn written(&self) -> u64 {
         self.written.load(Ordering::Relaxed)
     }
+
+    /// Write or flush failures so far.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// The most recent write/flush error, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().expect("JsonlSink poisoned").clone()
+    }
+
+    fn record_error(&self, e: &std::io::Error) {
+        self.write_errors.fetch_add(1, Ordering::Relaxed);
+        *self.last_error.lock().expect("JsonlSink poisoned") = Some(e.to_string());
+    }
+
+    /// Flush, surfacing the error to the caller (unlike the fire-and-
+    /// forget trait `flush`).
+    pub fn try_flush(&self) -> std::io::Result<()> {
+        let result = self.writer.lock().expect("JsonlSink poisoned").flush();
+        if let Err(e) = &result {
+            self.record_error(e);
+        }
+        result
+    }
 }
 
 impl TelemetrySink for JsonlSink {
     fn emit(&self, event: TelemetryEvent) {
         let line = event.to_json_line();
         let mut w = self.writer.lock().expect("JsonlSink poisoned");
-        // Trace files are best-effort diagnostics: a full disk should not
-        // take down the run it is observing.
-        if writeln!(w, "{line}").is_ok() {
-            self.written.fetch_add(1, Ordering::Relaxed);
+        match writeln!(w, "{line}") {
+            Ok(()) => {
+                self.written.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                drop(w);
+                self.record_error(&e);
+            }
         }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("JsonlSink poisoned").flush();
+        let _ = self.try_flush();
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        self.flush();
+        let _ = self.try_flush();
+        let errors = self.write_errors();
+        if errors > 0 {
+            let detail = self.last_error().unwrap_or_else(|| "unknown".into());
+            eprintln!("sg-telemetry: {errors} trace write error(s); last: {detail}");
+        }
+    }
+}
+
+/// Routes events from one relay to per-stream destinations: span records
+/// to the span sink, decision events to the decision sink, and pipeline
+/// `Dropped` records to *both*, so each output file still testifies to
+/// its own losses. The live driver funnels every hot-path emitter
+/// through a single [`crate::ring::RingSink`] whose inner sink is a
+/// `DemuxSink`, keeping the packet path to one lock-free push however
+/// many trace files are open.
+pub struct DemuxSink {
+    decision: Option<SharedSink>,
+    span: Option<SharedSink>,
+}
+
+impl DemuxSink {
+    /// A demux over the (optional) per-stream destinations.
+    pub fn new(decision: Option<SharedSink>, span: Option<SharedSink>) -> Self {
+        DemuxSink { decision, span }
+    }
+}
+
+impl TelemetrySink for DemuxSink {
+    fn emit(&self, event: TelemetryEvent) {
+        match &event {
+            TelemetryEvent::Span(_) => {
+                if let Some(s) = &self.span {
+                    s.emit(event);
+                }
+            }
+            TelemetryEvent::Dropped { .. } => {
+                if let Some(s) = &self.decision {
+                    s.emit(event.clone());
+                }
+                if let Some(s) = &self.span {
+                    s.emit(event);
+                }
+            }
+            _ => {
+                if let Some(s) = &self.decision {
+                    s.emit(event);
+                }
+            }
+        }
+    }
+
+    fn flush(&self) {
+        if let Some(s) = &self.decision {
+            s.flush();
+        }
+        if let Some(s) = &self.span {
+            s.flush();
+        }
     }
 }
 
@@ -151,5 +248,93 @@ mod tests {
             TelemetryEvent::from_json_line(line).expect("every line parses");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite: dropping the sink without an explicit flush must still
+    /// leave a complete, parseable file — tail events survive.
+    #[test]
+    fn dropped_sink_leaves_complete_parseable_file() {
+        let path =
+            std::env::temp_dir().join(format!("sg-telemetry-drop-{}.jsonl", std::process::id()));
+        let n = 100u64;
+        {
+            let sink = JsonlSink::create(&path).expect("create trace file");
+            for count in 0..n {
+                sink.emit(TelemetryEvent::Dropped { count });
+            }
+            assert_eq!(sink.written(), n);
+            assert_eq!(sink.write_errors(), 0);
+            // No flush: Drop must do it.
+        }
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<_> = body.lines().collect();
+        assert_eq!(lines.len(), n as usize, "every buffered event persisted");
+        for (i, line) in lines.iter().enumerate() {
+            match TelemetryEvent::from_json_line(line).expect("line parses") {
+                TelemetryEvent::Dropped { count } => assert_eq!(count, i as u64),
+                other => panic!("wrong event: {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Write errors are counted and surfaced, not swallowed.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn write_errors_are_surfaced() {
+        // /dev/full accepts the open but fails every flushed write with
+        // ENOSPC — the canonical full-disk stand-in.
+        let sink = match JsonlSink::create(Path::new("/dev/full")) {
+            Ok(s) => s,
+            Err(_) => return, // sandboxed environments may hide /dev/full
+        };
+        sink.emit(TelemetryEvent::Dropped { count: 1 });
+        assert!(sink.try_flush().is_err(), "flush to /dev/full must fail");
+        assert!(sink.write_errors() > 0);
+        assert!(sink.last_error().is_some());
+    }
+
+    #[test]
+    fn demux_routes_spans_and_duplicates_drops() {
+        use crate::span::SpanRecord;
+        use sg_core::time::SimDuration;
+
+        let decision = VecSink::shared();
+        let span = VecSink::shared();
+        let demux = DemuxSink::new(
+            Some(decision.clone() as SharedSink),
+            Some(span.clone() as SharedSink),
+        );
+        demux.emit(TelemetryEvent::Dropped { count: 3 });
+        demux.emit(TelemetryEvent::Alloc {
+            at: SimTime::from_micros(1),
+            container: sg_core::ids::ContainerId(0),
+            cores: 2,
+            freq_level: 0,
+            freq_ghz: 1.8,
+        });
+        demux.emit(TelemetryEvent::Span(SpanRecord {
+            trace: 0,
+            span: 1,
+            parent: None,
+            container: None,
+            node: None,
+            start: SimTime::ZERO,
+            end: SimTime::from_micros(5),
+            net_in: SimDuration::ZERO,
+            conn_wait: SimDuration::ZERO,
+            service: SimDuration::ZERO,
+            downstream: SimDuration::from_micros(5),
+            freq_level: 0,
+            slack_ns: 0,
+        }));
+        let d = decision.take();
+        let s = span.take();
+        assert_eq!(d.len(), 2, "drop + alloc on the decision stream");
+        assert_eq!(s.len(), 2, "drop + span on the span stream");
+        assert!(matches!(d[1], TelemetryEvent::Alloc { .. }));
+        assert!(matches!(s[1], TelemetryEvent::Span(_)));
+        assert!(matches!(d[0], TelemetryEvent::Dropped { count: 3 }));
+        assert!(matches!(s[0], TelemetryEvent::Dropped { count: 3 }));
     }
 }

@@ -6,7 +6,8 @@
 //! histogram (by origin × kind × outcome), and the clamp/rejection
 //! audit, plus the explicit drop count.
 
-use crate::event::{ActionOutcome, TelemetryEvent};
+use crate::event::{ActionKind, ActionOutcome, TelemetryEvent};
+use serde_json::{json, Value};
 use sg_core::time::SimTime;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -53,6 +54,18 @@ pub struct TraceSummary {
     /// Events the recording pipeline itself dropped (from `Dropped`
     /// records in the trace).
     pub dropped: u64,
+    /// Span records seen in the stream (summarized separately by
+    /// [`crate::critical::SpanReport`]).
+    pub spans: u64,
+    /// Accepted (`Deferred`) `SetFreq` actions per container.
+    pub freq_deferred: BTreeMap<u32, u64>,
+    /// Landed (`Applied`/`Clamped`) `SetCores` actions per container.
+    pub core_actions: BTreeMap<u32, u64>,
+    /// Observed DVFS-level changes per container (baseline level 0).
+    pub freq_changes: BTreeMap<u32, u64>,
+    /// Observed core-count changes per container (between consecutive
+    /// `Alloc` records; the pre-trace baseline is unknowable).
+    pub core_changes: BTreeMap<u32, u64>,
 }
 
 impl TraceSummary {
@@ -88,6 +101,18 @@ impl TraceSummary {
                         ActionOutcome::Clamped => s.clamped += 1,
                         _ => {}
                     }
+                    match (kind, outcome) {
+                        (ActionKind::SetFreq { .. }, ActionOutcome::Deferred) => {
+                            *s.freq_deferred.entry(container.0).or_insert(0) += 1;
+                        }
+                        (
+                            ActionKind::SetCores { .. },
+                            ActionOutcome::Applied | ActionOutcome::Clamped,
+                        ) => {
+                            *s.core_actions.entry(container.0).or_insert(0) += 1;
+                        }
+                        _ => {}
+                    }
                 }
                 TelemetryEvent::Alloc {
                     at,
@@ -115,12 +140,107 @@ impl TraceSummary {
                 }
                 TelemetryEvent::Window { .. } => s.windows += 1,
                 TelemetryEvent::Scoreboard { .. } => s.cycles += 1,
+                TelemetryEvent::Span(_) => s.spans += 1,
                 TelemetryEvent::Dropped { count } => s.dropped += count,
             }
         }
         s.open_boosts = open.len() as u64;
         s.boost_retire_ns.sort_unstable();
+
+        // Reconciliation inputs: how often each container's allocation
+        // actually moved. DVFS starts at level 0 on both substrates, so
+        // the first boost counts; the initial core count is not in the
+        // trace, so only step-to-step core changes count.
+        for (container, steps) in &s.timeline {
+            let mut level = 0u8;
+            let mut cores: Option<u32> = None;
+            for step in steps {
+                if step.freq_level != level {
+                    *s.freq_changes.entry(*container).or_insert(0) += 1;
+                    level = step.freq_level;
+                }
+                if let Some(prev) = cores {
+                    if step.cores != prev {
+                        *s.core_changes.entry(*container).or_insert(0) += 1;
+                    }
+                }
+                cores = Some(step.cores);
+            }
+        }
         s
+    }
+
+    /// Clamp/reconciliation audit: every observed allocation change must
+    /// be explainable by an accepted action in the same trace, and the
+    /// recording pipeline must not have dropped events. Returns one line
+    /// per mismatch; empty means the trace reconciles.
+    pub fn audit(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        for (container, changes) in &self.freq_changes {
+            let budget = self.freq_deferred.get(container).copied().unwrap_or(0);
+            if *changes > budget {
+                issues.push(format!(
+                    "container {container}: {changes} DVFS change(s) but only {budget} \
+                     accepted set_freq action(s)"
+                ));
+            }
+        }
+        for (container, changes) in &self.core_changes {
+            let budget = self.core_actions.get(container).copied().unwrap_or(0);
+            if *changes > budget {
+                issues.push(format!(
+                    "container {container}: {changes} core change(s) but only {budget} \
+                     landed set_cores action(s)"
+                ));
+            }
+        }
+        if self.dropped > 0 {
+            issues.push(format!(
+                "{} event(s) dropped by the recording pipeline",
+                self.dropped
+            ));
+        }
+        issues
+    }
+
+    /// Machine-readable summary for `sg-trace --json`.
+    pub fn to_json(&self) -> Value {
+        let histogram: Vec<Value> = self
+            .action_histogram
+            .iter()
+            .map(|((origin, kind, outcome), count)| {
+                json!({
+                    "origin": origin.as_str(),
+                    "kind": kind.as_str(),
+                    "outcome": outcome.as_str(),
+                    "count": *count,
+                })
+            })
+            .collect();
+        let rejections: Vec<Value> = self
+            .cross_node_rejections
+            .iter()
+            .map(|((node, container), count)| {
+                json!({ "node": *node, "container": *container, "count": *count })
+            })
+            .collect();
+        json!({
+            "events": self.events,
+            "cycles": self.cycles,
+            "windows": self.windows,
+            "fr_boosts": self.fr_boosts,
+            "worst_slack_ns": self.worst_slack_ns,
+            "boost_episodes": self.boost_retire_ns.len(),
+            "boost_retire_p50_ns": self.boost_retire_percentile(0.50),
+            "boost_retire_p99_ns": self.boost_retire_percentile(0.99),
+            "open_boosts": self.open_boosts,
+            "clamped": self.clamped,
+            "cross_node_rejections": rejections,
+            "action_histogram": histogram,
+            "dropped": self.dropped,
+            "spans": self.spans,
+            "audit": self.audit(),
+        })
     }
 
     /// Percentile (0.0–1.0) of the boost→retire distribution, ns.
@@ -148,6 +268,13 @@ impl TraceSummary {
         );
         if let Some(worst) = self.worst_slack_ns {
             let _ = writeln!(out, "  worst triggering slack: {worst} ns");
+        }
+        if self.spans > 0 {
+            let _ = writeln!(
+                out,
+                "  {} span records (see the span report for attribution)",
+                self.spans
+            );
         }
         if self.dropped > 0 {
             let _ = writeln!(
@@ -273,5 +400,78 @@ mod tests {
     fn render_survives_empty_trace() {
         let report = TraceSummary::from_events(vec![]).render();
         assert!(report.contains("0 events"));
+    }
+
+    fn deferred_freq(container: u32) -> TelemetryEvent {
+        TelemetryEvent::Action {
+            at: SimTime::from_micros(1),
+            node: NodeId(0),
+            container: ContainerId(container),
+            origin: ActionOrigin::PacketHook,
+            kind: ActionKind::SetFreq { level: 8 },
+            outcome: ActionOutcome::Deferred,
+        }
+    }
+
+    #[test]
+    fn reconciled_trace_passes_the_audit() {
+        // One accepted boost explains one observed DVFS change.
+        let s = TraceSummary::from_events(vec![deferred_freq(2), alloc(50, 8), alloc(300, 8)]);
+        assert_eq!(s.freq_changes.get(&2), Some(&1));
+        assert_eq!(s.freq_deferred.get(&2), Some(&1));
+        assert!(s.audit().is_empty(), "{:?}", s.audit());
+    }
+
+    #[test]
+    fn unexplained_alloc_change_fails_the_audit() {
+        // The level moved 0 -> 8 -> 0 (two changes) on one accepted
+        // action: the second change has no action to explain it.
+        let s = TraceSummary::from_events(vec![deferred_freq(2), alloc(50, 8), alloc(300, 0)]);
+        assert_eq!(s.freq_changes.get(&2), Some(&2));
+        let issues = s.audit();
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert!(issues[0].contains("DVFS"));
+
+        // Core changes without any landed set_cores.
+        let core_events = vec![
+            TelemetryEvent::Alloc {
+                at: SimTime::from_micros(10),
+                container: ContainerId(1),
+                cores: 2,
+                freq_level: 0,
+                freq_ghz: 1.8,
+            },
+            TelemetryEvent::Alloc {
+                at: SimTime::from_micros(20),
+                container: ContainerId(1),
+                cores: 6,
+                freq_level: 0,
+                freq_ghz: 1.8,
+            },
+        ];
+        let s = TraceSummary::from_events(core_events);
+        let issues = s.audit();
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert!(issues[0].contains("core change"));
+    }
+
+    #[test]
+    fn dropped_events_fail_the_audit() {
+        let s = TraceSummary::from_events(vec![TelemetryEvent::Dropped { count: 2 }]);
+        assert!(!s.audit().is_empty());
+    }
+
+    #[test]
+    fn json_summary_has_the_key_fields() {
+        let s = TraceSummary::from_events(vec![
+            deferred_freq(2),
+            alloc(50, 8),
+            TelemetryEvent::Dropped { count: 1 },
+        ]);
+        let v = s.to_json();
+        assert_eq!(v.get("events").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("dropped").and_then(Value::as_u64), Some(1));
+        let audit = v.get("audit").and_then(Value::as_array).unwrap();
+        assert_eq!(audit.len(), 1);
     }
 }
