@@ -1,0 +1,519 @@
+//! Machine-readable perf baselines: the pinned scenario set behind
+//! `BENCH_*.json` and the `sg-bench --compare` regression gate.
+//!
+//! See BENCH.md for the methodology. In short: each pinned scenario is
+//! timed over a fixed number of iterations after warmup, summarized as
+//! median + IQR (p25/p75), and written as a schema-versioned JSON
+//! document. `compare` replays the gate: a scenario regresses only when
+//! its fresh median exceeds the baseline median by more than the
+//! threshold AND the fresh p25 clears the baseline p75 (the IQR noise
+//! guard, so ordinary run-to-run jitter cannot fail a build).
+
+use crate::BenchScenario;
+use serde_json::Value;
+use sg_controllers::SurgeGuardFactory;
+use sg_core::firstresponder::{FirstResponder, FirstResponderConfig};
+use sg_core::ids::{ContainerId, NodeId};
+use sg_core::metadata::RpcMetadata;
+use sg_core::time::{SimDuration, SimTime};
+use sg_live::{run_live_with_stats, LiveOpts};
+use sg_sim::app::ConnModel;
+use sg_sim::runner::{SimBuffers, Simulation};
+use sg_telemetry::{RingSink, SpanRecord, TelemetryEvent, TelemetrySink};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Schema identifier embedded in every baseline document.
+pub const SCHEMA: &str = "sg-bench/v1";
+
+/// Default regression threshold (percent over the baseline median).
+pub const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+/// Summary statistics for one timed scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioStats {
+    /// Pinned scenario name (stable across baselines).
+    pub name: &'static str,
+    /// Unit of every statistic below (`"ms"` or `"ns"`), per operation.
+    pub unit: &'static str,
+    /// Measured iterations (after warmup).
+    pub iters: usize,
+    /// Median per-operation cost.
+    pub median: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Fastest iteration.
+    pub min: f64,
+    /// Slowest iteration.
+    pub max: f64,
+}
+
+fn summarize(name: &'static str, unit: &'static str, mut samples: Vec<f64>) -> ScenarioStats {
+    assert!(!samples.is_empty(), "scenario produced no samples");
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let q = |p: f64| {
+        // Nearest-rank on the sorted samples.
+        let idx = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+        samples[idx]
+    };
+    ScenarioStats {
+        name,
+        unit,
+        iters: samples.len(),
+        median: q(0.50),
+        p25: q(0.25),
+        p75: q(0.75),
+        min: samples[0],
+        max: samples[samples.len() - 1],
+    }
+}
+
+/// How heavily to sample each scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchMode {
+    /// CI-sized: a handful of iterations per scenario.
+    Quick,
+    /// More iterations for tighter quartiles.
+    Full,
+}
+
+impl BenchMode {
+    fn label(self) -> &'static str {
+        match self {
+            BenchMode::Quick => "quick",
+            BenchMode::Full => "full",
+        }
+    }
+
+    /// (warmup, measured) iterations for the heavyweight scenarios.
+    fn heavy_iters(self) -> (usize, usize) {
+        match self {
+            BenchMode::Quick => (1, 5),
+            BenchMode::Full => (2, 15),
+        }
+    }
+
+    /// Measured iterations for the cheap inner-loop scenarios.
+    fn light_iters(self) -> usize {
+        match self {
+            BenchMode::Quick => 5,
+            BenchMode::Full => 15,
+        }
+    }
+}
+
+/// Discards events; isolates relay cost from downstream I/O.
+struct NullSink;
+impl TelemetrySink for NullSink {
+    fn emit(&self, _event: TelemetryEvent) {}
+}
+
+/// One simulated CHAIN surge trial per iteration, fresh allocations —
+/// the figure harness's unit of work before this PR.
+fn bench_sim_trial(mode: BenchMode) -> ScenarioStats {
+    let scenario = BenchScenario::chain_surge();
+    let factory = SurgeGuardFactory::full();
+    let (warmup, iters) = mode.heavy_iters();
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..warmup + iters {
+        let t0 = Instant::now();
+        let r = scenario.run(&factory, 1);
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(r.completed > 0);
+        if i >= warmup {
+            samples.push(dt);
+        }
+    }
+    summarize("sim_trial", "ms", samples)
+}
+
+/// Same trial with the recycled-allocation path (`run_reusing` + shared
+/// arrival schedule) — the harness's unit of work after this PR.
+fn bench_sim_trial_reuse(mode: BenchMode) -> ScenarioStats {
+    let scenario = BenchScenario::chain_surge();
+    let factory = SurgeGuardFactory::full();
+    let arrivals: Arc<[SimTime]> = scenario
+        .pattern
+        .arrivals(SimTime::ZERO, scenario.horizon)
+        .into();
+    let mut buffers = SimBuffers::new();
+    let (warmup, iters) = mode.heavy_iters();
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..warmup + iters {
+        let t0 = Instant::now();
+        let mut cfg = scenario.pw.cfg.clone();
+        cfg.end = scenario.horizon + SimDuration::from_millis(100);
+        cfg.measure_start = SimTime::from_secs(1);
+        cfg.seed = 1;
+        let r =
+            Simulation::new_shared(cfg, &factory, Arc::clone(&arrivals)).run_reusing(&mut buffers);
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(r.completed > 0);
+        buffers.recycle_points(r.points);
+        if i >= warmup {
+            samples.push(dt);
+        }
+    }
+    summarize("sim_trial_reuse", "ms", samples)
+}
+
+/// One 400 ms-horizon live (wall-clock) run per iteration: real worker
+/// threads, pools, and the FirstResponder SPSC runtime.
+fn bench_live_smoke(mode: BenchMode) -> ScenarioStats {
+    let iters = match mode {
+        BenchMode::Quick => 3,
+        BenchMode::Full => 7,
+    };
+    let horizon = SimTime::from_millis(400);
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..iters + 1 {
+        let cfg = sg_live::conformance::two_stage_cfg(ConnModel::PerRequest, horizon);
+        let arrivals = sg_live::conformance::surge_arrivals(400.0, horizon);
+        let factory = SurgeGuardFactory::full();
+        let t0 = Instant::now();
+        let (r, _stats) = run_live_with_stats(cfg, &factory, arrivals, LiveOpts::default());
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(r.completed > 0);
+        if i >= 1 {
+            samples.push(dt);
+        }
+    }
+    summarize("live_smoke", "ms", samples)
+}
+
+/// Per-packet FirstResponder decision (the §VI-D 0.26 µs hot path),
+/// averaged over a large inner loop.
+fn bench_fr_hook(mode: BenchMode) -> ScenarioStats {
+    const INNER: u64 = 200_000;
+    let mut fr = FirstResponder::new(FirstResponderConfig {
+        expected_time_from_start: vec![Some(SimDuration::from_micros(500)); 16],
+        local_downstream: vec![vec![]; 16],
+        cooldown: SimDuration::ZERO,
+        max_freq_level: 8,
+    });
+    let meta = RpcMetadata::new_job(SimTime::ZERO);
+    let mut samples = Vec::new();
+    for i in 0..mode.light_iters() + 1 {
+        let t0 = Instant::now();
+        for k in 0..INNER {
+            black_box(fr.on_packet(
+                ContainerId(3),
+                black_box(meta),
+                SimTime::from_nanos(900_000 + k),
+            ));
+        }
+        let per_op_ns = t0.elapsed().as_secs_f64() * 1e9 / INNER as f64;
+        if i >= 1 {
+            samples.push(per_op_ns);
+        }
+    }
+    summarize("fr_hook", "ns", samples)
+}
+
+/// One lock-free telemetry ring push (the live hot path's emission cost).
+fn bench_telemetry_ring(mode: BenchMode) -> ScenarioStats {
+    const INNER: u64 = 50_000;
+    let event = || TelemetryEvent::FrBoost {
+        at: SimTime::from_micros(900),
+        node: NodeId(0),
+        dest: ContainerId(3),
+        slack_ns: -123_456,
+        level: 8,
+        targets: 1,
+    };
+    let mut samples = Vec::new();
+    for i in 0..mode.light_iters() + 1 {
+        let (ring, drainer) = RingSink::spawn(Arc::new(NullSink), 1 << 16);
+        let t0 = Instant::now();
+        for _ in 0..INNER {
+            ring.emit(black_box(event()));
+        }
+        let per_op_ns = t0.elapsed().as_secs_f64() * 1e9 / INNER as f64;
+        drop(ring);
+        drainer.shutdown();
+        if i >= 1 {
+            samples.push(per_op_ns);
+        }
+    }
+    summarize("telemetry_ring", "ns", samples)
+}
+
+/// JSONL-encode one span record (sim emission / live drainer cost).
+fn bench_span_encode(mode: BenchMode) -> ScenarioStats {
+    const INNER: u64 = 20_000;
+    let event = TelemetryEvent::Span(SpanRecord {
+        trace: 12_345,
+        span: 7,
+        parent: Some(6),
+        container: Some(ContainerId(3)),
+        node: Some(NodeId(0)),
+        start: SimTime::from_micros(900),
+        end: SimTime::from_micros(1700),
+        net_in: SimDuration::from_micros(12),
+        conn_wait: SimDuration::from_micros(340),
+        service: SimDuration::from_micros(300),
+        downstream: SimDuration::from_micros(148),
+        freq_level: 2,
+        slack_ns: -123_456,
+    });
+    let mut samples = Vec::new();
+    for i in 0..mode.light_iters() + 1 {
+        let t0 = Instant::now();
+        for _ in 0..INNER {
+            black_box(black_box(&event).to_json_line());
+        }
+        let per_op_ns = t0.elapsed().as_secs_f64() * 1e9 / INNER as f64;
+        if i >= 1 {
+            samples.push(per_op_ns);
+        }
+    }
+    summarize("span_encode", "ns", samples)
+}
+
+/// Run the pinned scenario set, in a fixed order.
+pub fn run_all(mode: BenchMode, progress: impl Fn(&ScenarioStats)) -> Vec<ScenarioStats> {
+    let runners: [fn(BenchMode) -> ScenarioStats; 6] = [
+        bench_sim_trial,
+        bench_sim_trial_reuse,
+        bench_live_smoke,
+        bench_fr_hook,
+        bench_telemetry_ring,
+        bench_span_encode,
+    ];
+    let mut out = Vec::with_capacity(runners.len());
+    for run in runners {
+        let stats = run(mode);
+        progress(&stats);
+        out.push(stats);
+    }
+    out
+}
+
+/// Encode a scenario set as a schema-versioned baseline document.
+pub fn to_json(mode: BenchMode, scenarios: &[ScenarioStats]) -> Value {
+    let entries: Vec<(String, Value)> = scenarios
+        .iter()
+        .map(|s| {
+            (
+                s.name.to_string(),
+                Value::Object(vec![
+                    ("unit".into(), Value::Str(s.unit.into())),
+                    ("iters".into(), Value::UInt(s.iters as u64)),
+                    ("median".into(), Value::Float(s.median)),
+                    ("p25".into(), Value::Float(s.p25)),
+                    ("p75".into(), Value::Float(s.p75)),
+                    ("min".into(), Value::Float(s.min)),
+                    ("max".into(), Value::Float(s.max)),
+                ]),
+            )
+        })
+        .collect();
+    Value::Object(vec![
+        ("schema".into(), Value::Str(SCHEMA.into())),
+        ("mode".into(), Value::Str(mode.label().into())),
+        ("scenarios".into(), Value::Object(entries)),
+    ])
+}
+
+/// Verdict for one scenario in a [`compare`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within threshold (or faster).
+    Ok {
+        /// Percent change of the median vs baseline (negative = faster).
+        delta_pct: f64,
+    },
+    /// Median exceeded threshold and cleared the IQR noise guard.
+    Regression {
+        /// Percent change of the median vs baseline.
+        delta_pct: f64,
+    },
+    /// Median exceeded threshold but IQRs overlap — reported, not fatal.
+    Noisy {
+        /// Percent change of the median vs baseline.
+        delta_pct: f64,
+    },
+    /// Scenario present in the baseline but absent from the fresh run.
+    Missing,
+}
+
+/// Result of comparing a fresh run against a stored baseline.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// `(scenario, verdict)` for every scenario in the baseline.
+    pub verdicts: Vec<(String, Verdict)>,
+}
+
+impl CompareReport {
+    /// True when any scenario regressed or went missing — the nonzero-exit
+    /// condition for `sg-bench --compare`.
+    pub fn failed(&self) -> bool {
+        self.verdicts
+            .iter()
+            .any(|(_, v)| matches!(v, Verdict::Regression { .. } | Verdict::Missing))
+    }
+}
+
+fn scenario_field(doc: &Value, scenario: &str, field: &str) -> Option<f64> {
+    doc.get("scenarios")?.get(scenario)?.get(field)?.as_f64()
+}
+
+fn scenario_names(doc: &Value) -> Vec<String> {
+    match doc.get("scenarios") {
+        Some(Value::Object(entries)) => entries.iter().map(|(k, _)| k.clone()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Compare a fresh baseline document against a stored one.
+///
+/// A scenario regresses when `new.median > old.median × (1 + pct/100)`
+/// AND `new.p25 > old.p75` (the fresh run's fast quartile is slower than
+/// the baseline's slow quartile — i.e. the distributions actually
+/// separated, not just the medians). Scenarios in the stored baseline but
+/// absent from the fresh run are failures; extra fresh scenarios are
+/// ignored (forward-compatible).
+pub fn compare(old: &Value, new: &Value, threshold_pct: f64) -> CompareReport {
+    let mut verdicts = Vec::new();
+    for name in scenario_names(old) {
+        let (Some(old_median), Some(old_p75)) = (
+            scenario_field(old, &name, "median"),
+            scenario_field(old, &name, "p75"),
+        ) else {
+            verdicts.push((name, Verdict::Missing));
+            continue;
+        };
+        let (Some(new_median), Some(new_p25)) = (
+            scenario_field(new, &name, "median"),
+            scenario_field(new, &name, "p25"),
+        ) else {
+            verdicts.push((name, Verdict::Missing));
+            continue;
+        };
+        let delta_pct = (new_median / old_median - 1.0) * 100.0;
+        let over_threshold = new_median > old_median * (1.0 + threshold_pct / 100.0);
+        let verdict = if !over_threshold {
+            Verdict::Ok { delta_pct }
+        } else if new_p25 > old_p75 {
+            Verdict::Regression { delta_pct }
+        } else {
+            Verdict::Noisy { delta_pct }
+        };
+        verdicts.push((name, verdict));
+    }
+    CompareReport { verdicts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &[(&str, f64, f64, f64)]) -> Value {
+        // (name, median, p25, p75)
+        let scenarios: Vec<(String, Value)> = entries
+            .iter()
+            .map(|&(name, median, p25, p75)| {
+                (
+                    name.to_string(),
+                    Value::Object(vec![
+                        ("unit".into(), Value::Str("ms".into())),
+                        ("iters".into(), Value::UInt(5)),
+                        ("median".into(), Value::Float(median)),
+                        ("p25".into(), Value::Float(p25)),
+                        ("p75".into(), Value::Float(p75)),
+                        ("min".into(), Value::Float(p25)),
+                        ("max".into(), Value::Float(p75)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("schema".into(), Value::Str(SCHEMA.into())),
+            ("mode".into(), Value::Str("quick".into())),
+            ("scenarios".into(), Value::Object(scenarios)),
+        ])
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let old = doc(&[("a", 10.0, 9.0, 11.0), ("b", 100.0, 95.0, 105.0)]);
+        let new = doc(&[("a", 10.5, 9.5, 11.5), ("b", 90.0, 85.0, 95.0)]);
+        let rep = compare(&old, &new, 25.0);
+        assert!(!rep.failed());
+        assert!(matches!(rep.verdicts[0].1, Verdict::Ok { .. }));
+        assert!(matches!(rep.verdicts[1].1, Verdict::Ok { delta_pct } if delta_pct < 0.0));
+    }
+
+    #[test]
+    fn separated_distributions_regress() {
+        // +50% median and new p25 (14.0) clears old p75 (11.0).
+        let old = doc(&[("a", 10.0, 9.0, 11.0)]);
+        let new = doc(&[("a", 15.0, 14.0, 16.0)]);
+        let rep = compare(&old, &new, 25.0);
+        assert!(rep.failed());
+        assert!(matches!(rep.verdicts[0].1, Verdict::Regression { .. }));
+    }
+
+    #[test]
+    fn overlapping_iqrs_are_noisy_not_fatal() {
+        // Median jumped 50% but the quartiles still overlap the baseline.
+        let old = doc(&[("a", 10.0, 8.0, 20.0)]);
+        let new = doc(&[("a", 15.0, 9.0, 22.0)]);
+        let rep = compare(&old, &new, 25.0);
+        assert!(!rep.failed());
+        assert!(matches!(rep.verdicts[0].1, Verdict::Noisy { .. }));
+    }
+
+    #[test]
+    fn missing_scenario_fails() {
+        let old = doc(&[("a", 10.0, 9.0, 11.0), ("gone", 5.0, 4.0, 6.0)]);
+        let new = doc(&[("a", 10.0, 9.0, 11.0)]);
+        let rep = compare(&old, &new, 25.0);
+        assert!(rep.failed());
+        assert!(rep
+            .verdicts
+            .iter()
+            .any(|(n, v)| n == "gone" && matches!(v, Verdict::Missing)));
+    }
+
+    #[test]
+    fn extra_fresh_scenarios_are_ignored() {
+        let old = doc(&[("a", 10.0, 9.0, 11.0)]);
+        let new = doc(&[("a", 10.0, 9.0, 11.0), ("new_one", 1.0, 0.9, 1.1)]);
+        assert!(!compare(&old, &new, 25.0).failed());
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        // +30% with separated IQRs: regression at 25%, pass at 50%.
+        let old = doc(&[("a", 10.0, 9.0, 10.5)]);
+        let new = doc(&[("a", 13.0, 12.5, 13.5)]);
+        assert!(compare(&old, &new, 25.0).failed());
+        assert!(!compare(&old, &new, 50.0).failed());
+    }
+
+    #[test]
+    fn summarize_orders_quartiles() {
+        let s = summarize("x", "ms", vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!(s.p25 <= s.median && s.median <= s.p75);
+        assert_eq!(s.iters, 5);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_gate_fields() {
+        let stats = vec![summarize("x", "ns", vec![2.0, 1.0, 3.0])];
+        let doc = to_json(BenchMode::Quick, &stats);
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        let back = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.get("schema").and_then(|v| v.as_str()), Some(SCHEMA));
+        assert_eq!(scenario_field(&back, "x", "median"), Some(2.0));
+        assert_eq!(scenario_field(&back, "x", "p25"), Some(1.0));
+        assert_eq!(scenario_field(&back, "x", "p75"), Some(3.0));
+    }
+}

@@ -1,0 +1,129 @@
+//! `sg-bench` — machine-readable perf baseline + regression gate.
+//!
+//! ```text
+//! sg-bench [--quick|--full] [--out PATH] [--compare OLD.json]
+//!          [--threshold PCT] [--warn-only]
+//!
+//!   --quick          CI-sized iteration counts (default)
+//!   --full           more iterations for tighter quartiles
+//!   --out PATH       write the fresh baseline JSON to PATH
+//!   --compare OLD    run fresh, compare against a stored baseline, and
+//!                    exit 1 on any regression or missing scenario
+//!   --threshold PCT  median regression threshold in percent (default 25)
+//!   --warn-only      report regressions but always exit 0 (CI soak mode)
+//! ```
+//!
+//! See BENCH.md for the scenario set and gate semantics.
+
+use sg_bench::baseline::{compare, run_all, to_json, BenchMode, Verdict, DEFAULT_THRESHOLD_PCT};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = BenchMode::Quick;
+    let mut out: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut warn_only = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => mode = BenchMode::Quick,
+            "--full" => mode = BenchMode::Full,
+            "--warn-only" => warn_only = true,
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--out needs PATH"))
+                        .clone(),
+                );
+            }
+            "--compare" => {
+                compare_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--compare needs PATH"))
+                        .clone(),
+                );
+            }
+            "--threshold" => {
+                let v = it.next().unwrap_or_else(|| usage("--threshold needs PCT"));
+                threshold = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("--threshold expects a number, got '{v}'")));
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let mode_label = match mode {
+        BenchMode::Quick => "quick",
+        BenchMode::Full => "full",
+    };
+    eprintln!("sg-bench: running pinned scenario set ({mode_label} mode)...");
+    let stats = run_all(mode, |s| {
+        eprintln!(
+            "  {:<16} median {:>10.3} {}  (p25 {:.3}, p75 {:.3}, n={})",
+            s.name, s.median, s.unit, s.p25, s.p75, s.iters
+        );
+    });
+    let fresh = to_json(mode, &stats);
+
+    if let Some(path) = &out {
+        let text = serde_json::to_string_pretty(&fresh).unwrap();
+        std::fs::write(path, text + "\n").unwrap_or_else(|e| {
+            eprintln!("sg-bench: writing {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("sg-bench: baseline written to {path}");
+    }
+
+    let Some(old_path) = compare_path else { return };
+    let old_text = std::fs::read_to_string(&old_path).unwrap_or_else(|e| {
+        eprintln!("sg-bench: reading {old_path}: {e}");
+        std::process::exit(2);
+    });
+    let old = serde_json::from_str(&old_text).unwrap_or_else(|e| {
+        eprintln!("sg-bench: parsing {old_path}: {e:?}");
+        std::process::exit(2);
+    });
+
+    let report = compare(&old, &fresh, threshold);
+    eprintln!("sg-bench: compare vs {old_path} (threshold {threshold}%):");
+    for (name, verdict) in &report.verdicts {
+        match verdict {
+            Verdict::Ok { delta_pct } => {
+                eprintln!("  OK         {name:<16} {delta_pct:+.1}% median");
+            }
+            Verdict::Noisy { delta_pct } => {
+                eprintln!(
+                    "  NOISY      {name:<16} {delta_pct:+.1}% median (IQRs overlap; not fatal)"
+                );
+            }
+            Verdict::Regression { delta_pct } => {
+                eprintln!("  REGRESSION {name:<16} {delta_pct:+.1}% median (IQRs separated)");
+            }
+            Verdict::Missing => {
+                eprintln!("  MISSING    {name:<16} scenario absent from fresh run");
+            }
+        }
+    }
+    if report.failed() {
+        if warn_only {
+            eprintln!("sg-bench: regressions detected (ignored: --warn-only)");
+        } else {
+            eprintln!("sg-bench: FAILED — perf regression vs {old_path}");
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!("sg-bench: PASSED");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("sg-bench: {err}");
+    eprintln!(
+        "usage: sg-bench [--quick|--full] [--out PATH] [--compare OLD.json] \
+         [--threshold PCT] [--warn-only]"
+    );
+    std::process::exit(2);
+}

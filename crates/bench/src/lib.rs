@@ -9,9 +9,16 @@
 //!   surrounding data structures.
 //! * `figures` — one scaled-down end-to-end run per reproduced figure,
 //!   tracking the wall-clock cost of regenerating each result.
+//!
+//! Besides the criterion benches, the [`baseline`] module and the
+//! `sg-bench` binary provide a machine-readable perf baseline
+//! (`results/BENCH_*.json`) with a `--compare` regression gate; see
+//! BENCH.md.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod baseline;
 
 use sg_core::time::{SimDuration, SimTime};
 use sg_loadgen::SpikePattern;

@@ -44,8 +44,8 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
         work: pw.cfg.graph.services.iter().map(|s| s.work_mean).collect(),
     };
 
-    let mut results = Vec::new();
-    for &delay_ms in &DELAYS_MS {
+    // One independent arm per detection delay.
+    let reports = crate::parallel::par_map(DELAYS_MS.to_vec(), |delay_ms| {
         let factory = OracleFactory {
             cfg: OracleConfig {
                 surge_start,
@@ -58,7 +58,7 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
             },
             knowledge: knowledge.clone(),
         };
-        let (rep, _) = run_one(
+        run_one(
             &pw,
             &factory,
             &pattern,
@@ -66,9 +66,10 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
             measure,
             profile.base_seed,
             false,
-        );
-        results.push((delay_ms, rep));
-    }
+        )
+        .0
+    });
+    let results: Vec<(f64, _)> = DELAYS_MS.into_iter().zip(reports).collect();
 
     let base_vv = results[0].1.violation_volume;
     let base_cores = results[0].1.avg_cores;

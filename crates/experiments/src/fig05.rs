@@ -80,42 +80,51 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
         period: SimDuration::from_secs(1000),
         first_spike: SimTime::from_secs(3),
     };
-    let cases: [(&str, ConnModel, &dyn ControllerFactory); 3] = [
+    let cases: [(&str, ConnModel, bool); 3] = [
         (
             "(a) per-request + per-container ctrl",
             ConnModel::PerRequest,
-            &PartiesFactory::default(),
+            false,
         ),
         (
             "(b) fixed pool + per-container ctrl",
             ConnModel::FixedPool(10),
-            &PartiesFactory::default(),
+            false,
         ),
         (
             "(c) fixed pool + SurgeGuard",
             ConnModel::FixedPool(10),
-            &SurgeGuardFactory::full(),
+            true,
         ),
     ];
 
-    let mut t = Table::new(
-        "Fig 5 — who gets upscaled during a 1.75x surge (peak cores, initial c1=4 c2=6)",
-        &["case", "c1 peak", "c2 peak", "c1 upscaled", "c2 upscaled"],
-    );
-    for (name, conn, factory) in cases {
+    // Each case profiles its own two-service scenario and runs one traced
+    // trial — fully independent, so fan the three out.
+    let peaks = crate::parallel::par_map(cases.to_vec(), |(_, conn, surgeguard)| {
+        let factory: Box<dyn ControllerFactory> = if surgeguard {
+            Box::new(SurgeGuardFactory::full())
+        } else {
+            Box::new(PartiesFactory::default())
+        };
         let pw = two_service(conn);
         let pattern = pattern_for(pw.base_rate);
         let (_, result) = run_one(
             &pw,
-            factory,
+            factory.as_ref(),
             &pattern,
             SimDuration::from_secs(2),
             SimDuration::from_secs(10),
             profile.base_seed,
             true,
         );
-        let c1 = peak(&result, 0, 4);
-        let c2 = peak(&result, 1, 6);
+        (peak(&result, 0, 4), peak(&result, 1, 6))
+    });
+
+    let mut t = Table::new(
+        "Fig 5 — who gets upscaled during a 1.75x surge (peak cores, initial c1=4 c2=6)",
+        &["case", "c1 peak", "c2 peak", "c1 upscaled", "c2 upscaled"],
+    );
+    for (&(name, _, _), (c1, c2)) in cases.iter().zip(peaks) {
         t.row(vec![
             name.to_string(),
             c1.to_string(),

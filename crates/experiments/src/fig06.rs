@@ -40,30 +40,36 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
         "Fig 6 — sensitivity curves: mean execMetric (us) vs allocated cores at base rate",
         &["cores", "post-storage-mongodb", "user-timeline-service"],
     );
-    let mut rows: Vec<(u32, Vec<f64>)> = CORE_SWEEP.iter().map(|&c| (c, Vec::new())).collect();
-    for (_, idx) in targets {
-        for (cores, samples) in rows.iter_mut() {
-            let mut cfg = pw.cfg.clone();
-            cfg.initial_cores[idx] = *cores;
-            cfg.end = SimTime::from_secs(5) + SimDuration::from_millis(200);
-            cfg.measure_start = SimTime::from_secs(1);
-            cfg.seed = profile.base_seed;
-            let arrivals = constant_arrivals(pw.base_rate, SimTime::ZERO, SimTime::from_secs(5));
-            let r = Simulation::new(cfg, &NoopFactory, arrivals).run();
-            samples.push(r.profile[idx].mean_exec_metric.as_nanos() as f64 / 1000.0);
-        }
-    }
-    for (cores, samples) in &rows {
+    // 2 services × 6 sweep points = 12 independent single runs; the
+    // arrival schedule is shared (seed-free) across all of them.
+    let arrivals: std::sync::Arc<[SimTime]> =
+        constant_arrivals(pw.base_rate, SimTime::ZERO, SimTime::from_secs(5)).into();
+    let jobs: Vec<(usize, u32)> = targets
+        .iter()
+        .flat_map(|&(_, idx)| CORE_SWEEP.iter().map(move |&c| (idx, c)))
+        .collect();
+    let samples = crate::parallel::par_map(jobs, |(idx, cores)| {
+        let mut cfg = pw.cfg.clone();
+        cfg.initial_cores[idx] = cores;
+        cfg.end = SimTime::from_secs(5) + SimDuration::from_millis(200);
+        cfg.measure_start = SimTime::from_secs(1);
+        cfg.seed = profile.base_seed;
+        let r = Simulation::new_shared(cfg, &NoopFactory, std::sync::Arc::clone(&arrivals)).run();
+        r.profile[idx].mean_exec_metric.as_nanos() as f64 / 1000.0
+    });
+
+    for (i, &cores) in CORE_SWEEP.iter().enumerate() {
+        let (s0, s1) = (samples[i], samples[CORE_SWEEP.len() + i]);
         t.row(vec![
             cores.to_string(),
-            format!("{:.0}", samples[0]),
-            format!("{:.0}", samples[1]),
+            format!("{s0:.0}"),
+            format!("{s1:.0}"),
         ]);
         sink.push(json!({
             "experiment": "fig06",
             "cores": cores,
-            "post_storage_mongodb_us": samples[0],
-            "user_timeline_service_us": samples[1],
+            "post_storage_mongodb_us": s0,
+            "user_timeline_service_us": s1,
         }));
     }
     vec![t]

@@ -38,15 +38,24 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
             "VV change",
         ],
     );
-    let mut reductions = Vec::new();
-    for &us in &SURGE_US {
+    // 4 surge lengths × 2 controller arms, each a full trial batch.
+    let jobs: Vec<(u64, bool)> = SURGE_US
+        .iter()
+        .flat_map(|&us| [(us, false), (us, true)])
+        .collect();
+    let aggs = crate::parallel::par_map(jobs, |(us, full_sg)| {
         // Keep the surge duty cycle ≤ 1% so the *average* rate stays near
         // the base rate and only the instantaneous burst matters (as in
         // the paper's timelines, where surges are isolated events).
         let period = SimDuration::from_micros((us * 100).max(100_000));
         let pattern = short_surge(pw.base_rate, SimDuration::from_micros(us), period);
-        let r_esc = run_trials(&pw, &esc, &pattern, &prof);
-        let r_full = run_trials(&pw, &full, &pattern, &prof);
+        let factory = if full_sg { &full } else { &esc };
+        run_trials(&pw, factory, &pattern, &prof)
+    });
+
+    let mut reductions = Vec::new();
+    for (i, &us) in SURGE_US.iter().enumerate() {
+        let (r_esc, r_full) = (&aggs[2 * i], &aggs[2 * i + 1]);
         let rel = ratio(r_full.violation_volume, r_esc.violation_volume);
         reductions.push(rel);
         t.row(vec![

@@ -24,14 +24,32 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
     let caladan = CaladanFactory::default();
     let surgeguard = SurgeGuardFactory::full();
 
-    // Calibrate each workload once; reused across magnitudes/controllers.
-    let prepared: Vec<_> = Workload::all()
-        .into_iter()
-        .map(|wl| (wl, prepare(wl, 1, CalibrationOptions::default())))
+    // Calibrate each workload once (in parallel); reused across
+    // magnitudes/controllers.
+    let prepared: Vec<_> = crate::parallel::par_map(Workload::all().to_vec(), |wl| {
+        (wl, prepare(wl, 1, CalibrationOptions::default()))
+    });
+
+    // Fan out every (magnitude × workload × controller) trial batch; the
+    // table assembly below reads the results back in sweep order.
+    let jobs: Vec<(usize, usize, usize)> = (0..MAGNITUDES.len())
+        .flat_map(|m| (0..prepared.len()).flat_map(move |w| (0..3).map(move |c| (m, w, c))))
         .collect();
+    let aggs = crate::parallel::par_map(jobs, |(m, w, c)| {
+        let pw = &prepared[w].1;
+        let pattern =
+            SpikePattern::periodic(pw.base_rate, MAGNITUDES[m], SimDuration::from_secs(2));
+        let factory: &(dyn sg_sim::controller::ControllerFactory + Sync) = match c {
+            0 => &parties,
+            1 => &caladan,
+            _ => &surgeguard,
+        };
+        run_trials(pw, factory, &pattern, profile)
+    });
+    let agg_of = |m: usize, w: usize, c: usize| &aggs[(m * prepared.len() + w) * 3 + c];
 
     let mut tables = Vec::new();
-    for &mag in &MAGNITUDES {
+    for (mi, &mag) in MAGNITUDES.iter().enumerate() {
         let mut t = Table::new(
             &format!("Fig 11 — {mag}x surge (2s every 10s), normalized to Parties"),
             &[
@@ -47,12 +65,11 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
         );
         let mut sums = [0.0f64; 6];
         let mut n = 0.0;
-        for (wl, pw) in &prepared {
+        for (wi, (wl, _)) in prepared.iter().enumerate() {
             let wl = *wl;
-            let pattern = SpikePattern::periodic(pw.base_rate, mag, SimDuration::from_secs(2));
-            let p = run_trials(pw, &parties, &pattern, profile);
-            let c = run_trials(pw, &caladan, &pattern, profile);
-            let s = run_trials(pw, &surgeguard, &pattern, profile);
+            let p = agg_of(mi, wi, 0);
+            let c = agg_of(mi, wi, 1);
+            let s = agg_of(mi, wi, 2);
 
             let r = [
                 ratio(s.violation_volume, p.violation_volume),

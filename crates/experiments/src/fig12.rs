@@ -24,10 +24,35 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
     let parties = PartiesFactory::default();
     let caladan = CaladanFactory::default();
     let surgeguard = SurgeGuardFactory::full();
+    let workloads = [Workload::RecommendHotel, Workload::ReadUserTimeline];
+
+    // Calibrate both workloads in parallel, then fan out every
+    // (workload × duration × controller) trial batch.
+    let prepared = crate::parallel::par_map(workloads.to_vec(), |wl| {
+        prepare(wl, 1, CalibrationOptions::default())
+    });
+    let jobs: Vec<(usize, usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..DURATIONS_MS.len()).flat_map(move |d| (0..3).map(move |c| (w, d, c))))
+        .collect();
+    let aggs = crate::parallel::par_map(jobs, |(w, d, c)| {
+        let pw = &prepared[w];
+        let pattern = SpikePattern::periodic(
+            pw.base_rate,
+            1.75,
+            SimDuration::from_millis(DURATIONS_MS[d]),
+        );
+        let factory: &(dyn sg_sim::controller::ControllerFactory + Sync) = match c {
+            0 => &parties,
+            1 => &caladan,
+            _ => &surgeguard,
+        };
+        run_trials(pw, factory, &pattern, profile)
+    });
+    let agg_of = |w: usize, d: usize, c: usize| &aggs[(w * DURATIONS_MS.len() + d) * 3 + c];
 
     let mut tables = Vec::new();
-    for wl in [Workload::RecommendHotel, Workload::ReadUserTimeline] {
-        let pw = prepare(wl, 1, CalibrationOptions::default());
+    for (wi, &wl) in workloads.iter().enumerate() {
+        let pw = &prepared[wi];
         let mut t = Table::new(
             &format!(
                 "Fig 12 — surge duration sweep at 1.75x, {} (SG normalized to baselines)",
@@ -42,11 +67,10 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
                 "energy sg/caladan",
             ],
         );
-        for &ms in &DURATIONS_MS {
-            let pattern = SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_millis(ms));
-            let p = run_trials(&pw, &parties, &pattern, profile);
-            let c = run_trials(&pw, &caladan, &pattern, profile);
-            let s = run_trials(&pw, &surgeguard, &pattern, profile);
+        for (di, &ms) in DURATIONS_MS.iter().enumerate() {
+            let p = agg_of(wi, di, 0);
+            let c = agg_of(wi, di, 1);
+            let s = agg_of(wi, di, 2);
             t.row(vec![
                 format!("{:.1}s", ms as f64 / 1000.0),
                 fr(ratio(s.violation_volume, p.violation_volume)),

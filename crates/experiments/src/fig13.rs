@@ -44,15 +44,37 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink, all_workloads: bool) -> Ve
             "energy sg/caladan",
         ],
     );
-    for &nodes in &NODES {
+    // Calibrate every (node count × workload) scenario in parallel, then
+    // fan out the (scenario × controller) trial batches.
+    let scenarios: Vec<(u32, Workload)> = NODES
+        .iter()
+        .flat_map(|&n| workloads.iter().map(move |&wl| (n, wl)))
+        .collect();
+    let prepared = crate::parallel::par_map(scenarios.clone(), |(nodes, wl)| {
+        prepare(wl, nodes, CalibrationOptions::default())
+    });
+    let jobs: Vec<(usize, usize)> = (0..scenarios.len())
+        .flat_map(|s| (0..3).map(move |c| (s, c)))
+        .collect();
+    let aggs = crate::parallel::par_map(jobs, |(s, c)| {
+        let pw = &prepared[s];
+        let pattern = SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_secs(2));
+        let factory: &(dyn sg_sim::controller::ControllerFactory + Sync) = match c {
+            0 => &parties,
+            1 => &caladan,
+            _ => &surgeguard,
+        };
+        run_trials(pw, factory, &pattern, profile)
+    });
+
+    for (ni, &nodes) in NODES.iter().enumerate() {
         let mut sums = [0.0f64; 6];
         let mut counts = [0.0f64; 6];
-        for &wl in &workloads {
-            let pw = prepare(wl, nodes, CalibrationOptions::default());
-            let pattern = SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_secs(2));
-            let p = run_trials(&pw, &parties, &pattern, profile);
-            let c = run_trials(&pw, &caladan, &pattern, profile);
-            let s = run_trials(&pw, &surgeguard, &pattern, profile);
+        for (wi, &wl) in workloads.iter().enumerate() {
+            let scenario = ni * workloads.len() + wi;
+            let p = &aggs[scenario * 3];
+            let c = &aggs[scenario * 3 + 1];
+            let s = &aggs[scenario * 3 + 2];
             let rs = [
                 ratio(s.violation_volume, p.violation_volume),
                 ratio(s.violation_volume, c.violation_volume),

@@ -46,23 +46,29 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
     let ids: Vec<u32> = SERVICES.iter().map(|n| idx_of(n)).collect();
     let sample_times: Vec<SimTime> = (10..=30).map(SimTime::from_secs).collect();
 
-    let controllers: [(&str, &dyn ControllerFactory); 3] = [
-        ("parties", &PartiesFactory::default()),
-        ("caladan", &CaladanFactory::default()),
-        ("surgeguard", &SurgeGuardFactory::full()),
-    ];
+    let controllers: [&str; 3] = ["parties", "caladan", "surgeguard"];
 
-    let mut tables = Vec::new();
-    for (name, factory) in controllers {
-        let (_, result) = run_one(
+    // Three independent traced runs, one per controller.
+    let results = crate::parallel::par_map(controllers.to_vec(), |name| {
+        let factory: Box<dyn ControllerFactory> = match name {
+            "parties" => Box::new(PartiesFactory::default()),
+            "caladan" => Box::new(CaladanFactory::default()),
+            _ => Box::new(SurgeGuardFactory::full()),
+        };
+        run_one(
             &pw,
-            factory,
+            factory.as_ref(),
             &pattern,
             SimDuration::from_secs(5),
             SimDuration::from_secs(27),
             profile.base_seed,
             true,
-        );
+        )
+        .1
+    });
+
+    let mut tables = Vec::new();
+    for (name, result) in controllers.into_iter().zip(&results) {
         let trace = result.alloc_trace.as_ref().expect("trace enabled");
         let mut t = Table::new(
             &format!("Fig 14 — {name}: cores over time (surge 15s-25s at 1.75x)"),

@@ -24,12 +24,32 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
         ("escalator", true, true),
     ];
     let parties = PartiesFactory::default();
+    let workloads = [Workload::ReadUserTimeline, Workload::RecommendHotel];
+
+    // Calibrate both workloads in parallel, then fan out the 4 arms
+    // (Parties base + 3 ablations) × 2 workloads.
+    let prepared = crate::parallel::par_map(workloads.to_vec(), |wl| {
+        prepare(wl, 1, CalibrationOptions::default())
+    });
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..4).map(move |a| (w, a)))
+        .collect();
+    let aggs = crate::parallel::par_map(jobs, |(w, a)| {
+        let pw = &prepared[w];
+        let pattern = SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_secs(2));
+        if a == 0 {
+            run_trials(pw, &parties, &pattern, profile)
+        } else {
+            let (_, metrics, sens) = arms[a - 1];
+            let factory = SurgeGuardFactory::ablation(metrics, sens);
+            run_trials(pw, &factory, &pattern, profile)
+        }
+    });
 
     let mut tables = Vec::new();
-    for wl in [Workload::ReadUserTimeline, Workload::RecommendHotel] {
-        let pw = prepare(wl, 1, CalibrationOptions::default());
-        let pattern = SpikePattern::periodic(pw.base_rate, 1.75, SimDuration::from_secs(2));
-        let base = run_trials(&pw, &parties, &pattern, profile);
+    for (wi, &wl) in workloads.iter().enumerate() {
+        let pw = &prepared[wi];
+        let base = &aggs[wi * 4];
         let mut t = Table::new(
             &format!(
                 "Fig 15 — Escalator component breakdown, {} (normalized to Parties)",
@@ -42,9 +62,9 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
             "experiment": "fig15", "workload": wl.label(), "arm": "parties",
             "vv": base.violation_volume, "cores": base.avg_cores,
         }));
-        for (name, metrics, sens) in arms {
-            let factory = SurgeGuardFactory::ablation(metrics, sens);
-            let a = run_trials(&pw, &factory, &pattern, profile);
+        for (ai, (name, _, _)) in arms.iter().enumerate() {
+            let name = *name;
+            let a = &aggs[wi * 4 + ai + 1];
             t.row(vec![
                 name.to_string(),
                 fr(ratio(a.violation_volume, base.violation_volume)),

@@ -37,27 +37,32 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
             "energy (J)",
         ],
     );
-    for arm in arms {
-        let reports: Vec<RunReport> = (0..profile.trials)
-            .map(|i| {
-                // Fresh factory per trial (shared-brain hygiene).
-                let factory: Box<dyn ControllerFactory> = match arm {
-                    "ml-centralized" => Box::new(CentralizedFactory::default()),
-                    "surgeguard" => Box::new(SurgeGuardFactory::full()),
-                    _ => Box::new(HybridFactory::default()),
-                };
-                run_one(
-                    &pw,
-                    factory.as_ref(),
-                    &pattern,
-                    profile.warmup,
-                    profile.measure,
-                    profile.base_seed + i as u64,
-                    false,
-                )
-                .0
-            })
-            .collect();
+    // Flatten (arm × trial) into one parallel batch; trial seeds are the
+    // index-derived scheme, so assembly order is deterministic.
+    let jobs: Vec<(usize, usize)> = (0..arms.len())
+        .flat_map(|a| (0..profile.trials).map(move |i| (a, i)))
+        .collect();
+    let all_reports: Vec<RunReport> = crate::parallel::par_map(jobs, |(a, i)| {
+        // Fresh factory per trial (shared-brain hygiene).
+        let factory: Box<dyn ControllerFactory> = match arms[a] {
+            "ml-centralized" => Box::new(CentralizedFactory::default()),
+            "surgeguard" => Box::new(SurgeGuardFactory::full()),
+            _ => Box::new(HybridFactory::default()),
+        };
+        run_one(
+            &pw,
+            factory.as_ref(),
+            &pattern,
+            profile.warmup,
+            profile.measure,
+            profile.trial_seed(i),
+            false,
+        )
+        .0
+    });
+
+    for (a, arm) in arms.into_iter().enumerate() {
+        let reports = &all_reports[a * profile.trials..(a + 1) * profile.trials];
         let vv = trimmed_mean(
             &reports
                 .iter()

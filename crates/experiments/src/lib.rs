@@ -34,6 +34,7 @@ pub mod fig15;
 pub mod hybrid;
 pub mod netsurge;
 pub mod output;
+pub mod parallel;
 pub mod table1;
 
 pub use common::{run_one, run_trials, ExpProfile};

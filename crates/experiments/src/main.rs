@@ -1,13 +1,16 @@
 //! `sg-experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! sg-experiments [EXPERIMENTS...] [--full] [--json PATH]
+//! sg-experiments [EXPERIMENTS...] [--full] [--json PATH] [--serial] [--threads N]
 //!
 //!   EXPERIMENTS   any of: table1 fig4 fig5 fig6 fig10 fig11 fig12
 //!                 fig13 fig14 fig15 hybrid netsurge all (default: all)
 //!   --full        paper-scale protocol (17 trials, 60s windows) —
 //!                 substantially slower
 //!   --json PATH   also write machine-readable rows to PATH
+//!   --serial      run everything on one thread (same output, slower)
+//!   --threads N   worker-thread cap (default: SG_EXP_THREADS env var,
+//!                 else all cores); output is identical for any N
 //! ```
 
 use sg_experiments::{ExpProfile, JsonSink, Table};
@@ -21,16 +24,31 @@ const ALL: [&str; 12] = [
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let json_path = args
+    let json_pos = args.iter().position(|a| a == "--json");
+    let json_path = json_pos.and_then(|i| args.get(i + 1)).cloned();
+    let threads_pos = args.iter().position(|a| a == "--threads");
+    let threads_arg = threads_pos.and_then(|i| args.get(i + 1)).map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--threads expects a positive integer, got '{v}'");
+            std::process::exit(2);
+        })
+    });
+    if args.iter().any(|a| a == "--serial") {
+        sg_experiments::parallel::set_threads(1);
+    } else if let Some(n) = threads_arg {
+        sg_experiments::parallel::set_threads(n);
+    }
+    // Flag-value positions, so values never parse as experiment names.
+    let consumed: Vec<usize> = [json_pos, threads_pos]
         .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+        .flatten()
+        .map(|&i| i + 1)
+        .collect();
     let mut selected: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| Some(a.as_str()) != json_path.as_deref())
-        .cloned()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !consumed.contains(i))
+        .map(|(_, a)| a.clone())
         .collect();
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
         selected = ALL.iter().map(|s| s.to_string()).collect();
@@ -44,12 +62,19 @@ fn main() {
 
     let profile = ExpProfile::new(full);
     println!(
-        "SurgeGuard reproduction — {} profile ({} trials, {} measurement)",
+        "SurgeGuard reproduction — {} profile ({} trials, {} measurement, {} worker thread{})",
         if full { "full" } else { "quick" },
         profile.trials,
         profile.measure,
+        sg_experiments::parallel::threads(),
+        if sg_experiments::parallel::threads() == 1 {
+            ""
+        } else {
+            "s"
+        },
     );
 
+    let suite_t0 = Instant::now();
     let mut sink = JsonSink::new();
     for name in &selected {
         let t0 = Instant::now();
@@ -73,6 +98,12 @@ fn main() {
         }
         println!("\n[{} done in {:.1?}]", name, t0.elapsed());
     }
+
+    println!(
+        "\n[suite done in {:.1?} on {} worker thread(s)]",
+        suite_t0.elapsed(),
+        sg_experiments::parallel::threads(),
+    );
 
     if let Some(path) = json_path {
         let value = sink.into_value();

@@ -37,36 +37,42 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
             "SG boosts/run",
         ],
     );
-    for &extra in &EXTRA_US {
+    // Flatten (extra latency × controller × trial) into one batch.
+    const CONTROLLERS: [&str; 3] = ["static", "parties", "surgeguard"];
+    let jobs: Vec<(usize, usize, usize)> = (0..EXTRA_US.len())
+        .flat_map(|e| (0..3).flat_map(move |c| (0..profile.trials).map(move |k| (e, c, k))))
+        .collect();
+    let all: Vec<(RunReport, u64)> = crate::parallel::par_map(jobs, |(e, c, k)| {
+        let factory: Box<dyn ControllerFactory> = match CONTROLLERS[c] {
+            "static" => Box::new(sg_sim::controller::NoopFactory),
+            "parties" => Box::new(PartiesFactory::default()),
+            _ => Box::new(SurgeGuardFactory::full()),
+        };
+        let mut pw2 = pw.clone();
+        // Latency surge every 10 s for 2 s within the window.
+        pw2.cfg.latency_surge = Some(LatencySurge {
+            start: SimTime::ZERO + profile.warmup + SimDuration::from_secs(5),
+            end: SimTime::ZERO + profile.warmup + SimDuration::from_secs(7),
+            extra: SimDuration::from_micros(EXTRA_US[e]),
+        });
+        let (rep, res) = run_one(
+            &pw2,
+            factory.as_ref(),
+            &pattern,
+            profile.warmup,
+            profile.measure,
+            profile.trial_seed(k),
+            false,
+        );
+        (rep, res.packet_freq_boosts)
+    });
+
+    for (ei, &extra) in EXTRA_US.iter().enumerate() {
         let mut vv = [0.0f64; 3];
         let mut boosts = 0u64;
-        for (i, name) in ["static", "parties", "surgeguard"].iter().enumerate() {
-            let reports: Vec<(RunReport, u64)> = (0..profile.trials)
-                .map(|k| {
-                    let factory: Box<dyn ControllerFactory> = match *name {
-                        "static" => Box::new(sg_sim::controller::NoopFactory),
-                        "parties" => Box::new(PartiesFactory::default()),
-                        _ => Box::new(SurgeGuardFactory::full()),
-                    };
-                    let mut pw2 = pw.clone();
-                    // Latency surge every 10 s for 2 s within the window.
-                    pw2.cfg.latency_surge = Some(LatencySurge {
-                        start: SimTime::ZERO + profile.warmup + SimDuration::from_secs(5),
-                        end: SimTime::ZERO + profile.warmup + SimDuration::from_secs(7),
-                        extra: SimDuration::from_micros(extra),
-                    });
-                    let (rep, res) = run_one(
-                        &pw2,
-                        factory.as_ref(),
-                        &pattern,
-                        profile.warmup,
-                        profile.measure,
-                        profile.base_seed + k as u64,
-                        false,
-                    );
-                    (rep, res.packet_freq_boosts)
-                })
-                .collect();
+        for (i, name) in CONTROLLERS.iter().enumerate() {
+            let start = (ei * 3 + i) * profile.trials;
+            let reports = &all[start..start + profile.trials];
             vv[i] = trimmed_mean(
                 &reports
                     .iter()

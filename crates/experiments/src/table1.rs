@@ -5,6 +5,7 @@
 
 use crate::common::{run_one, ExpProfile};
 use crate::output::{JsonSink, Table};
+use crate::parallel::par_run;
 use serde_json::json;
 use sg_controllers::{CaladanFactory, PartiesFactory, SurgeGuardFactory};
 use sg_core::time::SimDuration;
@@ -20,24 +21,43 @@ pub fn run(profile: &ExpProfile, sink: &mut JsonSink) -> Vec<Table> {
 
     // Measured decision opportunities: slow-path ticks come from the
     // configured interval; SurgeGuard's fast path gets one decision
-    // opportunity per delivered request packet.
-    let mut rows: Vec<(&str, &str, &str, String)> = Vec::new();
-    let cases: [(&str, &str, &dyn ControllerFactory); 3] = [
-        ("PARTIES", "No", &PartiesFactory::default()),
-        ("CaladanAlgo", "No", &CaladanFactory::default()),
-        ("SurgeGuard", "Yes", &SurgeGuardFactory::full()),
+    // opportunity per delivered request packet. The three controller arms
+    // are independent runs, fanned out in parallel and assembled in arm
+    // order.
+    let cases: [(&str, &str); 3] = [
+        ("PARTIES", "No"),
+        ("CaladanAlgo", "No"),
+        ("SurgeGuard", "Yes"),
     ];
-    for (name, dep_aware, factory) in cases {
-        let (_, result) = run_one(
-            &pw,
-            factory,
-            &pattern,
-            SimDuration::from_secs(1),
-            measure,
-            profile.base_seed,
-            false,
-        );
-        let interval = match name {
+    let results: Vec<sg_sim::runner::RunResult> = par_run(
+        cases
+            .iter()
+            .map(|&(name, _)| {
+                let (pw, pattern) = (&pw, &pattern);
+                Box::new(move || {
+                    let factory: Box<dyn ControllerFactory> = match name {
+                        "PARTIES" => Box::new(PartiesFactory::default()),
+                        "CaladanAlgo" => Box::new(CaladanFactory::default()),
+                        _ => Box::new(SurgeGuardFactory::full()),
+                    };
+                    run_one(
+                        pw,
+                        factory.as_ref(),
+                        pattern,
+                        SimDuration::from_secs(1),
+                        measure,
+                        profile.base_seed,
+                        false,
+                    )
+                    .1
+                }) as Box<dyn FnOnce() -> _ + Send>
+            })
+            .collect(),
+    );
+
+    let mut rows: Vec<(&str, &str, &str, String)> = Vec::new();
+    for ((name, dep_aware), result) in cases.iter().zip(&results) {
+        let interval = match *name {
             "PARTIES" => "500ms".to_string(),
             "CaladanAlgo" => "20ms (userspace; 5-20us with a custom stack)".to_string(),
             _ => {

@@ -147,6 +147,17 @@ impl LatencyHistogram {
         Some(SimDuration::from_nanos(self.max_ns))
     }
 
+    /// Reset to empty while keeping the bucket allocation (~15 KiB at the
+    /// default resolution) — lets a multi-trial harness reuse one
+    /// histogram instead of re-zeroing a fresh `Vec` per trial.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.max_ns = 0;
+        self.min_ns = u64::MAX;
+        self.sum_ns = 0;
+    }
+
     /// Merge another histogram (must share `sig_bits`).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         assert_eq!(self.sig_bits, other.sig_bits, "resolution mismatch");
@@ -241,6 +252,32 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(a.max(), Some(us(1000)));
         assert_eq!(a.min(), Some(us(10)));
+    }
+
+    /// `clear` must be indistinguishable from a fresh histogram.
+    #[test]
+    fn clear_resets_to_fresh_state() {
+        let mut h = LatencyHistogram::with_default_resolution();
+        for i in 1..=1000 {
+            h.record(us(i));
+        }
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.min(), None);
+        // Refill: statistics must match a never-cleared histogram.
+        let mut fresh = LatencyHistogram::with_default_resolution();
+        for i in 500..=600 {
+            h.record(us(i));
+            fresh.record(us(i));
+        }
+        for q in [50.0, 98.0, 100.0] {
+            assert_eq!(h.percentile(q), fresh.percentile(q), "q{q}");
+        }
+        assert_eq!(h.mean(), fresh.mean());
+        assert_eq!(h.len(), fresh.len());
     }
 
     #[test]

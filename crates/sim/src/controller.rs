@@ -125,6 +125,36 @@ pub enum ControlAction {
 /// `Send` is required so the same controller object can run unmodified on
 /// either substrate: single-threaded inside the discrete-event simulator,
 /// or owned by a per-node control thread in the wall-clock live backend.
+///
+/// # Example
+///
+/// A minimal slow-path-only controller that grants every local container
+/// one extra core at each 500 ms tick (the packet hook keeps its no-op
+/// default):
+///
+/// ```
+/// use sg_core::time::{SimDuration, SimTime};
+/// use sg_sim::controller::{ControlAction, Controller, NodeSnapshot};
+///
+/// struct OneMoreCore;
+///
+/// impl Controller for OneMoreCore {
+///     fn name(&self) -> &'static str {
+///         "one-more-core"
+///     }
+///
+///     fn tick_interval(&self) -> SimDuration {
+///         SimDuration::from_millis(500)
+///     }
+///
+///     fn on_tick(&mut self, _now: SimTime, snap: &NodeSnapshot) -> Vec<ControlAction> {
+///         snap.containers
+///             .iter()
+///             .map(|c| ControlAction::SetCores { id: c.id, cores: c.alloc.cores + 1 })
+///             .collect()
+///     }
+/// }
+/// ```
 pub trait Controller: Send {
     /// Controller name (for reports).
     fn name(&self) -> &'static str;

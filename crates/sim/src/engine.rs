@@ -17,6 +17,24 @@ struct HeapKey {
     seq: u64,
 }
 
+/// Recycled backing storage for an [`Engine`]'s event heap.
+///
+/// A trial-sized run grows the heap to thousands of entries; the
+/// multi-trial experiment protocol used to re-grow that allocation from
+/// scratch every trial. `Engine::into_storage` hands the (emptied)
+/// allocation back so the next trial starts with full capacity. Events
+/// are stored **inline** in the heap entries — small `Copy` payloads,
+/// never boxed — so recycling the one backing `Vec` recycles everything.
+#[derive(Debug, Default)]
+pub struct EngineStorage(Vec<Reverse<(HeapKey, Event)>>);
+
+impl EngineStorage {
+    /// Capacity of the recycled allocation, in events.
+    pub fn capacity(&self) -> usize {
+        self.0.capacity()
+    }
+}
+
 /// The event queue / clock pair.
 #[derive(Debug)]
 pub struct Engine {
@@ -29,12 +47,27 @@ pub struct Engine {
 impl Engine {
     /// Empty engine at time zero.
     pub fn new() -> Self {
+        Self::with_storage(EngineStorage::default())
+    }
+
+    /// Empty engine at time zero, reusing a previous engine's heap
+    /// allocation (see [`EngineStorage`]).
+    pub fn with_storage(storage: EngineStorage) -> Self {
+        let mut vec = storage.0;
+        vec.clear();
         Engine {
-            heap: BinaryHeap::new(),
+            // `BinaryHeap::from` on an empty Vec is O(1) and keeps the
+            // allocation.
+            heap: BinaryHeap::from(vec),
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,
         }
+    }
+
+    /// Tear the engine down, recycling the heap allocation.
+    pub fn into_storage(self) -> EngineStorage {
+        EngineStorage(self.heap.into_vec())
     }
 
     /// Current simulated time.
@@ -129,6 +162,43 @@ mod tests {
             })
             .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    /// Reusing a drained engine's heap allocation must preserve capacity
+    /// and reset all observable state.
+    #[test]
+    fn storage_reuse_keeps_capacity_and_resets_state() {
+        let mut e = Engine::new();
+        for i in 0..1000u32 {
+            e.schedule(SimTime::from_micros(u64::from(i)), tick(i));
+        }
+        while e.pop().is_some() {}
+        let storage = e.into_storage();
+        assert!(storage.capacity() >= 1000, "allocation survives draining");
+        let mut e2 = Engine::with_storage(storage);
+        assert_eq!(e2.now(), SimTime::ZERO);
+        assert_eq!(e2.pending(), 0);
+        assert_eq!(e2.processed(), 0);
+        e2.schedule(SimTime::from_micros(7), tick(1));
+        let (t, _) = e2.pop().unwrap();
+        assert_eq!(t, SimTime::from_micros(7));
+    }
+
+    /// Events live inline in the heap entries — no per-event boxing. A
+    /// pointer-sized `Event` here would mean someone re-introduced an
+    /// indirection; a huge one would mean an oversized variant should be
+    /// boxed at the variant level instead.
+    #[test]
+    fn events_stay_small_enough_to_store_inline() {
+        let sz = std::mem::size_of::<Event>();
+        assert!(
+            sz > std::mem::size_of::<usize>(),
+            "Event ({sz} B) looks like a pointer — it must be stored by value"
+        );
+        assert!(
+            sz <= 64,
+            "Event grew to {sz} B; box the oversized variant's payload instead"
+        );
     }
 
     #[test]

@@ -49,5 +49,5 @@ pub use controller::{
 pub use network::{LatencySurge, NetworkConfig};
 pub use power::PowerModel;
 pub use profile::{constant_arrivals, profile_low_load, ProfileOutcome};
-pub use runner::{ProfileStats, RunResult, Simulation};
+pub use runner::{ProfileStats, RunResult, SimBuffers, Simulation};
 pub use trace::{alloc_trace_csv, latency_csv, AllocTrace};

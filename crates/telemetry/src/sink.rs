@@ -18,6 +18,24 @@ use std::sync::{Arc, Mutex};
 /// and are therefore only suitable for the simulator or for off-path
 /// threads; the live packet path must go through
 /// [`crate::ring::RingSink`], which never blocks.
+///
+/// # Example
+///
+/// A custom sink only needs `emit`; this one counts events:
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use sg_telemetry::{TelemetryEvent, TelemetrySink};
+///
+/// #[derive(Default)]
+/// struct CountingSink(AtomicU64);
+///
+/// impl TelemetrySink for CountingSink {
+///     fn emit(&self, _event: TelemetryEvent) {
+///         self.0.fetch_add(1, Ordering::Relaxed);
+///     }
+/// }
+/// ```
 pub trait TelemetrySink: Send + Sync {
     /// Record one event.
     fn emit(&self, event: TelemetryEvent);

@@ -85,6 +85,19 @@ fn splitmix64(mut x: u64) -> u64 {
 /// `p` — so the realized rate over *any* window of `L` consecutive
 /// trace ids is within ±1 of `L·n/m`, and the same seed reproduces the
 /// same selection bit-for-bit on every run and substrate.
+///
+/// # Example
+///
+/// ```
+/// use sg_telemetry::SpanSampler;
+///
+/// let s = SpanSampler::rate(1, 8, 42);
+/// // Exactly 1-in-8 over any span-aligned window, regardless of seed:
+/// let sampled = (0..8_000u64).filter(|&t| s.sampled(t)).count();
+/// assert_eq!(sampled, 1_000);
+/// // Same seed, same selection — reproducible across runs/substrates:
+/// assert_eq!(s, SpanSampler::rate(1, 8, 42));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanSampler {
     n: u64,
