@@ -19,7 +19,9 @@ use sg_core::time::{SimDuration, SimTime};
 use sg_live::{run_live_with_stats, LiveOpts};
 use sg_sim::app::ConnModel;
 use sg_sim::runner::{SimBuffers, Simulation};
-use sg_telemetry::{RingSink, SpanRecord, TelemetryEvent, TelemetrySink};
+use sg_telemetry::{
+    MetricId, MetricSample, MetricsRegistry, RingSink, SpanRecord, TelemetryEvent, TelemetrySink,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -273,15 +275,105 @@ fn bench_span_encode(mode: BenchMode) -> ScenarioStats {
     summarize("span_encode", "ns", samples)
 }
 
+/// One `MetricsRegistry::record` (the live drainer's tee cost per
+/// sample, and what every scrape serves from).
+fn bench_metrics_sample(mode: BenchMode) -> ScenarioStats {
+    const INNER: u64 = 100_000;
+    let registry = MetricsRegistry::new();
+    let mut samples = Vec::new();
+    for i in 0..mode.light_iters() + 1 {
+        let t0 = Instant::now();
+        for k in 0..INNER {
+            // Cycle a realistic key population (8 containers × 4 metrics)
+            // so the map stays warm but small, like a real run.
+            let sample = MetricSample {
+                at: SimTime::from_nanos(k),
+                node: NodeId(0),
+                container: ContainerId((k % 8) as u32),
+                metric: match k % 4 {
+                    0 => MetricId::Cores,
+                    1 => MetricId::FreqLevel,
+                    2 => MetricId::QueueBuildup,
+                    _ => MetricId::PoolInUse,
+                },
+                value: k as f64,
+            };
+            registry.record(black_box(&sample));
+        }
+        let per_op_ns = t0.elapsed().as_secs_f64() * 1e9 / INNER as f64;
+        if i >= 1 {
+            samples.push(per_op_ns);
+        }
+    }
+    summarize("metrics_sample", "ns", samples)
+}
+
+/// JSONL-encode one metric sample (sim emission / live drainer cost for
+/// the metrics stream).
+fn bench_metrics_encode(mode: BenchMode) -> ScenarioStats {
+    const INNER: u64 = 20_000;
+    let event = TelemetryEvent::Metric(MetricSample {
+        at: SimTime::from_micros(900),
+        node: NodeId(0),
+        container: ContainerId(3),
+        metric: MetricId::SlackP99,
+        value: -123_456.0,
+    });
+    let mut samples = Vec::new();
+    for i in 0..mode.light_iters() + 1 {
+        let t0 = Instant::now();
+        for _ in 0..INNER {
+            black_box(black_box(&event).to_json_line());
+        }
+        let per_op_ns = t0.elapsed().as_secs_f64() * 1e9 / INNER as f64;
+        if i >= 1 {
+            samples.push(per_op_ns);
+        }
+    }
+    summarize("metrics_encode", "ns", samples)
+}
+
+/// The same CHAIN surge trial as `sim_trial` but with the metrics
+/// timeline enabled into a discarding sink: the delta against
+/// `sim_trial` is the all-in cost of per-cycle recording, and `sim_trial`
+/// itself (metrics disabled) is the guard proving the feature costs
+/// nothing when off.
+fn bench_sim_trial_metrics(mode: BenchMode) -> ScenarioStats {
+    let scenario = BenchScenario::chain_surge();
+    let factory = SurgeGuardFactory::full();
+    let (warmup, iters) = mode.heavy_iters();
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..warmup + iters {
+        let mut cfg = scenario.pw.cfg.clone();
+        cfg.end = scenario.horizon + SimDuration::from_millis(100);
+        cfg.measure_start = SimTime::from_secs(1);
+        cfg.seed = 1;
+        let arrivals = scenario.pattern.arrivals(SimTime::ZERO, scenario.horizon);
+        let t0 = Instant::now();
+        let r = Simulation::new(cfg, &factory, arrivals)
+            .with_metrics(Arc::new(NullSink))
+            .run();
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(r.completed > 0);
+        if i >= warmup {
+            samples.push(dt);
+        }
+    }
+    summarize("sim_trial_metrics", "ms", samples)
+}
+
 /// Run the pinned scenario set, in a fixed order.
 pub fn run_all(mode: BenchMode, progress: impl Fn(&ScenarioStats)) -> Vec<ScenarioStats> {
-    let runners: [fn(BenchMode) -> ScenarioStats; 6] = [
+    let runners: [fn(BenchMode) -> ScenarioStats; 9] = [
         bench_sim_trial,
         bench_sim_trial_reuse,
         bench_live_smoke,
         bench_fr_hook,
         bench_telemetry_ring,
         bench_span_encode,
+        bench_metrics_sample,
+        bench_metrics_encode,
+        bench_sim_trial_metrics,
     ];
     let mut out = Vec::with_capacity(runners.len());
     for run in runners {

@@ -17,12 +17,13 @@ use sg_core::config::ContainerParams;
 use sg_core::escalator::{Escalator, EscalatorObservation};
 use sg_core::firstresponder::{FirstResponder, FirstResponderConfig};
 use sg_core::ids::ContainerId;
+use sg_core::ids::NodeId;
 use sg_core::metadata::RpcMetadata;
 use sg_core::score::ContainerObservation;
 use sg_core::time::{SimDuration, SimTime};
 use sg_core::{AllocAction, EscalatorConfig};
 use sg_sim::controller::{ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot};
-use sg_telemetry::{ActionKind, ScoredAction, SharedSink, TelemetryEvent};
+use sg_telemetry::{ActionKind, MetricId, MetricSample, ScoredAction, SharedSink, TelemetryEvent};
 use std::collections::{HashMap, HashSet};
 
 /// Configuration of the full controller.
@@ -59,6 +60,10 @@ impl Default for SurgeGuardConfig {
 /// The per-node SurgeGuard instance.
 pub struct SurgeGuard {
     cfg: SurgeGuardConfig,
+    node: NodeId,
+    /// Local container ids, ascending — the metrics hook must iterate in
+    /// a deterministic order (HashMap order is not).
+    local_ids: Vec<ContainerId>,
     fr: Option<FirstResponder>,
     escalator: Escalator,
     params: HashMap<ContainerId, ContainerParams>,
@@ -98,8 +103,12 @@ impl SurgeGuard {
         // revocation returns surge grants to the node's spare pool but
         // never below it.
         escalator.set_floors(init.containers.iter().map(|c| (c.id, c.initial.cores)));
+        let mut local_ids: Vec<ContainerId> = init.containers.iter().map(|c| c.id).collect();
+        local_ids.sort_unstable();
         SurgeGuard {
             cfg,
+            node: init.node,
+            local_ids,
             fr,
             escalator,
             params: init.containers.iter().map(|c| (c.id, c.params)).collect(),
@@ -152,6 +161,26 @@ impl Controller for SurgeGuard {
 
     fn attach_telemetry(&mut self, sink: SharedSink) {
         self.sink = Some(sink);
+    }
+
+    /// The Escalator's sensitivity matrix, one gauge per known
+    /// core-count arm: `sg_sensitivity{container, arm}` is the marginal
+    /// exec-time reduction of growing `arm` → `arm + 1` cores. Only the
+    /// controller can see this — it is the internal state the paper's
+    /// Fig. 6 analysis is about.
+    fn metric_samples(&mut self, now: SimTime, out: &mut Vec<MetricSample>) {
+        let matrix = self.escalator.sensitivity();
+        for &id in &self.local_ids {
+            for (cores, sens) in matrix.sens_arms(id.index()) {
+                out.push(MetricSample {
+                    at: now,
+                    node: self.node,
+                    container: id,
+                    metric: MetricId::Sensitivity(cores as u8),
+                    value: sens,
+                });
+            }
+        }
     }
 
     fn on_tick(&mut self, now: SimTime, snapshot: &NodeSnapshot) -> Vec<ControlAction> {

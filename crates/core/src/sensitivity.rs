@@ -254,6 +254,17 @@ impl SensitivityMatrix {
         self.sens(container, cores)
     }
 
+    /// Read-only snapshot of every *known* marginal sensitivity for one
+    /// container: `(cores, sens[c][cores])` for each core-count arm with
+    /// both cells observed, ascending. This is what the metrics registry
+    /// samples each decision cycle — one gauge per arm — so a timeline
+    /// can show how the profile filled in and shifted around a surge.
+    pub fn sens_arms(&self, container: usize) -> Vec<(usize, f64)> {
+        (1..self.max_cores)
+            .filter_map(|cores| self.sens(container, cores).map(|s| (cores, s)))
+            .collect()
+    }
+
     /// Forget everything about one container (e.g. after re-placement).
     pub fn reset_container(&mut self, container: usize) {
         for cell in &mut self.exec_avg[container] {
@@ -342,6 +353,20 @@ mod tests {
         m.observe(0, 4, 1100.0);
         let s = m.sens(0, 3).unwrap();
         assert!(s < 0.0);
+    }
+
+    #[test]
+    fn sens_arms_lists_only_known_arms() {
+        let mut m = SensitivityMatrix::new(1, 8, 0.5);
+        assert!(m.sens_arms(0).is_empty());
+        m.observe(0, 4, 1000.0);
+        m.observe(0, 5, 800.0);
+        m.observe(0, 6, 780.0);
+        let arms = m.sens_arms(0);
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].0, 4);
+        assert!((arms[0].1 - 0.2).abs() < 1e-12);
+        assert_eq!(arms[1].0, 5);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! sg-loadtest [--workload NAME] [--controller NAME] [--backend NAME]
 //!             [--nodes N] [--rate R] [--spikerate R] [--spikelen SECS]
 //!             [--duration SECS] [--qos MS] [--seed N] [--telemetry PATH]
-//!             [--spans PATH] [--span-sample N/M]
+//!             [--spans PATH] [--span-sample N/M] [--metrics PATH]
+//!             [--metrics-interval MS] [--metrics-listen ADDR]
 //!
 //!   --workload    chain | read | compose | search | reco   (default chain)
 //!   --controller  static | parties | caladan | surgeguard | escalator
@@ -29,6 +30,18 @@
 //!                 PATH; analyze with `sg-trace` (critical-path report)
 //!   --span-sample trace N out of every M requests, deterministically
 //!                 seeded by --seed (default 1/1 = every request)
+//!   --metrics     write the internal-state gauge/counter timeline
+//!                 (cores, DVFS level, FR boosts, queue buildup, pool
+//!                 occupancy, slack quantiles, sensitivity arms) as JSONL
+//!                 to PATH; render with `sg-timeline`
+//!   --metrics-interval
+//!                 live sampler cadence in ms (default 100). The sim
+//!                 backend ignores it: it records synchronously at every
+//!                 decision cycle.
+//!   --metrics-listen
+//!                 live only: serve the current metric values as
+//!                 Prometheus text exposition on ADDR (e.g.
+//!                 127.0.0.1:9184) for the duration of the run
 //!
 //! Warmup is 5 s with the first spike at 10 s on the simulator; the live
 //! backend shortens both (1 s warmup, first spike at 2 s) so short real
@@ -155,6 +168,22 @@ fn main() {
         });
         Arc::new(sink) as SharedSink
     });
+    let metrics_path = arg(&args, "--metrics");
+    let metrics: Option<SharedSink> = metrics_path.as_ref().map(|p| {
+        let sink = JsonlSink::create(std::path::Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("cannot create metrics file '{p}': {e}");
+            std::process::exit(2);
+        });
+        Arc::new(sink) as SharedSink
+    });
+    let metrics_interval = SimDuration::from_millis(
+        arg(&args, "--metrics-interval").map_or(100, |v| v.parse().expect("--metrics-interval")),
+    );
+    let metrics_listen = arg(&args, "--metrics-listen");
+    if metrics_listen.is_some() && !live {
+        eprintln!("--metrics-listen needs --backend live (the simulator has no wall clock for a scraper to exist in)");
+        std::process::exit(2);
+    }
     let sampler = match arg(&args, "--span-sample") {
         Some(ratio) => match SpanSampler::parse_ratio(&ratio) {
             Some((n, m)) => SpanSampler::rate(n, m, seed),
@@ -171,17 +200,27 @@ fn main() {
             telemetry: telemetry.clone(),
             spans: spans.clone(),
             span_sampler: sampler,
+            metrics: metrics.clone(),
+            metrics_interval,
+            metrics_listen: metrics_listen.clone(),
             ..sg_live::LiveOpts::default()
         };
+        if let Some(addr) = &metrics_listen {
+            eprintln!("serving Prometheus metrics on http://{addr}/metrics for the run");
+        }
         let (result, stats) = sg_live::run_live_with_stats(cfg, factory.as_ref(), arrivals, opts);
         eprintln!(
             "live substrate: {} deliveries, {} freq updates applied, {} dropped (fr_dropped)",
             stats.deliveries, stats.fr_applied, stats.fr_dropped
         );
-        if telemetry.is_some() || spans.is_some() {
+        if telemetry.is_some() || spans.is_some() || metrics.is_some() {
             eprintln!(
-                "telemetry: {} events forwarded, {} dropped by the relay ring",
-                stats.telemetry_forwarded, stats.telemetry_dropped
+                "telemetry: {} events forwarded, {} dropped by the relay ring (decision {}, span {}, metrics {})",
+                stats.telemetry_forwarded,
+                stats.telemetry_dropped,
+                stats.telemetry_dropped_decision,
+                stats.telemetry_dropped_span,
+                stats.telemetry_dropped_metrics,
             );
         }
         result
@@ -193,16 +232,23 @@ fn main() {
         if let Some(sink) = &spans {
             sim = sim.with_spans(Arc::clone(sink), sampler);
         }
+        if let Some(sink) = &metrics {
+            sim = sim.with_metrics(Arc::clone(sink));
+        }
         sim.run()
     };
     // Drop our handles so the JSONL writers flush before we report.
     drop(telemetry);
     drop(spans);
+    drop(metrics);
     if let Some(p) = &telemetry_path {
         eprintln!("decision trace written to {p} (summarize with: sg-trace {p})");
     }
     if let Some(p) = &spans_path {
         eprintln!("span trace written to {p} (analyze with: sg-trace {p})");
+    }
+    if let Some(p) = &metrics_path {
+        eprintln!("metrics timeline written to {p} (render with: sg-timeline {p})");
     }
 
     // wrk2-style output.

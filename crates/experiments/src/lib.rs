@@ -25,6 +25,7 @@ pub mod common;
 pub mod fig04;
 pub mod fig05;
 pub mod fig06;
+pub mod fig07;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

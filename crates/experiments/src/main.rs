@@ -3,7 +3,7 @@
 //! ```text
 //! sg-experiments [EXPERIMENTS...] [--full] [--json PATH] [--serial] [--threads N]
 //!
-//!   EXPERIMENTS   any of: table1 fig4 fig5 fig6 fig10 fig11 fig12
+//!   EXPERIMENTS   any of: table1 fig4 fig5 fig6 fig7 fig10 fig11 fig12
 //!                 fig13 fig14 fig15 hybrid netsurge all (default: all)
 //!   --full        paper-scale protocol (17 trials, 60s windows) —
 //!                 substantially slower
@@ -16,8 +16,8 @@
 use sg_experiments::{ExpProfile, JsonSink, Table};
 use std::time::Instant;
 
-const ALL: [&str; 12] = [
-    "table1", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+const ALL: [&str; 13] = [
+    "table1", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
     "hybrid", "netsurge",
 ];
 
@@ -83,6 +83,7 @@ fn main() {
             "fig4" => sg_experiments::fig04::run(&profile, &mut sink),
             "fig5" => sg_experiments::fig05::run(&profile, &mut sink),
             "fig6" => sg_experiments::fig06::run(&profile, &mut sink),
+            "fig7" => sg_experiments::fig07::run(&profile, &mut sink),
             "fig10" => sg_experiments::fig10::run(&profile, &mut sink),
             "fig11" => sg_experiments::fig11::run(&profile, &mut sink),
             "fig12" => sg_experiments::fig12::run(&profile, &mut sink),

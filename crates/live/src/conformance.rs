@@ -98,6 +98,36 @@ pub fn run_backend_with_spans(
     (result, records)
 }
 
+/// Run `cfg` on the chosen substrate with a decision trace *and* a
+/// metrics timeline into in-memory sinks; returns `(result, trace
+/// events, metrics events)`. The live run samples every 20 ms so even a
+/// sub-second horizon yields a dense timeline.
+pub fn run_backend_with_metrics(
+    backend: Backend,
+    cfg: SimConfig,
+    factory: &dyn ControllerFactory,
+    arrivals: Vec<SimTime>,
+) -> (RunResult, Vec<TelemetryEvent>, Vec<TelemetryEvent>) {
+    let trace = VecSink::shared();
+    let metrics = VecSink::shared();
+    let result = match backend {
+        Backend::Sim => Simulation::new(cfg, factory, arrivals)
+            .with_telemetry(Arc::clone(&trace) as SharedSink)
+            .with_metrics(Arc::clone(&metrics) as SharedSink)
+            .run(),
+        Backend::Live => {
+            let opts = LiveOpts {
+                telemetry: Some(Arc::clone(&trace) as SharedSink),
+                metrics: Some(Arc::clone(&metrics) as SharedSink),
+                metrics_interval: SimDuration::from_millis(20),
+                ..LiveOpts::default()
+            };
+            run_live_with_stats(cfg, factory, arrivals, opts).0
+        }
+    };
+    (result, trace.take(), metrics.take())
+}
+
 /// Span-tree conformance: every synthetic root span must carry exactly
 /// the `(completion, latency)` pair of one [`sg_core::violation::LatencyPoint`]
 /// — *exactly*, on both substrates, because the live backend stamps the

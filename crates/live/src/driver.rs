@@ -13,14 +13,17 @@ use rand::SeedableRng;
 use sg_core::firstresponder::FrRuntime;
 use sg_core::ids::{ContainerId, NodeId};
 use sg_core::metadata::RpcMetadata;
-use sg_core::metrics::MetricsWindow;
+use sg_core::metrics::{MetricsWindow, WindowMetrics};
 use sg_core::time::{SimDuration, SimTime};
 use sg_sim::app::TaskGraph;
 use sg_sim::cluster::SimConfig;
 use sg_sim::controller::{ContainerInit, ControllerFactory, NodeInit};
 use sg_sim::network::Network;
 use sg_sim::runner::{ProfileStats, RunResult};
-use sg_telemetry::{DemuxSink, RingSink, SharedSink, SpanSampler};
+use sg_telemetry::{
+    DemuxSink, FanoutSink, MetricsRegistry, RingSink, SharedSink, SpanSampler, TelemetryEvent,
+    METRICS_SCHEMA_VERSION,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -49,6 +52,16 @@ pub struct LiveOpts {
     pub spans: Option<SharedSink>,
     /// Which requests get span trees (deterministic, seeded N-out-of-M).
     pub span_sampler: SpanSampler,
+    /// Metrics-timeline destination (gauge/counter samples from the
+    /// dedicated sampler thread). Shares the single relay ring with the
+    /// other two streams; the schema header is written directly, before
+    /// the ring, so it is always the stream's first line.
+    pub metrics: Option<SharedSink>,
+    /// Sampler cadence for the metrics thread.
+    pub metrics_interval: SimDuration,
+    /// Serve the live registry as Prometheus text exposition on this
+    /// address (e.g. `127.0.0.1:9184`) for the duration of the run.
+    pub metrics_listen: Option<String>,
 }
 
 impl Default for LiveOpts {
@@ -60,6 +73,9 @@ impl Default for LiveOpts {
             telemetry_ring_capacity: 64 * 1024,
             spans: None,
             span_sampler: SpanSampler::all(),
+            metrics: None,
+            metrics_interval: SimDuration::from_millis(100),
+            metrics_listen: None,
         }
     }
 }
@@ -77,6 +93,14 @@ pub struct LiveStats {
     pub telemetry_forwarded: u64,
     /// Telemetry events lost to a full relay ring (should be zero).
     pub telemetry_dropped: u64,
+    /// Per-family breakdown of `telemetry_dropped`.
+    pub telemetry_dropped_decision: u64,
+    /// Per-family breakdown of `telemetry_dropped`.
+    pub telemetry_dropped_span: u64,
+    /// Per-family breakdown of `telemetry_dropped`.
+    pub telemetry_dropped_metrics: u64,
+    /// Address the scrape endpoint actually bound (useful with port 0).
+    pub metrics_addr: Option<std::net::SocketAddr>,
 }
 
 /// Run the workload in real time. Blocks the calling thread for
@@ -104,25 +128,52 @@ pub fn run_live_with_stats(
     let n = cfg.graph.len();
     let clock = LiveClock::start();
 
-    // Telemetry: every hot-path emitter gets the ring front-end; the
-    // drainer thread forwards off-path through a demux that routes
-    // decision events and span records to their own destinations (and
-    // `Dropped` markers to both, so each file testifies to its losses).
-    let (sink, span_sink, telemetry_drainer) = match (opts.telemetry.clone(), opts.spans.clone()) {
-        (None, None) => (None, None, None),
-        (decision, spans) => {
-            let has_decision = decision.is_some();
-            let has_spans = spans.is_some();
-            let demux = Arc::new(DemuxSink::new(decision, spans)) as SharedSink;
-            let (ring, drainer) = RingSink::spawn(demux, opts.telemetry_ring_capacity);
-            let ring = ring as SharedSink;
-            (
-                has_decision.then(|| Arc::clone(&ring)),
-                has_spans.then(|| Arc::clone(&ring)),
-                Some(drainer),
-            )
+    // Scraping keeps a registry of the latest sample per (node,
+    // container, metric); the ring drainer tees metric samples into it.
+    let registry = opts
+        .metrics_listen
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let metrics_dest: Option<SharedSink> = match (opts.metrics.clone(), registry.clone()) {
+        (None, None) => None,
+        (Some(user), None) => Some(user),
+        (None, Some(reg)) => Some(reg as SharedSink),
+        (Some(user), Some(reg)) => {
+            Some(Arc::new(FanoutSink::new(vec![user, reg as SharedSink])) as SharedSink)
         }
     };
+    // The schema header goes straight to the user's file sink — never
+    // through the ring — so it is always line 1 and can never be dropped.
+    if let Some(user) = &opts.metrics {
+        user.emit(TelemetryEvent::MetricsMeta {
+            version: METRICS_SCHEMA_VERSION,
+            interval_ns: opts.metrics_interval.as_nanos(),
+        });
+    }
+
+    // Telemetry: every hot-path emitter gets the ring front-end; the
+    // drainer thread forwards off-path through a demux that routes
+    // decision events, span records, and metric samples to their own
+    // destinations (and family-tagged `Dropped` markers to their own
+    // stream, so each file testifies to its losses).
+    let (sink, span_sink, metrics_sink, telemetry_drainer) =
+        match (opts.telemetry.clone(), opts.spans.clone(), metrics_dest) {
+            (None, None, None) => (None, None, None, None),
+            (decision, spans, metrics) => {
+                let has_decision = decision.is_some();
+                let has_spans = spans.is_some();
+                let has_metrics = metrics.is_some();
+                let demux = Arc::new(DemuxSink::new(decision, spans, metrics)) as SharedSink;
+                let (ring, drainer) = RingSink::spawn(demux, opts.telemetry_ring_capacity);
+                let ring = ring as SharedSink;
+                (
+                    has_decision.then(|| Arc::clone(&ring)),
+                    has_spans.then(|| Arc::clone(&ring)),
+                    has_metrics.then(|| Arc::clone(&ring)),
+                    Some(drainer),
+                )
+            }
+        };
 
     let mut state = ClusterState::new(&cfg, clock.clone());
     if let Some(s) = &sink {
@@ -213,6 +264,13 @@ pub fn run_live_with_stats(
         packet_freq_boosts: AtomicU64::new(0),
         sink,
         span_sink,
+        metrics_sink,
+        fr_boost_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        upscale_hint_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        slack_acc: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        last_window: (0..n)
+            .map(|_| Mutex::new(WindowMetrics::default()))
+            .collect(),
         span_ids: AtomicU64::new(0),
         cfg,
     });
@@ -239,6 +297,26 @@ pub fn run_live_with_stats(
                 .expect("spawn tick thread"),
         );
     }
+    if cluster.metrics_sink.is_some() {
+        // Dedicated low-priority sampler: sweeps the cluster's gauges on
+        // its own cadence and pushes through the same ring as everything
+        // else — one lock-free push per sample, drop-not-block.
+        let cl = Arc::clone(&cluster);
+        let interval = opts.metrics_interval;
+        threads.push(
+            std::thread::Builder::new()
+                .name("sg-live-metrics".into())
+                .spawn(move || cl.sampler_loop(interval))
+                .expect("spawn metrics sampler"),
+        );
+    }
+    let scrape = match (&opts.metrics_listen, &registry) {
+        (Some(addr), Some(reg)) => Some(
+            crate::scrape::MetricsServer::bind(addr, Arc::clone(reg))
+                .unwrap_or_else(|e| panic!("cannot bind --metrics-listen {addr}: {e}")),
+        ),
+        _ => None,
+    };
     if cfg.measure_start <= cfg.end {
         let cl = Arc::clone(&cluster);
         let at = cfg.measure_start;
@@ -325,13 +403,13 @@ pub fn run_live_with_stats(
         (fr.shutdown(), dropped)
     };
     // All emitting threads are joined; draining now loses nothing.
-    let (telemetry_forwarded, telemetry_dropped) = match telemetry_drainer {
-        Some(drainer) => {
-            let stats = drainer.shutdown();
-            (stats.forwarded, stats.dropped)
-        }
-        None => (0, 0),
-    };
+    let ring_stats = telemetry_drainer.map(|drainer| drainer.shutdown());
+    // Keep serving the final registry state until the drainer has teed
+    // the last samples in, then stop the scrape listener.
+    let metrics_addr = scrape.as_ref().map(|s| s.local_addr());
+    if let Some(server) = scrape {
+        server.shutdown();
+    }
 
     let mut points = std::mem::take(&mut *cluster.points.lock().unwrap());
     points.sort_by_key(|p| p.completion);
@@ -375,12 +453,17 @@ pub fn run_live_with_stats(
         clamped_actions: state.clamped.load(Ordering::Relaxed),
         packet_freq_boosts: cluster.packet_freq_boosts.load(Ordering::Relaxed),
     };
+    let ring_stats = ring_stats.unwrap_or_default();
     let stats = LiveStats {
         fr_applied,
         fr_dropped,
         deliveries: result.events,
-        telemetry_forwarded,
-        telemetry_dropped,
+        telemetry_forwarded: ring_stats.forwarded,
+        telemetry_dropped: ring_stats.dropped,
+        telemetry_dropped_decision: ring_stats.dropped_decision,
+        telemetry_dropped_span: ring_stats.dropped_span,
+        telemetry_dropped_metrics: ring_stats.dropped_metrics,
+        metrics_addr,
     };
     (result, stats)
 }

@@ -32,6 +32,7 @@ pub mod conformance;
 pub mod driver;
 pub mod net;
 pub mod pool;
+pub mod scrape;
 pub mod sync;
 pub mod throttle;
 pub mod worker;
@@ -39,3 +40,5 @@ pub mod worker;
 pub use clock::LiveClock;
 pub use conformance::{run_backend, Backend};
 pub use driver::{run_live, run_live_with_stats, LiveOpts, LiveStats};
+pub use pool::PoolStats;
+pub use scrape::MetricsServer;

@@ -14,7 +14,24 @@ use std::time::{Duration, Instant};
 struct PoolState {
     /// Free connections; `None` = unlimited (connection-per-request).
     free: Option<u32>,
+    /// Connections currently held by callers.
+    in_use: u32,
+    /// Threads currently blocked in [`LiveConnPool::acquire`].
+    waiters: u32,
+    /// Cumulative acquires that had to wait at least once.
+    queued_total: u64,
     closed: bool,
+}
+
+/// Point-in-time occupancy of a pool, for the metrics sampler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Connections currently held.
+    pub in_use: u32,
+    /// Threads currently blocked waiting for one.
+    pub waiters: u32,
+    /// Cumulative acquires that blocked (counter).
+    pub queued_total: u64,
 }
 
 /// A fixed pool of reusable connections for one parent→child edge, or an
@@ -31,6 +48,9 @@ impl LiveConnPool {
         LiveConnPool {
             state: Mutex::new(PoolState {
                 free: capacity,
+                in_use: 0,
+                waiters: 0,
+                queued_total: 0,
                 closed: false,
             }),
             cv: Condvar::new(),
@@ -42,20 +62,36 @@ impl LiveConnPool {
     pub fn acquire(&self) -> Option<Duration> {
         let start = Instant::now();
         let mut s = self.state.lock().unwrap();
+        let mut waiting = false;
         loop {
             if s.closed {
+                if waiting {
+                    s.waiters -= 1;
+                }
                 return None;
             }
             match s.free {
                 // Connection-per-request *never* waits; report exactly
                 // zero so `execMetric == execTime` holds on this substrate
                 // just as it does in the sim.
-                None => return Some(Duration::ZERO),
+                None => {
+                    s.in_use += 1;
+                    return Some(Duration::ZERO);
+                }
                 Some(n) if n > 0 => {
                     s.free = Some(n - 1);
+                    s.in_use += 1;
+                    if waiting {
+                        s.waiters -= 1;
+                    }
                     return Some(start.elapsed());
                 }
                 Some(_) => {
+                    if !waiting {
+                        waiting = true;
+                        s.waiters += 1;
+                        s.queued_total += 1;
+                    }
                     let (guard, _) = self.cv.wait_timeout(s, Duration::from_millis(10)).unwrap();
                     s = guard;
                 }
@@ -69,8 +105,19 @@ impl LiveConnPool {
         if let Some(n) = s.free {
             s.free = Some(n + 1);
         }
+        s.in_use = s.in_use.saturating_sub(1);
         drop(s);
         self.cv.notify_one();
+    }
+
+    /// Occupancy snapshot for the metrics sampler.
+    pub fn stats(&self) -> PoolStats {
+        let s = self.state.lock().unwrap();
+        PoolStats {
+            in_use: s.in_use,
+            waiters: s.waiters,
+            queued_total: s.queued_total,
+        }
     }
 
     /// Unblock all waiters; subsequent acquires fail fast.
@@ -104,6 +151,33 @@ mod tests {
         p.release();
         let waited = h.join().unwrap();
         assert!(waited >= Duration::from_millis(10), "waited {waited:?}");
+    }
+
+    #[test]
+    fn stats_track_occupancy_and_queueing() {
+        let p = Arc::new(LiveConnPool::new(Some(1)));
+        assert_eq!(p.stats(), PoolStats::default());
+        p.acquire().unwrap();
+        assert_eq!(p.stats().in_use, 1);
+        let p2 = p.clone();
+        let h = std::thread::spawn(move || p2.acquire().unwrap());
+        // Wait until the second acquire is visibly blocked.
+        while p.stats().waiters == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(p.stats().queued_total, 1);
+        p.release();
+        h.join().unwrap();
+        let s = p.stats();
+        assert_eq!((s.in_use, s.waiters, s.queued_total), (1, 0, 1));
+        p.release();
+        assert_eq!(p.stats().in_use, 0);
+        // Unlimited pools still track occupancy (release is unconditional).
+        let u = LiveConnPool::new(None);
+        u.acquire().unwrap();
+        assert_eq!(u.stats().in_use, 1);
+        u.release();
+        assert_eq!(u.stats().in_use, 0);
     }
 
     #[test]

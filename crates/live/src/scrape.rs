@@ -1,0 +1,140 @@
+//! Prometheus-style live scrape endpoint.
+//!
+//! When `sg-loadtest --backend live --metrics-listen ADDR` is given, the
+//! run keeps a [`MetricsRegistry`] updated off the hot path (the ring
+//! drainer tees samples into it) and serves its current state as
+//! text-exposition-format over a minimal blocking HTTP listener — no
+//! framework, std only. One accept thread, one request per connection,
+//! `Connection: close`: a scrape every few seconds costs microseconds
+//! and never touches a worker thread.
+//!
+//! This endpoint is live-only by design: the simulator has no wall-clock
+//! for an external scraper to exist in.
+
+use sg_telemetry::MetricsRegistry;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running scrape listener.
+pub struct MetricsServer {
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`, or port 0 for ephemeral) and
+    /// serve `registry` until [`MetricsServer::shutdown`].
+    pub fn bind(addr: &str, registry: Arc<MetricsRegistry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept + sleep poll: lets the thread notice the
+        // stop flag without platform-specific listener shutdown tricks.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("sg-metrics-http".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _)) => serve_one(stream, &registry),
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(25));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                        }
+                    }
+                })
+                .expect("spawn scrape listener")
+        };
+        Ok(MetricsServer {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting and join the listener thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Answer one scrape: read (and discard) the request head, respond with
+/// the registry rendered as text exposition format.
+fn serve_one(mut stream: std::net::TcpStream, registry: &MetricsRegistry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    // Drain up to one buffer of request head; any HTTP request gets the
+    // metrics page — there is exactly one resource here.
+    let mut buf = [0u8; 2048];
+    let _ = stream.read(&mut buf);
+    let body = registry.render_prometheus();
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::ids::{ContainerId, NodeId};
+    use sg_core::time::SimTime;
+    use sg_telemetry::{MetricId, MetricSample};
+
+    #[test]
+    fn serves_registry_snapshot_over_http() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.record(&MetricSample {
+            at: SimTime::from_millis(100),
+            node: NodeId(0),
+            container: ContainerId(2),
+            metric: MetricId::Cores,
+            value: 6.0,
+        });
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain"), "{response}");
+        assert!(
+            response.contains("sg_cores{node=\"0\",container=\"2\"} 6"),
+            "{response}"
+        );
+        server.shutdown();
+    }
+}

@@ -36,8 +36,10 @@ use sg_sim::cluster::SimConfig;
 use sg_sim::container::sample_work;
 use sg_sim::controller::{ControlAction, Controller};
 use sg_sim::network::Network;
+use sg_telemetry::metrics::slack_p50_p99;
 use sg_telemetry::{
-    ActionKind, ActionOrigin, ActionOutcome, SharedSink, SpanRecord, TelemetryEvent,
+    ActionKind, ActionOrigin, ActionOutcome, MetricId, MetricSample, SharedSink, SpanRecord,
+    TelemetryEvent,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -88,6 +90,18 @@ pub struct LiveCluster {
     pub span_sink: Option<SharedSink>,
     /// Process-wide span id allocator for this run.
     pub span_ids: AtomicU64,
+    /// Metrics sink (the ring front-end again): the sampler thread sweeps
+    /// gauges through it on its own cadence, drop-not-block.
+    pub metrics_sink: Option<SharedSink>,
+    /// Cumulative FirstResponder boost episodes per dest container.
+    pub fr_boost_counts: Vec<AtomicU64>,
+    /// Cumulative upscale hints per container across flushed windows.
+    pub upscale_hint_counts: Vec<AtomicU64>,
+    /// Per-packet slack observations since the last sampler sweep.
+    pub slack_acc: Vec<Mutex<Vec<i64>>>,
+    /// Last *completed* window per container (what the previous decision
+    /// cycle saw — same semantics as the sim's per-tick sample).
+    pub last_window: Vec<Mutex<sg_core::metrics::WindowMetrics>>,
 }
 
 impl LiveCluster {
@@ -184,17 +198,29 @@ impl LiveCluster {
         } = dispatch;
         let now = self.clock.now();
         let node = self.state.node_of(dest);
+        if self.metrics_sink.is_some() {
+            // Feed the slack p50/p99 gauges from every delivered packet.
+            let expected = self.cfg.params[dest.index()].expected_time_from_start;
+            self.slack_acc[dest.index()]
+                .lock()
+                .unwrap()
+                .push(per_packet_slack(expected, now, meta.start_time));
+        }
         let actions = self.controllers[node.index()]
             .lock()
             .unwrap()
             .on_packet(now, dest, meta);
         if !actions.is_empty() {
-            if let Some(sink) = &self.sink {
-                let targets = actions
-                    .iter()
-                    .filter(|a| matches!(a, ControlAction::SetFreq { .. }))
-                    .count() as u32;
-                if targets > 0 {
+            let targets = actions
+                .iter()
+                .filter(|a| matches!(a, ControlAction::SetFreq { .. }))
+                .count() as u32;
+            if targets > 0 {
+                // One boost episode destined here: the cumulative
+                // fr_boosts gauge steps even if the level retires before
+                // the sampler's next sweep.
+                self.fr_boost_counts[dest.index()].fetch_add(1, Ordering::Relaxed);
+                if let Some(sink) = &self.sink {
                     let expected = self.cfg.params[dest.index()].expected_time_from_start;
                     let level = actions
                         .iter()
@@ -548,6 +574,17 @@ impl LiveCluster {
                     });
                 }
             }
+            if self.metrics_sink.is_some() {
+                // Publish the just-completed windows for the metrics
+                // sampler: its gauges must show what the decision cycle
+                // actually consumed, not a half-filled window.
+                for cs in &snapshot.containers {
+                    let i = cs.id.index();
+                    self.upscale_hint_counts[i]
+                        .fetch_add(cs.metrics.upscale_hints, Ordering::Relaxed);
+                    *self.last_window[i].lock().unwrap() = cs.metrics;
+                }
+            }
             let actions = self.controllers[node]
                 .lock()
                 .unwrap()
@@ -559,6 +596,94 @@ impl LiveCluster {
             while next < now {
                 next += interval;
             }
+        }
+    }
+
+    /// Metrics sampler thread body: sweep every container's gauges on a
+    /// fixed cadence, independent of (and lower priority than) the
+    /// decision cycle. Samples go through the ring front-end, so a slow
+    /// disk drops samples (testified in-stream) rather than perturbing
+    /// the run.
+    pub fn sampler_loop(self: Arc<Self>, interval: SimDuration) {
+        let Some(sink) = self.metrics_sink.clone() else {
+            return;
+        };
+        let mut next = SimTime::ZERO + interval;
+        loop {
+            if !self.clock.sleep_until_or_stop(next, &self.shutdown) {
+                return;
+            }
+            // One timestamp per sweep, taken at sweep start, so every
+            // series shares sample times and reconstruction can join on
+            // them.
+            let now = self.clock.now();
+            self.sample_metrics(now, &sink);
+            next += interval;
+            let now = self.clock.now();
+            while next < now {
+                next += interval;
+            }
+        }
+    }
+
+    /// One gauge sweep over every container (dense-id order).
+    fn sample_metrics(&self, now: SimTime, sink: &SharedSink) {
+        for c in 0..self.cfg.graph.len() {
+            let id = ContainerId(c as u32);
+            let node = self.state.node_of(id);
+            let emit = |metric: MetricId, value: f64| {
+                sink.emit(TelemetryEvent::Metric(
+                    MetricSample {
+                        at: now,
+                        node,
+                        container: id,
+                        metric,
+                        value,
+                    }
+                    .sanitized(),
+                ));
+            };
+            let alloc = self.state.alloc_of(id);
+            emit(MetricId::Cores, alloc.cores as f64);
+            emit(MetricId::FreqLevel, alloc.freq_level as f64);
+            emit(
+                MetricId::FrBoosts,
+                self.fr_boost_counts[c].load(Ordering::Relaxed) as f64,
+            );
+            let window = *self.last_window[c].lock().unwrap();
+            emit(
+                MetricId::ExecMetric,
+                window.mean_exec_metric.as_nanos() as f64,
+            );
+            emit(MetricId::QueueBuildup, window.queue_buildup);
+            emit(MetricId::WindowRequests, window.requests as f64);
+            emit(
+                MetricId::UpscaleHints,
+                self.upscale_hint_counts[c].load(Ordering::Relaxed) as f64,
+            );
+            let (mut in_use, mut waiters, mut queued_total) = (0u64, 0u64, 0u64);
+            for pool in &self.pools[c] {
+                let s = pool.stats();
+                in_use += s.in_use as u64;
+                waiters += s.waiters as u64;
+                queued_total += s.queued_total;
+            }
+            emit(MetricId::PoolInUse, in_use as f64);
+            emit(MetricId::PoolWaiters, waiters as f64);
+            emit(MetricId::PoolQueuedTotal, queued_total as f64);
+            let mut slack = std::mem::take(&mut *self.slack_acc[c].lock().unwrap());
+            if let Some((p50, p99)) = slack_p50_p99(&mut slack) {
+                emit(MetricId::SlackP50, p50 as f64);
+                emit(MetricId::SlackP99, p99 as f64);
+            }
+        }
+        // Controller-internal gauges (e.g. sensitivity arms), per node.
+        let mut extra = Vec::new();
+        for controller in &self.controllers {
+            controller.lock().unwrap().metric_samples(now, &mut extra);
+        }
+        for sample in extra {
+            sink.emit(TelemetryEvent::Metric(sample.sanitized()));
         }
     }
 }

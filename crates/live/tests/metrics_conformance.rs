@@ -1,0 +1,76 @@
+//! Metrics-timeline conformance (ISSUE satellite): the gauge/counter
+//! timelines recorded on each substrate must reconcile with that
+//! substrate's own decision trace — every alloc event and FirstResponder
+//! boost the controllers claim to have made must be visible as a step
+//! change in the matching gauge/counter series — and the simulator's
+//! timeline must be byte-identical across same-seed reruns.
+
+use sg_controllers::SurgeGuardFactory;
+use sg_core::time::{SimDuration, SimTime};
+use sg_live::conformance::{run_backend_with_metrics, surge_arrivals, two_stage_cfg, Backend};
+use sg_sim::app::ConnModel;
+use sg_telemetry::timeline::{reconcile, TimelineSet};
+
+/// Under a 20× surge the full SurgeGuard stack reallocates cores and
+/// fires FirstResponder boosts; every one of those trace events must be
+/// confirmed (or legitimately excused: superseded within one sampling
+/// interval, or after the last sample) by the recorded timeline.
+#[test]
+fn gauge_timelines_reconcile_with_decision_trace_on_both_backends() {
+    let end = SimTime::from_millis(600);
+    for backend in Backend::both() {
+        let cfg = two_stage_cfg(ConnModel::FixedPool(2), end);
+        let arrivals = surge_arrivals(500.0, end);
+        let (_result, trace, metrics) =
+            run_backend_with_metrics(backend, cfg, &SurgeGuardFactory::full(), arrivals);
+
+        let set = TimelineSet::from_events(metrics.iter());
+        assert!(set.samples > 0, "{}: no metric samples", backend.label());
+        assert!(
+            !set.containers().is_empty(),
+            "{}: no containers in timeline",
+            backend.label()
+        );
+        // On the live substrate the sampler thread can stall well past
+        // one interval when the box is loaded (this suite may share one
+        // CPU with dozens of worker threads), and a boost landing during
+        // a stall would otherwise look like a missed step — so grant the
+        // worst gap the sampler actually suffered, plus one cadence. The
+        // sim is exact at any grace.
+        let cadence = set
+            .median_interval()
+            .unwrap_or(SimDuration::from_millis(1))
+            .max(SimDuration::from_millis(1));
+        let grace = set.max_interval().unwrap_or(cadence) + cadence;
+        let report = reconcile(&set, &trace, grace);
+        assert!(
+            report.passed(),
+            "{}: timeline does not reconcile with trace:\n{}",
+            backend.label(),
+            report.render()
+        );
+        assert!(
+            report.checked + report.superseded > 0,
+            "{}: surge produced no reconcilable trace events",
+            backend.label()
+        );
+    }
+}
+
+/// The simulator records metrics synchronously inside the deterministic
+/// event loop, so two runs from the same seed must serialize to the very
+/// same bytes — the timeline is a reproducible artifact, not a sample.
+#[test]
+fn sim_metrics_output_is_byte_identical_across_runs() {
+    let end = SimTime::from_millis(600);
+    let run = || {
+        let cfg = two_stage_cfg(ConnModel::FixedPool(2), end);
+        let arrivals = surge_arrivals(500.0, end);
+        let (_result, _trace, metrics) =
+            run_backend_with_metrics(Backend::Sim, cfg, &SurgeGuardFactory::full(), arrivals);
+        metrics.iter().map(|e| e.to_json_line()).collect::<String>()
+    };
+    let first = run();
+    assert!(!first.is_empty());
+    assert_eq!(first, run(), "same-seed sim metrics differ across runs");
+}

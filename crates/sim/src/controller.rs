@@ -185,6 +185,17 @@ pub trait Controller: Send {
     fn attach_telemetry(&mut self, sink: sg_telemetry::SharedSink) {
         let _ = sink;
     }
+
+    /// Append gauge samples for controller-internal state the harness
+    /// cannot observe (e.g. SurgeGuard's sensitivity-matrix arms). Called
+    /// once per sampling sweep, only when the run records metrics;
+    /// implementations push complete [`sg_telemetry::MetricSample`]s
+    /// stamped at `now`, iterating containers in a deterministic order
+    /// (the simulator requires byte-identical metrics across same-seed
+    /// reruns). Default: nothing.
+    fn metric_samples(&mut self, now: SimTime, out: &mut Vec<sg_telemetry::MetricSample>) {
+        let _ = (now, out);
+    }
 }
 
 /// Builds one [`Controller`] per node. The factory pattern keeps

@@ -23,8 +23,10 @@ use sg_core::metrics::RequestSample;
 use sg_core::slack::{annotate_entry, per_packet_slack};
 use sg_core::time::{SimDuration, SimTime};
 use sg_core::violation::LatencyPoint;
+use sg_telemetry::metrics::slack_p50_p99;
 use sg_telemetry::{
-    ActionKind, ActionOrigin, ActionOutcome, SharedSink, SpanRecord, SpanSampler, TelemetryEvent,
+    ActionKind, ActionOrigin, ActionOutcome, MetricId, MetricSample, SharedSink, SpanRecord,
+    SpanSampler, TelemetryEvent, METRICS_SCHEMA_VERSION,
 };
 use std::sync::Arc;
 
@@ -213,6 +215,17 @@ pub struct Simulation {
     span_sink: Option<SharedSink>,
     sampler: SpanSampler,
     next_span_id: u64,
+    /// Metrics time-series sink; `None` costs one branch per decision
+    /// cycle and one per request delivery.
+    metrics_sink: Option<SharedSink>,
+    /// Cumulative FirstResponder boost episodes per dest container
+    /// (counter gauge; only maintained when metrics are recorded).
+    fr_boost_counts: Vec<u64>,
+    /// Cumulative upscale hints seen per container across windows.
+    upscale_hint_counts: Vec<u64>,
+    /// Per-packet slack observations since the last decision cycle,
+    /// per container (drained into p50/p99 gauges at each tick).
+    slack_acc: Vec<Vec<i64>>,
 }
 
 impl Simulation {
@@ -349,6 +362,10 @@ impl Simulation {
             span_sink: None,
             sampler: SpanSampler::all(),
             next_span_id: 0,
+            metrics_sink: None,
+            fr_boost_counts: vec![0; n],
+            upscale_hint_counts: vec![0; n],
+            slack_acc: vec![Vec::new(); n],
             cfg,
         }
     }
@@ -373,6 +390,21 @@ impl Simulation {
     pub fn with_spans(mut self, sink: SharedSink, sampler: SpanSampler) -> Self {
         self.span_sink = Some(sink);
         self.sampler = sampler;
+        self
+    }
+
+    /// Enable continuous internal-state metrics: at the end of every
+    /// decision cycle the harness records one gauge sample per
+    /// `(container, metric)` — cores, DVFS level, cumulative
+    /// FirstResponder boosts, `exec_metric`, `queue_buildup`, window
+    /// request count, cumulative upscale hints, connection-pool
+    /// occupancy/waiters, per-window slack p50/p99 — plus whatever the
+    /// controller exposes via [`Controller::metric_samples`]. The
+    /// simulator emits synchronously at each cycle (the stream header's
+    /// `interval_ns` is 0), so same-seed reruns produce byte-identical
+    /// timelines.
+    pub fn with_metrics(mut self, sink: SharedSink) -> Self {
+        self.metrics_sink = Some(sink);
         self
     }
 
@@ -401,6 +433,14 @@ impl Simulation {
     }
 
     fn run_impl(mut self, buffers: Option<&mut SimBuffers>) -> RunResult {
+        // The metrics stream self-describes: schema version + cadence
+        // header before any sample (interval 0 = per decision cycle).
+        if let Some(sink) = &self.metrics_sink {
+            sink.emit(TelemetryEvent::MetricsMeta {
+                version: METRICS_SCHEMA_VERSION,
+                interval_ns: 0,
+            });
+        }
         // Seed the event loop: first arrival + a tick per node.
         if !self.arrivals.is_empty() {
             self.engine
@@ -574,14 +614,28 @@ impl Simulation {
         // FirstResponder site: every request packet crosses the rx hook of
         // its destination node before reaching the container.
         let node = self.containers[packet.dest.index()].node;
+        if self.metrics_sink.is_some() {
+            // Slack is otherwise only computed for boosting hooks and
+            // sampled spans; the slack p50/p99 gauges see every packet.
+            let expected = self.cfg.params[packet.dest.index()].expected_time_from_start;
+            self.slack_acc[packet.dest.index()].push(per_packet_slack(
+                expected,
+                now,
+                packet.meta.start_time,
+            ));
+        }
         let actions = self.controllers[node.index()].on_packet(now, packet.dest, packet.meta);
         if !actions.is_empty() {
-            if let Some(sink) = &self.sink {
-                let targets = actions
-                    .iter()
-                    .filter(|a| matches!(a, ControlAction::SetFreq { .. }))
-                    .count() as u32;
-                if targets > 0 {
+            let targets = actions
+                .iter()
+                .filter(|a| matches!(a, ControlAction::SetFreq { .. }))
+                .count() as u32;
+            if targets > 0 {
+                // One boost episode destined to this container — the
+                // cumulative fr_boosts gauge steps even when the level
+                // itself retires before the next sample.
+                self.fr_boost_counts[packet.dest.index()] += 1;
+                if let Some(sink) = &self.sink {
                     let expected = self.cfg.params[packet.dest.index()].expected_time_from_start;
                     let level = actions
                         .iter()
@@ -968,8 +1022,84 @@ impl Simulation {
         }
         let actions = self.controllers[node.index()].on_tick(now, &snapshot);
         self.apply_actions(now, node, actions);
+        if self.metrics_sink.is_some() {
+            // Sample AFTER applying this cycle's actions so the gauges
+            // reflect the state the trailing Alloc events describe: the
+            // reconcile invariant is event ≤ sample in both time and
+            // file order.
+            self.sample_metrics(now, node, &snapshot);
+        }
         let next = now + self.controllers[node.index()].tick_interval();
         self.engine.schedule(next, Event::ControllerTick { node });
+    }
+
+    /// One metrics sweep over `node`'s containers at the end of a
+    /// decision cycle. Iterates the node's containers in dense-id order
+    /// (deterministic), so same-seed reruns emit byte-identical streams.
+    fn sample_metrics(&mut self, now: SimTime, node: NodeId, snapshot: &NodeSnapshot) {
+        let sink = match &self.metrics_sink {
+            Some(s) => Arc::clone(s),
+            None => return,
+        };
+        let emit = |container: ContainerId, metric: MetricId, value: f64| {
+            sink.emit(TelemetryEvent::Metric(
+                MetricSample {
+                    at: now,
+                    node,
+                    container,
+                    metric,
+                    value,
+                }
+                .sanitized(),
+            ));
+        };
+        for cs in &snapshot.containers {
+            let i = cs.id.index();
+            // Allocation state post-apply (the snapshot's copy is the
+            // pre-tick view the controller saw).
+            emit(cs.id, MetricId::Cores, self.allocs[i].cores as f64);
+            emit(cs.id, MetricId::FreqLevel, self.allocs[i].freq_level as f64);
+            emit(cs.id, MetricId::FrBoosts, self.fr_boost_counts[i] as f64);
+            // The window the controller just consumed.
+            emit(
+                cs.id,
+                MetricId::ExecMetric,
+                cs.metrics.mean_exec_metric.as_nanos() as f64,
+            );
+            emit(cs.id, MetricId::QueueBuildup, cs.metrics.queue_buildup);
+            emit(cs.id, MetricId::WindowRequests, cs.metrics.requests as f64);
+            self.upscale_hint_counts[i] += cs.metrics.upscale_hints;
+            emit(
+                cs.id,
+                MetricId::UpscaleHints,
+                self.upscale_hint_counts[i] as f64,
+            );
+            // Connection pools toward all downstream edges, aggregated.
+            let (mut in_use, mut waiters, mut queued_total) = (0u64, 0u64, 0u64);
+            for pool in &self.pools[i] {
+                in_use += pool.in_use() as u64;
+                waiters += pool.queue_len() as u64;
+                queued_total += pool.queued_total();
+            }
+            emit(cs.id, MetricId::PoolInUse, in_use as f64);
+            emit(cs.id, MetricId::PoolWaiters, waiters as f64);
+            emit(cs.id, MetricId::PoolQueuedTotal, queued_total as f64);
+            // Per-window slack quantiles over every packet delivered to
+            // this container since the previous cycle.
+            let mut slack = std::mem::take(&mut self.slack_acc[i]);
+            if let Some((p50, p99)) = slack_p50_p99(&mut slack) {
+                emit(cs.id, MetricId::SlackP50, p50 as f64);
+                emit(cs.id, MetricId::SlackP99, p99 as f64);
+            }
+            slack.clear();
+            self.slack_acc[i] = slack;
+        }
+        // Controller-internal gauges (e.g. sensitivity arms).
+        let mut extra = Vec::new();
+        self.controllers[node.index()].metric_samples(now, &mut extra);
+        for sample in extra {
+            sink.emit(TelemetryEvent::Metric(sample.sanitized()));
+        }
     }
 
     // ---------------------------------------------------------------

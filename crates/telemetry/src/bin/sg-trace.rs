@@ -25,8 +25,8 @@
 //! trace truncated by a crash should still summarize.
 
 use sg_core::time::SimDuration;
-use sg_telemetry::{SpanReport, TelemetryEvent, TraceSummary};
-use std::io::{BufRead, BufReader};
+use sg_telemetry::{read_trace, SpanReport, TraceSummary};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -85,35 +85,17 @@ fn main() -> ExitCode {
         return usage();
     };
 
-    let file = match std::fs::File::open(&path) {
-        Ok(f) => f,
+    let trace = match read_trace(Path::new(&path)) {
+        Ok(t) => t,
         Err(e) => {
-            eprintln!("sg-trace: cannot open {path}: {e}");
+            eprintln!("sg-trace: cannot read {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let bad_lines = trace.bad_lines;
 
-    let mut events = Vec::new();
-    let mut bad_lines = 0u64;
-    for line in BufReader::new(file).lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => {
-                eprintln!("sg-trace: read error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        match TelemetryEvent::from_json_line(&line) {
-            Ok(event) => events.push(event),
-            Err(_) => bad_lines += 1,
-        }
-    }
-
-    let summary = TraceSummary::from_events(events.iter().cloned());
-    let report = SpanReport::from_events(events, qos);
+    let summary = TraceSummary::from_events(trace.events.iter().cloned());
+    let report = SpanReport::from_events(trace.events, qos);
 
     if let Some(folded_path) = &folded {
         if let Err(e) = std::fs::write(folded_path, report.folded_lines()) {

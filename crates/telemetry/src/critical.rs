@@ -107,7 +107,7 @@ impl SpanReport {
         for event in events {
             match event {
                 TelemetryEvent::Span(r) => records.push(r),
-                TelemetryEvent::Dropped { count } => dropped += count,
+                TelemetryEvent::Dropped { count, .. } => dropped += count,
                 _ => {}
             }
         }
@@ -559,7 +559,10 @@ mod tests {
     fn from_events_collects_spans_and_drops() {
         let events = vec![
             TelemetryEvent::Span(span(1, 0, None, None, 0, 100)),
-            TelemetryEvent::Dropped { count: 4 },
+            TelemetryEvent::Dropped {
+                count: 4,
+                family: None,
+            },
         ];
         let report = SpanReport::from_events(events, Some(SimDuration::from_millis(1)));
         assert_eq!(report.spans, 1);

@@ -5,10 +5,45 @@
 //! partial writes. Encoding and decoding round-trip exactly — `sg-trace`
 //! reads back what the sinks wrote.
 
+use crate::metrics::{MetricId, MetricSample};
 use crate::span::SpanRecord;
 use serde_json::{json, Value};
 use sg_core::ids::{ContainerId, NodeId};
 use sg_core::time::{SimDuration, SimTime};
+
+/// The per-stream trace an event belongs to. The live relay funnels all
+/// three families through one ring; drops are counted and testified per
+/// family so each output file accounts for its own losses only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventFamily {
+    /// Decision-trace events (actions, allocs, boosts, windows,
+    /// scoreboards).
+    Decision,
+    /// Per-request span records.
+    Span,
+    /// Metrics time-series samples.
+    Metrics,
+}
+
+impl EventFamily {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventFamily::Decision => "decision",
+            EventFamily::Span => "span",
+            EventFamily::Metrics => "metrics",
+        }
+    }
+
+    fn from_wire(name: &str) -> Option<EventFamily> {
+        Some(match name {
+            "decision" => EventFamily::Decision,
+            "span" => EventFamily::Span,
+            "metrics" => EventFamily::Metrics,
+            _ => return None,
+        })
+    }
+}
 
 /// What a control action asked for (the action's single argument).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,11 +261,29 @@ pub enum TelemetryEvent {
     },
     /// One span of a traced request (see [`crate::span`]).
     Span(SpanRecord),
-    /// Events lost in a bounded relay (emitted once at shutdown by the
-    /// live ring when its drop counter is nonzero).
+    /// One sampled point of an internal-state series (see
+    /// [`crate::metrics`]).
+    Metric(MetricSample),
+    /// Header line of a metrics stream: schema version and the sampling
+    /// cadence (`interval_ns = 0` means "every decision cycle", the
+    /// simulator's synchronous cadence). Written directly by the CLI
+    /// before any relay, so it is always the stream's first line and can
+    /// never be dropped.
+    MetricsMeta {
+        /// Schema version ([`crate::metrics::METRICS_SCHEMA_VERSION`]).
+        version: u32,
+        /// Sampling interval in nanoseconds; 0 = per decision cycle.
+        interval_ns: u64,
+    },
+    /// Events lost in a bounded relay (emitted at shutdown by the live
+    /// ring, once per event family with a nonzero drop counter).
     Dropped {
         /// How many events were lost.
         count: u64,
+        /// Which family lost them. `None` on legacy traces recorded
+        /// before per-family accounting; a demux routes `None` to every
+        /// stream.
+        family: Option<EventFamily>,
     },
 }
 
@@ -350,12 +403,61 @@ impl TelemetryEvent {
                 "freq_level": s.freq_level,
                 "slack_ns": s.slack_ns,
             }),
-            TelemetryEvent::Dropped { count } => json!({
-                "type": "dropped",
-                "count": *count,
+            TelemetryEvent::Metric(s) => match s.metric.arm() {
+                Some(arm) => json!({
+                    "type": "metric",
+                    "at_ns": s.at.as_nanos(),
+                    "node": s.node.0,
+                    "container": s.container.0,
+                    "metric": s.metric.name(),
+                    "arm": arm,
+                    "value": s.value,
+                }),
+                None => json!({
+                    "type": "metric",
+                    "at_ns": s.at.as_nanos(),
+                    "node": s.node.0,
+                    "container": s.container.0,
+                    "metric": s.metric.name(),
+                    "value": s.value,
+                }),
+            },
+            TelemetryEvent::MetricsMeta {
+                version,
+                interval_ns,
+            } => json!({
+                "type": "metrics_meta",
+                "version": *version,
+                "interval_ns": *interval_ns,
             }),
+            TelemetryEvent::Dropped { count, family } => match family {
+                Some(f) => json!({
+                    "type": "dropped",
+                    "count": *count,
+                    "family": f.name(),
+                }),
+                None => json!({
+                    "type": "dropped",
+                    "count": *count,
+                }),
+            },
         };
         value.to_string()
+    }
+
+    /// Which per-stream trace this event belongs to (see
+    /// [`EventFamily`]). A family-tagged `Dropped` reports for its own
+    /// family; an untagged one is a legacy total and classified as
+    /// decision traffic.
+    pub fn family(&self) -> EventFamily {
+        match self {
+            TelemetryEvent::Span(_) => EventFamily::Span,
+            TelemetryEvent::Metric(_) | TelemetryEvent::MetricsMeta { .. } => EventFamily::Metrics,
+            TelemetryEvent::Dropped {
+                family: Some(f), ..
+            } => *f,
+            _ => EventFamily::Decision,
+        }
     }
 
     /// Decode one JSON line produced by [`Self::to_json_line`].
@@ -458,8 +560,41 @@ impl TelemetryEvent {
                     .and_then(Value::as_i64)
                     .ok_or("missing slack_ns")?,
             })),
+            "metric" => {
+                let name = field_str(&v, "metric")?;
+                let arm = match v.get("arm") {
+                    None => None,
+                    Some(x) => Some(
+                        x.as_u64()
+                            .ok_or_else(|| "non-numeric field 'arm'".to_string())?
+                            as u8,
+                    ),
+                };
+                let metric = MetricId::from_wire(name, arm)
+                    .ok_or_else(|| format!("unknown metric '{name}'"))?;
+                Ok(TelemetryEvent::Metric(MetricSample {
+                    at: at()?,
+                    node: NodeId(field_u64(&v, "node")? as u32),
+                    container: ContainerId(field_u64(&v, "container")? as u32),
+                    metric,
+                    value: field_f64(&v, "value")?,
+                }))
+            }
+            "metrics_meta" => Ok(TelemetryEvent::MetricsMeta {
+                version: field_u64(&v, "version")? as u32,
+                interval_ns: field_u64(&v, "interval_ns")?,
+            }),
             "dropped" => Ok(TelemetryEvent::Dropped {
                 count: field_u64(&v, "count")?,
+                family: match v.get("family") {
+                    // Absent on legacy traces recorded before per-family
+                    // drop accounting.
+                    None => None,
+                    Some(f) => Some(
+                        EventFamily::from_wire(f.as_str().ok_or("non-string field 'family'")?)
+                            .ok_or("unknown drop family")?,
+                    ),
+                },
             }),
             other => Err(format!("unknown event type '{other}'")),
         }
@@ -583,7 +718,39 @@ mod tests {
                 freq_level: 0,
                 slack_ns: 0,
             }),
-            TelemetryEvent::Dropped { count: 7 },
+            TelemetryEvent::Metric(MetricSample {
+                at: SimTime::from_millis(200),
+                node: NodeId(0),
+                container: ContainerId(1),
+                metric: MetricId::Cores,
+                value: 4.0,
+            }),
+            TelemetryEvent::Metric(MetricSample {
+                at: SimTime::from_millis(200),
+                node: NodeId(0),
+                container: ContainerId(1),
+                metric: MetricId::Sensitivity(3),
+                value: 0.125,
+            }),
+            TelemetryEvent::Metric(MetricSample {
+                at: SimTime::from_millis(200),
+                node: NodeId(1),
+                container: ContainerId(2),
+                metric: MetricId::SlackP99,
+                value: -42_500.0,
+            }),
+            TelemetryEvent::MetricsMeta {
+                version: 1,
+                interval_ns: 100_000_000,
+            },
+            TelemetryEvent::Dropped {
+                count: 7,
+                family: None,
+            },
+            TelemetryEvent::Dropped {
+                count: 2,
+                family: Some(EventFamily::Metrics),
+            },
         ]
     }
 
@@ -618,5 +785,37 @@ mod tests {
     fn unknown_type_is_an_error() {
         assert!(TelemetryEvent::from_json_line("{\"type\":\"nope\"}").is_err());
         assert!(TelemetryEvent::from_json_line("not json").is_err());
+    }
+
+    /// Traces written before per-family drop accounting carry no
+    /// `family` field; they must still parse (as the legacy total).
+    #[test]
+    fn legacy_dropped_line_parses_without_family() {
+        let event = TelemetryEvent::from_json_line("{\"type\":\"dropped\",\"count\":9}").unwrap();
+        assert_eq!(
+            event,
+            TelemetryEvent::Dropped {
+                count: 9,
+                family: None
+            }
+        );
+        assert_eq!(event.family(), EventFamily::Decision);
+    }
+
+    #[test]
+    fn events_classify_into_their_families() {
+        for event in samples() {
+            let family = event.family();
+            match &event {
+                TelemetryEvent::Span(_) => assert_eq!(family, EventFamily::Span),
+                TelemetryEvent::Metric(_) | TelemetryEvent::MetricsMeta { .. } => {
+                    assert_eq!(family, EventFamily::Metrics)
+                }
+                TelemetryEvent::Dropped {
+                    family: Some(f), ..
+                } => assert_eq!(family, *f),
+                _ => assert_eq!(family, EventFamily::Decision),
+            }
+        }
     }
 }

@@ -47,14 +47,22 @@
 
 pub mod critical;
 pub mod event;
+pub mod metrics;
+pub mod reader;
 pub mod ring;
 pub mod sink;
 pub mod span;
 pub mod summary;
+pub mod timeline;
 
 pub use critical::{Attribution, LossClass, SpanReport};
-pub use event::{ActionKind, ActionOrigin, ActionOutcome, ScoredAction, TelemetryEvent};
+pub use event::{
+    ActionKind, ActionOrigin, ActionOutcome, EventFamily, ScoredAction, TelemetryEvent,
+};
+pub use metrics::{MetricId, MetricSample, MetricsRegistry, METRICS_SCHEMA_VERSION};
+pub use reader::{read_trace, TraceFile};
 pub use ring::{RingDrainer, RingSink, RingStats};
-pub use sink::{DemuxSink, JsonlSink, SharedSink, TelemetrySink, VecSink};
+pub use sink::{DemuxSink, FanoutSink, JsonlSink, SharedSink, TelemetrySink, VecSink};
 pub use span::{SpanRecord, SpanSampler};
 pub use summary::TraceSummary;
+pub use timeline::{ReconcileReport, TimelineSet};

@@ -1,0 +1,75 @@
+//! Shared JSONL trace reading for the CLI tools.
+//!
+//! `sg-trace` and `sg-timeline` consume the same wire format; this
+//! module is the single open-and-parse loop both binaries use, so the
+//! tolerant-parsing policy (skip blank lines, count — don't fail on —
+//! unparseable ones) lives in exactly one place. A trace truncated by a
+//! crash should still summarize.
+
+use crate::event::TelemetryEvent;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// A parsed trace file.
+#[derive(Debug, Default)]
+pub struct TraceFile {
+    /// Parsed events, in file order.
+    pub events: Vec<TelemetryEvent>,
+    /// Lines that failed to parse (counted, not fatal).
+    pub bad_lines: u64,
+}
+
+/// Read a JSONL trace from `path`. Blank lines are skipped; lines that
+/// fail to parse are counted in [`TraceFile::bad_lines`]. I/O errors
+/// (missing file, read failure) are returned to the caller.
+pub fn read_trace(path: &Path) -> std::io::Result<TraceFile> {
+    let file = std::fs::File::open(path)?;
+    let mut out = TraceFile::default();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TelemetryEvent::from_json_line(&line) {
+            Ok(event) => out.events.push(event),
+            Err(_) => out.bad_lines += 1,
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn reads_good_lines_and_counts_bad_ones() {
+        let path =
+            std::env::temp_dir().join(format!("sg-telemetry-reader-{}.jsonl", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            writeln!(f, "{{\"type\":\"dropped\",\"count\":4}}").unwrap();
+            writeln!(f).unwrap(); // blank: skipped
+            writeln!(f, "{{\"type\":\"dro").unwrap(); // truncated: counted
+            writeln!(
+                f,
+                "{{\"type\":\"dropped\",\"count\":5,\"family\":\"metrics\"}}"
+            )
+            .unwrap();
+        }
+        let trace = read_trace(&path).unwrap();
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.bad_lines, 1);
+        assert!(matches!(
+            trace.events[0],
+            TelemetryEvent::Dropped { count: 4, .. }
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(read_trace(Path::new("/nonexistent/trace.jsonl")).is_err());
+    }
+}

@@ -11,17 +11,39 @@
 //! [`TelemetryEvent::Dropped`] record in the trace itself, so losses are
 //! explicit, never silent.
 
-use crate::event::TelemetryEvent;
+use crate::event::{EventFamily, TelemetryEvent};
 use crate::sink::{SharedSink, TelemetrySink};
 use crossbeam::queue::ArrayQueue;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// The three families, in a stable order for per-family counters.
+const FAMILIES: [EventFamily; 3] = [
+    EventFamily::Decision,
+    EventFamily::Span,
+    EventFamily::Metrics,
+];
+
+fn family_index(family: EventFamily) -> usize {
+    match family {
+        EventFamily::Decision => 0,
+        EventFamily::Span => 1,
+        EventFamily::Metrics => 2,
+    }
+}
+
 /// Lock-free, never-blocking sink front-end for hot paths.
+///
+/// Drops are counted **per event family** (decision / span / metrics):
+/// once three streams share one relay, a single total would let a
+/// metrics-sample flood hide span losses, and every output file would
+/// have to confess to every other file's drops. Each family's loss is
+/// testified by its own trailing [`TelemetryEvent::Dropped`] record,
+/// which the demux routes only to that family's stream.
 pub struct RingSink {
     queue: Arc<ArrayQueue<TelemetryEvent>>,
-    dropped: AtomicU64,
+    dropped: [AtomicU64; 3],
 }
 
 impl RingSink {
@@ -31,7 +53,7 @@ impl RingSink {
     pub fn spawn(inner: SharedSink, capacity: usize) -> (Arc<RingSink>, RingDrainer) {
         let sink = Arc::new(RingSink {
             queue: Arc::new(ArrayQueue::new(capacity.max(1))),
-            dropped: AtomicU64::new(0),
+            dropped: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
         });
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -66,29 +88,41 @@ impl RingSink {
         (sink, handle)
     }
 
-    /// Events dropped so far because the ring was full.
+    /// Events dropped so far because the ring was full, all families.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Events of one family dropped so far.
+    pub fn dropped_for(&self, family: EventFamily) -> u64 {
+        self.dropped[family_index(family)].load(Ordering::Relaxed)
     }
 }
 
 impl TelemetrySink for RingSink {
-    /// Push without blocking; a full ring drops the event and counts it.
+    /// Push without blocking; a full ring drops the event and counts it
+    /// against the event's family.
     fn emit(&self, event: TelemetryEvent) {
-        if self.queue.push(event).is_err() {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+        if let Err(event) = self.queue.push(event) {
+            self.dropped[family_index(event.family())].fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
 /// Totals reported by the drainer at shutdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RingStats {
     /// Events forwarded to the inner sink (including the trailing
-    /// `Dropped` record, if one was emitted).
+    /// `Dropped` records, if any were emitted).
     pub forwarded: u64,
-    /// Events lost to a full ring.
+    /// Events lost to a full ring, all families.
     pub dropped: u64,
+    /// Decision-trace events lost.
+    pub dropped_decision: u64,
+    /// Span records lost.
+    pub dropped_span: u64,
+    /// Metrics samples lost.
+    pub dropped_metrics: u64,
 }
 
 /// Owns the drainer thread; joining it finalizes the trace.
@@ -99,9 +133,10 @@ pub struct RingDrainer {
 }
 
 impl RingDrainer {
-    /// Stop the drainer after it empties the ring. If any events were
-    /// dropped, a [`TelemetryEvent::Dropped`] record is appended to the
-    /// inner sink so the trace itself testifies to the loss.
+    /// Stop the drainer after it empties the ring. For every event
+    /// family with a nonzero drop counter, a family-tagged
+    /// [`TelemetryEvent::Dropped`] record is appended to the inner sink
+    /// so each stream testifies to its own losses.
     pub fn shutdown(mut self) -> RingStats {
         self.stop.store(true, Ordering::Release);
         let (inner, mut forwarded) = self
@@ -110,13 +145,29 @@ impl RingDrainer {
             .expect("shutdown called once")
             .join()
             .expect("telemetry drainer panicked");
-        let dropped = self.sink.dropped();
-        if dropped > 0 {
-            inner.emit(TelemetryEvent::Dropped { count: dropped });
-            inner.flush();
-            forwarded += 1;
+        let mut per_family = [0u64; 3];
+        for family in FAMILIES {
+            let count = self.sink.dropped_for(family);
+            per_family[family_index(family)] = count;
+            if count > 0 {
+                inner.emit(TelemetryEvent::Dropped {
+                    count,
+                    family: Some(family),
+                });
+                forwarded += 1;
+            }
         }
-        RingStats { forwarded, dropped }
+        let dropped: u64 = per_family.iter().sum();
+        if dropped > 0 {
+            inner.flush();
+        }
+        RingStats {
+            forwarded,
+            dropped,
+            dropped_decision: per_family[0],
+            dropped_span: per_family[1],
+            dropped_metrics: per_family[2],
+        }
     }
 }
 
@@ -132,56 +183,161 @@ impl Drop for RingDrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::{MetricId, MetricSample};
     use crate::sink::VecSink;
+    use crate::span::SpanRecord;
+    use sg_core::ids::{ContainerId, NodeId};
+    use sg_core::time::{SimDuration, SimTime};
+
+    fn decision_event(count: u64) -> TelemetryEvent {
+        TelemetryEvent::Dropped {
+            count,
+            family: None,
+        }
+    }
+
+    fn span_event() -> TelemetryEvent {
+        TelemetryEvent::Span(SpanRecord {
+            trace: 0,
+            span: 1,
+            parent: None,
+            container: None,
+            node: None,
+            start: SimTime::ZERO,
+            end: SimTime::from_micros(5),
+            net_in: SimDuration::ZERO,
+            conn_wait: SimDuration::ZERO,
+            service: SimDuration::ZERO,
+            downstream: SimDuration::from_micros(5),
+            freq_level: 0,
+            slack_ns: 0,
+        })
+    }
+
+    fn metric_event() -> TelemetryEvent {
+        TelemetryEvent::Metric(MetricSample {
+            at: SimTime::from_micros(7),
+            node: NodeId(0),
+            container: ContainerId(0),
+            metric: MetricId::Cores,
+            value: 2.0,
+        })
+    }
 
     #[test]
     fn ring_forwards_everything_when_not_full() {
         let inner = VecSink::shared();
         let (ring, drainer) = RingSink::spawn(inner.clone(), 1024);
         for count in 0..100 {
-            ring.emit(TelemetryEvent::Dropped { count });
+            ring.emit(decision_event(count));
         }
         let stats = drainer.shutdown();
         assert_eq!(stats.forwarded, 100);
         assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.dropped_decision, 0);
+        assert_eq!(stats.dropped_span, 0);
+        assert_eq!(stats.dropped_metrics, 0);
         assert_eq!(inner.take().len(), 100);
+    }
+
+    /// Inner sink that blocks until released, so the ring can fill;
+    /// records everything it eventually forwards.
+    struct Gate {
+        rx: std::sync::Mutex<std::sync::mpsc::Receiver<()>>,
+        seen: std::sync::Mutex<Vec<TelemetryEvent>>,
+    }
+    impl TelemetrySink for Gate {
+        fn emit(&self, e: TelemetryEvent) {
+            let _ = self.rx.lock().unwrap().recv();
+            self.seen.lock().unwrap().push(e);
+        }
     }
 
     #[test]
     fn full_ring_drops_counts_and_testifies() {
-        // Inner sink that blocks until released, so the ring can fill.
-        struct Gate {
-            rx: std::sync::Mutex<std::sync::mpsc::Receiver<()>>,
-            seen: AtomicU64,
-        }
-        impl TelemetrySink for Gate {
-            fn emit(&self, _e: TelemetryEvent) {
-                let _ = self.rx.lock().unwrap().recv();
-                self.seen.fetch_add(1, Ordering::Relaxed);
-            }
-        }
         let (tx, rx) = std::sync::mpsc::channel();
         let gate = Arc::new(Gate {
             rx: std::sync::Mutex::new(rx),
-            seen: AtomicU64::new(0),
+            seen: std::sync::Mutex::new(Vec::new()),
         });
         let (ring, drainer) = RingSink::spawn(gate.clone(), 2);
         // The drainer grabs at most one event before blocking; pushing
         // capacity + 3 guarantees at least one drop.
         for count in 0..5 {
-            ring.emit(TelemetryEvent::Dropped { count });
+            ring.emit(decision_event(count));
         }
         assert!(ring.dropped() >= 1, "full ring must drop");
         drop(tx); // release the gate
         let stats = drainer.shutdown();
         assert!(stats.dropped >= 1);
+        assert_eq!(stats.dropped, stats.dropped_decision, "all drops decision");
         // The trailing Dropped record is forwarded on top of the queued
         // events the drainer managed to deliver.
         assert_eq!(
-            gate.seen.load(Ordering::Relaxed),
+            gate.seen.lock().unwrap().len() as u64,
             stats.forwarded,
             "drainer forwards exactly what it reports"
         );
+    }
+
+    /// Satellite regression test: with three families sharing the ring,
+    /// drops are counted per family and each family's loss is testified
+    /// by its own tagged trailing record.
+    #[test]
+    fn drops_are_counted_and_testified_per_family() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let gate = Arc::new(Gate {
+            rx: std::sync::Mutex::new(rx),
+            seen: std::sync::Mutex::new(Vec::new()),
+        });
+        // Capacity 2 and a blocked drainer: at most 3 events are ever
+        // absorbed (2 ring slots + 1 held inside the gated emit), so
+        // the later pushes must drop regardless of thread timing.
+        let (ring, drainer) = RingSink::spawn(gate.clone(), 2);
+        for count in 0..3 {
+            ring.emit(decision_event(count));
+        }
+        for _ in 0..4 {
+            ring.emit(span_event());
+        }
+        for _ in 0..4 {
+            ring.emit(metric_event());
+        }
+        assert!(ring.dropped_for(EventFamily::Span) >= 3);
+        assert!(ring.dropped_for(EventFamily::Metrics) >= 3);
+        drop(tx); // release the gate
+        let stats = drainer.shutdown();
+        assert_eq!(
+            stats.dropped,
+            stats.dropped_decision + stats.dropped_span + stats.dropped_metrics,
+            "per-family counts partition the total"
+        );
+        assert!(stats.dropped_span >= 3);
+        assert!(stats.dropped_metrics >= 3);
+        // Every nonzero family appears as exactly one tagged trailing
+        // record whose count matches the stats.
+        let seen = gate.seen.lock().unwrap();
+        for (family, expected) in [
+            (EventFamily::Decision, stats.dropped_decision),
+            (EventFamily::Span, stats.dropped_span),
+            (EventFamily::Metrics, stats.dropped_metrics),
+        ] {
+            let testimonies: Vec<u64> = seen
+                .iter()
+                .filter_map(|e| match e {
+                    TelemetryEvent::Dropped {
+                        count,
+                        family: Some(f),
+                    } if *f == family => Some(*count),
+                    _ => None,
+                })
+                .collect();
+            if expected > 0 {
+                assert_eq!(testimonies, vec![expected], "{family:?}");
+            } else {
+                assert!(testimonies.is_empty(), "{family:?}");
+            }
+        }
     }
 
     #[test]
@@ -189,7 +345,7 @@ mod tests {
         let inner = VecSink::shared();
         let (ring, drainer) = RingSink::spawn(inner.clone(), 64);
         for count in 0..64 {
-            ring.emit(TelemetryEvent::Dropped { count });
+            ring.emit(decision_event(count));
         }
         let stats = drainer.shutdown();
         assert_eq!(stats.forwarded + stats.dropped, 64);

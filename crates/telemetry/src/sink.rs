@@ -175,54 +175,96 @@ impl Drop for JsonlSink {
 }
 
 /// Routes events from one relay to per-stream destinations: span records
-/// to the span sink, decision events to the decision sink, and pipeline
-/// `Dropped` records to *both*, so each output file still testifies to
-/// its own losses. The live driver funnels every hot-path emitter
-/// through a single [`crate::ring::RingSink`] whose inner sink is a
-/// `DemuxSink`, keeping the packet path to one lock-free push however
-/// many trace files are open.
+/// to the span sink, metrics samples to the metrics sink, decision
+/// events to the decision sink. A family-tagged pipeline
+/// [`TelemetryEvent::Dropped`] record goes only to its own family's
+/// stream, so each output file testifies to exactly its own losses; an
+/// untagged (legacy) one is duplicated to every open stream. The live
+/// driver funnels every hot-path emitter through a single
+/// [`crate::ring::RingSink`] whose inner sink is a `DemuxSink`, keeping
+/// the packet path to one lock-free push however many trace files are
+/// open.
 pub struct DemuxSink {
     decision: Option<SharedSink>,
     span: Option<SharedSink>,
+    metrics: Option<SharedSink>,
 }
 
 impl DemuxSink {
     /// A demux over the (optional) per-stream destinations.
-    pub fn new(decision: Option<SharedSink>, span: Option<SharedSink>) -> Self {
-        DemuxSink { decision, span }
+    pub fn new(
+        decision: Option<SharedSink>,
+        span: Option<SharedSink>,
+        metrics: Option<SharedSink>,
+    ) -> Self {
+        DemuxSink {
+            decision,
+            span,
+            metrics,
+        }
+    }
+
+    fn stream(&self, family: crate::event::EventFamily) -> Option<&SharedSink> {
+        use crate::event::EventFamily;
+        match family {
+            EventFamily::Decision => self.decision.as_ref(),
+            EventFamily::Span => self.span.as_ref(),
+            EventFamily::Metrics => self.metrics.as_ref(),
+        }
     }
 }
 
 impl TelemetrySink for DemuxSink {
     fn emit(&self, event: TelemetryEvent) {
-        match &event {
-            TelemetryEvent::Span(_) => {
-                if let Some(s) = &self.span {
-                    s.emit(event);
-                }
+        if let TelemetryEvent::Dropped { family: None, .. } = &event {
+            // Legacy total: every open stream carries the testimony.
+            for sink in [&self.decision, &self.span, &self.metrics]
+                .into_iter()
+                .flatten()
+            {
+                sink.emit(event.clone());
             }
-            TelemetryEvent::Dropped { .. } => {
-                if let Some(s) = &self.decision {
-                    s.emit(event.clone());
-                }
-                if let Some(s) = &self.span {
-                    s.emit(event);
-                }
-            }
-            _ => {
-                if let Some(s) = &self.decision {
-                    s.emit(event);
-                }
-            }
+            return;
+        }
+        if let Some(sink) = self.stream(event.family()) {
+            sink.emit(event);
         }
     }
 
     fn flush(&self) {
-        if let Some(s) = &self.decision {
-            s.flush();
+        for sink in [&self.decision, &self.span, &self.metrics]
+            .into_iter()
+            .flatten()
+        {
+            sink.flush();
         }
-        if let Some(s) = &self.span {
-            s.flush();
+    }
+}
+
+/// Duplicates every event to each inner sink. The live driver uses this
+/// to feed the metrics stream into both its JSONL file and the in-memory
+/// [`crate::metrics::MetricsRegistry`] behind one demux slot.
+pub struct FanoutSink {
+    sinks: Vec<SharedSink>,
+}
+
+impl FanoutSink {
+    /// A fanout over `sinks`, in emit order.
+    pub fn new(sinks: Vec<SharedSink>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn emit(&self, event: TelemetryEvent) {
+        for sink in &self.sinks {
+            sink.emit(event.clone());
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
         }
     }
 }
@@ -232,12 +274,19 @@ mod tests {
     use super::*;
     use sg_core::time::SimTime;
 
+    fn dropped(count: u64) -> TelemetryEvent {
+        TelemetryEvent::Dropped {
+            count,
+            family: None,
+        }
+    }
+
     #[test]
     fn vec_sink_records_and_takes() {
         let sink = VecSink::shared();
         assert!(sink.is_empty());
-        sink.emit(TelemetryEvent::Dropped { count: 1 });
-        sink.emit(TelemetryEvent::Dropped { count: 2 });
+        sink.emit(dropped(1));
+        sink.emit(dropped(2));
         assert_eq!(sink.len(), 2);
         let events = sink.take();
         assert_eq!(events.len(), 2);
@@ -256,7 +305,7 @@ mod tests {
             freq_level: 1,
             freq_ghz: 1.8,
         });
-        sink.emit(TelemetryEvent::Dropped { count: 0 });
+        sink.emit(dropped(0));
         assert_eq!(sink.written(), 2);
         sink.flush();
         let body = std::fs::read_to_string(&path).expect("read back");
@@ -278,7 +327,7 @@ mod tests {
         {
             let sink = JsonlSink::create(&path).expect("create trace file");
             for count in 0..n {
-                sink.emit(TelemetryEvent::Dropped { count });
+                sink.emit(dropped(count));
             }
             assert_eq!(sink.written(), n);
             assert_eq!(sink.write_errors(), 0);
@@ -289,7 +338,7 @@ mod tests {
         assert_eq!(lines.len(), n as usize, "every buffered event persisted");
         for (i, line) in lines.iter().enumerate() {
             match TelemetryEvent::from_json_line(line).expect("line parses") {
-                TelemetryEvent::Dropped { count } => assert_eq!(count, i as u64),
+                TelemetryEvent::Dropped { count, .. } => assert_eq!(count, i as u64),
                 other => panic!("wrong event: {other:?}"),
             }
         }
@@ -306,32 +355,16 @@ mod tests {
             Ok(s) => s,
             Err(_) => return, // sandboxed environments may hide /dev/full
         };
-        sink.emit(TelemetryEvent::Dropped { count: 1 });
+        sink.emit(dropped(1));
         assert!(sink.try_flush().is_err(), "flush to /dev/full must fail");
         assert!(sink.write_errors() > 0);
         assert!(sink.last_error().is_some());
     }
 
-    #[test]
-    fn demux_routes_spans_and_duplicates_drops() {
+    fn span_event() -> TelemetryEvent {
         use crate::span::SpanRecord;
         use sg_core::time::SimDuration;
-
-        let decision = VecSink::shared();
-        let span = VecSink::shared();
-        let demux = DemuxSink::new(
-            Some(decision.clone() as SharedSink),
-            Some(span.clone() as SharedSink),
-        );
-        demux.emit(TelemetryEvent::Dropped { count: 3 });
-        demux.emit(TelemetryEvent::Alloc {
-            at: SimTime::from_micros(1),
-            container: sg_core::ids::ContainerId(0),
-            cores: 2,
-            freq_level: 0,
-            freq_ghz: 1.8,
-        });
-        demux.emit(TelemetryEvent::Span(SpanRecord {
+        TelemetryEvent::Span(SpanRecord {
             trace: 0,
             span: 1,
             parent: None,
@@ -345,14 +378,108 @@ mod tests {
             downstream: SimDuration::from_micros(5),
             freq_level: 0,
             slack_ns: 0,
-        }));
+        })
+    }
+
+    fn metric_event() -> TelemetryEvent {
+        use crate::metrics::{MetricId, MetricSample};
+        TelemetryEvent::Metric(MetricSample {
+            at: SimTime::from_micros(3),
+            node: sg_core::ids::NodeId(0),
+            container: sg_core::ids::ContainerId(0),
+            metric: MetricId::Cores,
+            value: 2.0,
+        })
+    }
+
+    #[test]
+    fn demux_routes_three_families_and_duplicates_legacy_drops() {
+        let decision = VecSink::shared();
+        let span = VecSink::shared();
+        let metrics = VecSink::shared();
+        let demux = DemuxSink::new(
+            Some(decision.clone() as SharedSink),
+            Some(span.clone() as SharedSink),
+            Some(metrics.clone() as SharedSink),
+        );
+        demux.emit(dropped(3)); // legacy: every stream
+        demux.emit(TelemetryEvent::Alloc {
+            at: SimTime::from_micros(1),
+            container: sg_core::ids::ContainerId(0),
+            cores: 2,
+            freq_level: 0,
+            freq_ghz: 1.8,
+        });
+        demux.emit(span_event());
+        demux.emit(metric_event());
         let d = decision.take();
         let s = span.take();
-        assert_eq!(d.len(), 2, "drop + alloc on the decision stream");
-        assert_eq!(s.len(), 2, "drop + span on the span stream");
+        let m = metrics.take();
+        assert_eq!(d.len(), 2, "legacy drop + alloc on the decision stream");
+        assert_eq!(s.len(), 2, "legacy drop + span on the span stream");
+        assert_eq!(m.len(), 2, "legacy drop + sample on the metrics stream");
         assert!(matches!(d[1], TelemetryEvent::Alloc { .. }));
         assert!(matches!(s[1], TelemetryEvent::Span(_)));
-        assert!(matches!(d[0], TelemetryEvent::Dropped { count: 3 }));
-        assert!(matches!(s[0], TelemetryEvent::Dropped { count: 3 }));
+        assert!(matches!(m[1], TelemetryEvent::Metric(_)));
+        for stream in [&d, &s, &m] {
+            assert!(matches!(
+                stream[0],
+                TelemetryEvent::Dropped {
+                    count: 3,
+                    family: None
+                }
+            ));
+        }
+    }
+
+    /// Satellite: a family-tagged drop record lands only on its own
+    /// stream — the other trace files stay clean.
+    #[test]
+    fn family_tagged_drops_reach_only_their_own_stream() {
+        use crate::event::EventFamily;
+        let decision = VecSink::shared();
+        let span = VecSink::shared();
+        let metrics = VecSink::shared();
+        let demux = DemuxSink::new(
+            Some(decision.clone() as SharedSink),
+            Some(span.clone() as SharedSink),
+            Some(metrics.clone() as SharedSink),
+        );
+        for (family, count) in [
+            (EventFamily::Decision, 1),
+            (EventFamily::Span, 2),
+            (EventFamily::Metrics, 3),
+        ] {
+            demux.emit(TelemetryEvent::Dropped {
+                count,
+                family: Some(family),
+            });
+        }
+        for (sink, family, count) in [
+            (&decision, EventFamily::Decision, 1),
+            (&span, EventFamily::Span, 2),
+            (&metrics, EventFamily::Metrics, 3),
+        ] {
+            let events = sink.take();
+            assert_eq!(events.len(), 1, "{family:?} stream sees only its drop");
+            assert_eq!(
+                events[0],
+                TelemetryEvent::Dropped {
+                    count,
+                    family: Some(family)
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn fanout_duplicates_to_every_inner_sink() {
+        let a = VecSink::shared();
+        let b = VecSink::shared();
+        let fan = FanoutSink::new(vec![a.clone() as SharedSink, b.clone() as SharedSink]);
+        fan.emit(metric_event());
+        fan.emit(dropped(1));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
     }
 }

@@ -57,6 +57,9 @@ pub struct TraceSummary {
     /// Span records seen in the stream (summarized separately by
     /// [`crate::critical::SpanReport`]).
     pub spans: u64,
+    /// Metrics samples/headers seen in the stream (summarized separately
+    /// by [`crate::timeline::TimelineSet`] / `sg-timeline`).
+    pub metric_samples: u64,
     /// Accepted (`Deferred`) `SetFreq` actions per container.
     pub freq_deferred: BTreeMap<u32, u64>,
     /// Landed (`Applied`/`Clamped`) `SetCores` actions per container.
@@ -141,7 +144,10 @@ impl TraceSummary {
                 TelemetryEvent::Window { .. } => s.windows += 1,
                 TelemetryEvent::Scoreboard { .. } => s.cycles += 1,
                 TelemetryEvent::Span(_) => s.spans += 1,
-                TelemetryEvent::Dropped { count } => s.dropped += count,
+                TelemetryEvent::Metric(_) | TelemetryEvent::MetricsMeta { .. } => {
+                    s.metric_samples += 1
+                }
+                TelemetryEvent::Dropped { count, .. } => s.dropped += count,
             }
         }
         s.open_boosts = open.len() as u64;
@@ -239,6 +245,7 @@ impl TraceSummary {
             "action_histogram": histogram,
             "dropped": self.dropped,
             "spans": self.spans,
+            "metric_samples": self.metric_samples,
             "audit": self.audit(),
         })
     }
@@ -274,6 +281,13 @@ impl TraceSummary {
                 out,
                 "  {} span records (see the span report for attribution)",
                 self.spans
+            );
+        }
+        if self.metric_samples > 0 {
+            let _ = writeln!(
+                out,
+                "  {} metrics samples (render with sg-timeline)",
+                self.metric_samples
             );
         }
         if self.dropped > 0 {
@@ -385,7 +399,10 @@ mod tests {
             action(ActionOutcome::Clamped),
             action(ActionOutcome::RejectedCrossNode),
             action(ActionOutcome::RejectedCrossNode),
-            TelemetryEvent::Dropped { count: 3 },
+            TelemetryEvent::Dropped {
+                count: 3,
+                family: None,
+            },
         ]);
         assert_eq!(s.clamped, 1);
         assert_eq!(s.cross_node_total(), 2);
@@ -457,7 +474,10 @@ mod tests {
 
     #[test]
     fn dropped_events_fail_the_audit() {
-        let s = TraceSummary::from_events(vec![TelemetryEvent::Dropped { count: 2 }]);
+        let s = TraceSummary::from_events(vec![TelemetryEvent::Dropped {
+            count: 2,
+            family: None,
+        }]);
         assert!(!s.audit().is_empty());
     }
 
@@ -466,7 +486,10 @@ mod tests {
         let s = TraceSummary::from_events(vec![
             deferred_freq(2),
             alloc(50, 8),
-            TelemetryEvent::Dropped { count: 1 },
+            TelemetryEvent::Dropped {
+                count: 1,
+                family: None,
+            },
         ]);
         let v = s.to_json();
         assert_eq!(v.get("events").and_then(Value::as_u64), Some(3));
