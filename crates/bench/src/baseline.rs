@@ -15,9 +15,11 @@ use sg_controllers::SurgeGuardFactory;
 use sg_core::firstresponder::{FirstResponder, FirstResponderConfig};
 use sg_core::ids::{ContainerId, NodeId};
 use sg_core::metadata::RpcMetadata;
+use sg_core::replica::p2c_winner;
 use sg_core::time::{SimDuration, SimTime};
 use sg_live::{run_live_with_stats, LiveOpts};
 use sg_sim::app::ConnModel;
+use sg_sim::controller::{ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot};
 use sg_sim::runner::{SimBuffers, Simulation};
 use sg_telemetry::{
     MetricId, MetricSample, MetricsRegistry, RingSink, SpanRecord, TelemetryEvent, TelemetrySink,
@@ -362,9 +364,111 @@ fn bench_sim_trial_metrics(mode: BenchMode) -> ScenarioStats {
     summarize("sim_trial_metrics", "ms", samples)
 }
 
+/// Flips the downstream service group between 1 and 2 replicas on every
+/// tick — the worst-case replica-lifecycle churn for the scale-out bench.
+struct ReplicaToggler {
+    owns: bool,
+    up: bool,
+}
+
+impl Controller for ReplicaToggler {
+    fn name(&self) -> &'static str {
+        "replica-toggler"
+    }
+    fn tick_interval(&self) -> SimDuration {
+        SimDuration::from_millis(20)
+    }
+    fn on_tick(&mut self, _now: SimTime, _s: &NodeSnapshot) -> Vec<ControlAction> {
+        if !self.owns {
+            return Vec::new();
+        }
+        self.up = !self.up;
+        vec![ControlAction::SetReplicas {
+            id: ContainerId(1),
+            replicas: if self.up { 2 } else { 1 },
+        }]
+    }
+}
+
+struct ReplicaTogglerFactory;
+
+impl ControllerFactory for ReplicaTogglerFactory {
+    fn name(&self) -> &'static str {
+        "replica-toggler"
+    }
+    fn make(&self, init: NodeInit) -> Box<dyn Controller> {
+        Box::new(ReplicaToggler {
+            owns: init.containers.iter().any(|c| c.id == ContainerId(1)),
+            up: false,
+        })
+    }
+}
+
+/// One 400 ms sim run of the conformance two-stage chain with the
+/// downstream group toggled 1 ↔ 2 replicas every 20 ms tick under
+/// steady load: spawn, pool creation, per-edge re-balancing, drain and
+/// retire, end to end. The delta against a steady single-replica run of
+/// the same chain is the all-in lifecycle cost.
+fn bench_replica_scale_out(mode: BenchMode) -> ScenarioStats {
+    let horizon = SimTime::from_millis(400);
+    let (warmup, iters) = mode.heavy_iters();
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..warmup + iters {
+        let mut cfg = sg_live::conformance::two_stage_cfg(ConnModel::FixedPool(4), horizon);
+        cfg.max_replicas = 2;
+        let arrivals = sg_live::conformance::constant_arrivals(2000.0, horizon);
+        let t0 = Instant::now();
+        let r = Simulation::new(cfg, &ReplicaTogglerFactory, arrivals).run();
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(r.completed > 0);
+        if i >= warmup {
+            samples.push(dt);
+        }
+    }
+    summarize("replica_scale_out", "ms", samples)
+}
+
+/// The per-dispatch load-balancer decision (`p2c_winner`, the rule both
+/// substrates run on every replicated RPC edge), fed by a cheap inline
+/// xorshift standing in for the dispatch RNG draws.
+fn bench_lb_pick(mode: BenchMode) -> ScenarioStats {
+    const INNER: u64 = 200_000;
+    let mut samples = Vec::new();
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut xorshift = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..mode.light_iters() + 1 {
+        let t0 = Instant::now();
+        for _ in 0..INNER {
+            // Two candidate slots out of a 3-replica group with synthetic
+            // queue depths — the shape of a zoo-run dispatch.
+            let draw = xorshift();
+            let a = (draw % 3) as usize;
+            let b = ((draw >> 8) % 3) as usize;
+            let depth_a = (draw >> 16) % 32;
+            let depth_b = (draw >> 24) % 32;
+            black_box(p2c_winner(
+                black_box(a),
+                black_box(depth_a),
+                black_box(b),
+                black_box(depth_b),
+            ));
+        }
+        let per_op_ns = t0.elapsed().as_secs_f64() * 1e9 / INNER as f64;
+        if i >= 1 {
+            samples.push(per_op_ns);
+        }
+    }
+    summarize("lb_pick", "ns", samples)
+}
+
 /// Run the pinned scenario set, in a fixed order.
 pub fn run_all(mode: BenchMode, progress: impl Fn(&ScenarioStats)) -> Vec<ScenarioStats> {
-    let runners: [fn(BenchMode) -> ScenarioStats; 9] = [
+    let runners: [fn(BenchMode) -> ScenarioStats; 11] = [
         bench_sim_trial,
         bench_sim_trial_reuse,
         bench_live_smoke,
@@ -374,6 +478,8 @@ pub fn run_all(mode: BenchMode, progress: impl Fn(&ScenarioStats)) -> Vec<Scenar
         bench_metrics_sample,
         bench_metrics_encode,
         bench_sim_trial_metrics,
+        bench_replica_scale_out,
+        bench_lb_pick,
     ];
     let mut out = Vec::with_capacity(runners.len());
     for run in runners {

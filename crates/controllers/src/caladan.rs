@@ -200,6 +200,7 @@ mod tests {
             freq_table: FreqTable::cascade_lake(),
             e2e_low_load: SimDuration::from_millis(2),
             max_container_id: 8,
+            max_replicas: 1,
         }
     }
 

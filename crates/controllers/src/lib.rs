@@ -15,6 +15,16 @@
 //!   stand-in: global view, >1 s decision pipeline) and the §VII hybrid
 //!   that pairs it with SurgeGuard.
 //!
+//! The horizontal autoscaler zoo drives the `SetReplicas` actuator:
+//!
+//! * [`lsram`] — gradient-descent SLO resource allocation
+//!   (arXiv:2411.11493), one continuous capacity knob per service group.
+//! * [`smart_hpa`] — resource-efficient horizontal pod autoscaling
+//!   (arXiv:2403.07909), the HPA formula plus a release-before-grant
+//!   budget exchange.
+//! * [`sg_h`] — SurgeGuard-H: the unchanged vertical SurgeGuard with a
+//!   slow horizontal tier for sustained capacity shortfall.
+//!
 //! `sg_sim::NoopFactory` provides the static-allocation baseline.
 
 #![warn(missing_docs)]
@@ -22,12 +32,18 @@
 
 pub mod caladan;
 pub mod centralized;
+pub mod lsram;
 pub mod oracle;
 pub mod parties;
+pub mod sg_h;
+pub mod smart_hpa;
 pub mod surgeguard;
 
 pub use caladan::{Caladan, CaladanConfig, CaladanFactory};
 pub use centralized::{Centralized, CentralizedConfig, CentralizedFactory, Hybrid, HybridFactory};
+pub use lsram::{LsramConfig, LsramController, LsramFactory};
 pub use oracle::{Oracle, OracleConfig, OracleFactory, OracleKnowledge};
 pub use parties::{Parties, PartiesConfig, PartiesFactory};
+pub use sg_h::{SurgeGuardH, SurgeGuardHConfig, SurgeGuardHFactory};
+pub use smart_hpa::{SmartHpaConfig, SmartHpaController, SmartHpaFactory};
 pub use surgeguard::{SurgeGuard, SurgeGuardConfig, SurgeGuardFactory};

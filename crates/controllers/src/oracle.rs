@@ -199,6 +199,7 @@ mod tests {
             freq_table: FreqTable::cascade_lake(),
             e2e_low_load: SimDuration::from_millis(2),
             max_container_id: 0,
+            max_replicas: 1,
         }
     }
 

@@ -270,6 +270,11 @@ impl Controller for SurgeGuard {
                             };
                             (id, ActionKind::SetEgressHint { hops }, reason)
                         }
+                        ControlAction::SetReplicas { id, replicas } => (
+                            id,
+                            ActionKind::SetReplicas { replicas },
+                            format!("horizontal: set replica count {replicas}"),
+                        ),
                     };
                     ScoredAction {
                         container,
@@ -393,6 +398,7 @@ mod tests {
             freq_table: FreqTable::cascade_lake(),
             e2e_low_load: SimDuration::from_millis(2),
             max_container_id: 1,
+            max_replicas: 1,
         }
     }
 

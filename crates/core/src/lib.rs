@@ -37,6 +37,7 @@ pub mod ids;
 pub mod littles_law;
 pub mod metadata;
 pub mod metrics;
+pub mod replica;
 pub mod score;
 pub mod sensitivity;
 pub mod slack;
@@ -50,6 +51,7 @@ pub use firstresponder::{BoostDecision, FirstResponder, FirstResponderConfig};
 pub use ids::{ContainerId, NodeId, RequestId, ServiceId};
 pub use metadata::RpcMetadata;
 pub use metrics::{MetricsWindow, RequestSample, WindowMetrics};
+pub use replica::ReplicaLayout;
 pub use sensitivity::SensitivityMatrix;
 pub use time::{SimDuration, SimTime};
 pub use violation::{violation_volume, LatencyPoint};

@@ -6,14 +6,22 @@
 //!
 //! ```text
 //! sg-loadtest [--workload NAME] [--controller NAME] [--backend NAME]
-//!             [--nodes N] [--rate R] [--spikerate R] [--spikelen SECS]
-//!             [--duration SECS] [--qos MS] [--seed N] [--telemetry PATH]
-//!             [--spans PATH] [--span-sample N/M] [--metrics PATH]
-//!             [--metrics-interval MS] [--metrics-listen ADDR]
+//!             [--nodes N] [--max-replicas N] [--rate R] [--spikerate R]
+//!             [--spikelen SECS] [--duration SECS] [--qos MS] [--seed N]
+//!             [--telemetry PATH] [--spans PATH] [--span-sample N/M]
+//!             [--metrics PATH] [--metrics-interval MS]
+//!             [--metrics-listen ADDR]
 //!
 //!   --workload    chain | read | compose | search | reco   (default chain)
 //!   --controller  static | parties | caladan | surgeguard | escalator
-//!                 | ml | hybrid                            (default surgeguard)
+//!                 | ml | hybrid | lsram | smart-hpa | sg-h
+//!                                                          (default surgeguard)
+//!                 lsram, smart-hpa and sg-h are the horizontal autoscaler
+//!                 zoo: they drive `SetReplicas` and need a replica ceiling
+//!                 above 1 (the default when one of them is selected is 3)
+//!   --max-replicas
+//!                 replica ceiling per service group (default 1, i.e.
+//!                 horizontal scaling disabled; 3 for the zoo controllers)
 //!   --backend     sim | live                               (default sim)
 //!                 `live` replays the same schedule in real time on the
 //!                 wall-clock backend (`sg-live`): the run blocks for
@@ -49,7 +57,8 @@
 //! ```
 
 use sg_controllers::{
-    CaladanFactory, CentralizedFactory, HybridFactory, PartiesFactory, SurgeGuardFactory,
+    CaladanFactory, CentralizedFactory, HybridFactory, LsramFactory, PartiesFactory,
+    SmartHpaFactory, SurgeGuardFactory, SurgeGuardHFactory,
 };
 use sg_core::time::{SimDuration, SimTime};
 use sg_loadgen::{LatencyHistogram, RunReport, SpikePattern};
@@ -105,6 +114,7 @@ fn main() {
     });
 
     let controller_name = arg(&args, "--controller").unwrap_or_else(|| "surgeguard".into());
+    let horizontal = matches!(controller_name.as_str(), "lsram" | "smart-hpa" | "sg-h");
     let factory: Box<dyn ControllerFactory> = match controller_name.as_str() {
         "static" => Box::new(NoopFactory),
         "parties" => Box::new(PartiesFactory::default()),
@@ -113,11 +123,17 @@ fn main() {
         "escalator" => Box::new(SurgeGuardFactory::escalator_only()),
         "ml" => Box::new(CentralizedFactory::default()),
         "hybrid" => Box::new(HybridFactory::default()),
+        "lsram" => Box::new(LsramFactory::default()),
+        "smart-hpa" => Box::new(SmartHpaFactory::default()),
+        "sg-h" => Box::new(SurgeGuardHFactory::default()),
         other => {
             eprintln!("unknown controller '{other}'");
             std::process::exit(2);
         }
     };
+    let default_replicas = if horizontal { 3 } else { 1 };
+    let max_replicas: u32 = arg(&args, "--max-replicas")
+        .map_or(default_replicas, |v| v.parse().expect("--max-replicas"));
 
     let first_spike = if live {
         SimTime::from_secs(2)
@@ -146,6 +162,7 @@ fn main() {
     cfg.end = end + SimDuration::from_millis(200);
     cfg.measure_start = warmup;
     cfg.seed = seed;
+    cfg.max_replicas = max_replicas;
     let arrivals = pattern.arrivals(SimTime::ZERO, end);
     eprintln!(
         "running {} on the {} backend for {duration}s at {rate:.0} req/s (spikes: {spike_rate:.0} req/s x {spike_len_s}s), qos {qos}",

@@ -37,6 +37,7 @@ pub mod netsurge;
 pub mod output;
 pub mod parallel;
 pub mod table1;
+pub mod zoo;
 
 pub use common::{run_one, run_trials, ExpProfile};
 pub use output::{JsonSink, Table};

@@ -4,7 +4,7 @@
 //! sg-experiments [EXPERIMENTS...] [--full] [--json PATH] [--serial] [--threads N]
 //!
 //!   EXPERIMENTS   any of: table1 fig4 fig5 fig6 fig7 fig10 fig11 fig12
-//!                 fig13 fig14 fig15 hybrid netsurge all (default: all)
+//!                 fig13 fig14 fig15 hybrid netsurge zoo all (default: all)
 //!   --full        paper-scale protocol (17 trials, 60s windows) —
 //!                 substantially slower
 //!   --json PATH   also write machine-readable rows to PATH
@@ -16,9 +16,9 @@
 use sg_experiments::{ExpProfile, JsonSink, Table};
 use std::time::Instant;
 
-const ALL: [&str; 13] = [
+const ALL: [&str; 14] = [
     "table1", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "hybrid", "netsurge",
+    "hybrid", "netsurge", "zoo",
 ];
 
 fn main() {
@@ -92,6 +92,7 @@ fn main() {
             "fig15" => sg_experiments::fig15::run(&profile, &mut sink),
             "hybrid" => sg_experiments::hybrid::run(&profile, &mut sink),
             "netsurge" => sg_experiments::netsurge::run(&profile, &mut sink),
+            "zoo" => sg_experiments::zoo::run(&profile, &mut sink),
             _ => unreachable!(),
         };
         for t in &tables {

@@ -16,12 +16,22 @@ use crate::clock::LiveClock;
 use crate::throttle::CoreGate;
 use sg_core::allocator::{AllocConstraints, ContainerAlloc, FreqTable};
 use sg_core::ids::{ContainerId, NodeId};
+use sg_core::replica::ReplicaLayout;
 use sg_sim::cluster::SimConfig;
 use sg_sim::power::EnergyMeter;
 use sg_sim::trace::AllocTrace;
-use sg_telemetry::{ActionOutcome, SharedSink, TelemetryEvent};
+use sg_telemetry::{ActionOutcome, ReplicaPhase, SharedSink, TelemetryEvent};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
+
+/// Replica lifecycle states, packed into per-slot atomics so the load
+/// balancer reads them lock-free. Writes happen while holding the alloc
+/// lock, keeping them consistent with the core ledger.
+pub const REPLICA_INACTIVE: u8 = 0;
+/// See [`REPLICA_INACTIVE`].
+pub const REPLICA_ACTIVE: u8 = 1;
+/// See [`REPLICA_INACTIVE`].
+pub const REPLICA_DRAINING: u8 = 2;
 
 /// Mutable allocation mirror, updated under one lock so cores/freq/budget
 /// stay mutually consistent.
@@ -56,6 +66,14 @@ pub struct ClusterState {
     clock: LiveClock,
     constraints: AllocConstraints,
     freq_table: FreqTable,
+    /// Service/replica ↔ slot mapping (one slot per container, replicas
+    /// included).
+    pub layout: ReplicaLayout,
+    /// Initial cores per service (the grant a freshly spawned replica
+    /// asks for).
+    initial_cores: Vec<u32>,
+    /// Lifecycle state per replica slot ([`REPLICA_ACTIVE`] etc.).
+    replica_state: Vec<AtomicU8>,
     /// Node of each container, dense by container id.
     node_of: Vec<NodeId>,
     alloc: Mutex<AllocState>,
@@ -78,31 +96,43 @@ impl ClusterState {
     /// allocation and base frequency.
     pub fn new(cfg: &SimConfig, clock: LiveClock) -> Self {
         let n = cfg.graph.len();
+        let layout = ReplicaLayout::new(n, cfg.max_replicas);
+        let n_slots = layout.n_slots();
         let base_speedup = cfg.freq_table.speedup(0);
-        let mut allocs = Vec::with_capacity(n);
+        let mut allocs = Vec::with_capacity(n_slots);
         let mut node_alloc = vec![0u32; cfg.placement.nodes as usize];
-        let mut bw_caps = vec![None; n];
-        let mut gates = Vec::with_capacity(n);
-        #[allow(clippy::needless_range_loop)] // one index drives four parallel vecs
-        for s in 0..n {
+        let mut bw_caps = vec![None; n_slots];
+        let mut gates = Vec::with_capacity(n_slots);
+        let mut replica_state = Vec::with_capacity(n_slots);
+        let mut node_of = Vec::with_capacity(n_slots);
+        #[allow(clippy::needless_range_loop)] // one index drives parallel vecs
+        for slot in 0..n_slots {
+            let s = layout.service_of(slot).index();
             let node = cfg.placement.node(sg_core::ids::ServiceId(s as u32));
-            let cores = cfg.initial_cores[s];
+            let active = layout.replica_of(slot) < cfg.initial_replicas_of(s);
+            let cores = if active { cfg.initial_cores[s] } else { 0 };
             allocs.push(ContainerAlloc {
-                id: ContainerId(s as u32),
+                id: ContainerId(slot as u32),
                 cores,
                 freq_level: 0,
             });
             node_alloc[node.index()] += cores;
             if let Some(cap) = cfg.bw_caps.get(s).copied().flatten() {
-                bw_caps[s] = Some(cap);
+                bw_caps[slot] = Some(cap);
             }
-            gates.push(CoreGate::new(cores, base_speedup, bw_caps[s]));
+            gates.push(CoreGate::new(cores, base_speedup, bw_caps[slot]));
+            replica_state.push(AtomicU8::new(if active {
+                REPLICA_ACTIVE
+            } else {
+                REPLICA_INACTIVE
+            }));
+            node_of.push(node);
         }
 
         let now = clock.now();
-        let mut meter = EnergyMeter::new(cfg.power, n);
-        for s in 0..n {
-            meter.set_state(now, s, cfg.initial_cores[s], cfg.freq_table.ghz(0));
+        let mut meter = EnergyMeter::new(cfg.power, n_slots);
+        for (slot, a) in allocs.iter().enumerate() {
+            meter.set_state(now, slot, a.cores, cfg.freq_table.ghz(0));
         }
         let meter = MeterCell {
             meter,
@@ -113,20 +143,49 @@ impl ClusterState {
             clock,
             constraints: cfg.constraints,
             freq_table: cfg.freq_table.clone(),
-            node_of: (0..n)
-                .map(|s| cfg.placement.node(sg_core::ids::ServiceId(s as u32)))
-                .collect(),
+            layout,
+            initial_cores: cfg.initial_cores.clone(),
+            replica_state,
+            node_of,
             alloc: Mutex::new(AllocState {
                 allocs,
                 node_alloc,
                 bw_caps,
             }),
             gates,
-            hints: (0..n).map(|_| AtomicU8::new(0)).collect(),
+            hints: (0..n_slots).map(|_| AtomicU8::new(0)).collect(),
             meter: Mutex::new(meter),
             trace: Mutex::new(cfg.trace_allocations.then(AllocTrace::new)),
             clamped: AtomicU64::new(0),
             sink: None,
+        }
+    }
+
+    /// Lifecycle state of a replica slot (lock-free read).
+    pub fn replica_state_of(&self, slot: usize) -> u8 {
+        self.replica_state[slot].load(Ordering::Acquire)
+    }
+
+    /// Active (non-draining) replicas of a service group.
+    pub fn active_replicas(&self, svc: sg_core::ids::ServiceId) -> u32 {
+        self.layout
+            .slots_of(svc)
+            .filter(|&slot| self.replica_state_of(slot) == REPLICA_ACTIVE)
+            .count() as u32
+    }
+
+    fn emit_replica_lifecycle(&self, slot: usize, phase: ReplicaPhase) {
+        if let Some(sink) = &self.sink {
+            let svc = self.layout.service_of(slot);
+            sink.emit(TelemetryEvent::ReplicaLifecycle {
+                at: self.clock.now(),
+                node: self.node_of[slot],
+                container: ContainerId(slot as u32),
+                service: ContainerId(svc.0),
+                replica: self.layout.replica_of(slot),
+                phase,
+                active: self.active_replicas(svc),
+            });
         }
     }
 
@@ -197,6 +256,12 @@ impl ClusterState {
             self.clamped.fetch_add(1, Ordering::Relaxed);
             return ActionOutcome::RejectedCrossNode;
         }
+        if self.replica_state_of(i) == REPLICA_INACTIVE {
+            // A retired replica holds no cores; stale actions targeting it
+            // are clamped, not silently revived — same rule as the sim.
+            self.clamped.fetch_add(1, Ordering::Relaxed);
+            return ActionOutcome::Clamped;
+        }
         let now = self.clock.now();
         let mut a = self.alloc.lock().unwrap();
         let cons = &self.constraints;
@@ -235,6 +300,134 @@ impl ClusterState {
         outcome
     }
 
+    /// `SetReplicas`: activate or drain replicas of `id`'s service group,
+    /// with the simulator's exact semantics — node-local only, spawns
+    /// granted the service's initial cores clamped to the node's spare
+    /// budget, scale-in draining (never killing) the highest-numbered
+    /// replicas, primary never drained. Returns the outcome plus the slots
+    /// freshly activated from `Inactive` (the caller spawns their worker
+    /// threads). `inflight` is the caller's per-slot in-flight ledger, so
+    /// an idle drained replica retires immediately.
+    pub fn apply_replicas(
+        &self,
+        from_node: NodeId,
+        id: ContainerId,
+        replicas: u32,
+        inflight: &[AtomicU64],
+    ) -> (ActionOutcome, Vec<usize>) {
+        let svc = self.layout.service_of(id.index());
+        if self.node_of[self.layout.slot_of(svc, 0)] != from_node {
+            self.clamped.fetch_add(1, Ordering::Relaxed);
+            return (ActionOutcome::RejectedCrossNode, Vec::new());
+        }
+        // Out-of-range counts clamp silently, like SetCores' min/max.
+        let target = replicas.clamp(1, self.layout.max_replicas);
+        let mut outcome = ActionOutcome::Applied;
+        let mut spawned = Vec::new();
+        let now = self.clock.now();
+        let mut a = self.alloc.lock().unwrap();
+        let mut active = self.active_replicas(svc);
+        let slots: Vec<usize> = self.layout.slots_of(svc).collect();
+        if target > active {
+            for &slot in &slots {
+                if active >= target {
+                    break;
+                }
+                match self.replica_state[slot].load(Ordering::Acquire) {
+                    REPLICA_ACTIVE => {}
+                    REPLICA_DRAINING => {
+                        // Un-drain: the replica still holds its cores.
+                        self.replica_state[slot].store(REPLICA_ACTIVE, Ordering::Release);
+                        active += 1;
+                        self.emit_replica_lifecycle(slot, ReplicaPhase::Spawned);
+                    }
+                    _ => {
+                        let cons = &self.constraints;
+                        let want =
+                            self.initial_cores[svc.index()].clamp(cons.min_cores, cons.max_cores);
+                        let spare = cons.total_cores - a.node_alloc[from_node.index()];
+                        if spare < cons.min_cores {
+                            // Not even a minimal replica fits.
+                            self.clamped.fetch_add(1, Ordering::Relaxed);
+                            outcome = ActionOutcome::Clamped;
+                            break;
+                        }
+                        let grant = want.min(spare);
+                        if grant < want {
+                            self.clamped.fetch_add(1, Ordering::Relaxed);
+                            outcome = ActionOutcome::Clamped;
+                        }
+                        a.node_alloc[from_node.index()] += grant;
+                        a.allocs[slot].cores = grant;
+                        a.allocs[slot].freq_level = 0;
+                        let bw = a.bw_caps[slot];
+                        self.gates[slot].set_capacity(grant, self.freq_table.speedup(0), bw);
+                        {
+                            let mut cell = self.meter.lock().unwrap();
+                            let t = cell.clamp(now);
+                            cell.meter.set_state(t, slot, grant, self.freq_table.ghz(0));
+                        }
+                        self.replica_state[slot].store(REPLICA_ACTIVE, Ordering::Release);
+                        active += 1;
+                        spawned.push(slot);
+                        self.emit_replica_lifecycle(slot, ReplicaPhase::Spawned);
+                    }
+                }
+            }
+        } else if target < active {
+            for &slot in slots.iter().rev() {
+                if active <= target || self.layout.replica_of(slot) == 0 {
+                    break;
+                }
+                if self.replica_state[slot].load(Ordering::Acquire) != REPLICA_ACTIVE {
+                    continue;
+                }
+                self.replica_state[slot].store(REPLICA_DRAINING, Ordering::Release);
+                active -= 1;
+                self.emit_replica_lifecycle(slot, ReplicaPhase::Draining);
+                if inflight[slot].load(Ordering::Acquire) == 0 {
+                    self.retire_locked(&mut a, now, slot);
+                }
+            }
+        }
+        (outcome, spawned)
+    }
+
+    /// Retire `slot` if it is draining and its in-flight count reached
+    /// zero. Called by the request path after each in-flight decrement.
+    pub fn try_retire(&self, slot: usize, inflight: &AtomicU64) {
+        if self.replica_state_of(slot) != REPLICA_DRAINING {
+            return;
+        }
+        let now = self.clock.now();
+        let mut a = self.alloc.lock().unwrap();
+        if self.replica_state[slot].load(Ordering::Acquire) == REPLICA_DRAINING
+            && inflight.load(Ordering::Acquire) == 0
+        {
+            self.retire_locked(&mut a, now, slot);
+        }
+    }
+
+    /// Release a draining replica's cores back to the node budget. Caller
+    /// holds the alloc lock. No `Alloc` event is emitted — the lifecycle
+    /// event carries the transition, and the clamp audit only counts core
+    /// changes explained by landed actions.
+    fn retire_locked(&self, a: &mut AllocState, now: sg_core::time::SimTime, slot: usize) {
+        self.replica_state[slot].store(REPLICA_INACTIVE, Ordering::Release);
+        let cores = a.allocs[slot].cores;
+        a.node_alloc[self.node_of[slot].index()] -= cores;
+        a.allocs[slot].cores = 0;
+        a.allocs[slot].freq_level = 0;
+        let bw = a.bw_caps[slot];
+        self.gates[slot].set_capacity(0, self.freq_table.speedup(0), bw);
+        {
+            let mut cell = self.meter.lock().unwrap();
+            let t = cell.clamp(now);
+            cell.meter.set_state(t, slot, 0, self.freq_table.ghz(0));
+        }
+        self.emit_replica_lifecycle(slot, ReplicaPhase::Retired);
+    }
+
     /// `SetFreq`, applied by the FirstResponder worker thread after the
     /// configured apply delay. Same-node only: DVFS is a per-node register
     /// write, so an update whose `from_node` does not own the container is
@@ -244,6 +437,11 @@ impl ClusterState {
         if self.node_of[i] != from_node {
             self.clamped.fetch_add(1, Ordering::Relaxed);
             return ActionOutcome::RejectedCrossNode;
+        }
+        if self.replica_state_of(i) == REPLICA_INACTIVE {
+            // A frequency update landing after the replica retired: drop
+            // it (mirrors the sim discarding a stale FreqApply event).
+            return ActionOutcome::Applied;
         }
         let level = level.min(self.freq_table.max_level());
         let now = self.clock.now();

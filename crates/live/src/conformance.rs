@@ -52,10 +52,23 @@ pub fn run_backend(
     factory: &dyn ControllerFactory,
     arrivals: Vec<SimTime>,
 ) -> (RunResult, Option<LiveStats>) {
+    run_backend_with_opts(backend, cfg, factory, arrivals, LiveOpts::default())
+}
+
+/// [`run_backend`] with live substrate options (the simulator ignores
+/// them): scenarios that block worker threads — e.g. parents holding a
+/// thread through a connection-pool wait — size the pool explicitly.
+pub fn run_backend_with_opts(
+    backend: Backend,
+    cfg: SimConfig,
+    factory: &dyn ControllerFactory,
+    arrivals: Vec<SimTime>,
+    opts: LiveOpts,
+) -> (RunResult, Option<LiveStats>) {
     match backend {
         Backend::Sim => (Simulation::new(cfg, factory, arrivals).run(), None),
         Backend::Live => {
-            let (result, stats) = run_live_with_stats(cfg, factory, arrivals, LiveOpts::default());
+            let (result, stats) = run_live_with_stats(cfg, factory, arrivals, opts);
             (result, Some(stats))
         }
     }
@@ -274,9 +287,10 @@ pub fn two_node_cfg(end: SimTime) -> SimConfig {
 
 /// A controller that keeps trying to manage a container on the *other*
 /// node, through every actuator with a cross-node failure mode: `SetFreq`
-/// (the FirstResponder apply path) and `SetEgressHint` (the runtime
-/// stamping path). Every emission is counted so the harness-side
-/// rejection count can be compared exactly.
+/// (the FirstResponder apply path), `SetEgressHint` (the runtime
+/// stamping path) and `SetReplicas` (the replica-group lifecycle path).
+/// Every emission is counted so the harness-side rejection count can be
+/// compared exactly.
 struct CrossNodeMeddler {
     victim: ContainerId,
     is_owner: bool,
@@ -294,8 +308,8 @@ impl Controller for CrossNodeMeddler {
         if self.is_owner {
             return Vec::new();
         }
-        // Not my container: both substrates must refuse both actions.
-        self.emitted.fetch_add(2, Ordering::Relaxed);
+        // Not my container: both substrates must refuse all three actions.
+        self.emitted.fetch_add(3, Ordering::Relaxed);
         vec![
             ControlAction::SetFreq {
                 id: self.victim,
@@ -304,6 +318,10 @@ impl Controller for CrossNodeMeddler {
             ControlAction::SetEgressHint {
                 id: self.victim,
                 hops: 3,
+            },
+            ControlAction::SetReplicas {
+                id: self.victim,
+                replicas: 2,
             },
         ]
     }
@@ -346,9 +364,9 @@ impl ControllerFactory for CrossNodeMeddlerFactory {
 }
 
 /// Decentralization check (the ownership bugfix this PR enforces): every
-/// cross-node `SetFreq`/`SetEgressHint` the meddler emitted must be
-/// rejected and counted — no more, no fewer — and none may reach the
-/// FirstResponder boost counter or the victim's allocation.
+/// cross-node `SetFreq`/`SetEgressHint`/`SetReplicas` the meddler emitted
+/// must be rejected and counted — no more, no fewer — and none may reach
+/// the FirstResponder boost counter or the victim's allocation.
 pub fn assert_cross_node_control_rejected(backend: Backend, result: &RunResult, emitted: u64) {
     let label = backend.label();
     assert!(
@@ -357,8 +375,8 @@ pub fn assert_cross_node_control_rejected(backend: Backend, result: &RunResult, 
     );
     assert_eq!(
         result.clamped_actions, emitted,
-        "[{label}] every cross-node SetFreq/SetEgressHint must be rejected and counted exactly \
-         (emitted {emitted}, clamped {})",
+        "[{label}] every cross-node SetFreq/SetEgressHint/SetReplicas must be rejected and \
+         counted exactly (emitted {emitted}, clamped {})",
         result.clamped_actions
     );
     assert_eq!(
@@ -373,6 +391,93 @@ pub fn assert_cross_node_control_rejected(backend: Backend, result: &RunResult, 
             trace.events.len()
         );
     }
+}
+
+/// A controller that emits a single `SetReplicas` on its first tick and
+/// stays quiet afterwards — the minimal horizontal actuator exercise.
+struct ScaleOutOnce {
+    target: ContainerId,
+    replicas: u32,
+    fired: bool,
+}
+
+impl Controller for ScaleOutOnce {
+    fn name(&self) -> &'static str {
+        "scale-out-once"
+    }
+    fn tick_interval(&self) -> SimDuration {
+        SimDuration::from_millis(20)
+    }
+    fn on_tick(&mut self, _now: SimTime, _s: &NodeSnapshot) -> Vec<ControlAction> {
+        if self.fired {
+            return Vec::new();
+        }
+        self.fired = true;
+        vec![ControlAction::SetReplicas {
+            id: self.target,
+            replicas: self.replicas,
+        }]
+    }
+}
+
+/// Factory for `ScaleOutOnce`: scale `target`'s service group to
+/// `replicas` on the owning node's first decision tick.
+pub struct ScaleOutOnceFactory {
+    /// Any container of the group to scale (canonically the primary).
+    pub target: ContainerId,
+    /// Replica count to request.
+    pub replicas: u32,
+}
+
+impl ControllerFactory for ScaleOutOnceFactory {
+    fn name(&self) -> &'static str {
+        "scale-out-once"
+    }
+    fn make(&self, init: NodeInit) -> Box<dyn Controller> {
+        let owns = init.containers.iter().any(|c| c.id == self.target);
+        Box::new(ScaleOutOnce {
+            target: self.target,
+            replicas: self.replicas,
+            // Non-owners stay quiet (pretend they already fired) so the
+            // scenario emits exactly one action cluster-wide.
+            fired: !owns,
+        })
+    }
+}
+
+/// Directional check (SetReplicas conformance): scaling the *downstream*
+/// group out must drain the upstream connection-pool queue. With a
+/// `FixedPool(1)` edge at high occupancy, the single-replica run
+/// accumulates parent-side connection wait (`execTime > execMetric`);
+/// the identical run with a second downstream replica — one more pool,
+/// load-balanced per edge — must show strictly less of it.
+pub fn assert_scale_out_drains_upstream_pool(
+    backend: Backend,
+    single: &RunResult,
+    scaled: &RunResult,
+) {
+    let label = backend.label();
+    let parent_single = &single.profile[0];
+    let parent_scaled = &scaled.profile[0];
+    assert!(
+        parent_single.requests > 0 && parent_scaled.requests > 0,
+        "[{label}] scenario produced no completed parent requests"
+    );
+    let wait_single = parent_single
+        .mean_exec_time
+        .saturating_sub(parent_single.mean_exec_metric);
+    let wait_scaled = parent_scaled
+        .mean_exec_time
+        .saturating_sub(parent_scaled.mean_exec_metric);
+    assert!(
+        wait_single > SimDuration::ZERO,
+        "[{label}] single-replica run showed no upstream connection wait"
+    );
+    assert!(
+        wait_scaled < wait_single,
+        "[{label}] scale-out did not drain the upstream pool queue: \
+         single {wait_single} vs scaled {wait_scaled}"
+    );
 }
 
 /// Directional check: with a `FixedPool(1)` edge under load, the *parent*

@@ -126,6 +126,8 @@ pub fn run_live_with_stats(
         "arrivals must be sorted"
     );
     let n = cfg.graph.len();
+    let layout = sg_core::replica::ReplicaLayout::new(n, cfg.max_replicas);
+    let n_slots = layout.n_slots();
     let clock = LiveClock::start();
 
     // Scraping keeps a registry of the latest sample per (node,
@@ -186,11 +188,21 @@ pub fn run_live_with_stats(
     let mut controllers = Vec::with_capacity(cfg.placement.nodes as usize);
     for node in 0..cfg.placement.nodes {
         let node = NodeId(node);
+        // One ContainerInit per initially ACTIVE replica slot,
+        // primary-first per service — identical to the sim's wiring.
         let container_inits: Vec<ContainerInit> = cfg
             .placement
             .services_on(node)
             .into_iter()
-            .map(|s| {
+            .flat_map(|s| {
+                layout
+                    .slots_of(s)
+                    .filter(|&slot| layout.replica_of(slot) < cfg.initial_replicas_of(s.index()))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(move |slot| (s, slot))
+            })
+            .map(|(s, slot)| {
                 let local_downstream: Vec<ContainerId> = cfg
                     .graph
                     .children(s)
@@ -198,12 +210,12 @@ pub fn run_live_with_stats(
                     .map(|c| ContainerId(c.0))
                     .collect();
                 ContainerInit {
-                    id: ContainerId(s.0),
+                    id: ContainerId(slot as u32),
                     service: s,
                     name: cfg.graph.services[s.index()].name.clone(),
                     params: cfg.params[s.index()],
                     local_downstream,
-                    initial: state.alloc_of(ContainerId(s.0)),
+                    initial: state.alloc_of(ContainerId(slot as u32)),
                 }
             })
             .collect();
@@ -213,7 +225,8 @@ pub fn run_live_with_stats(
             constraints: cfg.constraints,
             freq_table: cfg.freq_table.clone(),
             e2e_low_load: cfg.e2e_low_load,
-            max_container_id: n - 1,
+            max_container_id: n_slots - 1,
+            max_replicas: cfg.max_replicas,
         });
         if let Some(s) = &sink {
             controller.attach_telemetry(Arc::clone(s));
@@ -225,7 +238,7 @@ pub fn run_live_with_stats(
     // applies after the emulated MSR-write delay.
     let apply_state = Arc::clone(&state);
     let apply_delay = cfg.freq_apply_delay;
-    let fr = FrRuntime::spawn(n, 0, opts.fr_queue_capacity, move |update| {
+    let fr = FrRuntime::spawn(n_slots, 0, opts.fr_queue_capacity, move |update| {
         if !apply_delay.is_zero() {
             std::thread::sleep(std::time::Duration::from_nanos(apply_delay.as_nanos()));
         }
@@ -241,17 +254,28 @@ pub fn run_live_with_stats(
         clock: clock.clone(),
         network,
         state: Arc::clone(&state),
-        queues: (0..n).map(|_| JobQueue::new()).collect(),
-        windows: (0..n).map(|_| Mutex::new(MetricsWindow::new())).collect(),
-        pools: (0..n)
-            .map(|s| {
+        queues: (0..n_slots).map(|_| JobQueue::new()).collect(),
+        windows: (0..n_slots)
+            .map(|_| Mutex::new(MetricsWindow::new()))
+            .collect(),
+        pools: (0..n_slots)
+            .map(|slot| {
+                let s = layout.service_of(slot).index();
                 cfg.graph.services[s]
                     .children
                     .iter()
-                    .map(|e| Arc::new(LiveConnPool::new(e.conn.capacity())))
+                    .map(|e| {
+                        (0..cfg.max_replicas)
+                            .map(|_| Arc::new(LiveConnPool::new(e.conn.capacity())))
+                            .collect()
+                    })
                     .collect()
             })
             .collect(),
+        inflight: (0..n_slots).map(|_| AtomicU64::new(0)).collect(),
+        workers_spawned: (0..n_slots).map(|_| AtomicBool::new(false)).collect(),
+        worker_handles: Mutex::new(Vec::new()),
+        workers_per_container: opts.workers_per_container,
         controllers,
         delay: DelayLine::spawn(),
         fr: Mutex::new(Some(fr)),
@@ -265,10 +289,10 @@ pub fn run_live_with_stats(
         sink,
         span_sink,
         metrics_sink,
-        fr_boost_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
-        upscale_hint_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
-        slack_acc: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
-        last_window: (0..n)
+        fr_boost_counts: (0..n_slots).map(|_| AtomicU64::new(0)).collect(),
+        upscale_hint_counts: (0..n_slots).map(|_| AtomicU64::new(0)).collect(),
+        slack_acc: (0..n_slots).map(|_| Mutex::new(Vec::new())).collect(),
+        last_window: (0..n_slots)
             .map(|_| Mutex::new(WindowMetrics::default()))
             .collect(),
         span_ids: AtomicU64::new(0),
@@ -277,15 +301,11 @@ pub fn run_live_with_stats(
     let cfg = &cluster.cfg;
 
     let mut threads: Vec<JoinHandle<()>> = Vec::new();
-    for c in 0..n {
-        for w in 0..opts.workers_per_container.max(1) {
-            let cl = Arc::clone(&cluster);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("sg-live-c{c}w{w}"))
-                    .spawn(move || cl.worker_loop(c, w))
-                    .expect("spawn worker"),
-            );
+    // Workers for the initially active slots; later activations spawn
+    // theirs on demand (LiveCluster::ensure_workers).
+    for slot in 0..n_slots {
+        if cluster.state.replica_state_of(slot) == crate::cluster::REPLICA_ACTIVE {
+            cluster.ensure_workers(slot);
         }
     }
     for node in 0..cfg.placement.nodes as usize {
@@ -333,7 +353,6 @@ pub fn run_live_with_stats(
     let mut injected = 0u64;
     let mut dropped = 0u64;
     let client_node = cfg.placement.client_node();
-    let root = ContainerId(TaskGraph::ROOT.0);
     for &t in &arrivals {
         if t > cfg.end {
             break;
@@ -368,6 +387,7 @@ pub fn run_live_with_stats(
         } else {
             (None, None)
         };
+        let root = ContainerId(cluster.pick_replica(TaskGraph::ROOT, &mut rng) as u32);
         cluster.send_request(
             client_node,
             root,
@@ -389,11 +409,15 @@ pub fn run_live_with_stats(
         q.close();
     }
     for pools in &cluster.pools {
-        for p in pools {
+        for p in pools.iter().flatten() {
             p.close();
         }
     }
     for h in threads {
+        let _ = h.join();
+    }
+    let workers = std::mem::take(&mut *cluster.worker_handles.lock().unwrap());
+    for h in workers {
         let _ = h.join();
     }
     cluster.delay.shutdown();

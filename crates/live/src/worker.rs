@@ -18,7 +18,7 @@
 //! [`CoreGate`]: crate::throttle::CoreGate
 
 use crate::clock::LiveClock;
-use crate::cluster::ClusterState;
+use crate::cluster::{ClusterState, REPLICA_ACTIVE, REPLICA_INACTIVE};
 use crate::net::DelayLine;
 use crate::pool::LiveConnPool;
 use crate::sync::{Dispatch, Job, JobQueue, JobSpan, ReplySlot, ReplyTo};
@@ -28,6 +28,7 @@ use sg_core::firstresponder::{FrRuntime, FreqUpdate};
 use sg_core::ids::{ContainerId, NodeId, ServiceId};
 use sg_core::metadata::RpcMetadata;
 use sg_core::metrics::{MetricsWindow, RequestSample};
+use sg_core::replica::p2c_winner;
 use sg_core::slack::{annotate_entry, per_packet_slack};
 use sg_core::time::{SimDuration, SimTime};
 use sg_core::violation::LatencyPoint;
@@ -60,12 +61,25 @@ pub struct LiveCluster {
     pub clock: LiveClock,
     pub network: Network,
     pub state: Arc<ClusterState>,
-    /// Per-container job queues.
+    /// Per-container job queues (one per replica slot).
     pub queues: Vec<JobQueue>,
     /// Per-container metric windows (flushed by the tick threads).
     pub windows: Vec<Mutex<MetricsWindow>>,
-    /// `pools[container][edge]`, shared so response delivery can release.
-    pub pools: Vec<Vec<Arc<LiveConnPool>>>,
+    /// `pools[caller_slot][edge][callee_replica]`, shared so response
+    /// delivery can release. Each replica of a downstream group has its
+    /// own pool (its own connection capacity), fronted by the
+    /// power-of-two-choices pick in [`LiveCluster::pick_replica`].
+    pub pools: Vec<Vec<Vec<Arc<LiveConnPool>>>>,
+    /// Requests currently dispatched to each replica slot (the load
+    /// balancer's queue-depth signal, and the drain-retire trigger).
+    pub inflight: Vec<AtomicU64>,
+    /// Whether a slot's worker threads have been spawned (slots active at
+    /// start-up spawn in the driver; later activations spawn on demand).
+    pub workers_spawned: Vec<AtomicBool>,
+    /// Handles of dynamically spawned worker threads, joined at teardown.
+    pub worker_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Worker threads per container (from `LiveOpts`).
+    pub workers_per_container: usize,
     /// One controller per node, unmodified, behind a lock so the rx hook
     /// (delay thread) and the tick thread share it.
     pub controllers: Vec<Mutex<Box<dyn Controller>>>,
@@ -107,7 +121,12 @@ pub struct LiveCluster {
 impl LiveCluster {
     /// Apply controller actions, counting packet-hook `SetFreq` as
     /// FirstResponder boosts — same attribution as the sim.
-    pub fn apply_actions(&self, node: NodeId, actions: Vec<ControlAction>, in_packet_hook: bool) {
+    pub fn apply_actions(
+        self: &Arc<Self>,
+        node: NodeId,
+        actions: Vec<ControlAction>,
+        in_packet_hook: bool,
+    ) {
         let origin = if in_packet_hook {
             ActionOrigin::PacketHook
         } else {
@@ -162,6 +181,21 @@ impl LiveCluster {
                         outcome,
                     );
                 }
+                ControlAction::SetReplicas { id, replicas } => {
+                    let (outcome, spawned) =
+                        self.state
+                            .apply_replicas(node, id, replicas, &self.inflight);
+                    for slot in spawned {
+                        self.ensure_workers(slot);
+                    }
+                    self.emit_action(
+                        node,
+                        id,
+                        origin,
+                        ActionKind::SetReplicas { replicas },
+                        outcome,
+                    );
+                }
             }
         }
     }
@@ -186,6 +220,65 @@ impl LiveCluster {
         }
     }
 
+    /// Spawn worker threads for a freshly activated replica slot, once.
+    /// Threads outlive retirement (the queue stays open; a retired slot
+    /// simply receives no new jobs) and are joined at run teardown, so a
+    /// later re-activation reuses them.
+    pub fn ensure_workers(self: &Arc<Self>, slot: usize) {
+        if self.workers_spawned[slot].swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let mut handles = self.worker_handles.lock().unwrap();
+        for w in 0..self.workers_per_container.max(1) {
+            let cl = Arc::clone(self);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sg-live-c{slot}w{w}"))
+                    .spawn(move || cl.worker_loop(slot, w))
+                    .expect("spawn worker"),
+            );
+        }
+    }
+
+    /// Power-of-two-choices load balancer over the active replicas of
+    /// `svc`: compare the in-flight depth of two uniformly drawn
+    /// candidates, ties to the lower slot. Increments the winner's
+    /// in-flight count (the caller's dispatch is now committed), with a
+    /// recheck loop so a retire racing the pick never receives the job.
+    /// A single active replica is picked without consuming randomness.
+    pub fn pick_replica(&self, svc: ServiceId, rng: &mut SmallRng) -> usize {
+        loop {
+            let active: Vec<usize> = self
+                .state
+                .layout
+                .slots_of(svc)
+                .filter(|&slot| self.state.replica_state_of(slot) == REPLICA_ACTIVE)
+                .collect();
+            let slot = match active.len() {
+                0 => self.state.layout.slot_of(svc, 0),
+                1 => active[0],
+                n => {
+                    let i = active[rng.random::<u32>() as usize % n];
+                    let j = active[rng.random::<u32>() as usize % n];
+                    p2c_winner(
+                        i,
+                        self.inflight[i].load(Ordering::Acquire),
+                        j,
+                        self.inflight[j].load(Ordering::Acquire),
+                    )
+                }
+            };
+            // Commit the dispatch before re-reading the state: a concurrent
+            // try_retire either sees our increment (and stays draining) or
+            // already retired — in which case we undo and re-pick.
+            self.inflight[slot].fetch_add(1, Ordering::AcqRel);
+            if self.state.replica_state_of(slot) != REPLICA_INACTIVE {
+                return slot;
+            }
+            self.inflight[slot].fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
     /// Deliver one request packet to container `dest`: run the node's rx
     /// hook, then hand the job to the container's worker pool. Runs on the
     /// delay-line thread — the live analogue of the kernel receive path.
@@ -198,9 +291,10 @@ impl LiveCluster {
         } = dispatch;
         let now = self.clock.now();
         let node = self.state.node_of(dest);
+        let svc_of_dest = self.state.layout.service_of(dest.index());
         if self.metrics_sink.is_some() {
             // Feed the slack p50/p99 gauges from every delivered packet.
-            let expected = self.cfg.params[dest.index()].expected_time_from_start;
+            let expected = self.cfg.params[svc_of_dest.index()].expected_time_from_start;
             self.slack_acc[dest.index()]
                 .lock()
                 .unwrap()
@@ -221,7 +315,7 @@ impl LiveCluster {
                 // the sampler's next sweep.
                 self.fr_boost_counts[dest.index()].fetch_add(1, Ordering::Relaxed);
                 if let Some(sink) = &self.sink {
-                    let expected = self.cfg.params[dest.index()].expected_time_from_start;
+                    let expected = self.cfg.params[svc_of_dest.index()].expected_time_from_start;
                     let level = actions
                         .iter()
                         .filter_map(|a| match a {
@@ -246,7 +340,7 @@ impl LiveCluster {
             // Stamp what the rx hook saw; any boost this packet triggers
             // is still in the FirstResponder queue, so this is the
             // pre-boost frequency state — same convention as the sim.
-            let expected = self.cfg.params[dest.index()].expected_time_from_start;
+            let expected = self.cfg.params[svc_of_dest.index()].expected_time_from_start;
             let ann = annotate_entry(
                 expected,
                 now,
@@ -300,9 +394,10 @@ impl LiveCluster {
         }
     }
 
-    /// Issue child RPC `edge` of container `c`: block for a connection,
-    /// then send. Returns the reply slot and the connection wait, or
-    /// `None` when shut down mid-call.
+    /// Issue child RPC `edge` of caller slot `c`: pick the callee
+    /// replica, block for a connection on that replica's pool, then send.
+    /// Returns the reply slot and the connection wait, or `None` when
+    /// shut down mid-call.
     fn call_child(
         self: &Arc<Self>,
         c: usize,
@@ -312,10 +407,19 @@ impl LiveCluster {
         span_ctx: Option<(u64, u64)>,
         rng: &mut SmallRng,
     ) -> Option<(Arc<ReplySlot>, SimDuration)> {
-        let pool = Arc::clone(&self.pools[c][edge]);
-        let waited = pool.acquire()?;
+        let svc = self.state.layout.service_of(c);
+        let child = self.cfg.graph.services[svc.index()].children[edge].child;
+        let child_slot = self.pick_replica(child, rng);
+        let rep = self.state.layout.replica_of(child_slot) as usize;
+        let pool = Arc::clone(&self.pools[c][edge][rep]);
+        let waited = match pool.acquire() {
+            Some(w) => w,
+            None => {
+                self.inflight[child_slot].fetch_sub(1, Ordering::AcqRel);
+                return None;
+            }
+        };
         let waited = SimDuration::from_nanos(waited.as_nanos() as u64);
-        let child = self.cfg.graph.services[c].children[edge].child;
         let slot = Arc::new(ReplySlot::new());
         let reply = ReplyTo::Parent {
             node: self.state.node_of(ContainerId(c as u32)),
@@ -335,7 +439,7 @@ impl LiveCluster {
         let meta_out = self.child_meta(c, meta_in);
         self.send_request(
             self.state.node_of(ContainerId(c as u32)),
-            ContainerId(child.0),
+            ContainerId(child_slot as u32),
             Dispatch {
                 req_start,
                 meta: meta_out,
@@ -349,7 +453,8 @@ impl LiveCluster {
 
     /// Execute one job end to end on the calling worker thread.
     fn handle_job(self: &Arc<Self>, c: usize, job: Job, rng: &mut SmallRng) {
-        let spec = &self.cfg.graph.services[c];
+        let svc = self.state.layout.service_of(c);
+        let spec = &self.cfg.graph.services[svc.index()];
         let u: f64 = rng.random();
         let work = sample_work(spec.work_mean, spec.work_cv, u);
         let pre = work.mul_f64(spec.pre_fraction);
@@ -448,7 +553,9 @@ impl LiveCluster {
             .lock()
             .unwrap()
             .record(sample, job.meta_in.has_hint());
-        let acc = &self.profile[c];
+        // Profiling stats stay per-SERVICE: replicas of a group pool into
+        // one row, so `RunResult::profile` keeps its pre-replica shape.
+        let acc = &self.profile[svc.index()];
         acc.requests.fetch_add(1, Ordering::Relaxed);
         acc.sum_exec_metric
             .fetch_add(sample.exec_metric().as_nanos(), Ordering::Relaxed);
@@ -521,6 +628,10 @@ impl LiveCluster {
                 );
             }
         }
+        // This replica finished serving the request; a draining replica
+        // whose last request this was can now retire.
+        self.inflight[c].fetch_sub(1, Ordering::AcqRel);
+        self.state.try_retire(c, &self.inflight[c]);
     }
 
     /// Worker thread body: pull jobs until the queue closes.
@@ -548,15 +659,25 @@ impl LiveCluster {
                 return;
             }
             let now = self.clock.now();
+            // One snapshot entry per ACTIVE replica slot, primary-first
+            // per service group — identical to the sim's snapshot order
+            // (and to the pre-replica order at max_replicas = 1).
             let services: Vec<ServiceId> = self.cfg.placement.services_on(NodeId(node as u32));
             let snapshot = sg_sim::controller::NodeSnapshot {
                 node: NodeId(node as u32),
                 containers: services
                     .into_iter()
-                    .map(|s| sg_sim::controller::ContainerSnapshot {
-                        id: ContainerId(s.0),
-                        metrics: self.windows[s.index()].lock().unwrap().flush(),
-                        alloc: self.state.alloc_of(ContainerId(s.0)),
+                    .flat_map(|s| {
+                        self.state
+                            .layout
+                            .slots_of(s)
+                            .filter(|&slot| self.state.replica_state_of(slot) == REPLICA_ACTIVE)
+                            .collect::<Vec<_>>()
+                    })
+                    .map(|slot| sg_sim::controller::ContainerSnapshot {
+                        id: ContainerId(slot as u32),
+                        metrics: self.windows[slot].lock().unwrap().flush(),
+                        alloc: self.state.alloc_of(ContainerId(slot as u32)),
                     })
                     .collect(),
             };
@@ -626,9 +747,13 @@ impl LiveCluster {
         }
     }
 
-    /// One gauge sweep over every container (dense-id order).
+    /// One gauge sweep over every active container (dense slot order —
+    /// retired replicas stop being sampled, so their series simply end).
     fn sample_metrics(&self, now: SimTime, sink: &SharedSink) {
-        for c in 0..self.cfg.graph.len() {
+        for c in 0..self.state.layout.n_slots() {
+            if self.state.replica_state_of(c) != REPLICA_ACTIVE {
+                continue;
+            }
             let id = ContainerId(c as u32);
             let node = self.state.node_of(id);
             let emit = |metric: MetricId, value: f64| {
@@ -662,7 +787,7 @@ impl LiveCluster {
                 self.upscale_hint_counts[c].load(Ordering::Relaxed) as f64,
             );
             let (mut in_use, mut waiters, mut queued_total) = (0u64, 0u64, 0u64);
-            for pool in &self.pools[c] {
+            for pool in self.pools[c].iter().flatten() {
                 let s = pool.stats();
                 in_use += s.in_use as u64;
                 waiters += s.waiters as u64;
@@ -675,6 +800,25 @@ impl LiveCluster {
             if let Some((p50, p99)) = slack_p50_p99(&mut slack) {
                 emit(MetricId::SlackP50, p50 as f64);
                 emit(MetricId::SlackP99, p99 as f64);
+            }
+        }
+        // Replica count per service group, emitted on the primary. Gated
+        // on horizontal scaling being enabled so single-replica runs keep
+        // the schema-v1 metric stream shape.
+        if self.state.layout.max_replicas > 1 {
+            for s in 0..self.cfg.graph.len() {
+                let svc = ServiceId(s as u32);
+                let primary = ContainerId(svc.0);
+                sink.emit(TelemetryEvent::Metric(
+                    MetricSample {
+                        at: now,
+                        node: self.state.node_of(primary),
+                        container: primary,
+                        metric: MetricId::Replicas,
+                        value: self.state.active_replicas(svc) as f64,
+                    }
+                    .sanitized(),
+                ));
             }
         }
         // Controller-internal gauges (e.g. sensitivity arms), per node.

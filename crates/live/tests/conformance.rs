@@ -5,12 +5,14 @@
 //! up, whether the fast path fires, whether boosts converge back down.
 
 use sg_controllers::SurgeGuardFactory;
+use sg_core::ids::ContainerId;
 use sg_core::time::{SimDuration, SimTime};
 use sg_live::conformance::{
     assert_boost_retires, assert_cross_node_control_rejected, assert_first_responder_reacted,
-    assert_pool_exhaustion_queues_upstream, assert_span_tree_conformance, constant_arrivals,
-    run_backend, run_backend_with_spans, surge_arrivals, two_node_cfg, two_stage_cfg, Backend,
-    CrossNodeMeddlerFactory,
+    assert_pool_exhaustion_queues_upstream, assert_scale_out_drains_upstream_pool,
+    assert_span_tree_conformance, constant_arrivals, run_backend, run_backend_with_opts,
+    run_backend_with_spans, surge_arrivals, two_node_cfg, two_stage_cfg, Backend,
+    CrossNodeMeddlerFactory, ScaleOutOnceFactory,
 };
 use sg_sim::app::ConnModel;
 use sg_sim::controller::NoopFactory;
@@ -70,16 +72,19 @@ fn first_responder_reacts_on_both_backends() {
 }
 
 /// Decentralization contract (this PR's ownership bugfix): a controller
-/// emitting cross-node `SetFreq` and `SetEgressHint` must see every one
-/// of them rejected and counted in `clamped_actions`, identically on both
-/// substrates — and the rejected boosts must never reach the packet-boost
-/// counter or the victim's allocation.
+/// emitting cross-node `SetFreq`, `SetEgressHint` and `SetReplicas` must
+/// see every one of them rejected and counted in `clamped_actions`,
+/// identically on both substrates — and the rejected boosts must never
+/// reach the packet-boost counter or the victim's allocation.
+/// `max_replicas` is raised above 1 so the requested replica count is
+/// in-range and locality is the *only* reason the scale-out is refused.
 #[test]
 fn cross_node_freq_and_hint_rejected_on_both_backends() {
     use std::sync::atomic::Ordering;
     let end = SimTime::from_millis(400);
     for backend in Backend::both() {
         let mut cfg = two_node_cfg(end);
+        cfg.max_replicas = 2;
         cfg.trace_allocations = true;
         let factory = CrossNodeMeddlerFactory::new();
         let (result, _) = run_backend(backend, cfg, &factory, constant_arrivals(200.0, end));
@@ -90,6 +95,55 @@ fn cross_node_freq_and_hint_rejected_on_both_backends() {
         );
         let emitted = factory.emitted.load(Ordering::Relaxed);
         assert_cross_node_control_rejected(backend, &result, emitted);
+    }
+}
+
+/// SetReplicas conformance (this PR's tentpole): scaling the downstream
+/// group out adds a second connection pool behind the per-edge load
+/// balancer, so the upstream pool queue drains — the parent's connection
+/// wait under a saturated `FixedPool(1)` edge must strictly shrink
+/// versus the identical single-replica run. On BOTH substrates.
+#[test]
+fn scale_out_drains_upstream_pool_on_both_backends() {
+    let end = SimTime::from_millis(400);
+    for backend in Backend::both() {
+        // The Fig. 5b operating point: both services have slack cores, the
+        // child's work is stretched so the single shared connection sits
+        // at ~0.9 occupancy (the live backend runs at a lower rate to land
+        // the same occupancy despite sleep overshoot — the contract is
+        // behavioural, not absolute-latency).
+        let rate = match backend {
+            Backend::Sim => 1400.0,
+            Backend::Live => 950.0,
+        };
+        let mut cfg = two_stage_cfg(ConnModel::FixedPool(1), end);
+        cfg.initial_cores = vec![4, 4];
+        cfg.graph.services[1].work_mean = SimDuration::from_micros(600);
+        cfg.max_replicas = 2;
+        let opts = || sg_live::LiveOpts {
+            // Parents hold a worker thread for the whole pool wait.
+            workers_per_container: 32,
+            ..sg_live::LiveOpts::default()
+        };
+        let arrivals = constant_arrivals(rate, end);
+        let (single, _) =
+            run_backend_with_opts(backend, cfg.clone(), &NoopFactory, arrivals.clone(), opts());
+        let (scaled, _) = run_backend_with_opts(
+            backend,
+            cfg,
+            &ScaleOutOnceFactory {
+                target: ContainerId(1),
+                replicas: 2,
+            },
+            arrivals,
+            opts(),
+        );
+        let label = backend.label();
+        assert!(
+            scaled.completed > 0,
+            "[{label}] scale-out scenario completed no requests"
+        );
+        assert_scale_out_drains_upstream_pool(backend, &single, &scaled);
     }
 }
 

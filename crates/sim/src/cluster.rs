@@ -107,6 +107,13 @@ pub struct SimConfig {
     /// flight (guards against memory blow-up in deliberately overloaded
     /// configurations).
     pub max_in_flight: usize,
+    /// Upper bound on replicas per service (horizontal scaling). 1 (the
+    /// default) reproduces the paper's one-container-per-service world
+    /// exactly — no replica slots, no load balancer, no extra RNG draws.
+    pub max_replicas: u32,
+    /// Initially active replicas per service. Empty = one replica each;
+    /// otherwise one entry per service in `1..=max_replicas`.
+    pub initial_replicas: Vec<u32>,
 }
 
 impl SimConfig {
@@ -143,7 +150,14 @@ impl SimConfig {
             trace_allocations: false,
             seed: 1,
             max_in_flight: 2_000_000,
+            max_replicas: 1,
+            initial_replicas: Vec::new(),
         }
+    }
+
+    /// Initially active replicas of service `s` (1 when unspecified).
+    pub fn initial_replicas_of(&self, s: usize) -> u32 {
+        self.initial_replicas.get(s).copied().unwrap_or(1)
     }
 
     /// Validate cross-field invariants.
@@ -167,13 +181,27 @@ impl SimConfig {
                 return Err(format!("service {i}: initial cores {c} out of range"));
             }
         }
-        // Per-node initial totals must fit.
+        if self.max_replicas < 1 {
+            return Err("max_replicas must be at least 1".into());
+        }
+        if !self.initial_replicas.is_empty() {
+            if self.initial_replicas.len() != self.graph.len() {
+                return Err("initial_replicas length != number of services".into());
+            }
+            for (i, &r) in self.initial_replicas.iter().enumerate() {
+                if r < 1 || r > self.max_replicas {
+                    return Err(format!("service {i}: initial replicas {r} out of range"));
+                }
+            }
+        }
+        // Per-node initial totals must fit (every initially active replica
+        // of a service costs the service's initial cores).
         for node in 0..self.placement.nodes {
             let total: u32 = self
                 .placement
                 .services_on(NodeId(node))
                 .iter()
-                .map(|s| self.initial_cores[s.index()])
+                .map(|s| self.initial_cores[s.index()] * self.initial_replicas_of(s.index()))
                 .sum();
             if total > self.constraints.total_cores {
                 return Err(format!(

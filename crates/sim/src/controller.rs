@@ -56,7 +56,11 @@ pub struct NodeInit {
     /// cooldown windows: ~2× this value).
     pub e2e_low_load: SimDuration,
     /// Upper bound on container ids in the cluster, for dense tables.
+    /// With horizontal scaling enabled this covers every replica *slot*,
+    /// active or not.
     pub max_container_id: usize,
+    /// Upper bound on replicas per service group (1 = vertical-only).
+    pub max_replicas: u32,
 }
 
 /// Per-container state at a controller tick.
@@ -117,6 +121,19 @@ pub enum ControlAction {
         id: ContainerId,
         /// Hop count to stamp; 0 disables.
         hops: u8,
+    },
+    /// Set the replica count of the target's service group (horizontal
+    /// scaling). `id` names any replica of the group — canonically the
+    /// primary. Subject to the same node-local contract as every other
+    /// action: a controller can only scale groups its node hosts. The
+    /// count is clamped to `1..=max_replicas`, and spawns are clamped to
+    /// the node's spare core budget. Scale-in drains (never kills) the
+    /// highest-numbered replicas; the primary is never drained.
+    SetReplicas {
+        /// Any replica of the target group (canonically the primary).
+        id: ContainerId,
+        /// Absolute replica count for the group.
+        replicas: u32,
     },
 }
 

@@ -28,6 +28,10 @@ pub struct Packet {
     /// Index of the parent's child edge this RPC travels on (identifies
     /// which connection pool to release when the response returns).
     pub edge: u16,
+    /// Replica index of the callee within its service group — with
+    /// `edge`, it identifies the exact per-replica connection pool the
+    /// response must release. 0 (the primary) in single-replica runs.
+    pub rep: u16,
     /// SurgeGuard metadata fields (Fig. 8). Responses carry the same
     /// `start_time`; only request packets are inspected by FirstResponder.
     pub meta: RpcMetadata,
@@ -87,6 +91,7 @@ mod tests {
             invocation: 1,
             dest: ContainerId(2),
             edge: 0,
+            rep: 0,
             meta: RpcMetadata::new_job(SimTime::ZERO),
         };
         let d1 = Event::Deliver { packet: p };

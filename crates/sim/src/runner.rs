@@ -20,15 +20,28 @@ use sg_core::allocator::ContainerAlloc;
 use sg_core::ids::{ContainerId, NodeId, ServiceId};
 use sg_core::metadata::RpcMetadata;
 use sg_core::metrics::RequestSample;
+use sg_core::replica::{p2c_winner, ReplicaLayout};
 use sg_core::slack::{annotate_entry, per_packet_slack};
 use sg_core::time::{SimDuration, SimTime};
 use sg_core::violation::LatencyPoint;
 use sg_telemetry::metrics::slack_p50_p99;
 use sg_telemetry::{
-    ActionKind, ActionOrigin, ActionOutcome, MetricId, MetricSample, SharedSink, SpanRecord,
-    SpanSampler, TelemetryEvent, METRICS_SCHEMA_VERSION,
+    ActionKind, ActionOrigin, ActionOutcome, MetricId, MetricSample, ReplicaPhase, SharedSink,
+    SpanRecord, SpanSampler, TelemetryEvent, METRICS_SCHEMA_VERSION,
 };
 use std::sync::Arc;
+
+/// Lifecycle state of one replica slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplicaState {
+    /// Not provisioned: holds no cores, receives no traffic.
+    Inactive,
+    /// Serving load-balanced traffic.
+    Active,
+    /// Finishing in-flight work; excluded from the load balancer and
+    /// retired when its last request drains.
+    Draining,
+}
 
 /// Execution phase of an invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +80,9 @@ struct SpanState {
 #[derive(Debug, Clone)]
 struct Invocation {
     service: ServiceId,
+    /// The replica slot executing this invocation (the load balancer's
+    /// pick; equals `ContainerId(service.0)` in single-replica runs).
+    slot: ContainerId,
     /// `(parent invocation, edge index in the parent's child list)`.
     parent: Option<(InvocationId, u16)>,
     /// End-to-end job start (client send time).
@@ -184,8 +200,16 @@ pub struct Simulation {
     rng: SmallRng,
     network: Network,
     containers: Vec<Container>,
-    /// `pools[container][edge]`.
-    pools: Vec<Vec<ConnPool>>,
+    /// Replica slot layout (identity when `max_replicas == 1`).
+    layout: ReplicaLayout,
+    /// Lifecycle state per slot.
+    replica_state: Vec<ReplicaState>,
+    /// Requests dispatched to each slot and not yet answered (the load
+    /// balancer's queue-depth signal and the drain/retire condition).
+    inflight: Vec<u32>,
+    /// `pools[caller_slot][edge][callee_replica]` — each replica of a
+    /// callee gets its own connection pool on every inbound edge.
+    pools: Vec<Vec<Vec<ConnPool>>>,
     /// Current allocation mirror (what the controllers believe).
     allocs: Vec<ContainerAlloc>,
     /// Workload cores currently allocated per node.
@@ -251,16 +275,24 @@ impl Simulation {
             "arrivals must be sorted"
         );
         let n = cfg.graph.len();
+        let layout = ReplicaLayout::new(n, cfg.max_replicas);
+        let n_slots = layout.n_slots();
 
-        let mut containers = Vec::with_capacity(n);
-        let mut pools = Vec::with_capacity(n);
-        let mut allocs = Vec::with_capacity(n);
+        let mut containers = Vec::with_capacity(n_slots);
+        let mut pools = Vec::with_capacity(n_slots);
+        let mut allocs = Vec::with_capacity(n_slots);
+        let mut replica_state = Vec::with_capacity(n_slots);
         let mut node_alloc = vec![0u32; cfg.placement.nodes as usize];
-        for s in 0..n {
-            let node = cfg.placement.node(ServiceId(s as u32));
-            let cores = cfg.initial_cores[s];
-            let mut container =
-                Container::new(ContainerId(s as u32), node, ServiceId(s as u32), cores);
+        for slot in 0..n_slots {
+            let svc = layout.service_of(slot);
+            let s = svc.index();
+            let node = cfg.placement.node(svc);
+            let active = layout.replica_of(slot) < cfg.initial_replicas_of(s);
+            let cores = if active { cfg.initial_cores[s] } else { 0 };
+            // The PS server needs >= 1 core; an inactive slot's container
+            // keeps a placeholder allocation (it receives no work) while
+            // `allocs`/the meter carry the true zero.
+            let mut container = Container::new(ContainerId(slot as u32), node, svc, cores.max(1));
             if let Some(cap) = cfg.bw_caps.get(s).copied().flatten() {
                 container.set_bw_cap(SimTime::ZERO, Some(cap));
             }
@@ -269,18 +301,28 @@ impl Simulation {
                 cfg.graph.services[s]
                     .children
                     .iter()
-                    .map(|e| ConnPool::new(e.conn.capacity()))
+                    .map(|e| {
+                        (0..cfg.max_replicas)
+                            .map(|_| ConnPool::new(e.conn.capacity()))
+                            .collect()
+                    })
                     .collect(),
             );
             allocs.push(ContainerAlloc {
-                id: ContainerId(s as u32),
+                id: ContainerId(slot as u32),
                 cores,
                 freq_level: 0,
             });
             node_alloc[node.index()] += cores;
+            replica_state.push(if active {
+                ReplicaState::Active
+            } else {
+                ReplicaState::Inactive
+            });
         }
 
-        // Per-node controllers, each seeing only its node.
+        // Per-node controllers, each seeing only its node. A controller
+        // sees every initially active replica slot of its services.
         let mut controllers = Vec::with_capacity(cfg.placement.nodes as usize);
         for node in 0..cfg.placement.nodes {
             let node = NodeId(node);
@@ -288,21 +330,25 @@ impl Simulation {
                 .placement
                 .services_on(node)
                 .into_iter()
-                .map(|s| {
+                .flat_map(|s| {
                     let local_downstream: Vec<ContainerId> = cfg
                         .graph
                         .children(s)
                         .filter(|c| cfg.placement.node(*c) == node)
                         .map(|c| ContainerId(c.0))
                         .collect();
-                    ContainerInit {
-                        id: ContainerId(s.0),
-                        service: s,
-                        name: cfg.graph.services[s.index()].name.clone(),
-                        params: cfg.params[s.index()],
-                        local_downstream,
-                        initial: allocs[s.index()],
-                    }
+                    layout
+                        .slots_of(s)
+                        .filter(|&slot| replica_state[slot] == ReplicaState::Active)
+                        .map(|slot| ContainerInit {
+                            id: ContainerId(slot as u32),
+                            service: s,
+                            name: cfg.graph.services[s.index()].name.clone(),
+                            params: cfg.params[s.index()],
+                            local_downstream: local_downstream.clone(),
+                            initial: allocs[slot],
+                        })
+                        .collect::<Vec<_>>()
                 })
                 .collect();
             controllers.push(factory.make(NodeInit {
@@ -311,18 +357,14 @@ impl Simulation {
                 constraints: cfg.constraints,
                 freq_table: cfg.freq_table.clone(),
                 e2e_low_load: cfg.e2e_low_load,
-                max_container_id: n - 1,
+                max_container_id: n_slots - 1,
+                max_replicas: cfg.max_replicas,
             }));
         }
 
-        let mut meter = EnergyMeter::new(cfg.power, n);
-        for s in 0..n {
-            meter.set_state(
-                SimTime::ZERO,
-                s,
-                cfg.initial_cores[s],
-                cfg.freq_table.ghz(0),
-            );
+        let mut meter = EnergyMeter::new(cfg.power, n_slots);
+        for (slot, alloc) in allocs.iter().enumerate() {
+            meter.set_state(SimTime::ZERO, slot, alloc.cores, cfg.freq_table.ghz(0));
         }
 
         let network = match cfg.latency_surge {
@@ -338,6 +380,9 @@ impl Simulation {
             rng: SmallRng::seed_from_u64(seed),
             network,
             containers,
+            layout,
+            replica_state,
+            inflight: vec![0; n_slots],
             pools,
             allocs,
             node_alloc,
@@ -363,9 +408,9 @@ impl Simulation {
             sampler: SpanSampler::all(),
             next_span_id: 0,
             metrics_sink: None,
-            fr_boost_counts: vec![0; n],
-            upscale_hint_counts: vec![0; n],
-            slack_acc: vec![Vec::new(); n],
+            fr_boost_counts: vec![0; n_slots],
+            upscale_hint_counts: vec![0; n_slots],
+            slack_acc: vec![Vec::new(); n_slots],
             cfg,
         }
     }
@@ -588,8 +633,10 @@ impl Simulation {
         };
 
         let meta = RpcMetadata::new_job(now);
-        let inv = self.alloc_invocation(TaskGraph::ROOT, None, now, meta, span);
-        let frontend = ContainerId(TaskGraph::ROOT.0);
+        let frontend_slot = self.pick_replica(TaskGraph::ROOT);
+        let frontend = ContainerId(frontend_slot as u32);
+        let inv = self.alloc_invocation(TaskGraph::ROOT, frontend, None, now, meta, span);
+        self.inflight[frontend_slot] += 1;
         let delay = self.network.latency(
             now,
             self.cfg.placement.client_node(),
@@ -604,6 +651,7 @@ impl Simulation {
                     invocation: inv,
                     dest: frontend,
                     edge: 0,
+                    rep: self.layout.replica_of(frontend_slot) as u16,
                     meta,
                 },
             },
@@ -614,10 +662,11 @@ impl Simulation {
         // FirstResponder site: every request packet crosses the rx hook of
         // its destination node before reaching the container.
         let node = self.containers[packet.dest.index()].node;
+        let svc_of_dest = self.layout.service_of(packet.dest.index());
         if self.metrics_sink.is_some() {
             // Slack is otherwise only computed for boosting hooks and
             // sampled spans; the slack p50/p99 gauges see every packet.
-            let expected = self.cfg.params[packet.dest.index()].expected_time_from_start;
+            let expected = self.cfg.params[svc_of_dest.index()].expected_time_from_start;
             self.slack_acc[packet.dest.index()].push(per_packet_slack(
                 expected,
                 now,
@@ -636,7 +685,7 @@ impl Simulation {
                 // itself retires before the next sample.
                 self.fr_boost_counts[packet.dest.index()] += 1;
                 if let Some(sink) = &self.sink {
-                    let expected = self.cfg.params[packet.dest.index()].expected_time_from_start;
+                    let expected = self.cfg.params[svc_of_dest.index()].expected_time_from_start;
                     let level = actions
                         .iter()
                         .filter_map(|a| match a {
@@ -668,7 +717,7 @@ impl Simulation {
         let pre = work.mul_f64(spec.pre_fraction);
         let post = work.saturating_sub(pre);
         {
-            let expected = self.cfg.params[packet.dest.index()].expected_time_from_start;
+            let expected = self.cfg.params[svc_of_dest.index()].expected_time_from_start;
             let freq_level = self.allocs[packet.dest.index()].freq_level;
             let inv = &mut self.invocations[inv_id as usize];
             inv.arrival = now;
@@ -692,12 +741,25 @@ impl Simulation {
         let parent_id = packet.invocation;
         let parent_c = packet.dest;
         let edge = packet.edge as usize;
+        let rep = packet.rep;
+        let child_svc = {
+            let parent_svc = self.invocations[parent_id as usize].service;
+            self.cfg.graph.services[parent_svc.index()].children[edge].child
+        };
+        let child_slot = self.layout.slot_of(child_svc, rep as u32);
 
         // Return the connection; a queued waiter gets it immediately.
-        if let Some((waiter, enq)) = self.pools[parent_c.index()][edge].release() {
+        // The connection belongs to one replica, so the waiter's RPC goes
+        // to the same replica (connection reuse, no fresh LB pick).
+        if let Some((waiter, enq)) = self.pools[parent_c.index()][edge][rep as usize].release() {
             let waited = now.saturating_since(enq);
-            self.send_child_rpc(now, waiter, edge, waited);
+            self.send_child_rpc(now, waiter, edge, rep, waited);
         }
+
+        // The replica finished serving this RPC (waiter hand-off above
+        // keeps the count from bottoming out while work is queued).
+        self.inflight[child_slot] -= 1;
+        self.maybe_retire(now, child_slot);
 
         let (phase_over, next_edge) = {
             let inv = &mut self.invocations[parent_id as usize];
@@ -780,7 +842,7 @@ impl Simulation {
             if let Some(span) = &mut inv.span {
                 span.post_start = now;
             }
-            (inv.post_work, ContainerId(inv.service.0))
+            (inv.post_work, inv.slot)
         };
         if post.is_zero() {
             self.respond(now, inv_id);
@@ -790,19 +852,103 @@ impl Simulation {
         }
     }
 
-    /// Attempt to issue child RPC `edge` of `parent`: acquire a connection
-    /// or queue on the pool.
+    /// Attempt to issue child RPC `edge` of `parent`: pick a callee
+    /// replica, then acquire a connection from that replica's pool or
+    /// queue on it.
     fn try_issue_child(&mut self, now: SimTime, parent: InvocationId, edge: usize) {
-        let parent_c = {
+        let (parent_c, svc) = {
             let inv = &self.invocations[parent as usize];
-            ContainerId(inv.service.0)
+            (inv.slot, inv.service)
         };
-        match self.pools[parent_c.index()][edge].acquire(now, parent) {
-            Acquire::Granted => self.send_child_rpc(now, parent, edge, SimDuration::ZERO),
+        let child_svc = self.cfg.graph.services[svc.index()].children[edge].child;
+        let child_slot = self.pick_replica(child_svc);
+        let rep = self.layout.replica_of(child_slot) as u16;
+        match self.pools[parent_c.index()][edge][rep as usize].acquire(now, parent) {
+            Acquire::Granted => self.send_child_rpc(now, parent, edge, rep, SimDuration::ZERO),
             Acquire::Queued => {
                 // The invocation now sits in the hidden threadpool queue:
                 // no CPU held, nothing visible on the network.
             }
+        }
+    }
+
+    /// Power-of-two-choices load balancer: pick an active replica slot of
+    /// `svc` by comparing the queue depth (in-flight requests) of two
+    /// uniformly drawn candidates; ties go to the lower slot. With exactly
+    /// one active replica the pick is forced and consumes no randomness —
+    /// single-replica runs stay on the pre-replica RNG stream.
+    fn pick_replica(&mut self, svc: ServiceId) -> usize {
+        let mut count = 0u32;
+        let mut only = svc.index();
+        for slot in self.layout.slots_of(svc) {
+            if self.replica_state[slot] == ReplicaState::Active {
+                if count == 0 {
+                    only = slot;
+                }
+                count += 1;
+            }
+        }
+        debug_assert!(count > 0, "service {svc:?} has no active replicas");
+        if count <= 1 {
+            return only;
+        }
+        let i = self.rng.random::<u32>() % count;
+        let j = self.rng.random::<u32>() % count;
+        let (mut a, mut b) = (usize::MAX, usize::MAX);
+        let mut idx = 0u32;
+        for slot in self.layout.slots_of(svc) {
+            if self.replica_state[slot] == ReplicaState::Active {
+                if idx == i {
+                    a = slot;
+                }
+                if idx == j {
+                    b = slot;
+                }
+                idx += 1;
+            }
+        }
+        p2c_winner(a, self.inflight[a] as u64, b, self.inflight[b] as u64)
+    }
+
+    /// Retire a draining replica once its last in-flight request (and any
+    /// waiter queued on its pools — waiters convert to in-flight on
+    /// connection hand-off, so the count cannot bottom out early) drains.
+    fn maybe_retire(&mut self, now: SimTime, slot: usize) {
+        if self.replica_state[slot] != ReplicaState::Draining || self.inflight[slot] != 0 {
+            return;
+        }
+        self.replica_state[slot] = ReplicaState::Inactive;
+        let node = self.containers[slot].node;
+        let cores = self.allocs[slot].cores;
+        self.node_alloc[node.index()] -= cores;
+        self.allocs[slot].cores = 0;
+        self.allocs[slot].freq_level = 0;
+        self.containers[slot].set_freq_speedup(now, self.cfg.freq_table.speedup(0));
+        self.meter
+            .set_state(now, slot, 0, self.cfg.freq_table.ghz(0));
+        self.emit_replica_lifecycle(now, slot, ReplicaPhase::Retired);
+    }
+
+    /// Active (non-draining) replicas of a service group.
+    fn active_replicas(&self, svc: ServiceId) -> u32 {
+        self.layout
+            .slots_of(svc)
+            .filter(|&slot| self.replica_state[slot] == ReplicaState::Active)
+            .count() as u32
+    }
+
+    fn emit_replica_lifecycle(&self, now: SimTime, slot: usize, phase: ReplicaPhase) {
+        if let Some(sink) = &self.sink {
+            let svc = self.layout.service_of(slot);
+            sink.emit(TelemetryEvent::ReplicaLifecycle {
+                at: now,
+                node: self.containers[slot].node,
+                container: ContainerId(slot as u32),
+                service: ContainerId(svc.0),
+                replica: self.layout.replica_of(slot),
+                phase,
+                active: self.active_replicas(svc),
+            });
         }
     }
 
@@ -812,12 +958,13 @@ impl Simulation {
         now: SimTime,
         parent: InvocationId,
         edge: usize,
+        rep: u16,
         waited: SimDuration,
     ) {
         let (svc, req_start, meta_out, parent_span) = {
             let inv = &mut self.invocations[parent as usize];
             inv.conn_wait += waited;
-            let parent_c = ContainerId(inv.service.0);
+            let parent_c = inv.slot;
             let hint = self.containers[parent_c.index()].egress_hint;
             let mut meta = inv.meta_in.propagate();
             if hint > 0 {
@@ -844,9 +991,12 @@ impl Simulation {
             }
         });
         let child_svc = self.cfg.graph.services[svc.index()].children[edge].child;
-        let child_c = ContainerId(child_svc.0);
+        let child_slot = self.layout.slot_of(child_svc, rep as u32);
+        let child_c = ContainerId(child_slot as u32);
+        self.inflight[child_slot] += 1;
         let child_inv = self.alloc_invocation(
             child_svc,
+            child_c,
             Some((parent, edge as u16)),
             req_start,
             meta_out,
@@ -866,6 +1016,7 @@ impl Simulation {
                     invocation: child_inv,
                     dest: child_c,
                     edge: edge as u16,
+                    rep,
                     meta: meta_out,
                 },
             },
@@ -874,10 +1025,11 @@ impl Simulation {
 
     /// The invocation finished all local work: record metrics and reply.
     fn respond(&mut self, now: SimTime, inv_id: InvocationId) {
-        let (service, parent, req_start, arrival, conn_wait, hinted, span) = {
+        let (service, c, parent, req_start, arrival, conn_wait, hinted, span) = {
             let inv = &self.invocations[inv_id as usize];
             (
                 inv.service,
+                inv.slot,
                 inv.parent,
                 inv.req_start,
                 inv.arrival,
@@ -886,7 +1038,6 @@ impl Simulation {
                 inv.span,
             )
         };
-        let c = ContainerId(service.0);
         if let Some(s) = span {
             let node = self.containers[c.index()].node;
             if let Some(sink) = &self.span_sink {
@@ -914,7 +1065,9 @@ impl Simulation {
             conn_wait,
         };
         self.containers[c.index()].window.record(sample, hinted);
-        let acc = &mut self.profile[c.index()];
+        // Profiling stats stay per-SERVICE: replicas of a group pool into
+        // one row, so `RunResult::profile` keeps its pre-replica shape.
+        let acc = &mut self.profile[service.index()];
         acc.requests += 1;
         acc.sum_exec_metric += sample.exec_metric().as_nanos();
         acc.sum_exec_time += exec_time.as_nanos();
@@ -923,6 +1076,7 @@ impl Simulation {
         match parent {
             Some((parent_inv, edge)) => {
                 let parent_svc = self.invocations[parent_inv as usize].service;
+                let parent_slot = self.invocations[parent_inv as usize].slot;
                 let meta = self.invocations[inv_id as usize].meta_in;
                 let delay = self.network.latency(
                     now,
@@ -930,6 +1084,7 @@ impl Simulation {
                     self.cfg.placement.node(parent_svc),
                     &mut self.rng,
                 );
+                let rep = self.layout.replica_of(c.index()) as u16;
                 self.free_invocation(inv_id);
                 self.engine.schedule(
                     now + delay,
@@ -937,8 +1092,9 @@ impl Simulation {
                         packet: Packet {
                             kind: PacketKind::Response,
                             invocation: parent_inv,
-                            dest: ContainerId(parent_svc.0),
+                            dest: parent_slot,
                             edge,
+                            rep,
                             meta,
                         },
                     },
@@ -984,25 +1140,35 @@ impl Simulation {
                 self.completed += 1;
                 self.in_flight -= 1;
                 self.free_invocation(inv_id);
+                self.inflight[c.index()] -= 1;
+                self.maybe_retire(now, c.index());
             }
         }
     }
 
     fn on_controller_tick(&mut self, now: SimTime, node: NodeId) {
+        // One snapshot entry per ACTIVE replica slot, primary-first per
+        // service group — the exact pre-replica order at max_replicas = 1.
+        // Draining replicas stop appearing (no new decisions target them).
+        let slots: Vec<usize> = self
+            .cfg
+            .placement
+            .services_on(node)
+            .into_iter()
+            .flat_map(|s| {
+                self.layout
+                    .slots_of(s)
+                    .filter(|&slot| self.replica_state[slot] == ReplicaState::Active)
+            })
+            .collect();
         let snapshot = NodeSnapshot {
             node,
-            containers: self
-                .cfg
-                .placement
-                .services_on(node)
+            containers: slots
                 .into_iter()
-                .map(|s| {
-                    let i = s.index();
-                    ContainerSnapshot {
-                        id: ContainerId(s.0),
-                        metrics: self.containers[i].window.flush(),
-                        alloc: self.allocs[i],
-                    }
+                .map(|i| ContainerSnapshot {
+                    id: ContainerId(i as u32),
+                    metrics: self.containers[i].window.flush(),
+                    alloc: self.allocs[i],
                 })
                 .collect(),
         };
@@ -1074,9 +1240,10 @@ impl Simulation {
                 MetricId::UpscaleHints,
                 self.upscale_hint_counts[i] as f64,
             );
-            // Connection pools toward all downstream edges, aggregated.
+            // Connection pools toward all downstream edges, aggregated
+            // over every callee replica.
             let (mut in_use, mut waiters, mut queued_total) = (0u64, 0u64, 0u64);
-            for pool in &self.pools[i] {
+            for pool in self.pools[i].iter().flatten() {
                 in_use += pool.in_use() as u64;
                 waiters += pool.queue_len() as u64;
                 queued_total += pool.queued_total();
@@ -1093,6 +1260,18 @@ impl Simulation {
             }
             slack.clear();
             self.slack_acc[i] = slack;
+        }
+        // Replica count per service group, emitted on the primary. Gated
+        // on horizontal scaling being enabled so single-replica runs keep
+        // the schema-v1 metric stream byte-for-byte.
+        if self.layout.max_replicas > 1 {
+            for s in self.cfg.placement.services_on(node) {
+                emit(
+                    ContainerId(s.0),
+                    MetricId::Replicas,
+                    self.active_replicas(s) as f64,
+                );
+            }
         }
         // Controller-internal gauges (e.g. sensitivity arms).
         let mut extra = Vec::new();
@@ -1178,6 +1357,17 @@ impl Simulation {
                         );
                     }
                 }
+                ControlAction::SetReplicas { id, replicas } => {
+                    let outcome = self.apply_replicas(now, node, id, replicas);
+                    self.emit_action(
+                        now,
+                        node,
+                        id,
+                        origin,
+                        ActionKind::SetReplicas { replicas },
+                        outcome,
+                    );
+                }
                 ControlAction::SetEgressHint { id, hops } => {
                     let kind = ActionKind::SetEgressHint { hops };
                     // Same contract: the hint is stamped by the local
@@ -1235,6 +1425,14 @@ impl Simulation {
             self.clamped_actions += 1;
             return ActionOutcome::RejectedCrossNode;
         }
+        if self.replica_state[i] == ReplicaState::Inactive {
+            // A retired replica holds no cores; stale actions targeting it
+            // are clamped, not silently revived. (Draining replicas remain
+            // legal targets — FirstResponder may still boost them while
+            // their last requests finish.)
+            self.clamped_actions += 1;
+            return ActionOutcome::Clamped;
+        }
         let cons = &self.cfg.constraints;
         let mut target = cores.clamp(cons.min_cores, cons.max_cores);
         let current = self.allocs[i].cores;
@@ -1283,8 +1481,98 @@ impl Simulation {
         outcome
     }
 
+    /// Apply a `SetReplicas` action: activate or drain replicas of `id`'s
+    /// service group. Node-local like every other action. Spawns grant the
+    /// service's initial cores, clamped to the node's spare budget;
+    /// scale-in drains (never kills) the highest-numbered replicas, and
+    /// the primary is never drained.
+    fn apply_replicas(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        id: ContainerId,
+        replicas: u32,
+    ) -> ActionOutcome {
+        let svc = self.layout.service_of(id.index());
+        if self.cfg.placement.node(svc) != node {
+            self.clamped_actions += 1;
+            return ActionOutcome::RejectedCrossNode;
+        }
+        // Out-of-range counts clamp silently, like SetCores' min/max.
+        let target = replicas.clamp(1, self.layout.max_replicas);
+        let mut outcome = ActionOutcome::Applied;
+        let mut active = self.active_replicas(svc);
+        let slots: Vec<usize> = self.layout.slots_of(svc).collect();
+        if target > active {
+            // Scale out: un-drain draining replicas first (they still hold
+            // cores and connections), then activate inactive slots.
+            for slot in slots {
+                if active >= target {
+                    break;
+                }
+                match self.replica_state[slot] {
+                    ReplicaState::Active => {}
+                    ReplicaState::Draining => {
+                        self.replica_state[slot] = ReplicaState::Active;
+                        active += 1;
+                        self.emit_replica_lifecycle(now, slot, ReplicaPhase::Spawned);
+                    }
+                    ReplicaState::Inactive => {
+                        let cons = &self.cfg.constraints;
+                        let want = self.cfg.initial_cores[svc.index()]
+                            .clamp(cons.min_cores, cons.max_cores);
+                        let spare = cons.total_cores - self.node_alloc[node.index()];
+                        if spare < cons.min_cores {
+                            // Not even a minimal replica fits.
+                            self.clamped_actions += 1;
+                            outcome = ActionOutcome::Clamped;
+                            break;
+                        }
+                        let grant = want.min(spare);
+                        if grant < want {
+                            self.clamped_actions += 1;
+                            outcome = ActionOutcome::Clamped;
+                        }
+                        self.replica_state[slot] = ReplicaState::Active;
+                        active += 1;
+                        self.node_alloc[node.index()] += grant;
+                        self.allocs[slot].cores = grant;
+                        self.allocs[slot].freq_level = 0;
+                        self.containers[slot].set_cores(now, grant);
+                        self.containers[slot].set_freq_speedup(now, self.cfg.freq_table.speedup(0));
+                        self.meter
+                            .set_state(now, slot, grant, self.cfg.freq_table.ghz(0));
+                        self.emit_replica_lifecycle(now, slot, ReplicaPhase::Spawned);
+                        self.reschedule(now, ContainerId(slot as u32));
+                    }
+                }
+            }
+        } else if target < active {
+            // Scale in: drain highest-numbered first; never the primary.
+            for &slot in slots.iter().rev() {
+                if active <= target || self.layout.replica_of(slot) == 0 {
+                    break;
+                }
+                if self.replica_state[slot] != ReplicaState::Active {
+                    continue;
+                }
+                self.replica_state[slot] = ReplicaState::Draining;
+                active -= 1;
+                self.emit_replica_lifecycle(now, slot, ReplicaPhase::Draining);
+                self.maybe_retire(now, slot);
+            }
+        }
+        outcome
+    }
+
     fn apply_freq(&mut self, now: SimTime, id: ContainerId, level: u8) {
         let i = id.index();
+        if self.replica_state[i] == ReplicaState::Inactive {
+            // A FreqApply scheduled before the replica retired: drop it.
+            // Re-arming the alloc of a coreless slot would emit an Alloc
+            // event no landed action explains.
+            return;
+        }
         let level = level.min(self.cfg.freq_table.max_level());
         if self.allocs[i].freq_level == level {
             return;
@@ -1335,6 +1623,7 @@ impl Simulation {
     fn alloc_invocation(
         &mut self,
         service: ServiceId,
+        slot: ContainerId,
         parent: Option<(InvocationId, u16)>,
         req_start: SimTime,
         meta: RpcMetadata,
@@ -1342,6 +1631,7 @@ impl Simulation {
     ) -> InvocationId {
         let inv = Invocation {
             service,
+            slot,
             parent,
             req_start,
             meta_in: meta,

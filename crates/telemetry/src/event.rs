@@ -68,6 +68,12 @@ pub enum ActionKind {
         /// Hop count requested.
         hops: u8,
     },
+    /// `SetReplicas { replicas }` (absolute replica count for the
+    /// target's service group).
+    SetReplicas {
+        /// Replica count requested.
+        replicas: u32,
+    },
 }
 
 impl ActionKind {
@@ -78,6 +84,7 @@ impl ActionKind {
             ActionKind::SetFreq { .. } => "set_freq",
             ActionKind::SetBandwidth { .. } => "set_bandwidth",
             ActionKind::SetEgressHint { .. } => "set_egress_hint",
+            ActionKind::SetReplicas { .. } => "set_replicas",
         }
     }
 
@@ -88,6 +95,7 @@ impl ActionKind {
             ActionKind::SetFreq { level } => level as u32,
             ActionKind::SetBandwidth { units } => units,
             ActionKind::SetEgressHint { hops } => hops as u32,
+            ActionKind::SetReplicas { replicas } => replicas,
         }
     }
 
@@ -97,6 +105,7 @@ impl ActionKind {
             "set_freq" => ActionKind::SetFreq { level: arg as u8 },
             "set_bandwidth" => ActionKind::SetBandwidth { units: arg },
             "set_egress_hint" => ActionKind::SetEgressHint { hops: arg as u8 },
+            "set_replicas" => ActionKind::SetReplicas { replicas: arg },
             _ => return None,
         })
     }
@@ -162,6 +171,40 @@ impl ActionOutcome {
             "deferred" => ActionOutcome::Deferred,
             "clamped" => ActionOutcome::Clamped,
             "rejected_cross_node" => ActionOutcome::RejectedCrossNode,
+            _ => return None,
+        })
+    }
+}
+
+/// A replica's lifecycle transition (see
+/// [`TelemetryEvent::ReplicaLifecycle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaPhase {
+    /// The replica slot was activated and now accepts load-balanced
+    /// traffic.
+    Spawned,
+    /// The replica stopped taking new work and is finishing what it has.
+    Draining,
+    /// The replica finished draining; its cores are released and its
+    /// allocation is metered at zero.
+    Retired,
+}
+
+impl ReplicaPhase {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaPhase::Spawned => "spawned",
+            ReplicaPhase::Draining => "draining",
+            ReplicaPhase::Retired => "retired",
+        }
+    }
+
+    fn from_wire(name: &str) -> Option<ReplicaPhase> {
+        Some(match name {
+            "spawned" => ReplicaPhase::Spawned,
+            "draining" => ReplicaPhase::Draining,
+            "retired" => ReplicaPhase::Retired,
             _ => return None,
         })
     }
@@ -258,6 +301,25 @@ pub enum TelemetryEvent {
         scores: Vec<(ContainerId, u32)>,
         /// The cycle's actions with their motivating reasons.
         actions: Vec<ScoredAction>,
+    },
+    /// A replica of a service group changed lifecycle phase (horizontal
+    /// scaling landed).
+    ReplicaLifecycle {
+        /// When the transition happened.
+        at: SimTime,
+        /// The node hosting the group.
+        node: NodeId,
+        /// The replica's own container slot.
+        container: ContainerId,
+        /// The group's primary container (== the service id).
+        service: ContainerId,
+        /// Replica index within the group (0 = primary).
+        replica: u32,
+        /// The transition.
+        phase: ReplicaPhase,
+        /// Active (non-draining, non-retired) replicas in the group
+        /// after the transition.
+        active: u32,
     },
     /// One span of a traced request (see [`crate::span`]).
     Span(SpanRecord),
@@ -387,6 +449,24 @@ impl TelemetryEvent {
                     "actions": actions,
                 })
             }
+            TelemetryEvent::ReplicaLifecycle {
+                at,
+                node,
+                container,
+                service,
+                replica,
+                phase,
+                active,
+            } => json!({
+                "type": "replica",
+                "at_ns": at.as_nanos(),
+                "node": node.0,
+                "container": container.0,
+                "service": service.0,
+                "replica": *replica,
+                "phase": phase.name(),
+                "active": *active,
+            }),
             TelemetryEvent::Span(s) => json!({
                 "type": "span",
                 "trace": s.trace,
@@ -542,6 +622,16 @@ impl TelemetryEvent {
                     actions,
                 })
             }
+            "replica" => Ok(TelemetryEvent::ReplicaLifecycle {
+                at: at()?,
+                node: NodeId(field_u64(&v, "node")? as u32),
+                container: ContainerId(field_u64(&v, "container")? as u32),
+                service: ContainerId(field_u64(&v, "service")? as u32),
+                replica: field_u64(&v, "replica")? as u32,
+                phase: ReplicaPhase::from_wire(field_str(&v, "phase")?)
+                    .ok_or("unknown replica phase")?,
+                active: field_u64(&v, "active")? as u32,
+            }),
             "span" => Ok(TelemetryEvent::Span(SpanRecord {
                 trace: field_u64(&v, "trace")?,
                 span: field_u64(&v, "span")?,
@@ -688,6 +778,32 @@ mod tests {
                     reason: "upscale: score 3".into(),
                 }],
             },
+            TelemetryEvent::Action {
+                at: SimTime::from_millis(150),
+                node: NodeId(0),
+                container: ContainerId(1),
+                origin: ActionOrigin::Tick,
+                kind: ActionKind::SetReplicas { replicas: 3 },
+                outcome: ActionOutcome::Applied,
+            },
+            TelemetryEvent::ReplicaLifecycle {
+                at: SimTime::from_millis(150),
+                node: NodeId(0),
+                container: ContainerId(5),
+                service: ContainerId(1),
+                replica: 2,
+                phase: ReplicaPhase::Spawned,
+                active: 3,
+            },
+            TelemetryEvent::ReplicaLifecycle {
+                at: SimTime::from_millis(600),
+                node: NodeId(0),
+                container: ContainerId(5),
+                service: ContainerId(1),
+                replica: 2,
+                phase: ReplicaPhase::Retired,
+                active: 2,
+            },
             TelemetryEvent::Span(SpanRecord {
                 trace: 41,
                 span: 97,
@@ -738,6 +854,13 @@ mod tests {
                 container: ContainerId(2),
                 metric: MetricId::SlackP99,
                 value: -42_500.0,
+            }),
+            TelemetryEvent::Metric(MetricSample {
+                at: SimTime::from_millis(200),
+                node: NodeId(0),
+                container: ContainerId(1),
+                metric: MetricId::Replicas,
+                value: 3.0,
             }),
             TelemetryEvent::MetricsMeta {
                 version: 1,

@@ -57,7 +57,8 @@ pub mod timeline;
 
 pub use critical::{Attribution, LossClass, SpanReport};
 pub use event::{
-    ActionKind, ActionOrigin, ActionOutcome, EventFamily, ScoredAction, TelemetryEvent,
+    ActionKind, ActionOrigin, ActionOutcome, EventFamily, ReplicaPhase, ScoredAction,
+    TelemetryEvent,
 };
 pub use metrics::{MetricId, MetricSample, MetricsRegistry, METRICS_SCHEMA_VERSION};
 pub use reader::{read_trace, TraceFile};

@@ -27,7 +27,8 @@ use std::sync::{Arc, Mutex};
 
 /// Version stamped into the `metrics_meta` header line. Bump when the
 /// set of metric names or their meanings changes incompatibly.
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+/// Version 2 adds the `replicas` gauge (horizontal scaling).
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// How a series behaves over time (drives the Prometheus `# TYPE` line).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +92,9 @@ pub enum MetricId {
     /// p99 (worst-biased) of per-packet slack observed since the previous
     /// sample, ns (gauge).
     SlackP99,
+    /// Active replicas of the service group (gauge; emitted on the
+    /// group's primary container only).
+    Replicas,
 }
 
 impl MetricId {
@@ -110,6 +114,7 @@ impl MetricId {
             MetricId::PoolQueuedTotal => "pool_queued_total",
             MetricId::SlackP50 => "slack_p50_ns",
             MetricId::SlackP99 => "slack_p99_ns",
+            MetricId::Replicas => "replicas",
         }
     }
 
@@ -147,6 +152,7 @@ impl MetricId {
             ("pool_queued_total", None) => MetricId::PoolQueuedTotal,
             ("slack_p50_ns", None) => MetricId::SlackP50,
             ("slack_p99_ns", None) => MetricId::SlackP99,
+            ("replicas", None) => MetricId::Replicas,
             _ => return None,
         })
     }
@@ -391,6 +397,7 @@ mod tests {
             MetricId::PoolQueuedTotal,
             MetricId::SlackP50,
             MetricId::SlackP99,
+            MetricId::Replicas,
         ];
         for id in ids {
             assert_eq!(MetricId::from_wire(id.name(), id.arm()), Some(id));

@@ -69,6 +69,12 @@ pub struct TraceSummary {
     /// Observed core-count changes per container (between consecutive
     /// `Alloc` records; the pre-trace baseline is unknowable).
     pub core_changes: BTreeMap<u32, u64>,
+    /// Replica-lifecycle transition counts keyed by phase wire name
+    /// (`spawned` / `draining` / `retired`).
+    pub replica_transitions: BTreeMap<&'static str, u64>,
+    /// Active-replica-count steps per service group (keyed by the
+    /// group's primary container), in trace order.
+    pub replica_timeline: BTreeMap<u32, Vec<(SimTime, u32)>>,
 }
 
 impl TraceSummary {
@@ -140,6 +146,19 @@ impl TraceSummary {
                 TelemetryEvent::FrBoost { slack_ns, .. } => {
                     s.fr_boosts += 1;
                     s.worst_slack_ns = Some(s.worst_slack_ns.map_or(slack_ns, |w| w.min(slack_ns)));
+                }
+                TelemetryEvent::ReplicaLifecycle {
+                    at,
+                    service,
+                    phase,
+                    active,
+                    ..
+                } => {
+                    *s.replica_transitions.entry(phase.name()).or_insert(0) += 1;
+                    s.replica_timeline
+                        .entry(service.0)
+                        .or_default()
+                        .push((at, active));
                 }
                 TelemetryEvent::Window { .. } => s.windows += 1,
                 TelemetryEvent::Scoreboard { .. } => s.cycles += 1,
@@ -246,6 +265,11 @@ impl TraceSummary {
             "dropped": self.dropped,
             "spans": self.spans,
             "metric_samples": self.metric_samples,
+            "replica_transitions": self
+                .replica_transitions
+                .iter()
+                .map(|(phase, count)| json!({ "phase": *phase, "count": *count }))
+                .collect::<Vec<Value>>(),
             "audit": self.audit(),
         })
     }
@@ -314,6 +338,22 @@ impl TraceSummary {
                     step.freq_ghz
                 );
             }
+        }
+
+        if !self.replica_timeline.is_empty() {
+            let _ = writeln!(out, "\nreplica timeline (per service group):");
+            for (service, steps) in &self.replica_timeline {
+                let _ = writeln!(out, "  s{service}: {} transitions", steps.len());
+                for (at, active) in steps {
+                    let _ = writeln!(out, "    {:>12} ns  active={active}", at.as_nanos());
+                }
+            }
+            let counts: Vec<String> = self
+                .replica_transitions
+                .iter()
+                .map(|(phase, count)| format!("{phase}={count}"))
+                .collect();
+            let _ = writeln!(out, "  transitions: {}", counts.join(" "));
         }
 
         let _ = writeln!(out, "\nboost -> retire latency:");
@@ -479,6 +519,40 @@ mod tests {
             family: None,
         }]);
         assert!(!s.audit().is_empty());
+    }
+
+    #[test]
+    fn replica_lifecycle_builds_a_per_service_timeline() {
+        use crate::event::ReplicaPhase;
+        let life = |at_ms: u64, phase, active| TelemetryEvent::ReplicaLifecycle {
+            at: SimTime::from_millis(at_ms),
+            node: NodeId(0),
+            container: ContainerId(5),
+            service: ContainerId(1),
+            replica: 2,
+            phase,
+            active,
+        };
+        let s = TraceSummary::from_events(vec![
+            life(100, ReplicaPhase::Spawned, 2),
+            life(500, ReplicaPhase::Draining, 1),
+            life(600, ReplicaPhase::Retired, 1),
+        ]);
+        assert_eq!(s.replica_transitions.get("spawned"), Some(&1));
+        assert_eq!(s.replica_transitions.get("draining"), Some(&1));
+        assert_eq!(s.replica_transitions.get("retired"), Some(&1));
+        assert_eq!(
+            s.replica_timeline[&1],
+            vec![
+                (SimTime::from_millis(100), 2),
+                (SimTime::from_millis(500), 1),
+                (SimTime::from_millis(600), 1),
+            ]
+        );
+        assert!(s.audit().is_empty(), "{:?}", s.audit());
+        let report = s.render();
+        assert!(report.contains("replica timeline"), "{report}");
+        assert!(report.contains("spawned=1"), "{report}");
     }
 
     #[test]
