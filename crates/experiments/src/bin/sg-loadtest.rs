@@ -7,7 +7,8 @@
 //! ```text
 //! sg-loadtest [--workload NAME] [--controller NAME] [--backend NAME]
 //!             [--nodes N] [--max-replicas N] [--rate R] [--spikerate R]
-//!             [--spikelen SECS] [--duration SECS] [--qos MS] [--seed N]
+//!             [--spikelen SECS] [--profile SPEC] [--faults PATH]
+//!             [--duration SECS] [--qos MS] [--seed N]
 //!             [--telemetry PATH] [--spans PATH] [--span-sample N/M]
 //!             [--metrics PATH] [--metrics-interval MS]
 //!             [--metrics-listen ADDR]
@@ -29,6 +30,18 @@
 //!   --rate        steady request rate; default: the calibrated base rate
 //!   --spikerate   rate during spikes; default: 1.75 × rate
 //!   --spikelen    spike duration in seconds (default 2; 0 disables spikes)
+//!   --profile     arrival shape: spike | diurnal | mmpp | trace:PATH
+//!                 (default spike). diurnal swings 0.6–1.6x the base rate
+//!                 over a 60 s cycle; mmpp is a 2-state Markov-modulated
+//!                 Poisson process with mean exactly the base rate;
+//!                 trace:PATH replays a Google-cluster-style CSV
+//!                 (`timestamp_s,rate` rows, see traces/) rescaled so its
+//!                 mean rate equals the base rate. All shapes are
+//!                 deterministic in --seed.
+//!   --faults      deterministic fault plan (JSON or TOML, see DESIGN.md
+//!                 §8): container crashes, node loss, pool leaks, network
+//!                 jitter, stragglers — injected identically on either
+//!                 backend
 //!   --duration    measurement seconds after warmup (default 30 sim, 5 live)
 //!   --qos         QoS limit in ms; default: calibrated limit
 //!   --telemetry   write the decision trace (why every scaling action
@@ -60,8 +73,9 @@ use sg_controllers::{
     CaladanFactory, CentralizedFactory, HybridFactory, LsramFactory, PartiesFactory,
     SmartHpaFactory, SurgeGuardFactory, SurgeGuardHFactory,
 };
+use sg_core::fault::FaultPlan;
 use sg_core::time::{SimDuration, SimTime};
-use sg_loadgen::{LatencyHistogram, RunReport, SpikePattern};
+use sg_loadgen::{ArrivalProfile, LatencyHistogram, RunReport, SpikePattern};
 use sg_sim::controller::{ControllerFactory, NoopFactory};
 use sg_sim::runner::Simulation;
 use sg_telemetry::{JsonlSink, SharedSink, SpanSampler};
@@ -152,6 +166,12 @@ fn main() {
         SpikePattern::constant(rate)
     };
 
+    let profile_spec = arg(&args, "--profile").unwrap_or_else(|| "spike".into());
+    let profile = ArrivalProfile::parse(&profile_spec, pattern, seed).unwrap_or_else(|e| {
+        eprintln!("bad --profile: {e}");
+        std::process::exit(2);
+    });
+
     let warmup = if live {
         SimTime::from_secs(1)
     } else {
@@ -163,11 +183,29 @@ fn main() {
     cfg.measure_start = warmup;
     cfg.seed = seed;
     cfg.max_replicas = max_replicas;
-    let arrivals = pattern.arrivals(SimTime::ZERO, end);
+    if let Some(path) = arg(&args, "--faults") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read fault plan '{path}': {e}");
+            std::process::exit(2);
+        });
+        let plan = FaultPlan::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad fault plan '{path}': {e}");
+            std::process::exit(2);
+        });
+        plan.validate(cfg.graph.len(), nodes, max_replicas)
+            .unwrap_or_else(|e| {
+                eprintln!("fault plan '{path}' does not fit this cluster: {e}");
+                std::process::exit(2);
+            });
+        eprintln!("fault plan: {} fault(s) from {path}", plan.faults.len());
+        cfg.faults = plan;
+    }
+    let arrivals = profile.arrivals(SimTime::ZERO, end);
     eprintln!(
-        "running {} on the {} backend for {duration}s at {rate:.0} req/s (spikes: {spike_rate:.0} req/s x {spike_len_s}s), qos {qos}",
+        "running {} on the {} backend for {duration}s at {rate:.0} req/s ({} profile; spikes: {spike_rate:.0} req/s x {spike_len_s}s), qos {qos}",
         controller_name,
         if live { "live" } else { "sim" },
+        profile.label(),
     );
     let telemetry_path = arg(&args, "--telemetry");
     let telemetry: Option<SharedSink> = telemetry_path.as_ref().map(|p| {

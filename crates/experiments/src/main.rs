@@ -4,7 +4,8 @@
 //! sg-experiments [EXPERIMENTS...] [--full] [--json PATH] [--serial] [--threads N]
 //!
 //!   EXPERIMENTS   any of: table1 fig4 fig5 fig6 fig7 fig10 fig11 fig12
-//!                 fig13 fig14 fig15 hybrid netsurge zoo all (default: all)
+//!                 fig13 fig14 fig15 hybrid netsurge zoo chaos all
+//!                 (default: all)
 //!   --full        paper-scale protocol (17 trials, 60s windows) —
 //!                 substantially slower
 //!   --json PATH   also write machine-readable rows to PATH
@@ -16,9 +17,9 @@
 use sg_experiments::{ExpProfile, JsonSink, Table};
 use std::time::Instant;
 
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "table1", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "hybrid", "netsurge", "zoo",
+    "hybrid", "netsurge", "zoo", "chaos",
 ];
 
 fn main() {
@@ -93,6 +94,7 @@ fn main() {
             "hybrid" => sg_experiments::hybrid::run(&profile, &mut sink),
             "netsurge" => sg_experiments::netsurge::run(&profile, &mut sink),
             "zoo" => sg_experiments::zoo::run(&profile, &mut sink),
+            "chaos" => sg_experiments::chaos::run(&profile, &mut sink),
             _ => unreachable!(),
         };
         for t in &tables {

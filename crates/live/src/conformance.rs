@@ -515,6 +515,56 @@ pub fn assert_pool_exhaustion_queues_upstream(
     );
 }
 
+/// Mean client latency over every recorded completion.
+pub fn mean_latency(result: &RunResult) -> SimDuration {
+    assert!(!result.points.is_empty(), "run recorded no completions");
+    let sum: u128 = result
+        .points
+        .iter()
+        .map(|p| p.latency.as_nanos() as u128)
+        .sum();
+    SimDuration::from_nanos((sum / result.points.len() as u128) as u64)
+}
+
+/// Mean upstream connection wait of the root service (`execTime` minus
+/// `execMetric` — the §III-B hidden-queue signal).
+pub fn upstream_conn_wait(result: &RunResult) -> SimDuration {
+    let parent = &result.profile[0];
+    assert!(parent.requests > 0, "run completed no parent requests");
+    parent
+        .mean_exec_time
+        .saturating_sub(parent.mean_exec_metric)
+}
+
+/// Directional check shared by every fault class: the faulted run must
+/// still complete requests, and its mean client latency must be strictly
+/// worse than the identical clean run on the same substrate. Absolute
+/// magnitudes differ between substrates (the live backend pays real
+/// scheduler jitter); the *direction* may not.
+pub fn assert_fault_degrades(
+    backend: Backend,
+    clean: &RunResult,
+    faulted: &RunResult,
+    fault: &str,
+) {
+    let label = backend.label();
+    assert!(
+        clean.completed > 0,
+        "[{label}] clean {fault} scenario completed no requests"
+    );
+    assert!(
+        faulted.completed > 0,
+        "[{label}] faulted {fault} scenario completed no requests"
+    );
+    let clean_mean = mean_latency(clean);
+    let faulted_mean = mean_latency(faulted);
+    assert!(
+        faulted_mean > clean_mean,
+        "[{label}] {fault} fault did not degrade latency: clean {clean_mean} vs faulted \
+         {faulted_mean}"
+    );
+}
+
 /// Directional check: the per-packet fast path reacted — at least one
 /// `SetFreq` originated from a packet hook, not a tick. (The boost counter
 /// is only ever incremented on the rx-hook path, on both substrates, so a

@@ -245,10 +245,21 @@ pub fn run_live_with_stats(
         apply_state.apply_freq(update.from, update.container, update.level);
     });
 
-    let network = match cfg.latency_surge {
-        Some(surge) => Network::new(cfg.network).with_surge(surge),
-        None => Network::new(cfg.network),
-    };
+    let mut network = Network::new(cfg.network);
+    if let Some(surge) = cfg.latency_surge {
+        network.add_surge(surge);
+    }
+    // Network-jitter faults become static surge windows, installed here
+    // exactly as the sim installs them at `Simulation::new`.
+    for f in &cfg.faults.faults {
+        if let sg_core::fault::FaultKind::NetworkJitter { extra } = f.kind {
+            network.add_surge(sg_sim::network::LatencySurge {
+                start: f.at,
+                end: f.end(),
+                extra,
+            });
+        }
+    }
 
     let cluster = Arc::new(LiveCluster {
         clock: clock.clone(),
@@ -345,6 +356,15 @@ pub fn run_live_with_stats(
                 cl.state.reset_meter_window(at);
             }
         }));
+    }
+    if !cfg.faults.is_empty() {
+        let cl = Arc::clone(&cluster);
+        threads.push(
+            std::thread::Builder::new()
+                .name("sg-live-fault".into())
+                .spawn(move || cl.fault_loop())
+                .expect("spawn fault injector"),
+        );
     }
 
     // Open-loop client on this thread: pace the schedule in real time,

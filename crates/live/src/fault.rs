@@ -1,0 +1,181 @@
+//! Deterministic fault injection on the live substrate.
+//!
+//! The driver spawns one injector thread per run (only when the config's
+//! [`sg_core::fault::FaultPlan`] is non-empty). The thread walks the
+//! plan's start/end boundaries in time order, sleeping on the shared
+//! [`crate::clock::LiveClock`] between them, and applies each fault with
+//! the same semantics as the simulator's `FaultStart`/`FaultEnd` events:
+//!
+//! * crash / node loss / straggler — a fault-speed multiplier on the
+//!   affected slots' [`crate::throttle::CoreGate`]s (crash and node loss
+//!   use `1 / CRASH_SLOWDOWN`, a straggler `1 / slowdown`); clearing a
+//!   crash or node loss also delivers [`FaultNotice::Restarted`] to the
+//!   owning node's controller, exactly as the sim does;
+//! * pool leak — `leak`/`unleak` on every [`crate::pool::LiveConnPool`]
+//!   feeding the target service;
+//! * network jitter — nothing to do here: the surge windows are installed
+//!   statically on the shared `Network` at construction, identical on
+//!   both substrates.
+//!
+//! Because the plan is static data and both substrates read the same
+//! `SimConfig::faults`, the injected schedule is identical by
+//! construction; only the wall-clock jitter of the sleeps differs.
+
+use crate::worker::LiveCluster;
+use sg_core::fault::{FaultKind, FaultNotice, CRASH_SLOWDOWN};
+use sg_core::ids::{ContainerId, ServiceId};
+use sg_core::time::SimTime;
+use sg_telemetry::TelemetryEvent;
+use std::sync::Arc;
+
+use crate::cluster::REPLICA_INACTIVE;
+
+impl LiveCluster {
+    /// Replica slots a crash/node-loss/straggler fault slows down —
+    /// the live mirror of the sim's `fault_slots`: inactive slots are
+    /// skipped, draining slots are included.
+    fn fault_slots(&self, kind: FaultKind) -> Vec<usize> {
+        let hit = |slot: usize| self.state.replica_state_of(slot) != REPLICA_INACTIVE;
+        match kind {
+            FaultKind::ContainerCrash { service } => self
+                .state
+                .layout
+                .slots_of(ServiceId(service.0))
+                .filter(|&s| hit(s))
+                .collect(),
+            FaultKind::NodeLoss { node } => (0..self.state.layout.n_slots())
+                .filter(|&s| self.state.node_of(ContainerId(s as u32)) == node && hit(s))
+                .collect(),
+            FaultKind::Straggler {
+                service, replica, ..
+            } => {
+                let slot = self.state.layout.slot_of(ServiceId(service.0), replica);
+                if hit(slot) {
+                    vec![slot]
+                } else {
+                    Vec::new()
+                }
+            }
+            FaultKind::PoolLeak { .. } | FaultKind::NetworkJitter { .. } => Vec::new(),
+        }
+    }
+
+    /// Apply `op` to every connection pool feeding `target` (every caller
+    /// edge toward it, every callee-replica pool on that edge).
+    fn for_pools_toward(&self, target: ServiceId, op: impl Fn(&crate::pool::LiveConnPool)) {
+        for caller in 0..self.cfg.graph.len() {
+            let edges: Vec<usize> = self.cfg.graph.services[caller]
+                .children
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.child == target)
+                .map(|(i, _)| i)
+                .collect();
+            if edges.is_empty() {
+                continue;
+            }
+            for slot in self.state.layout.slots_of(ServiceId(caller as u32)) {
+                for &e in &edges {
+                    for pool in &self.pools[slot][e] {
+                        op(pool);
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_fault(&self, now: SimTime, kind: FaultKind, active: bool) {
+        if let Some(sink) = &self.sink {
+            sink.emit(TelemetryEvent::Fault {
+                at: now,
+                fault: kind.label().to_string(),
+                target: kind.target_label(),
+                active,
+            });
+        }
+    }
+
+    fn fault_start(&self, now: SimTime, kind: FaultKind) {
+        match kind {
+            FaultKind::ContainerCrash { .. }
+            | FaultKind::NodeLoss { .. }
+            | FaultKind::Straggler { .. } => {
+                let speed = match kind {
+                    FaultKind::Straggler { slowdown, .. } => 1.0 / slowdown,
+                    _ => 1.0 / CRASH_SLOWDOWN,
+                };
+                for slot in self.fault_slots(kind) {
+                    self.state.gates[slot].set_fault_speed(speed);
+                }
+            }
+            FaultKind::PoolLeak {
+                service,
+                connections,
+            } => {
+                self.for_pools_toward(ServiceId(service.0), |pool| pool.leak(connections));
+            }
+            FaultKind::NetworkJitter { .. } => {
+                // Static: the surge window was installed at construction.
+            }
+        }
+        self.emit_fault(now, kind, true);
+    }
+
+    fn fault_end(&self, now: SimTime, kind: FaultKind) {
+        match kind {
+            FaultKind::ContainerCrash { .. } | FaultKind::NodeLoss { .. } => {
+                // Restart: full speed again, and the node's controller is
+                // told its profiled state about the container is stale.
+                for slot in self.fault_slots(kind) {
+                    self.state.gates[slot].set_fault_speed(1.0);
+                    let node = self.state.node_of(ContainerId(slot as u32));
+                    self.controllers[node.index()].lock().unwrap().on_fault(
+                        now,
+                        FaultNotice::Restarted {
+                            container: ContainerId(slot as u32),
+                        },
+                    );
+                }
+            }
+            FaultKind::Straggler { .. } => {
+                // The replica recovers in place: no state was lost, so no
+                // restart notice.
+                for slot in self.fault_slots(kind) {
+                    self.state.gates[slot].set_fault_speed(1.0);
+                }
+            }
+            FaultKind::PoolLeak {
+                service,
+                connections,
+            } => {
+                self.for_pools_toward(ServiceId(service.0), |pool| pool.unleak(connections));
+            }
+            FaultKind::NetworkJitter { .. } => {}
+        }
+        self.emit_fault(now, kind, false);
+    }
+
+    /// Injector thread body: walk every fault boundary in time order
+    /// (starts before ends on ties, then plan order — the sim engine's
+    /// tie-break), aborting promptly on shutdown.
+    pub fn fault_loop(self: Arc<Self>) {
+        let mut boundaries: Vec<(SimTime, bool, usize)> = Vec::new();
+        for (i, f) in self.cfg.faults.faults.iter().enumerate() {
+            boundaries.push((f.at, false, i));
+            boundaries.push((f.end(), true, i));
+        }
+        boundaries.sort_by_key(|&(t, is_end, i)| (t, is_end, i));
+        for (t, is_end, i) in boundaries {
+            if !self.clock.sleep_until_or_stop(t, &self.shutdown) {
+                return;
+            }
+            let now = self.clock.now();
+            let kind = self.cfg.faults.faults[i].kind;
+            if is_end {
+                self.fault_end(now, kind);
+            } else {
+                self.fault_start(now, kind);
+            }
+        }
+    }
+}

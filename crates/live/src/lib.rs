@@ -30,6 +30,7 @@ pub mod clock;
 pub mod cluster;
 pub mod conformance;
 pub mod driver;
+pub mod fault;
 pub mod net;
 pub mod pool;
 pub mod scrape;

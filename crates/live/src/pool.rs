@@ -6,21 +6,39 @@
 //! threadpool queue the paper's metrics section is about (§III-B): while a
 //! parent waits for a free downstream connection its `execTime` inflates
 //! but its `execMetric` does not.
+//!
+//! Fault injection leaks connections: a leaked connection is held by
+//! nobody but still counts against the capacity, so `in_use + leaked`
+//! must stay below the cap for an acquire to proceed — the same effective
+//! capacity rule the sim pool applies.
 
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 #[derive(Debug)]
 struct PoolState {
-    /// Free connections; `None` = unlimited (connection-per-request).
-    free: Option<u32>,
+    /// Pool capacity; `None` = unlimited (connection-per-request).
+    capacity: Option<u32>,
     /// Connections currently held by callers.
     in_use: u32,
+    /// Connections lost to an injected leak (held by nobody, counted
+    /// against the capacity until the fault clears).
+    leaked: u32,
     /// Threads currently blocked in [`LiveConnPool::acquire`].
     waiters: u32,
     /// Cumulative acquires that had to wait at least once.
     queued_total: u64,
     closed: bool,
+}
+
+impl PoolState {
+    /// Whether an acquire can proceed (ignoring `closed`).
+    fn has_free(&self) -> bool {
+        match self.capacity {
+            None => true,
+            Some(cap) => self.in_use + self.leaked < cap,
+        }
+    }
 }
 
 /// Point-in-time occupancy of a pool, for the metrics sampler.
@@ -47,8 +65,9 @@ impl LiveConnPool {
     pub fn new(capacity: Option<u32>) -> Self {
         LiveConnPool {
             state: Mutex::new(PoolState {
-                free: capacity,
+                capacity,
                 in_use: 0,
+                leaked: 0,
                 waiters: 0,
                 queued_total: 0,
                 closed: false,
@@ -70,44 +89,60 @@ impl LiveConnPool {
                 }
                 return None;
             }
-            match s.free {
-                // Connection-per-request *never* waits; report exactly
-                // zero so `execMetric == execTime` holds on this substrate
-                // just as it does in the sim.
-                None => {
-                    s.in_use += 1;
-                    return Some(Duration::ZERO);
-                }
-                Some(n) if n > 0 => {
-                    s.free = Some(n - 1);
-                    s.in_use += 1;
-                    if waiting {
-                        s.waiters -= 1;
-                    }
+            if s.has_free() {
+                s.in_use += 1;
+                if waiting {
+                    s.waiters -= 1;
                     return Some(start.elapsed());
                 }
-                Some(_) => {
-                    if !waiting {
-                        waiting = true;
-                        s.waiters += 1;
-                        s.queued_total += 1;
-                    }
-                    let (guard, _) = self.cv.wait_timeout(s, Duration::from_millis(10)).unwrap();
-                    s = guard;
-                }
+                // Connection-per-request (and an uncontended fixed pool)
+                // never waits; report exactly zero for the `None` case so
+                // `execMetric == execTime` holds on this substrate just as
+                // it does in the sim.
+                return Some(if s.capacity.is_none() {
+                    Duration::ZERO
+                } else {
+                    start.elapsed()
+                });
             }
+            if !waiting {
+                waiting = true;
+                s.waiters += 1;
+                s.queued_total += 1;
+            }
+            let (guard, _) = self.cv.wait_timeout(s, Duration::from_millis(10)).unwrap();
+            s = guard;
         }
     }
 
-    /// Return a connection; one blocked waiter proceeds.
+    /// Return a connection; one blocked waiter proceeds (unless a leak
+    /// has pushed the pool over its effective capacity, in which case the
+    /// release is absorbed by the leak instead).
     pub fn release(&self) {
         let mut s = self.state.lock().unwrap();
-        if let Some(n) = s.free {
-            s.free = Some(n + 1);
-        }
         s.in_use = s.in_use.saturating_sub(1);
         drop(s);
         self.cv.notify_one();
+    }
+
+    /// Fault injection: leak `n` connections, shrinking the effective
+    /// capacity to `cap - leaked`. Saturates at the capacity (a fully
+    /// leaked pool admits nothing); no-op on unbounded pools — there is
+    /// nothing to exhaust, same as the sim.
+    pub fn leak(&self, n: u32) {
+        let mut s = self.state.lock().unwrap();
+        if let Some(cap) = s.capacity {
+            s.leaked = (s.leaked + n).min(cap);
+        }
+    }
+
+    /// The leak's fault window ends: reclaim `n` leaked connections and
+    /// wake waiters that now fit under the effective capacity.
+    pub fn unleak(&self, n: u32) {
+        let mut s = self.state.lock().unwrap();
+        s.leaked = s.leaked.saturating_sub(n);
+        drop(s);
+        self.cv.notify_all();
     }
 
     /// Occupancy snapshot for the metrics sampler.
@@ -188,5 +223,50 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         p.close();
         assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn leak_shrinks_capacity_and_unleak_restores() {
+        // Capacity 2, one leaked: only one acquire fits.
+        let p = Arc::new(LiveConnPool::new(Some(2)));
+        p.leak(1);
+        assert!(p.acquire().is_some());
+        let p2 = p.clone();
+        let h = std::thread::spawn(move || p2.acquire().unwrap());
+        while p.stats().waiters == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Reclaiming the leaked connection admits the waiter.
+        p.unleak(1);
+        h.join().unwrap();
+        assert_eq!(p.stats().in_use, 2);
+    }
+
+    #[test]
+    fn leak_is_inert_on_unbounded_pools() {
+        let p = LiveConnPool::new(None);
+        p.leak(10);
+        assert!(p.acquire().unwrap() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn release_is_absorbed_while_over_leaked_capacity() {
+        // Saturate capacity 1, then leak it out from under the holder:
+        // the release must not admit the waiter — the leak holds the slot
+        // until the fault clears.
+        let p = Arc::new(LiveConnPool::new(Some(1)));
+        p.acquire().unwrap();
+        p.leak(1);
+        let p2 = p.clone();
+        let h = std::thread::spawn(move || p2.acquire().unwrap());
+        while p.stats().waiters == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        p.release();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(p.stats().waiters, 1, "waiter admitted past the leak");
+        p.unleak(1);
+        h.join().unwrap();
+        assert_eq!(p.stats().in_use, 1);
     }
 }

@@ -29,8 +29,16 @@ const BURST_WALL_NS: f64 = 1_000_000.0;
 
 #[derive(Debug)]
 struct GateState {
-    /// Work-ns earned per wall-ns: `min(cores, bw_cap) × speedup`.
+    /// Work-ns earned per wall-ns: `min(cores, bw_cap) × speedup × fault`.
     rate: f64,
+    /// Allocation component of `rate` (before the fault multiplier), so
+    /// capacity changes and fault injection compose without clobbering
+    /// each other.
+    base_rate: f64,
+    /// Fault-injection multiplier (1.0 = healthy) — the live analogue of
+    /// the sim container's `fault_speed`, applied after cores, DVFS and
+    /// the bandwidth cap.
+    fault: f64,
     /// DVFS speedup; a single request executes at this rate.
     speedup: f64,
     tokens: f64,
@@ -70,6 +78,8 @@ impl CoreGate {
         CoreGate {
             state: Mutex::new(GateState {
                 rate,
+                base_rate: rate,
+                fault: 1.0,
                 speedup,
                 // Start with a full burst so the first requests of a run
                 // are not throttled by an empty bucket.
@@ -82,11 +92,27 @@ impl CoreGate {
     }
 
     /// Apply a new allocation (cores / DVFS level / bandwidth cap change).
+    /// Preserves any fault-injection multiplier currently in force.
     pub fn set_capacity(&self, cores: u32, speedup: f64, bw_cap: Option<f64>) {
         let mut s = self.state.lock().unwrap();
         s.refill();
-        s.rate = effective_rate(cores, speedup, bw_cap);
+        s.base_rate = effective_rate(cores, speedup, bw_cap);
+        s.rate = (s.base_rate * s.fault).max(1e-9);
         s.speedup = speedup;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Apply a fault-injection speed multiplier (1.0 = healthy). Like the
+    /// sim container's `set_fault_speed`: scales the earn rate only, so a
+    /// crashed container freezes aggregate progress while shutdown and
+    /// capacity changes are still noticed promptly.
+    pub fn set_fault_speed(&self, speed: f64) {
+        assert!(speed > 0.0, "fault speed must be positive");
+        let mut s = self.state.lock().unwrap();
+        s.refill();
+        s.fault = speed;
+        s.rate = (s.base_rate * s.fault).max(1e-9);
         drop(s);
         self.cv.notify_all();
     }
@@ -176,6 +202,24 @@ mod tests {
             dt >= Duration::from_millis(15),
             "no contention seen: {dt:?}"
         );
+    }
+
+    #[test]
+    fn fault_speed_throttles_and_recovery_restores() {
+        // Crashed (1e-3): 5 ms of work cannot finish in 50 ms of wall
+        // time. Restoring the multiplier lets it finish promptly, and the
+        // fault factor survives an interleaved capacity change.
+        let gate = Arc::new(CoreGate::new(2, 1.0, None));
+        gate.set_fault_speed(1e-3);
+        gate.set_capacity(4, 1.0, None);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let g = gate.clone();
+        let sd = shutdown.clone();
+        let h = std::thread::spawn(move || g.run(SimDuration::from_millis(5), &sd));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!h.is_finished(), "crashed gate made progress");
+        gate.set_fault_speed(1.0);
+        assert!(h.join().unwrap());
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! * [`spike`] — deterministic open-loop arrival schedules with periodic
 //!   request-rate spikes (`-rate`, `-spikerate`, `-spikelen`), free of
 //!   coordinated omission;
+//! * [`profile`] — the [`ArrivalProfile`] abstraction over load shapes
+//!   beyond the spike protocol: diurnal day/night cycles, seeded 2-state
+//!   MMPP bursts, and trace-driven (CSV) rate timelines;
 //! * [`histogram`] — an HDR-style latency histogram (wrk2's reporting
 //!   structure);
 //! * [`report`] — per-run reports (violation volume, tails, cores,
@@ -15,9 +18,11 @@
 #![forbid(unsafe_code)]
 
 pub mod histogram;
+pub mod profile;
 pub mod report;
 pub mod spike;
 
 pub use histogram::LatencyHistogram;
+pub use profile::{ArrivalProfile, DiurnalCurve, Mmpp, TraceProfile};
 pub use report::{trimmed_mean, AggregateReport, RunReport};
 pub use spike::{short_surge, SpikePattern};

@@ -50,12 +50,17 @@ impl SpikePattern {
     }
 
     /// Instantaneous rate at `t`.
+    ///
+    /// Spike windows are half-open: at `into_period == spike_len` exactly
+    /// the rate is already back to base. A zero `period` (possible for
+    /// hand-built `constant()`-like patterns) never divides — the pattern
+    /// is simply flat at the base rate.
     pub fn rate_at(&self, t: SimTime) -> f64 {
-        if self.spike_len.is_zero() || t < self.first_spike {
+        if self.spike_len.is_zero() || self.period.is_zero() || t < self.first_spike {
             return self.base_rate;
         }
         let since = t.saturating_since(self.first_spike);
-        let into_period = SimDuration::from_nanos(since.as_nanos() % self.period.as_nanos().max(1));
+        let into_period = SimDuration::from_nanos(since.as_nanos() % self.period.as_nanos());
         if into_period < self.spike_len {
             self.spike_rate
         } else {
@@ -69,26 +74,46 @@ impl SpikePattern {
     }
 
     /// Deterministically paced arrival schedule over `[start, end)`.
+    ///
+    /// The window is decomposed into constant-rate segments (base/spike
+    /// alternation) and each segment is paced from its own start by
+    /// arrival *index* ([`sg_core::time::paced_offset`]), so the realized
+    /// rate of every segment stays within ±0.5 ns of nominal regardless
+    /// of schedule length — no cumulative period-truncation drift.
     pub fn arrivals(&self, start: SimTime, end: SimTime) -> Vec<SimTime> {
         assert!(
             self.base_rate > 0.0 && self.spike_rate > 0.0,
             "rates must be positive"
         );
         let mut out = Vec::new();
-        let mut t = start;
-        while t < end {
-            out.push(t);
-            let gap = SimDuration::from_secs_f64(1.0 / self.rate_at(t));
-            // Guard against sub-nanosecond gaps from absurd rates.
-            t += gap.max(SimDuration::from_nanos(1));
+        for (s, e, rate) in self.segments(start, end) {
+            crate::profile::pace_into(&mut out, s, e, rate);
         }
         out
     }
 
+    /// Decompose `[start, end)` into half-open constant-rate segments.
+    fn segments(&self, start: SimTime, end: SimTime) -> Vec<(SimTime, SimTime, f64)> {
+        let mut segs = Vec::new();
+        let mut cursor = start;
+        for (ws, we) in self.spike_windows(start, end) {
+            if ws > cursor {
+                segs.push((cursor, ws, self.base_rate));
+            }
+            segs.push((ws, we, self.spike_rate));
+            cursor = we;
+        }
+        if cursor < end {
+            segs.push((cursor, end, self.base_rate));
+        }
+        segs
+    }
+
     /// Spike windows intersecting `[start, end)`, for plotting/analysis.
+    /// A zero `period` cannot repeat, so such patterns have no windows.
     pub fn spike_windows(&self, start: SimTime, end: SimTime) -> Vec<(SimTime, SimTime)> {
         let mut out = Vec::new();
-        if self.spike_len.is_zero() {
+        if self.spike_len.is_zero() || self.period.is_zero() {
             return out;
         }
         let mut s = self.first_spike;
@@ -182,6 +207,90 @@ mod tests {
                 (SimTime::from_secs(30), SimTime::from_secs(32)),
             ]
         );
+    }
+
+    /// Pin the half-open spike window: at `into_period == spike_len`
+    /// exactly, the rate is already back to base.
+    #[test]
+    fn spike_end_boundary_is_exclusive() {
+        let p = SpikePattern::periodic(1000.0, 1.75, SimDuration::from_secs(2));
+        // First spike covers [10, 12): 12.0 exactly is base again.
+        assert_eq!(p.rate_at(SimTime::from_secs(12)), 1000.0);
+        assert_eq!(
+            p.rate_at(SimTime::from_secs(12) - SimDuration::from_nanos(1)),
+            1750.0
+        );
+        // Same at every later period boundary.
+        assert_eq!(p.rate_at(SimTime::from_secs(22)), 1000.0);
+        assert!(!p.in_spike(SimTime::from_secs(12)));
+    }
+
+    /// A pattern whose first spike starts at time zero is already spiking
+    /// at t = 0 and exits the window half-open like any other.
+    #[test]
+    fn first_spike_at_zero() {
+        let p = SpikePattern {
+            first_spike: SimTime::ZERO,
+            ..SpikePattern::periodic(1000.0, 2.0, SimDuration::from_secs(2))
+        };
+        assert_eq!(p.rate_at(SimTime::ZERO), 2000.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(2)), 1000.0);
+        let a = p.arrivals(SimTime::ZERO, SimTime::from_secs(10));
+        // [0,2) spike at 2000 + [2,10) base at 1000.
+        assert_eq!(a.len(), 4000 + 8000);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// A zero period must never be divided by (or loop forever): the
+    /// pattern degenerates to a flat base rate.
+    #[test]
+    fn zero_period_never_divides() {
+        let p = SpikePattern {
+            period: SimDuration::ZERO,
+            ..SpikePattern::constant(500.0)
+        };
+        assert_eq!(p.rate_at(SimTime::ZERO), 500.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(100)), 500.0);
+        assert!(p
+            .spike_windows(SimTime::ZERO, SimTime::from_secs(100))
+            .is_empty());
+        assert_eq!(p.arrivals(SimTime::ZERO, SimTime::from_secs(2)).len(), 1000);
+        // Even with a nominal spike length, a zero period cannot repeat.
+        let p = SpikePattern {
+            period: SimDuration::ZERO,
+            spike_len: SimDuration::from_secs(1),
+            ..SpikePattern::constant(500.0)
+        };
+        assert_eq!(p.rate_at(SimTime::from_secs(50)), 500.0);
+        assert!(p
+            .spike_windows(SimTime::ZERO, SimTime::from_secs(100))
+            .is_empty());
+    }
+
+    /// Regression for the pacing-drift bug: a 10-minute constant schedule
+    /// at a rate that does not divide 1e9 must realize `rate × duration`
+    /// arrivals within 1 (the accumulated-period scheme drifted by >100).
+    #[test]
+    fn ten_minute_schedule_does_not_drift() {
+        let rate = 2997.0;
+        let a = SpikePattern::constant(rate).arrivals(SimTime::ZERO, SimTime::from_secs(600));
+        let expected = (rate * 600.0).round() as i64;
+        assert!(
+            (a.len() as i64 - expected).abs() <= 1,
+            "realized {} arrivals, expected {expected}",
+            a.len()
+        );
+    }
+
+    /// Segment decomposition pins exact per-segment arrival counts: drift
+    /// cannot hide inside spike boundaries.
+    #[test]
+    fn spiky_schedule_counts_are_exact_per_segment() {
+        let p = SpikePattern::periodic(1000.0, 2.0, SimDuration::from_secs(2));
+        let a = p.arrivals(SimTime::ZERO, SimTime::from_secs(30));
+        // [0,10) + [12,20) + [22,30) at 1000/s, [10,12) + [20,22) at 2000/s.
+        assert_eq!(a.len(), 26_000 + 8_000);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::power::PowerModel;
 use serde::{Deserialize, Serialize};
 use sg_core::allocator::{AllocConstraints, FreqTable};
 use sg_core::config::ContainerParams;
+use sg_core::fault::FaultPlan;
 use sg_core::ids::{NodeId, ServiceId};
 use sg_core::time::{SimDuration, SimTime};
 
@@ -83,6 +84,9 @@ pub struct SimConfig {
     pub network: NetworkConfig,
     /// Optional fabric latency surge.
     pub latency_surge: Option<LatencySurge>,
+    /// Deterministic fault-injection plan (empty = no faults). Injected
+    /// identically on both substrates.
+    pub faults: FaultPlan,
     /// Optional initial memory-bandwidth caps per service, in
     /// base-frequency core-equivalents (§VII extension). Empty = nobody
     /// is bandwidth-constrained.
@@ -141,6 +145,7 @@ impl SimConfig {
             freq_table: FreqTable::cascade_lake(),
             network: NetworkConfig::default(),
             latency_surge: None,
+            faults: FaultPlan::default(),
             bw_caps: Vec::new(),
             power: PowerModel::default(),
             e2e_low_load: SimDuration::from_millis(5),
@@ -213,6 +218,8 @@ impl SimConfig {
         if self.measure_start >= self.end {
             return Err("measure_start must precede end".into());
         }
+        self.faults
+            .validate(self.graph.len(), self.placement.nodes, self.max_replicas)?;
         Ok(())
     }
 }
@@ -261,5 +268,33 @@ mod tests {
         let mut cfg = SimConfig::new(g2, Placement::single_node(3));
         cfg.initial_cores = vec![30, 30, 30];
         assert!(cfg.validate().is_err(), "over node capacity");
+    }
+
+    #[test]
+    fn fault_plan_is_validated_against_the_cluster() {
+        use sg_core::fault::{FaultKind, FaultSpec};
+        use sg_core::ids::ServiceId;
+
+        let g = linear_chain(
+            "t",
+            &[SimDuration::from_micros(100); 3],
+            ConnModel::PerRequest,
+            0.0,
+        );
+        let mut cfg = SimConfig::new(g, Placement::single_node(3));
+        cfg.faults.faults.push(FaultSpec {
+            at: SimTime::from_secs(1),
+            duration: SimDuration::from_millis(100),
+            kind: FaultKind::ContainerCrash {
+                service: ServiceId(2),
+            },
+        });
+        assert!(cfg.validate().is_ok());
+        cfg.faults.faults[0].kind = FaultKind::ContainerCrash {
+            service: ServiceId(7),
+        };
+        assert!(cfg.validate().is_err(), "service out of range");
+        cfg.faults.faults[0].kind = FaultKind::NodeLoss { node: NodeId(1) };
+        assert!(cfg.validate().is_err(), "node out of range");
     }
 }

@@ -29,6 +29,9 @@ pub struct ConnPool {
     /// `None` = connection-per-request (unbounded).
     capacity: Option<u32>,
     in_use: u32,
+    /// Connections held by a fault injection (leaked: nobody can release
+    /// them until the fault clears). Always 0 on unbounded pools.
+    leaked: u32,
     waiters: VecDeque<(InvocationId, SimTime)>,
     /// Lifetime statistics: how many acquires had to queue.
     queued_total: u64,
@@ -45,6 +48,7 @@ impl ConnPool {
         ConnPool {
             capacity,
             in_use: 0,
+            leaked: 0,
             waiters: VecDeque::new(),
             queued_total: 0,
             peak_in_use: 0,
@@ -71,10 +75,45 @@ impl ConnPool {
         self.peak_in_use
     }
 
+    /// Connections currently leaked by a fault injection.
+    pub fn leaked(&self) -> u32 {
+        self.leaked
+    }
+
+    /// Leak `n` connections: they count against capacity but nobody can
+    /// release them. Capped at the pool capacity; a no-op on unbounded
+    /// pools (connection-per-request callers have nothing to leak).
+    pub fn leak(&mut self, n: u32) {
+        if let Some(cap) = self.capacity {
+            self.leaked = (self.leaked + n).min(cap);
+        }
+    }
+
+    /// Reclaim up to `n` leaked connections, handing freed capacity to
+    /// FIFO waiters. Returns the granted `(waiter, enqueue_time)` pairs —
+    /// each now holds a connection and the caller must issue its RPC.
+    pub fn unleak(&mut self, n: u32) -> Vec<(InvocationId, SimTime)> {
+        self.leaked = self.leaked.saturating_sub(n);
+        let mut granted = Vec::new();
+        if let Some(cap) = self.capacity {
+            while self.in_use + self.leaked < cap {
+                match self.waiters.pop_front() {
+                    Some(w) => {
+                        self.in_use += 1;
+                        self.peak_in_use = self.peak_in_use.max(self.in_use);
+                        granted.push(w);
+                    }
+                    None => break,
+                }
+            }
+        }
+        granted
+    }
+
     /// Attempt to take a connection for `inv` at `now`.
     pub fn acquire(&mut self, now: SimTime, inv: InvocationId) -> Acquire {
         match self.capacity {
-            Some(cap) if self.in_use >= cap => {
+            Some(cap) if self.in_use + self.leaked >= cap => {
                 self.waiters.push_back((inv, now));
                 self.queued_total += 1;
                 Acquire::Queued
@@ -93,6 +132,15 @@ impl ConnPool {
     /// caller can account the wait and issue the RPC.
     pub fn release(&mut self) -> Option<(InvocationId, SimTime)> {
         debug_assert!(self.in_use > 0, "release without acquire");
+        // A leak can push `in_use + leaked` over capacity (connections
+        // granted before the fault stay granted); while over, releases
+        // shrink the pool instead of handing to a waiter.
+        if let Some(cap) = self.capacity {
+            if self.in_use + self.leaked > cap {
+                self.in_use -= 1;
+                return None;
+            }
+        }
         match self.waiters.pop_front() {
             Some(w) => {
                 // Connection transfers to the waiter: in_use unchanged.
@@ -194,5 +242,55 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = ConnPool::new(Some(0));
+    }
+
+    #[test]
+    fn leaked_connections_shrink_capacity() {
+        let mut p = ConnPool::new(Some(4));
+        p.leak(2);
+        assert_eq!(p.acquire(t(0), 1), Acquire::Granted);
+        assert_eq!(p.acquire(t(0), 2), Acquire::Granted);
+        assert_eq!(p.acquire(t(1), 3), Acquire::Queued, "leak shrank the pool");
+        // Reclaiming hands the freed connection straight to the waiter.
+        let granted = p.unleak(2);
+        assert_eq!(granted, vec![(3, t(1))]);
+        assert_eq!(p.in_use(), 3);
+        assert_eq!(p.leaked(), 0);
+        assert_eq!(p.acquire(t(2), 4), Acquire::Granted, "full capacity back");
+    }
+
+    #[test]
+    fn leak_with_pool_saturated_drains_via_releases() {
+        let mut p = ConnPool::new(Some(2));
+        assert_eq!(p.acquire(t(0), 1), Acquire::Granted);
+        assert_eq!(p.acquire(t(0), 2), Acquire::Granted);
+        p.leak(1);
+        assert_eq!(p.acquire(t(1), 3), Acquire::Queued);
+        // Over effective capacity: the first release shrinks the pool
+        // (the waiter must not be granted a connection the leak holds).
+        assert_eq!(p.release(), None);
+        assert_eq!(p.in_use(), 1);
+        assert_eq!(p.queue_len(), 1);
+        // Back at effective capacity: the next release hands off FIFO.
+        assert_eq!(p.release(), Some((3, t(1))));
+    }
+
+    #[test]
+    fn leak_is_inert_on_unbounded_pools() {
+        let mut p = ConnPool::new(None);
+        p.leak(100);
+        assert_eq!(p.leaked(), 0);
+        assert_eq!(p.acquire(t(0), 1), Acquire::Granted);
+        assert!(p.unleak(100).is_empty());
+    }
+
+    #[test]
+    fn leak_saturates_at_capacity() {
+        let mut p = ConnPool::new(Some(3));
+        p.leak(10);
+        assert_eq!(p.leaked(), 3);
+        assert_eq!(p.acquire(t(0), 1), Acquire::Queued, "fully leaked");
+        let granted = p.unleak(10);
+        assert_eq!(granted, vec![(1, t(0))]);
     }
 }

@@ -65,6 +65,11 @@ pub struct Container {
 
     cores: u32,
     freq_speedup: f64,
+    /// Fault-injection execution multiplier (1.0 = healthy). A crashed
+    /// container runs at `1/CRASH_SLOWDOWN`, a straggler at
+    /// `1/slowdown` — applied after cores, DVFS and the bandwidth cap so
+    /// the whole container slows, not just its CPU side.
+    fault_speed: f64,
     /// Memory-bandwidth cap on the container's total execution rate, in
     /// base-frequency core-equivalents (§VII extension: a
     /// bandwidth-partitioned container cannot retire work faster than its
@@ -96,6 +101,7 @@ impl Container {
             window: MetricsWindow::new(),
             cores,
             freq_speedup: 1.0,
+            fault_speed: 1.0,
             bw_cap: None,
             virt: 0.0,
             last_update: SimTime::ZERO,
@@ -119,6 +125,11 @@ impl Container {
         self.bw_cap
     }
 
+    /// Current fault-injection execution multiplier (1.0 = healthy).
+    pub fn fault_speed(&self) -> f64 {
+        self.fault_speed
+    }
+
     /// Number of runnable threads (active work phases).
     pub fn active_threads(&self) -> usize {
         self.phases.len()
@@ -139,12 +150,13 @@ impl Container {
         }
         let share = (self.cores as f64 / n as f64).min(1.0);
         let cpu_rate = self.freq_speedup * share;
-        match self.bw_cap {
+        let rate = match self.bw_cap {
             // The memory system bounds the container's TOTAL retire rate;
             // threads share it equally like they share cores.
             Some(b) => cpu_rate.min(b / n as f64),
             None => cpu_rate,
-        }
+        };
+        rate * self.fault_speed
     }
 
     /// Advance the virtual clock to `now`.
@@ -186,6 +198,16 @@ impl Container {
         }
         self.advance(now);
         self.bw_cap = cap;
+        self.epoch += 1;
+    }
+
+    /// Change the fault-injection execution multiplier (1.0 = healthy;
+    /// must be positive so in-flight phases keep a finite completion
+    /// time). Bumps the epoch.
+    pub fn set_fault_speed(&mut self, now: SimTime, speed: f64) {
+        assert!(speed > 0.0, "fault speed must be positive");
+        self.advance(now);
+        self.fault_speed = speed;
         self.epoch += 1;
     }
 
@@ -406,6 +428,34 @@ mod tests {
             ct.next_completion(SimTime::from_micros(100)).unwrap(),
             SimTime::from_micros(125),
         );
+    }
+
+    #[test]
+    fn fault_speed_slows_and_recovery_restores() {
+        let mut ct = c(2);
+        let t0 = SimTime::ZERO;
+        ct.add_phase(t0, 1, us(100));
+        // A 4x straggler: the 100us phase takes 400us.
+        ct.set_fault_speed(t0, 0.25);
+        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(400));
+        // Recovery at 200us: half the work is done, the rest runs at
+        // full speed again.
+        let mid = SimTime::from_micros(200);
+        ct.set_fault_speed(mid, 1.0);
+        assert_eq!(ct.next_completion(mid).unwrap(), SimTime::from_micros(250));
+    }
+
+    #[test]
+    fn crash_speed_freezes_progress() {
+        let mut ct = c(2);
+        let t0 = SimTime::ZERO;
+        ct.add_phase(t0, 1, us(100));
+        ct.set_fault_speed(t0, 1.0 / sg_core::fault::CRASH_SLOWDOWN);
+        // Over a realistic 500ms fault window the phase is nowhere near
+        // done (it would need 100ms of frozen-rate service).
+        let end = ct.next_completion(t0).unwrap();
+        assert!(end >= t0 + SimDuration::from_millis(100));
+        assert!(ct.pop_completed(SimTime::from_millis(50)).is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use sg_core::allocator::{AllocConstraints, ContainerAlloc, FreqTable};
 use sg_core::config::ContainerParams;
+use sg_core::fault::FaultNotice;
 use sg_core::ids::{ContainerId, NodeId, ServiceId};
 use sg_core::metadata::RpcMetadata;
 use sg_core::metrics::WindowMetrics;
@@ -193,6 +194,16 @@ pub trait Controller: Send {
     ) -> Vec<ControlAction> {
         let _ = (now, dest, meta);
         Vec::new()
+    }
+
+    /// Fault-recovery hook: delivered when a fault event on this node
+    /// requires the controller to react beyond what its metrics already
+    /// show — e.g. a local container crashed and restarted, so profiled
+    /// state about it (sensitivity measurements) describes the pre-crash
+    /// instance. Both substrates deliver the same notices at the same
+    /// plan times. Default: ignore.
+    fn on_fault(&mut self, now: SimTime, notice: FaultNotice) {
+        let _ = (now, notice);
     }
 
     /// Hand the controller a telemetry sink for decision-trace events the

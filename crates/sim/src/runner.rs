@@ -11,12 +11,14 @@ use crate::controller::{
 };
 use crate::engine::{Engine, EngineStorage};
 use crate::event::{Event, InvocationId, Packet, PacketKind};
+use crate::network::LatencySurge;
 use crate::network::Network;
 use crate::power::EnergyMeter;
 use crate::trace::AllocTrace;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use sg_core::allocator::ContainerAlloc;
+use sg_core::fault::{FaultKind, FaultNotice, CRASH_SLOWDOWN};
 use sg_core::ids::{ContainerId, NodeId, ServiceId};
 use sg_core::metadata::RpcMetadata;
 use sg_core::metrics::RequestSample;
@@ -367,10 +369,21 @@ impl Simulation {
             meter.set_state(SimTime::ZERO, slot, alloc.cores, cfg.freq_table.ghz(0));
         }
 
-        let network = match cfg.latency_surge {
-            Some(surge) => Network::new(cfg.network).with_surge(surge),
-            None => Network::new(cfg.network),
-        };
+        let mut network = Network::new(cfg.network);
+        if let Some(surge) = cfg.latency_surge {
+            network.add_surge(surge);
+        }
+        // Fault-plan jitter windows are static data known before the run:
+        // install them at construction, exactly like the live substrate.
+        for f in &cfg.faults.faults {
+            if let FaultKind::NetworkJitter { extra } = f.kind {
+                network.add_surge(LatencySurge {
+                    start: f.at,
+                    end: f.end(),
+                    extra,
+                });
+            }
+        }
 
         let trace = cfg.trace_allocations.then(AllocTrace::new);
         let seed = cfg.seed;
@@ -500,6 +513,13 @@ impl Simulation {
                 },
             );
         }
+        for i in 0..self.cfg.faults.faults.len() {
+            let f = self.cfg.faults.faults[i];
+            self.engine
+                .schedule(f.at, Event::FaultStart { idx: i as u32 });
+            self.engine
+                .schedule(f.end(), Event::FaultEnd { idx: i as u32 });
+        }
 
         let end = self.cfg.end;
         while let Some((now, event)) = self.engine.pop() {
@@ -588,7 +608,158 @@ impl Simulation {
             }
             Event::ControllerTick { node } => self.on_controller_tick(now, node),
             Event::FreqApply { container, level } => self.apply_freq(now, container, level),
+            Event::FaultStart { idx } => self.on_fault_start(now, idx),
+            Event::FaultEnd { idx } => self.on_fault_end(now, idx),
         }
+    }
+
+    // ---------------------------------------------------------------
+    // fault injection
+    // ---------------------------------------------------------------
+
+    /// Replica slots a crash/node-loss/straggler fault slows down.
+    /// Inactive slots are skipped (nothing runs there); draining slots are
+    /// included (their in-flight work is hit like anyone else's).
+    fn fault_slots(&self, kind: FaultKind) -> Vec<usize> {
+        let hit = |slot: usize| self.replica_state[slot] != ReplicaState::Inactive;
+        match kind {
+            FaultKind::ContainerCrash { service } => self
+                .layout
+                .slots_of(ServiceId(service.0))
+                .filter(|&s| hit(s))
+                .collect(),
+            FaultKind::NodeLoss { node } => (0..self.containers.len())
+                .filter(|&s| self.containers[s].node == node && hit(s))
+                .collect(),
+            FaultKind::Straggler {
+                service, replica, ..
+            } => {
+                let slot = self.layout.slot_of(ServiceId(service.0), replica);
+                if hit(slot) {
+                    vec![slot]
+                } else {
+                    Vec::new()
+                }
+            }
+            FaultKind::PoolLeak { .. } | FaultKind::NetworkJitter { .. } => Vec::new(),
+        }
+    }
+
+    /// Apply `op` to every connection pool feeding `target` (every caller
+    /// edge toward it, every callee-replica pool on that edge), collecting
+    /// granted waiters as `(parent_invocation, edge, rep, enqueue_time)`.
+    fn for_pools_toward(
+        &mut self,
+        target: ServiceId,
+        op: impl Fn(&mut ConnPool) -> Vec<(InvocationId, SimTime)>,
+    ) -> Vec<(InvocationId, u16, u16, SimTime)> {
+        let mut granted = Vec::new();
+        for caller in 0..self.cfg.graph.len() {
+            let edges: Vec<usize> = self.cfg.graph.services[caller]
+                .children
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.child == target)
+                .map(|(i, _)| i)
+                .collect();
+            if edges.is_empty() {
+                continue;
+            }
+            for slot in self.layout.slots_of(ServiceId(caller as u32)) {
+                for &e in &edges {
+                    for rep in 0..self.pools[slot][e].len() {
+                        for (inv, enq) in op(&mut self.pools[slot][e][rep]) {
+                            granted.push((inv, e as u16, rep as u16, enq));
+                        }
+                    }
+                }
+            }
+        }
+        granted
+    }
+
+    fn emit_fault(&self, now: SimTime, kind: FaultKind, active: bool) {
+        if let Some(sink) = &self.sink {
+            sink.emit(TelemetryEvent::Fault {
+                at: now,
+                fault: kind.label().to_string(),
+                target: kind.target_label(),
+                active,
+            });
+        }
+    }
+
+    fn on_fault_start(&mut self, now: SimTime, idx: u32) {
+        let kind = self.cfg.faults.faults[idx as usize].kind;
+        match kind {
+            FaultKind::ContainerCrash { .. }
+            | FaultKind::NodeLoss { .. }
+            | FaultKind::Straggler { .. } => {
+                let speed = match kind {
+                    FaultKind::Straggler { slowdown, .. } => 1.0 / slowdown,
+                    _ => 1.0 / CRASH_SLOWDOWN,
+                };
+                for slot in self.fault_slots(kind) {
+                    self.containers[slot].set_fault_speed(now, speed);
+                    self.reschedule(now, ContainerId(slot as u32));
+                }
+            }
+            FaultKind::PoolLeak {
+                service,
+                connections,
+            } => {
+                self.for_pools_toward(ServiceId(service.0), |pool| {
+                    pool.leak(connections);
+                    Vec::new()
+                });
+            }
+            FaultKind::NetworkJitter { .. } => {
+                // Static: the surge window was installed at construction.
+            }
+        }
+        self.emit_fault(now, kind, true);
+    }
+
+    fn on_fault_end(&mut self, now: SimTime, idx: u32) {
+        let kind = self.cfg.faults.faults[idx as usize].kind;
+        match kind {
+            FaultKind::ContainerCrash { .. } | FaultKind::NodeLoss { .. } => {
+                // Restart: full speed again, and the node's controller is
+                // told its profiled state about the container is stale.
+                for slot in self.fault_slots(kind) {
+                    self.containers[slot].set_fault_speed(now, 1.0);
+                    self.reschedule(now, ContainerId(slot as u32));
+                    let node = self.containers[slot].node;
+                    self.controllers[node.index()].on_fault(
+                        now,
+                        FaultNotice::Restarted {
+                            container: ContainerId(slot as u32),
+                        },
+                    );
+                }
+            }
+            FaultKind::Straggler { .. } => {
+                // The replica recovers in place: no state was lost, so no
+                // restart notice.
+                for slot in self.fault_slots(kind) {
+                    self.containers[slot].set_fault_speed(now, 1.0);
+                    self.reschedule(now, ContainerId(slot as u32));
+                }
+            }
+            FaultKind::PoolLeak {
+                service,
+                connections,
+            } => {
+                let granted =
+                    self.for_pools_toward(ServiceId(service.0), |pool| pool.unleak(connections));
+                for (inv, edge, rep, enq) in granted {
+                    let waited = now.saturating_since(enq);
+                    self.send_child_rpc(now, inv, edge as usize, rep, waited);
+                }
+            }
+            FaultKind::NetworkJitter { .. } => {}
+        }
+        self.emit_fault(now, kind, false);
     }
 
     fn on_client_arrival(&mut self, now: SimTime, arrival_idx: u32) {

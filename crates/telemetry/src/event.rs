@@ -321,6 +321,18 @@ pub enum TelemetryEvent {
         /// after the transition.
         active: u32,
     },
+    /// A fault-plan injection began or cleared (see `sg_core::fault`).
+    Fault {
+        /// When the fault state changed.
+        at: SimTime,
+        /// Fault class: `crash`, `node-loss`, `pool-leak`, `jitter`, or
+        /// `straggler`.
+        fault: String,
+        /// Target label: `svc:1`, `node:0`, `svc:1#2`, or `net`.
+        target: String,
+        /// `true` at injection, `false` when the fault clears.
+        active: bool,
+    },
     /// One span of a traced request (see [`crate::span`]).
     Span(SpanRecord),
     /// One sampled point of an internal-state series (see
@@ -465,6 +477,18 @@ impl TelemetryEvent {
                 "service": service.0,
                 "replica": *replica,
                 "phase": phase.name(),
+                "active": *active,
+            }),
+            TelemetryEvent::Fault {
+                at,
+                fault,
+                target,
+                active,
+            } => json!({
+                "type": "fault",
+                "at_ns": at.as_nanos(),
+                "fault": fault.as_str(),
+                "target": target.as_str(),
                 "active": *active,
             }),
             TelemetryEvent::Span(s) => json!({
@@ -631,6 +655,15 @@ impl TelemetryEvent {
                 phase: ReplicaPhase::from_wire(field_str(&v, "phase")?)
                     .ok_or("unknown replica phase")?,
                 active: field_u64(&v, "active")? as u32,
+            }),
+            "fault" => Ok(TelemetryEvent::Fault {
+                at: at()?,
+                fault: field_str(&v, "fault")?.to_string(),
+                target: field_str(&v, "target")?.to_string(),
+                active: v
+                    .get("active")
+                    .and_then(Value::as_bool)
+                    .ok_or("missing or non-boolean field 'active'")?,
             }),
             "span" => Ok(TelemetryEvent::Span(SpanRecord {
                 trace: field_u64(&v, "trace")?,
@@ -803,6 +836,18 @@ mod tests {
                 replica: 2,
                 phase: ReplicaPhase::Retired,
                 active: 2,
+            },
+            TelemetryEvent::Fault {
+                at: SimTime::from_secs(3),
+                fault: "straggler".into(),
+                target: "svc:1#2".into(),
+                active: true,
+            },
+            TelemetryEvent::Fault {
+                at: SimTime::from_secs(5),
+                fault: "pool-leak".into(),
+                target: "svc:2".into(),
+                active: false,
             },
             TelemetryEvent::Span(SpanRecord {
                 trace: 41,

@@ -72,6 +72,9 @@ pub struct TraceSummary {
     /// Replica-lifecycle transition counts keyed by phase wire name
     /// (`spawned` / `draining` / `retired`).
     pub replica_transitions: BTreeMap<&'static str, u64>,
+    /// Fault-injection starts per fault class (`active = true` records;
+    /// every fault emits a matching end record not counted here).
+    pub fault_starts: BTreeMap<String, u64>,
     /// Active-replica-count steps per service group (keyed by the
     /// group's primary container), in trace order.
     pub replica_timeline: BTreeMap<u32, Vec<(SimTime, u32)>>,
@@ -166,6 +169,11 @@ impl TraceSummary {
                 TelemetryEvent::Metric(_) | TelemetryEvent::MetricsMeta { .. } => {
                     s.metric_samples += 1
                 }
+                TelemetryEvent::Fault { fault, active, .. } => {
+                    if active {
+                        *s.fault_starts.entry(fault).or_insert(0) += 1;
+                    }
+                }
                 TelemetryEvent::Dropped { count, .. } => s.dropped += count,
             }
         }
@@ -249,6 +257,11 @@ impl TraceSummary {
                 json!({ "node": *node, "container": *container, "count": *count })
             })
             .collect();
+        let fault_starts: Vec<Value> = self
+            .fault_starts
+            .iter()
+            .map(|(fault, count)| json!({ "fault": fault.as_str(), "count": *count }))
+            .collect();
         json!({
             "events": self.events,
             "cycles": self.cycles,
@@ -270,6 +283,7 @@ impl TraceSummary {
                 .iter()
                 .map(|(phase, count)| json!({ "phase": *phase, "count": *count }))
                 .collect::<Vec<Value>>(),
+            "fault_starts": fault_starts,
             "audit": self.audit(),
         })
     }
@@ -313,6 +327,14 @@ impl TraceSummary {
                 "  {} metrics samples (render with sg-timeline)",
                 self.metric_samples
             );
+        }
+        if !self.fault_starts.is_empty() {
+            let counts: Vec<String> = self
+                .fault_starts
+                .iter()
+                .map(|(fault, count)| format!("{fault}={count}"))
+                .collect();
+            let _ = writeln!(out, "  faults injected: {}", counts.join(" "));
         }
         if self.dropped > 0 {
             let _ = writeln!(
@@ -553,6 +575,30 @@ mod tests {
         let report = s.render();
         assert!(report.contains("replica timeline"), "{report}");
         assert!(report.contains("spawned=1"), "{report}");
+    }
+
+    #[test]
+    fn fault_events_are_counted_by_class() {
+        let fault = |at_ms: u64, fault: &str, active| TelemetryEvent::Fault {
+            at: SimTime::from_millis(at_ms),
+            fault: fault.to_string(),
+            target: "svc:1".to_string(),
+            active,
+        };
+        let s = TraceSummary::from_events(vec![
+            fault(100, "crash", true),
+            fault(200, "crash", false),
+            fault(300, "straggler", true),
+            fault(350, "crash", true),
+        ]);
+        assert_eq!(s.fault_starts.get("crash"), Some(&2));
+        assert_eq!(s.fault_starts.get("straggler"), Some(&1));
+        assert!(s.audit().is_empty(), "{:?}", s.audit());
+        let report = s.render();
+        assert!(
+            report.contains("faults injected: crash=2 straggler=1"),
+            "{report}"
+        );
     }
 
     #[test]
