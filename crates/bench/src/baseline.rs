@@ -21,6 +21,7 @@ use sg_live::{run_live_with_stats, LiveOpts};
 use sg_sim::app::ConnModel;
 use sg_sim::controller::{ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot};
 use sg_sim::runner::{SimBuffers, Simulation};
+use sg_telemetry::profile::{LiveProfiler, ProfilePhase};
 use sg_telemetry::{
     MetricId, MetricSample, MetricsRegistry, RingSink, SpanRecord, TelemetryEvent, TelemetrySink,
 };
@@ -217,6 +218,43 @@ fn bench_fr_hook(mode: BenchMode) -> ScenarioStats {
     summarize("fr_hook", "ns", samples)
 }
 
+/// The same per-packet FirstResponder decision wrapped exactly as the
+/// live worker wraps it when `--profile-out` is on: one `Instant::now`
+/// pair plus a relaxed-atomic histogram record per packet. The delta
+/// against `fr_hook` is the profiler's per-packet cost; `fr_hook`
+/// itself (profiler off) is the disabled-guard baseline the BENCH_8
+/// gate holds at the ~1.9 ns seed.
+fn bench_fr_hook_profiled(mode: BenchMode) -> ScenarioStats {
+    const INNER: u64 = 200_000;
+    let profiler = LiveProfiler::new();
+    let mut fr = FirstResponder::new(FirstResponderConfig {
+        expected_time_from_start: vec![Some(SimDuration::from_micros(500)); 16],
+        local_downstream: vec![vec![]; 16],
+        cooldown: SimDuration::ZERO,
+        max_freq_level: 8,
+    });
+    let meta = RpcMetadata::new_job(SimTime::ZERO);
+    let mut samples = Vec::new();
+    for i in 0..mode.light_iters() + 1 {
+        let t0 = Instant::now();
+        for k in 0..INNER {
+            let p0 = Instant::now();
+            black_box(fr.on_packet(
+                ContainerId(3),
+                black_box(meta),
+                SimTime::from_nanos(900_000 + k),
+            ));
+            profiler.record(ProfilePhase::FrHook, p0.elapsed().as_nanos() as u64);
+        }
+        let per_op_ns = t0.elapsed().as_secs_f64() * 1e9 / INNER as f64;
+        if i >= 1 {
+            samples.push(per_op_ns);
+        }
+    }
+    black_box(profiler.snapshot(1));
+    summarize("fr_hook_profiled", "ns", samples)
+}
+
 /// One lock-free telemetry ring push (the live hot path's emission cost).
 fn bench_telemetry_ring(mode: BenchMode) -> ScenarioStats {
     const INNER: u64 = 50_000;
@@ -364,6 +402,35 @@ fn bench_sim_trial_metrics(mode: BenchMode) -> ScenarioStats {
     summarize("sim_trial_metrics", "ms", samples)
 }
 
+/// The same CHAIN surge trial with the self-profiler enabled into a
+/// discarding sink. The delta against `sim_trial` is the profiler's
+/// all-in cost (sampled dispatch timing + watermark upkeep), gated at
+/// ≤ 2% of median by `results/BENCH_8.json`; `sim_trial` itself
+/// (profiler off) guards the one-branch disabled path.
+fn bench_sim_trial_profiled(mode: BenchMode) -> ScenarioStats {
+    let scenario = BenchScenario::chain_surge();
+    let factory = SurgeGuardFactory::full();
+    let (warmup, iters) = mode.heavy_iters();
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..warmup + iters {
+        let mut cfg = scenario.pw.cfg.clone();
+        cfg.end = scenario.horizon + SimDuration::from_millis(100);
+        cfg.measure_start = SimTime::from_secs(1);
+        cfg.seed = 1;
+        let arrivals = scenario.pattern.arrivals(SimTime::ZERO, scenario.horizon);
+        let t0 = Instant::now();
+        let r = Simulation::new(cfg, &factory, arrivals)
+            .with_profile(Arc::new(NullSink))
+            .run();
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(r.completed > 0);
+        if i >= warmup {
+            samples.push(dt);
+        }
+    }
+    summarize("sim_trial_profiled", "ms", samples)
+}
+
 /// Flips the downstream service group between 1 and 2 replicas on every
 /// tick — the worst-case replica-lifecycle churn for the scale-out bench.
 struct ReplicaToggler {
@@ -487,16 +554,18 @@ fn bench_lb_pick(mode: BenchMode) -> ScenarioStats {
 
 /// Run the pinned scenario set, in a fixed order.
 pub fn run_all(mode: BenchMode, progress: impl Fn(&ScenarioStats)) -> Vec<ScenarioStats> {
-    let runners: [fn(BenchMode) -> ScenarioStats; 12] = [
+    let runners: [fn(BenchMode) -> ScenarioStats; 14] = [
         bench_sim_trial,
         bench_sim_trial_reuse,
         bench_live_smoke,
         bench_fr_hook,
+        bench_fr_hook_profiled,
         bench_telemetry_ring,
         bench_span_encode,
         bench_metrics_sample,
         bench_metrics_encode,
         bench_sim_trial_metrics,
+        bench_sim_trial_profiled,
         bench_replica_scale_out,
         bench_lb_pick,
         bench_mmpp_schedule,

@@ -11,7 +11,7 @@
 //!             [--duration SECS] [--qos MS] [--seed N]
 //!             [--telemetry PATH] [--spans PATH] [--span-sample N/M]
 //!             [--metrics PATH] [--metrics-interval MS]
-//!             [--metrics-listen ADDR]
+//!             [--metrics-listen ADDR] [--profile-out PATH]
 //!
 //!   --workload    chain | read | compose | search | reco   (default chain)
 //!   --controller  static | parties | caladan | surgeguard | escalator
@@ -63,6 +63,11 @@
 //!                 live only: serve the current metric values as
 //!                 Prometheus text exposition on ADDR (e.g.
 //!                 127.0.0.1:9184) for the duration of the run
+//!   --profile-out turn on the runtime self-profiler and write its
+//!                 report (phase totals, p50/p99, watermarks, self-
+//!                 overhead) as JSONL to PATH; render with
+//!                 `sg-trace --profile PATH`. Works on both backends;
+//!                 when off, every instrumented site costs one branch.
 //!
 //! Warmup is 5 s with the first spike at 10 s on the simulator; the live
 //! backend shortens both (1 s warmup, first spike at 2 s) so short real
@@ -78,7 +83,9 @@ use sg_core::time::{SimDuration, SimTime};
 use sg_loadgen::{ArrivalProfile, LatencyHistogram, RunReport, SpikePattern};
 use sg_sim::controller::{ControllerFactory, NoopFactory};
 use sg_sim::runner::Simulation;
-use sg_telemetry::{JsonlSink, SharedSink, SpanSampler};
+use sg_telemetry::{
+    JsonlSink, SharedSink, SpanSampler, TelemetryEvent, PROFILE_SCHEMA, SPANS_SCHEMA, TRACE_SCHEMA,
+};
 use sg_workloads::{prepare, CalibrationOptions, Workload};
 use std::sync::Arc;
 
@@ -87,6 +94,24 @@ fn arg(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Open a JSONL export file, stamping the schema header as line 1 —
+/// written here, before any relay ring, so it can never be dropped.
+/// (The metrics stream passes `None`: its header is the richer
+/// `MetricsMeta` record, emitted by the harness itself.)
+fn file_sink(path: &str, what: &str, schema: Option<&str>) -> SharedSink {
+    let sink = JsonlSink::create(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot create {what} file '{path}': {e}");
+        std::process::exit(2);
+    });
+    let sink = Arc::new(sink) as SharedSink;
+    if let Some(schema) = schema {
+        sink.emit(TelemetryEvent::Schema {
+            schema: schema.into(),
+        });
+    }
+    sink
 }
 
 fn main() {
@@ -208,29 +233,19 @@ fn main() {
         profile.label(),
     );
     let telemetry_path = arg(&args, "--telemetry");
-    let telemetry: Option<SharedSink> = telemetry_path.as_ref().map(|p| {
-        let sink = JsonlSink::create(std::path::Path::new(p)).unwrap_or_else(|e| {
-            eprintln!("cannot create telemetry file '{p}': {e}");
-            std::process::exit(2);
-        });
-        Arc::new(sink) as SharedSink
-    });
+    let telemetry: Option<SharedSink> = telemetry_path
+        .as_ref()
+        .map(|p| file_sink(p, "telemetry", Some(TRACE_SCHEMA)));
     let spans_path = arg(&args, "--spans");
-    let spans: Option<SharedSink> = spans_path.as_ref().map(|p| {
-        let sink = JsonlSink::create(std::path::Path::new(p)).unwrap_or_else(|e| {
-            eprintln!("cannot create span file '{p}': {e}");
-            std::process::exit(2);
-        });
-        Arc::new(sink) as SharedSink
-    });
+    let spans: Option<SharedSink> = spans_path
+        .as_ref()
+        .map(|p| file_sink(p, "span", Some(SPANS_SCHEMA)));
     let metrics_path = arg(&args, "--metrics");
-    let metrics: Option<SharedSink> = metrics_path.as_ref().map(|p| {
-        let sink = JsonlSink::create(std::path::Path::new(p)).unwrap_or_else(|e| {
-            eprintln!("cannot create metrics file '{p}': {e}");
-            std::process::exit(2);
-        });
-        Arc::new(sink) as SharedSink
-    });
+    let metrics: Option<SharedSink> = metrics_path.as_ref().map(|p| file_sink(p, "metrics", None));
+    let profile_path = arg(&args, "--profile-out");
+    let profile_out: Option<SharedSink> = profile_path
+        .as_ref()
+        .map(|p| file_sink(p, "profile", Some(PROFILE_SCHEMA)));
     let metrics_interval = SimDuration::from_millis(
         arg(&args, "--metrics-interval").map_or(100, |v| v.parse().expect("--metrics-interval")),
     );
@@ -258,6 +273,7 @@ fn main() {
             metrics: metrics.clone(),
             metrics_interval,
             metrics_listen: metrics_listen.clone(),
+            profile: profile_out.clone(),
             ..sg_live::LiveOpts::default()
         };
         if let Some(addr) = &metrics_listen {
@@ -268,14 +284,15 @@ fn main() {
             "live substrate: {} deliveries, {} freq updates applied, {} dropped (fr_dropped)",
             stats.deliveries, stats.fr_applied, stats.fr_dropped
         );
-        if telemetry.is_some() || spans.is_some() || metrics.is_some() {
+        if telemetry.is_some() || spans.is_some() || metrics.is_some() || profile_out.is_some() {
             eprintln!(
-                "telemetry: {} events forwarded, {} dropped by the relay ring (decision {}, span {}, metrics {})",
+                "telemetry: {} events forwarded, {} dropped by the relay ring (decision {}, span {}, metrics {}, profile {})",
                 stats.telemetry_forwarded,
                 stats.telemetry_dropped,
                 stats.telemetry_dropped_decision,
                 stats.telemetry_dropped_span,
                 stats.telemetry_dropped_metrics,
+                stats.telemetry_dropped_profile,
             );
         }
         result
@@ -290,12 +307,16 @@ fn main() {
         if let Some(sink) = &metrics {
             sim = sim.with_metrics(Arc::clone(sink));
         }
+        if let Some(sink) = &profile_out {
+            sim = sim.with_profile(Arc::clone(sink));
+        }
         sim.run()
     };
     // Drop our handles so the JSONL writers flush before we report.
     drop(telemetry);
     drop(spans);
     drop(metrics);
+    drop(profile_out);
     if let Some(p) = &telemetry_path {
         eprintln!("decision trace written to {p} (summarize with: sg-trace {p})");
     }
@@ -304,6 +325,9 @@ fn main() {
     }
     if let Some(p) = &metrics_path {
         eprintln!("metrics timeline written to {p} (render with: sg-timeline {p})");
+    }
+    if let Some(p) = &profile_path {
+        eprintln!("self-profile written to {p} (render with: sg-trace --profile {p})");
     }
 
     // wrk2-style output.

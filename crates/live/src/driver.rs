@@ -20,6 +20,7 @@ use sg_sim::cluster::SimConfig;
 use sg_sim::controller::{ContainerInit, ControllerFactory, NodeInit};
 use sg_sim::network::Network;
 use sg_sim::runner::{ProfileStats, RunResult};
+use sg_telemetry::profile::{LiveProfiler, ProfileMark};
 use sg_telemetry::{
     DemuxSink, FanoutSink, MetricsRegistry, RingSink, SharedSink, SpanSampler, TelemetryEvent,
     METRICS_SCHEMA_VERSION,
@@ -62,6 +63,13 @@ pub struct LiveOpts {
     /// Serve the live registry as Prometheus text exposition on this
     /// address (e.g. `127.0.0.1:9184`) for the duration of the run.
     pub metrics_listen: Option<String>,
+    /// Self-profile destination. Turns on the always-on runtime profiler
+    /// ([`LiveProfiler`]): FR-hook latency, pool lock-wait, delay-line
+    /// timer slop, worker service/idle split, tick cost, plus ring
+    /// occupancy/drop watermarks. The report is emitted through the
+    /// shared relay ring at teardown; `None` costs one branch per
+    /// instrumented site.
+    pub profile: Option<SharedSink>,
 }
 
 impl Default for LiveOpts {
@@ -76,6 +84,7 @@ impl Default for LiveOpts {
             metrics: None,
             metrics_interval: SimDuration::from_millis(100),
             metrics_listen: None,
+            profile: None,
         }
     }
 }
@@ -99,6 +108,8 @@ pub struct LiveStats {
     pub telemetry_dropped_span: u64,
     /// Per-family breakdown of `telemetry_dropped`.
     pub telemetry_dropped_metrics: u64,
+    /// Per-family breakdown of `telemetry_dropped`.
+    pub telemetry_dropped_profile: u64,
     /// Address the scrape endpoint actually bound (useful with port 0).
     pub metrics_addr: Option<std::net::SocketAddr>,
 }
@@ -129,6 +140,13 @@ pub fn run_live_with_stats(
     let layout = sg_core::replica::ReplicaLayout::new(n, cfg.max_replicas);
     let n_slots = layout.n_slots();
     let clock = LiveClock::start();
+    let wall_start = std::time::Instant::now();
+
+    // Always-on self-profiler: one shared set of lock-free counters,
+    // `None` when `--profile-out` is absent so every instrumented site
+    // pays a single branch.
+    let profiler = opts.profile.as_ref().map(|_| Arc::new(LiveProfiler::new()));
+    let fault_events = Arc::new(AtomicU64::new(0));
 
     // Scraping keeps a registry of the latest sample per (node,
     // container, metric); the ring drainer tees metric samples into it.
@@ -158,24 +176,38 @@ pub fn run_live_with_stats(
     // decision events, span records, and metric samples to their own
     // destinations (and family-tagged `Dropped` markers to their own
     // stream, so each file testifies to its losses).
-    let (sink, span_sink, metrics_sink, telemetry_drainer) =
-        match (opts.telemetry.clone(), opts.spans.clone(), metrics_dest) {
-            (None, None, None) => (None, None, None, None),
-            (decision, spans, metrics) => {
-                let has_decision = decision.is_some();
-                let has_spans = spans.is_some();
-                let has_metrics = metrics.is_some();
-                let demux = Arc::new(DemuxSink::new(decision, spans, metrics)) as SharedSink;
-                let (ring, drainer) = RingSink::spawn(demux, opts.telemetry_ring_capacity);
-                let ring = ring as SharedSink;
-                (
-                    has_decision.then(|| Arc::clone(&ring)),
-                    has_spans.then(|| Arc::clone(&ring)),
-                    has_metrics.then(|| Arc::clone(&ring)),
-                    Some(drainer),
-                )
-            }
-        };
+    let (sink, span_sink, metrics_sink, profile_sink, ring_handle, telemetry_drainer) = match (
+        opts.telemetry.clone(),
+        opts.spans.clone(),
+        metrics_dest,
+        opts.profile.clone(),
+    ) {
+        (None, None, None, None) => (None, None, None, None, None, None),
+        (decision, spans, metrics, profile) => {
+            let has_decision = decision.is_some();
+            let has_spans = spans.is_some();
+            let has_metrics = metrics.is_some();
+            let has_profile = profile.is_some();
+            let demux = Arc::new(DemuxSink::new(decision, spans, metrics, profile)) as SharedSink;
+            // Occupancy tracking adds a `fetch_max` per push; only pay for
+            // it when the profiler is on to report the high-water mark.
+            let (ring, drainer) = if has_profile {
+                RingSink::spawn_tracking(demux, opts.telemetry_ring_capacity)
+            } else {
+                RingSink::spawn(demux, opts.telemetry_ring_capacity)
+            };
+            let ring_handle = Arc::clone(&ring);
+            let ring = ring as SharedSink;
+            (
+                has_decision.then(|| Arc::clone(&ring)),
+                has_spans.then(|| Arc::clone(&ring)),
+                has_metrics.then(|| Arc::clone(&ring)),
+                has_profile.then(|| Arc::clone(&ring)),
+                Some(ring_handle),
+                Some(drainer),
+            )
+        }
+    };
 
     let mut state = ClusterState::new(&cfg, clock.clone());
     if let Some(s) = &sink {
@@ -288,7 +320,7 @@ pub fn run_live_with_stats(
         worker_handles: Mutex::new(Vec::new()),
         workers_per_container: opts.workers_per_container,
         controllers,
-        delay: DelayLine::spawn(),
+        delay: DelayLine::spawn_profiled(profiler.clone()),
         fr: Mutex::new(Some(fr)),
         shutdown: AtomicBool::new(false),
         points: Mutex::new(Vec::new()),
@@ -307,6 +339,8 @@ pub fn run_live_with_stats(
             .map(|_| Mutex::new(WindowMetrics::default()))
             .collect(),
         span_ids: AtomicU64::new(0),
+        profiler: profiler.clone(),
+        fault_events: Arc::clone(&fault_events),
         cfg,
     });
     let cfg = &cluster.cfg;
@@ -342,10 +376,18 @@ pub fn run_live_with_stats(
         );
     }
     let scrape = match (&opts.metrics_listen, &registry) {
-        (Some(addr), Some(reg)) => Some(
-            crate::scrape::MetricsServer::bind(addr, Arc::clone(reg))
-                .unwrap_or_else(|e| panic!("cannot bind --metrics-listen {addr}: {e}")),
-        ),
+        (Some(addr), Some(reg)) => {
+            let health = crate::scrape::ScrapeHealth {
+                started: wall_start,
+                ring: ring_handle.clone(),
+                fault_events: Arc::clone(&fault_events),
+                profiler: profiler.clone(),
+            };
+            Some(
+                crate::scrape::MetricsServer::bind(addr, Arc::clone(reg), health)
+                    .unwrap_or_else(|e| panic!("cannot bind --metrics-listen {addr}: {e}")),
+            )
+        }
         _ => None,
     };
     if cfg.measure_start <= cfg.end {
@@ -446,6 +488,23 @@ pub fn run_live_with_stats(
         let dropped = fr.dropped();
         (fr.shutdown(), dropped)
     };
+    // All worker/tick/fault threads are joined: the profiler's counters
+    // are final. Fold in the ring watermarks and push the report through
+    // the ring front-end before the drainer shuts down, so profile
+    // records ride the same pipeline as everything else.
+    if let (Some(p), Some(psink)) = (&profiler, &profile_sink) {
+        if let Some(ring) = &ring_handle {
+            p.mark_max(
+                ProfileMark::RingOccupancyHighWater,
+                ring.occupancy_high_water(),
+            );
+            p.mark_add(ProfileMark::RingDropped, ring.dropped());
+        }
+        let report = p.snapshot(wall_start.elapsed().as_nanos() as u64);
+        for event in report.events() {
+            psink.emit(event);
+        }
+    }
     // All emitting threads are joined; draining now loses nothing.
     let ring_stats = telemetry_drainer.map(|drainer| drainer.shutdown());
     // Keep serving the final registry state until the drainer has teed
@@ -507,6 +566,7 @@ pub fn run_live_with_stats(
         telemetry_dropped_decision: ring_stats.dropped_decision,
         telemetry_dropped_span: ring_stats.dropped_span,
         telemetry_dropped_metrics: ring_stats.dropped_metrics,
+        telemetry_dropped_profile: ring_stats.dropped_profile,
         metrics_addr,
     };
     (result, stats)

@@ -85,6 +85,10 @@ impl LiveCluster {
     }
 
     fn emit_fault(&self, now: SimTime, kind: FaultKind, active: bool) {
+        // Counted regardless of telemetry: the scrape endpoint's
+        // `sg_fault_events_total` must work on trace-less runs too.
+        self.fault_events
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if let Some(sink) = &self.sink {
             sink.emit(TelemetryEvent::Fault {
                 at: now,

@@ -9,6 +9,7 @@
 //! thread, mirroring where the sim runs it: before the container sees the
 //! request.
 
+use sg_telemetry::profile::{LiveProfiler, ProfilePhase};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -53,6 +54,9 @@ struct DelayInner {
     stop: AtomicBool,
     seq: AtomicU64,
     delivered: AtomicU64,
+    /// Self-profiler for timer slop (actual minus requested fire time);
+    /// immutable after construction, `None` costs one branch per pop.
+    profiler: Option<Arc<LiveProfiler>>,
 }
 
 /// The transport thread plus its submission handle.
@@ -64,12 +68,19 @@ pub struct DelayLine {
 impl DelayLine {
     /// Start the delivery thread.
     pub fn spawn() -> Self {
+        Self::spawn_profiled(None)
+    }
+
+    /// Like [`DelayLine::spawn`], recording each delivery's timer slop
+    /// (actual minus requested fire time) into `profiler` when given.
+    pub fn spawn_profiled(profiler: Option<Arc<LiveProfiler>>) -> Self {
         let inner = Arc::new(DelayInner {
             heap: Mutex::new(BinaryHeap::new()),
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
+            profiler,
         });
         let thread_inner = inner.clone();
         let handle = std::thread::Builder::new()
@@ -98,6 +109,9 @@ impl DelayLine {
                     if e.at <= now {
                         let e = heap.pop().expect("peeked entry");
                         drop(heap);
+                        if let Some(p) = &inner.profiler {
+                            p.record(ProfilePhase::TimerSlop, (now - e.at).as_nanos() as u64);
+                        }
                         (e.run)();
                         inner.delivered.fetch_add(1, Ordering::Relaxed);
                         heap = inner.heap.lock().unwrap();
@@ -159,6 +173,35 @@ mod tests {
         std::thread::sleep(Duration::from_millis(80));
         assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
         assert_eq!(line.delivered(), 3);
+        line.shutdown();
+    }
+
+    #[test]
+    fn profiled_line_records_timer_slop() {
+        let prof = Arc::new(LiveProfiler::new());
+        let line = DelayLine::spawn_profiled(Some(Arc::clone(&prof)));
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        line.submit(
+            Instant::now(),
+            Box::new(move || {
+                d.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        for _ in 0..200 {
+            if done.load(Ordering::Relaxed) == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 1, "delivery ran");
+        let report = prof.snapshot(1);
+        let slop = report
+            .phases
+            .iter()
+            .find(|p| p.phase == ProfilePhase::TimerSlop)
+            .expect("slop recorded");
+        assert_eq!(slop.count, 1);
         line.shutdown();
     }
 

@@ -8,16 +8,59 @@
 //! `Connection: close`: a scrape every few seconds costs microseconds
 //! and never touches a worker thread.
 //!
-//! This endpoint is live-only by design: the simulator has no wall-clock
-//! for an external scraper to exist in.
+//! Two routes:
+//!
+//! * `/metrics` — the registry's gauges plus pipeline-health counters
+//!   (`sg_ring_dropped_total` per event family, `sg_fault_events_total`,
+//!   `sg_uptime_seconds`) and, when the run is profiled, the live
+//!   profiler's `sg_profile_*` series.
+//! * `/healthz` — plain-text liveness: `200 ok` with an uptime/drop
+//!   summary, so orchestration probes don't need a Prometheus parser.
+//!
+//! Anything else is 404. This endpoint is live-only by design: the
+//! simulator has no wall-clock for an external scraper to exist in.
 
-use sg_telemetry::MetricsRegistry;
+use sg_telemetry::profile::LiveProfiler;
+use sg_telemetry::{EventFamily, MetricsRegistry, RingSink};
+use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Runtime-health inputs served alongside the registry: uptime, ring
+/// drop pressure, fault-boundary count, and (when profiling) the live
+/// profiler snapshot.
+pub struct ScrapeHealth {
+    /// When the run started (uptime reference).
+    pub started: Instant,
+    /// The telemetry relay ring, for drop counters (None on trace-less
+    /// runs — the drop series then reads zero).
+    pub ring: Option<Arc<RingSink>>,
+    /// Fault boundaries (starts + ends) applied so far.
+    pub fault_events: Arc<AtomicU64>,
+    /// Live self-profiler, for the `sg_profile_*` series.
+    pub profiler: Option<Arc<LiveProfiler>>,
+}
+
+impl Default for ScrapeHealth {
+    fn default() -> Self {
+        ScrapeHealth {
+            started: Instant::now(),
+            ring: None,
+            fault_events: Arc::new(AtomicU64::new(0)),
+            profiler: None,
+        }
+    }
+}
+
+impl ScrapeHealth {
+    fn ring_dropped_total(&self) -> u64 {
+        self.ring.as_ref().map_or(0, |r| r.dropped())
+    }
+}
 
 /// A running scrape listener.
 pub struct MetricsServer {
@@ -28,8 +71,12 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Bind `addr` (e.g. `127.0.0.1:9184`, or port 0 for ephemeral) and
-    /// serve `registry` until [`MetricsServer::shutdown`].
-    pub fn bind(addr: &str, registry: Arc<MetricsRegistry>) -> std::io::Result<Self> {
+    /// serve `registry` + `health` until [`MetricsServer::shutdown`].
+    pub fn bind(
+        addr: &str,
+        registry: Arc<MetricsRegistry>,
+        health: ScrapeHealth,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         // Non-blocking accept + sleep poll: lets the thread notice the
@@ -43,7 +90,7 @@ impl MetricsServer {
                 .spawn(move || {
                     while !stop.load(Ordering::Acquire) {
                         match listener.accept() {
-                            Ok((stream, _)) => serve_one(stream, &registry),
+                            Ok((stream, _)) => serve_one(stream, &registry, &health),
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(Duration::from_millis(25));
                             }
@@ -83,18 +130,75 @@ impl Drop for MetricsServer {
     }
 }
 
-/// Answer one scrape: read (and discard) the request head, respond with
-/// the registry rendered as text exposition format.
-fn serve_one(mut stream: std::net::TcpStream, registry: &MetricsRegistry) {
+/// Request path from an HTTP request head (`GET /metrics HTTP/1.1`),
+/// query string stripped; `/` when unparseable (legacy scrapers).
+fn request_path(head: &str) -> &str {
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    path.split('?').next().unwrap_or("/")
+}
+
+fn metrics_body(registry: &MetricsRegistry, health: &ScrapeHealth) -> String {
+    let mut body = registry.render_prometheus();
+    let _ = writeln!(body, "# TYPE sg_uptime_seconds counter");
+    let _ = writeln!(
+        body,
+        "sg_uptime_seconds {:.3}",
+        health.started.elapsed().as_secs_f64()
+    );
+    let _ = writeln!(body, "# TYPE sg_ring_dropped_total counter");
+    for family in [
+        EventFamily::Decision,
+        EventFamily::Span,
+        EventFamily::Metrics,
+        EventFamily::Profile,
+    ] {
+        let dropped = health.ring.as_ref().map_or(0, |r| r.dropped_for(family));
+        let _ = writeln!(
+            body,
+            "sg_ring_dropped_total{{family=\"{}\"}} {dropped}",
+            family.name()
+        );
+    }
+    let _ = writeln!(body, "# TYPE sg_fault_events_total counter");
+    let _ = writeln!(
+        body,
+        "sg_fault_events_total {}",
+        health.fault_events.load(Ordering::Relaxed)
+    );
+    if let Some(profiler) = &health.profiler {
+        profiler.render_prometheus_into(&mut body);
+    }
+    body
+}
+
+fn healthz_body(health: &ScrapeHealth) -> String {
+    format!(
+        "ok\nuptime_seconds {:.3}\nring_dropped {}\nfault_events {}\n",
+        health.started.elapsed().as_secs_f64(),
+        health.ring_dropped_total(),
+        health.fault_events.load(Ordering::Relaxed),
+    )
+}
+
+/// Answer one scrape: read the request head, route on its path.
+fn serve_one(mut stream: std::net::TcpStream, registry: &MetricsRegistry, health: &ScrapeHealth) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    // Drain up to one buffer of request head; any HTTP request gets the
-    // metrics page — there is exactly one resource here.
+    // One buffer of request head is plenty for a scraper's GET line.
     let mut buf = [0u8; 2048];
-    let _ = stream.read(&mut buf);
-    let body = registry.render_prometheus();
+    let n = stream.read(&mut buf).unwrap_or(0);
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let (status, body) = match request_path(&head) {
+        "/metrics" | "/" => ("200 OK", metrics_body(registry, health)),
+        "/healthz" => ("200 OK", healthz_body(health)),
+        _ => ("404 Not Found", "not found\n".to_string()),
+    };
     let head = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
@@ -110,6 +214,16 @@ mod tests {
     use sg_core::time::SimTime;
     use sg_telemetry::{MetricId, MetricSample};
 
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
     #[test]
     fn serves_registry_snapshot_over_http() {
         let registry = Arc::new(MetricsRegistry::new());
@@ -120,19 +234,58 @@ mod tests {
             metric: MetricId::Cores,
             value: 6.0,
         });
-        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let health = ScrapeHealth::default();
+        health.fault_events.store(3, Ordering::Relaxed);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry), health).unwrap();
         let addr = server.local_addr();
 
-        let mut stream = std::net::TcpStream::connect(addr).unwrap();
-        stream
-            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
-            .unwrap();
-        let mut response = String::new();
-        stream.read_to_string(&mut response).unwrap();
+        let response = get(addr, "/metrics");
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
         assert!(response.contains("text/plain"), "{response}");
         assert!(
             response.contains("sg_cores{node=\"0\",container=\"2\"} 6"),
+            "{response}"
+        );
+        assert!(
+            response.contains("sg_ring_dropped_total{family=\"decision\"} 0"),
+            "{response}"
+        );
+        assert!(response.contains("sg_fault_events_total 3"), "{response}");
+        assert!(response.contains("sg_uptime_seconds"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_and_unknown_paths_route_correctly() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = MetricsServer::bind("127.0.0.1:0", registry, ScrapeHealth::default()).unwrap();
+        let addr = server.local_addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.contains("ok\nuptime_seconds"), "{health}");
+        assert!(health.contains("ring_dropped 0"), "{health}");
+        assert!(health.contains("fault_events 0"), "{health}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn profiled_scrape_exposes_sg_profile_series() {
+        use sg_telemetry::profile::ProfilePhase;
+        let registry = Arc::new(MetricsRegistry::new());
+        let profiler = Arc::new(LiveProfiler::new());
+        profiler.record(ProfilePhase::FrHook, 250);
+        let health = ScrapeHealth {
+            profiler: Some(Arc::clone(&profiler)),
+            ..ScrapeHealth::default()
+        };
+        let server = MetricsServer::bind("127.0.0.1:0", registry, health).unwrap();
+        let response = get(server.local_addr(), "/metrics");
+        assert!(
+            response.contains("sg_profile_phase_count{phase=\"fr_hook\"} 1"),
             "{response}"
         );
         server.shutdown();

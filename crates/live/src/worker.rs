@@ -38,12 +38,14 @@ use sg_sim::container::sample_work;
 use sg_sim::controller::{ControlAction, Controller};
 use sg_sim::network::Network;
 use sg_telemetry::metrics::slack_p50_p99;
+use sg_telemetry::profile::{LiveProfiler, ProfilePhase};
 use sg_telemetry::{
     ActionKind, ActionOrigin, ActionOutcome, MetricId, MetricSample, SharedSink, SpanRecord,
     TelemetryEvent,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Per-container profile accumulators (atomics; workers update them
 /// concurrently).
@@ -116,6 +118,12 @@ pub struct LiveCluster {
     /// Last *completed* window per container (what the previous decision
     /// cycle saw — same semantics as the sim's per-tick sample).
     pub last_window: Vec<Mutex<sg_core::metrics::WindowMetrics>>,
+    /// Self-profiler shared by every thread; `None` costs one branch per
+    /// hot-path site (the span-layer disabled-guard discipline).
+    pub profiler: Option<Arc<LiveProfiler>>,
+    /// Fault boundaries applied so far (starts + ends), for the scrape
+    /// endpoint's `sg_fault_events_total`.
+    pub fault_events: Arc<AtomicU64>,
 }
 
 impl LiveCluster {
@@ -283,6 +291,18 @@ impl LiveCluster {
     /// hook, then hand the job to the container's worker pool. Runs on the
     /// delay-line thread — the live analogue of the kernel receive path.
     pub fn deliver_request(self: &Arc<Self>, dest: ContainerId, dispatch: Dispatch) {
+        if self.profiler.is_some() {
+            let t0 = Instant::now();
+            self.deliver_request_inner(dest, dispatch);
+            if let Some(p) = &self.profiler {
+                p.record(ProfilePhase::FrHook, t0.elapsed().as_nanos() as u64);
+            }
+        } else {
+            self.deliver_request_inner(dest, dispatch);
+        }
+    }
+
+    fn deliver_request_inner(self: &Arc<Self>, dest: ContainerId, dispatch: Dispatch) {
         let Dispatch {
             req_start,
             meta,
@@ -420,6 +440,9 @@ impl LiveCluster {
             }
         };
         let waited = SimDuration::from_nanos(waited.as_nanos() as u64);
+        if let Some(p) = &self.profiler {
+            p.record(ProfilePhase::PoolWait, waited.as_nanos());
+        }
         let slot = Arc::new(ReplySlot::new());
         let reply = ReplyTo::Parent {
             node: self.state.node_of(ContainerId(c as u32)),
@@ -644,8 +667,24 @@ impl LiveCluster {
                 .wrapping_add((c as u64) << 16)
                 .wrapping_add(worker_idx as u64),
         );
-        while let Some(job) = self.queues[c].pop() {
-            self.handle_job(c, job, &mut rng);
+        if let Some(p) = self.profiler.clone() {
+            loop {
+                let idle0 = Instant::now();
+                let Some(job) = self.queues[c].pop() else {
+                    break;
+                };
+                p.record(ProfilePhase::WorkerIdle, idle0.elapsed().as_nanos() as u64);
+                let busy0 = Instant::now();
+                self.handle_job(c, job, &mut rng);
+                p.record(
+                    ProfilePhase::WorkerService,
+                    busy0.elapsed().as_nanos() as u64,
+                );
+            }
+        } else {
+            while let Some(job) = self.queues[c].pop() {
+                self.handle_job(c, job, &mut rng);
+            }
         }
     }
 
@@ -658,6 +697,7 @@ impl LiveCluster {
             if !self.clock.sleep_until_or_stop(next, &self.shutdown) {
                 return;
             }
+            let tick0 = self.profiler.as_ref().map(|_| Instant::now());
             let now = self.clock.now();
             // One snapshot entry per ACTIVE replica slot, primary-first
             // per service group — identical to the sim's snapshot order
@@ -711,6 +751,9 @@ impl LiveCluster {
                 .unwrap()
                 .on_tick(now, &snapshot);
             self.apply_actions(NodeId(node as u32), actions, false);
+            if let (Some(p), Some(t0)) = (&self.profiler, tick0) {
+                p.record(ProfilePhase::LiveTick, t0.elapsed().as_nanos() as u64);
+            }
             next += interval;
             // If a tick overran its slot, skip ahead instead of spiralling.
             let now = self.clock.now();

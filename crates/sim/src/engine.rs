@@ -42,6 +42,7 @@ pub struct Engine {
     now: SimTime,
     next_seq: u64,
     processed: u64,
+    high_water: usize,
 }
 
 impl Engine {
@@ -62,6 +63,7 @@ impl Engine {
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,
+            high_water: 0,
         }
     }
 
@@ -86,6 +88,12 @@ impl Engine {
         self.heap.len()
     }
 
+    /// Deepest the event heap has been since construction (events, not
+    /// bytes). Reset by [`Engine::with_storage`] along with the clock.
+    pub fn heap_high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Schedule `event` at absolute time `at`. Scheduling in the past is a
     /// logic error and panics in debug builds; in release the event fires
     /// "now" to keep time monotone.
@@ -103,6 +111,7 @@ impl Engine {
         };
         self.next_seq += 1;
         self.heap.push(Reverse((key, event)));
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
@@ -146,6 +155,7 @@ mod tests {
         assert_eq!(order, vec![1, 2, 3]);
         assert_eq!(e.now(), SimTime::from_micros(30));
         assert_eq!(e.processed(), 3);
+        assert_eq!(e.heap_high_water(), 3, "all three were queued at once");
     }
 
     #[test]
@@ -179,6 +189,7 @@ mod tests {
         assert_eq!(e2.now(), SimTime::ZERO);
         assert_eq!(e2.pending(), 0);
         assert_eq!(e2.processed(), 0);
+        assert_eq!(e2.heap_high_water(), 0, "watermark resets with the clock");
         e2.schedule(SimTime::from_micros(7), tick(1));
         let (t, _) = e2.pop().unwrap();
         assert_eq!(t, SimTime::from_micros(7));

@@ -27,11 +27,13 @@ use sg_core::slack::{annotate_entry, per_packet_slack};
 use sg_core::time::{SimDuration, SimTime};
 use sg_core::violation::LatencyPoint;
 use sg_telemetry::metrics::slack_p50_p99;
+use sg_telemetry::profile::{ProfileMark, ProfilePhase, SimProfiler};
 use sg_telemetry::{
     ActionKind, ActionOrigin, ActionOutcome, MetricId, MetricSample, ReplicaPhase, SharedSink,
     SpanRecord, SpanSampler, TelemetryEvent, METRICS_SCHEMA_VERSION,
 };
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Lifecycle state of one replica slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -252,6 +254,12 @@ pub struct Simulation {
     /// Per-packet slack observations since the last decision cycle,
     /// per container (drained into p50/p99 gauges at each tick).
     slack_acc: Vec<Vec<i64>>,
+    /// Self-profiler (phase timing + watermarks); `None` costs one
+    /// branch per dispatched event.
+    profiler: Option<Box<SimProfiler>>,
+    /// Where the finished self-profile report is emitted (synchronous,
+    /// like every sim sink).
+    profile_sink: Option<SharedSink>,
 }
 
 impl Simulation {
@@ -424,6 +432,8 @@ impl Simulation {
             fr_boost_counts: vec![0; n_slots],
             upscale_hint_counts: vec![0; n_slots],
             slack_acc: vec![Vec::new(); n_slots],
+            profiler: None,
+            profile_sink: None,
             cfg,
         }
     }
@@ -466,6 +476,20 @@ impl Simulation {
         self
     }
 
+    /// Enable the self-profiler: event dispatch is counted per event
+    /// class (with 1-in-2^k sampled timing on the per-packet classes —
+    /// see [`sg_telemetry::profile::SIM_SAMPLE_SHIFT`]), heap-depth /
+    /// invocation-table high-water marks and `SimBuffers` reuse hits are
+    /// tracked, and the finished [`sg_telemetry::ProfileReport`] is
+    /// emitted into `sink` at the end of the run. Profiling reads the
+    /// wall clock but never simulation state, so enabling it cannot
+    /// perturb the deterministic outputs.
+    pub fn with_profile(mut self, sink: SharedSink) -> Self {
+        self.profiler = Some(Box::new(SimProfiler::new()));
+        self.profile_sink = Some(sink);
+        self
+    }
+
     /// Run to completion and produce the results.
     pub fn run(self) -> RunResult {
         self.run_impl(None)
@@ -477,6 +501,23 @@ impl Simulation {
     /// the adopted allocations are emptied before use and capacity never
     /// feeds back into simulation logic.
     pub fn run_reusing(mut self, buffers: &mut SimBuffers) -> RunResult {
+        if let Some(p) = &mut self.profiler {
+            // Reuse hit rate: each adopted allocation either arrives warm
+            // (nonzero capacity from a previous trial) or cold.
+            for warm in [
+                buffers.engine.capacity() > 0,
+                buffers.invocations.capacity() > 0,
+                buffers.free_list.capacity() > 0,
+                buffers.points.capacity() > 0,
+            ] {
+                let mark = if warm {
+                    ProfileMark::BuffersReuseHit
+                } else {
+                    ProfileMark::BuffersReuseMiss
+                };
+                p.mark_add(mark, 1);
+            }
+        }
         self.engine = Engine::with_storage(std::mem::take(&mut buffers.engine));
         let mut invocations = std::mem::take(&mut buffers.invocations);
         invocations.clear();
@@ -491,6 +532,9 @@ impl Simulation {
     }
 
     fn run_impl(mut self, buffers: Option<&mut SimBuffers>) -> RunResult {
+        // Wall clock for the self-profile only: never read unless the
+        // profiler is on, and never fed back into simulation state.
+        let wall_start = self.profiler.as_ref().map(|_| Instant::now());
         // The metrics stream self-describes: schema version + cadence
         // header before any sample (interval 0 = per decision cycle).
         if let Some(sink) = &self.metrics_sink {
@@ -530,7 +574,14 @@ impl Simulation {
             if now > end {
                 break;
             }
-            self.dispatch(now, event);
+            if self.profiler.is_some() {
+                let phase = Self::classify(&event);
+                let t0 = self.profiler.as_mut().expect("checked").begin(phase);
+                self.dispatch(now, event);
+                self.profiler.as_mut().expect("checked").end(phase, t0);
+            } else {
+                self.dispatch(now, event);
+            }
         }
 
         // Responses are recorded at send time but stamped with their
@@ -562,6 +613,26 @@ impl Simulation {
             .collect();
 
         let events = self.engine.processed();
+
+        // Finalize the self-profile while the engine and invocation
+        // table are still alive (their watermarks come from them).
+        if let (Some(p), Some(t0)) = (&mut self.profiler, wall_start) {
+            p.mark_max(
+                ProfileMark::HeapDepthHighWater,
+                self.engine.heap_high_water() as u64,
+            );
+            p.mark_max(
+                ProfileMark::InvocationHighWater,
+                self.invocations.len() as u64,
+            );
+            let report = p.report(t0.elapsed().as_nanos() as u64);
+            if let Some(sink) = &self.profile_sink {
+                for event in report.events() {
+                    sink.emit(event);
+                }
+            }
+        }
+
         if let Some(b) = buffers {
             b.engine = self.engine.into_storage();
             self.invocations.clear();
@@ -589,6 +660,21 @@ impl Simulation {
     // ---------------------------------------------------------------
     // event dispatch
     // ---------------------------------------------------------------
+
+    /// Self-profile phase of one dispatched event.
+    fn classify(event: &Event) -> ProfilePhase {
+        match event {
+            Event::ClientArrival { .. } => ProfilePhase::SimArrival,
+            Event::Deliver { packet } => match packet.kind {
+                PacketKind::Request => ProfilePhase::SimDeliverRequest,
+                PacketKind::Response => ProfilePhase::SimDeliverResponse,
+            },
+            Event::PhaseComplete { .. } => ProfilePhase::SimPhaseComplete,
+            Event::ControllerTick { .. } => ProfilePhase::SimControllerTick,
+            Event::FreqApply { .. } => ProfilePhase::SimFreqApply,
+            Event::FaultStart { .. } | Event::FaultEnd { .. } => ProfilePhase::SimFault,
+        }
+    }
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
         match event {

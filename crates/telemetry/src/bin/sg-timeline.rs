@@ -26,9 +26,32 @@
 //! Exit status: 0 clean, 1 reconcile failure, 2 usage errors.
 
 use sg_core::time::SimDuration;
-use sg_telemetry::{read_trace, timeline, TimelineSet};
+use sg_telemetry::{
+    read_trace, timeline, TelemetryEvent, TimelineSet, METRICS_SCHEMA_VERSION, PROFILE_SCHEMA,
+    SPANS_SCHEMA, TRACE_SCHEMA,
+};
 use std::path::Path;
 use std::process::ExitCode;
+
+/// Warn (never fail) on schema headers this binary does not know, so a
+/// newer export is flagged instead of silently misparsed.
+fn warn_unknown_schemas(events: &[TelemetryEvent]) {
+    const KNOWN: [&str; 3] = [TRACE_SCHEMA, SPANS_SCHEMA, PROFILE_SCHEMA];
+    for event in events {
+        match event {
+            TelemetryEvent::Schema { schema } if !KNOWN.contains(&schema.as_str()) => {
+                eprintln!("sg-timeline: warning: unknown schema '{schema}'; fields may be misread");
+            }
+            TelemetryEvent::MetricsMeta { version, .. } if *version > METRICS_SCHEMA_VERSION => {
+                eprintln!(
+                    "sg-timeline: warning: metrics schema v{version} is newer than this build \
+                     (v{METRICS_SCHEMA_VERSION}); fields may be misread"
+                );
+            }
+            _ => {}
+        }
+    }
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -111,6 +134,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    warn_unknown_schemas(&metrics_file.events);
     let set = TimelineSet::from_events(&metrics_file.events);
 
     let trace = match &trace_path {
@@ -123,6 +147,9 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    if let Some(t) = &trace {
+        warn_unknown_schemas(&t.events);
+    }
 
     // Grace: explicit flag, else the measured sampling interval (the
     // natural boundary-race window), floored at 1 ms.

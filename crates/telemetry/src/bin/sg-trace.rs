@@ -1,6 +1,7 @@
 //! `sg-trace` — summarize and audit a telemetry JSONL trace.
 //!
-//! Usage: `sg-trace [--json] [--qos MS] [--folded PATH] TRACE.jsonl`
+//! Usage: `sg-trace [--json] [--qos MS] [--folded PATH] [--profile]
+//! TRACE.jsonl`
 //!
 //! Reads a trace produced by `sg-loadtest --telemetry` / `--spans` (or
 //! any `JsonlSink`) and prints the per-container allocation timeline,
@@ -17,28 +18,138 @@
 //!   p99 of observed request durations.
 //! * `--folded PATH` write the attribution histogram as collapsed
 //!   stacks (`client;c0;c1;pool_queue 1234`) for inferno / speedscope.
+//! * `--profile`  render a self-profile recorded with `sg-loadtest
+//!   --profile-out`: phase table (% of wall, count, p50/p99), watermark
+//!   summary, and the explicit self-overhead line. `--folded` then
+//!   writes the phase stacks instead of the attribution stacks, and the
+//!   exit status reflects the profile audit (zero wall, inconsistent
+//!   sampling, live coverage below the floor).
+//!
+//! Any file whose `schema` header names an unknown version is still
+//! summarized, with a warning — never silently misparsed.
 //!
 //! Exit status: 0 on a clean trace, 1 when the clamp/reconciliation
-//! audit or the span structural audit finds a mismatch (unexplained
-//! alloc changes, dropped events, malformed span trees), 2 on usage
-//! errors. Unparseable lines are counted and reported, not fatal — a
-//! trace truncated by a crash should still summarize.
+//! audit, the span structural audit, or the profile audit finds a
+//! mismatch (unexplained alloc changes, dropped events, malformed span
+//! trees), 2 on usage errors. Unparseable lines are counted and
+//! reported, not fatal — a trace truncated by a crash should still
+//! summarize.
 
 use sg_core::time::SimDuration;
-use sg_telemetry::{read_trace, SpanReport, TraceSummary};
+use sg_telemetry::{
+    read_trace, ProfileReport, SpanReport, TelemetryEvent, TraceSummary, PROFILE_SCHEMA,
+    PROFILE_SCHEMA_VERSION, SPANS_SCHEMA, TRACE_SCHEMA,
+};
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: sg-trace [--json] [--qos MS] [--folded PATH] TRACE.jsonl");
-    eprintln!("  summarize a telemetry trace recorded with sg-loadtest --telemetry/--spans");
-    eprintln!("  exits nonzero when the reconciliation or span audit fails");
+    eprintln!("usage: sg-trace [--json] [--qos MS] [--folded PATH] [--profile] TRACE.jsonl");
+    eprintln!("  summarize a telemetry trace recorded with sg-loadtest --telemetry/--spans,");
+    eprintln!("  or (with --profile) a self-profile recorded with --profile-out");
+    eprintln!("  exits nonzero when the reconciliation, span, or profile audit fails");
     ExitCode::from(2)
+}
+
+/// Warn (never fail) on schema headers this binary does not know, so a
+/// newer export is flagged instead of silently misparsed.
+fn warn_unknown_schemas(events: &[TelemetryEvent]) {
+    const KNOWN: [&str; 3] = [TRACE_SCHEMA, SPANS_SCHEMA, PROFILE_SCHEMA];
+    for event in events {
+        match event {
+            TelemetryEvent::Schema { schema } if !KNOWN.contains(&schema.as_str()) => {
+                eprintln!(
+                    "sg-trace: warning: unknown schema '{schema}' (this build understands \
+                     {TRACE_SCHEMA}, {SPANS_SCHEMA}, {PROFILE_SCHEMA}); fields may be misread"
+                );
+            }
+            TelemetryEvent::ProfileMeta { version, .. } if *version > PROFILE_SCHEMA_VERSION => {
+                eprintln!(
+                    "sg-trace: warning: profile schema v{version} is newer than this build \
+                     (v{PROFILE_SCHEMA_VERSION}); fields may be misread"
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `--profile` mode: rebuild and render the self-profile report; the
+/// exit code is its audit verdict.
+fn profile_mode(
+    path: &str,
+    events: &[TelemetryEvent],
+    bad_lines: u64,
+    json: bool,
+    folded: Option<&str>,
+) -> ExitCode {
+    let Some(report) = ProfileReport::from_events(events) else {
+        eprintln!("sg-trace: no profile records in {path} (record with sg-loadtest --profile-out)");
+        return ExitCode::FAILURE;
+    };
+    if let Some(folded_path) = folded {
+        let mut text = report.folded_lines().join("\n");
+        text.push('\n');
+        if let Err(e) = std::fs::write(folded_path, text) {
+            eprintln!("sg-trace: cannot write {folded_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let audit = report.audit();
+    if json {
+        let phases: Vec<serde_json::Value> = report
+            .phases
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "phase": p.phase.name(),
+                    "count": p.count,
+                    "sampled": p.sampled,
+                    "total_ns": p.total_ns,
+                    "p50_ns": p.p50_ns,
+                    "p99_ns": p.p99_ns,
+                    "max_ns": p.max_ns,
+                })
+            })
+            .collect();
+        let marks: Vec<serde_json::Value> = report
+            .marks
+            .iter()
+            .map(|(m, v)| serde_json::json!({"mark": m.name(), "value": v}))
+            .collect();
+        let obj = serde_json::json!({
+            "schema": PROFILE_SCHEMA,
+            "version": report.version,
+            "substrate": report.substrate,
+            "wall_ns": report.wall_ns,
+            "phases": phases,
+            "marks": marks,
+            "audit": audit.as_ref().err().cloned().unwrap_or_default(),
+            "bad_lines": bad_lines,
+        });
+        println!("{obj}");
+    } else {
+        print!("{}", report.render());
+        if let Err(findings) = &audit {
+            for finding in findings {
+                eprintln!("sg-trace: AUDIT: {finding}");
+            }
+        }
+    }
+    if bad_lines > 0 {
+        eprintln!("sg-trace: skipped {bad_lines} unparseable line(s)");
+    }
+    if audit.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
+    let mut profile = false;
     let mut qos: Option<SimDuration> = None;
     let mut folded: Option<String> = None;
     let mut path: Option<String> = None;
@@ -48,6 +159,7 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--help" | "-h" => return usage(),
             "--json" => json = true,
+            "--profile" => profile = true,
             "--qos" => {
                 i += 1;
                 let Some(ms) = args.get(i).and_then(|v| v.parse::<f64>().ok()) else {
@@ -93,6 +205,11 @@ fn main() -> ExitCode {
         }
     };
     let bad_lines = trace.bad_lines;
+    warn_unknown_schemas(&trace.events);
+
+    if profile {
+        return profile_mode(&path, &trace.events, bad_lines, json, folded.as_deref());
+    }
 
     let summary = TraceSummary::from_events(trace.events.iter().cloned());
     let report = SpanReport::from_events(trace.events, qos);

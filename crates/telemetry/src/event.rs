@@ -6,10 +6,17 @@
 //! reads back what the sinks wrote.
 
 use crate::metrics::{MetricId, MetricSample};
+use crate::profile::{ProfileMark, ProfilePhase};
 use crate::span::SpanRecord;
 use serde_json::{json, Value};
 use sg_core::ids::{ContainerId, NodeId};
 use sg_core::time::{SimDuration, SimTime};
+
+/// Schema identifier stamped as line 1 of decision-trace JSONL exports
+/// (the `sg-bench/v1` naming convention).
+pub const TRACE_SCHEMA: &str = "sg-trace/v1";
+/// Schema identifier stamped as line 1 of span-trace JSONL exports.
+pub const SPANS_SCHEMA: &str = "sg-spans/v1";
 
 /// The per-stream trace an event belongs to. The live relay funnels all
 /// three families through one ring; drops are counted and testified per
@@ -23,6 +30,8 @@ pub enum EventFamily {
     Span,
     /// Metrics time-series samples.
     Metrics,
+    /// Runtime self-profile records (phase totals, watermarks).
+    Profile,
 }
 
 impl EventFamily {
@@ -32,6 +41,7 @@ impl EventFamily {
             EventFamily::Decision => "decision",
             EventFamily::Span => "span",
             EventFamily::Metrics => "metrics",
+            EventFamily::Profile => "profile",
         }
     }
 
@@ -40,6 +50,7 @@ impl EventFamily {
             "decision" => EventFamily::Decision,
             "span" => EventFamily::Span,
             "metrics" => EventFamily::Metrics,
+            "profile" => EventFamily::Profile,
             _ => return None,
         })
     }
@@ -359,6 +370,48 @@ pub enum TelemetryEvent {
         /// stream.
         family: Option<EventFamily>,
     },
+    /// Stream header naming the file's schema (`sg-trace/v1`,
+    /// `sg-spans/v1`, `sg-profile/v1`, ... — the `sg-bench/v1`
+    /// convention). Written directly by the CLI before any relay, so it
+    /// is always line 1 and can never be dropped; readers warn on
+    /// unknown values instead of misparsing.
+    Schema {
+        /// The schema identifier string.
+        schema: String,
+    },
+    /// Header of a self-profile report (see [`crate::profile`]).
+    ProfileMeta {
+        /// [`crate::profile::PROFILE_SCHEMA_VERSION`] at write time.
+        version: u32,
+        /// `"sim"` or `"live"`.
+        substrate: String,
+        /// Measured wall time of the profiled run, nanoseconds.
+        wall_ns: u64,
+    },
+    /// One phase row of a self-profile report.
+    ProfilePhase {
+        /// Which phase.
+        phase: ProfilePhase,
+        /// Times the phase ran.
+        count: u64,
+        /// How many runs were timed (`== count` when unsampled).
+        sampled: u64,
+        /// Total nanoseconds (scaled estimate when sampled).
+        total_ns: u64,
+        /// Median timed duration.
+        p50_ns: u64,
+        /// 99th-percentile timed duration.
+        p99_ns: u64,
+        /// Slowest timed duration.
+        max_ns: u64,
+    },
+    /// One watermark/counter of a self-profile report.
+    ProfileMark {
+        /// Which mark.
+        mark: ProfileMark,
+        /// Its value.
+        value: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -545,6 +598,43 @@ impl TelemetryEvent {
                     "count": *count,
                 }),
             },
+            TelemetryEvent::Schema { schema } => json!({
+                "type": "schema",
+                "schema": schema.as_str(),
+            }),
+            TelemetryEvent::ProfileMeta {
+                version,
+                substrate,
+                wall_ns,
+            } => json!({
+                "type": "profile_meta",
+                "version": *version,
+                "substrate": substrate.as_str(),
+                "wall_ns": *wall_ns,
+            }),
+            TelemetryEvent::ProfilePhase {
+                phase,
+                count,
+                sampled,
+                total_ns,
+                p50_ns,
+                p99_ns,
+                max_ns,
+            } => json!({
+                "type": "profile_phase",
+                "phase": phase.name(),
+                "count": *count,
+                "sampled": *sampled,
+                "total_ns": *total_ns,
+                "p50_ns": *p50_ns,
+                "p99_ns": *p99_ns,
+                "max_ns": *max_ns,
+            }),
+            TelemetryEvent::ProfileMark { mark, value } => json!({
+                "type": "profile_mark",
+                "mark": mark.name(),
+                "value": *value,
+            }),
         };
         value.to_string()
     }
@@ -552,11 +642,16 @@ impl TelemetryEvent {
     /// Which per-stream trace this event belongs to (see
     /// [`EventFamily`]). A family-tagged `Dropped` reports for its own
     /// family; an untagged one is a legacy total and classified as
-    /// decision traffic.
+    /// decision traffic. `Schema` headers are written straight to their
+    /// file by the CLI and never relayed; their nominal family is
+    /// decision.
     pub fn family(&self) -> EventFamily {
         match self {
             TelemetryEvent::Span(_) => EventFamily::Span,
             TelemetryEvent::Metric(_) | TelemetryEvent::MetricsMeta { .. } => EventFamily::Metrics,
+            TelemetryEvent::ProfileMeta { .. }
+            | TelemetryEvent::ProfilePhase { .. }
+            | TelemetryEvent::ProfileMark { .. } => EventFamily::Profile,
             TelemetryEvent::Dropped {
                 family: Some(f), ..
             } => *f,
@@ -718,6 +813,29 @@ impl TelemetryEvent {
                             .ok_or("unknown drop family")?,
                     ),
                 },
+            }),
+            "schema" => Ok(TelemetryEvent::Schema {
+                schema: field_str(&v, "schema")?.to_string(),
+            }),
+            "profile_meta" => Ok(TelemetryEvent::ProfileMeta {
+                version: field_u64(&v, "version")? as u32,
+                substrate: field_str(&v, "substrate")?.to_string(),
+                wall_ns: field_u64(&v, "wall_ns")?,
+            }),
+            "profile_phase" => Ok(TelemetryEvent::ProfilePhase {
+                phase: ProfilePhase::from_wire(field_str(&v, "phase")?)
+                    .ok_or("unknown profile phase")?,
+                count: field_u64(&v, "count")?,
+                sampled: field_u64(&v, "sampled")?,
+                total_ns: field_u64(&v, "total_ns")?,
+                p50_ns: field_u64(&v, "p50_ns")?,
+                p99_ns: field_u64(&v, "p99_ns")?,
+                max_ns: field_u64(&v, "max_ns")?,
+            }),
+            "profile_mark" => Ok(TelemetryEvent::ProfileMark {
+                mark: ProfileMark::from_wire(field_str(&v, "mark")?)
+                    .ok_or("unknown profile mark")?,
+                value: field_u64(&v, "value")?,
             }),
             other => Err(format!("unknown event type '{other}'")),
         }
@@ -919,6 +1037,31 @@ mod tests {
                 count: 2,
                 family: Some(EventFamily::Metrics),
             },
+            TelemetryEvent::Dropped {
+                count: 1,
+                family: Some(EventFamily::Profile),
+            },
+            TelemetryEvent::Schema {
+                schema: "sg-trace/v1".into(),
+            },
+            TelemetryEvent::ProfileMeta {
+                version: 1,
+                substrate: "live".into(),
+                wall_ns: 400_123_456,
+            },
+            TelemetryEvent::ProfilePhase {
+                phase: ProfilePhase::SimDeliverRequest,
+                count: 812_345,
+                sampled: 6_347,
+                total_ns: 39_000_000,
+                p50_ns: 48,
+                p99_ns: 96,
+                max_ns: 8_100,
+            },
+            TelemetryEvent::ProfileMark {
+                mark: ProfileMark::RingOccupancyHighWater,
+                value: 1_024,
+            },
         ]
     }
 
@@ -978,6 +1121,11 @@ mod tests {
                 TelemetryEvent::Span(_) => assert_eq!(family, EventFamily::Span),
                 TelemetryEvent::Metric(_) | TelemetryEvent::MetricsMeta { .. } => {
                     assert_eq!(family, EventFamily::Metrics)
+                }
+                TelemetryEvent::ProfileMeta { .. }
+                | TelemetryEvent::ProfilePhase { .. }
+                | TelemetryEvent::ProfileMark { .. } => {
+                    assert_eq!(family, EventFamily::Profile)
                 }
                 TelemetryEvent::Dropped {
                     family: Some(f), ..

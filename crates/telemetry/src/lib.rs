@@ -48,6 +48,7 @@
 pub mod critical;
 pub mod event;
 pub mod metrics;
+pub mod profile;
 pub mod reader;
 pub mod ring;
 pub mod sink;
@@ -58,9 +59,13 @@ pub mod timeline;
 pub use critical::{Attribution, LossClass, SpanReport};
 pub use event::{
     ActionKind, ActionOrigin, ActionOutcome, EventFamily, ReplicaPhase, ScoredAction,
-    TelemetryEvent,
+    TelemetryEvent, SPANS_SCHEMA, TRACE_SCHEMA,
 };
 pub use metrics::{MetricId, MetricSample, MetricsRegistry, METRICS_SCHEMA_VERSION};
+pub use profile::{
+    LiveProfiler, ProfileMark, ProfilePhase, ProfileReport, SimProfiler, PROFILE_SCHEMA,
+    PROFILE_SCHEMA_VERSION,
+};
 pub use reader::{read_trace, TraceFile};
 pub use ring::{RingDrainer, RingSink, RingStats};
 pub use sink::{DemuxSink, FanoutSink, JsonlSink, SharedSink, TelemetrySink, VecSink};

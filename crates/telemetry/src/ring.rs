@@ -18,11 +18,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// The three families, in a stable order for per-family counters.
-const FAMILIES: [EventFamily; 3] = [
+/// The four families, in a stable order for per-family counters.
+const FAMILIES: [EventFamily; 4] = [
     EventFamily::Decision,
     EventFamily::Span,
     EventFamily::Metrics,
+    EventFamily::Profile,
 ];
 
 fn family_index(family: EventFamily) -> usize {
@@ -30,6 +31,7 @@ fn family_index(family: EventFamily) -> usize {
         EventFamily::Decision => 0,
         EventFamily::Span => 1,
         EventFamily::Metrics => 2,
+        EventFamily::Profile => 3,
     }
 }
 
@@ -43,7 +45,13 @@ fn family_index(family: EventFamily) -> usize {
 /// which the demux routes only to that family's stream.
 pub struct RingSink {
     queue: Arc<ArrayQueue<TelemetryEvent>>,
-    dropped: [AtomicU64; 3],
+    dropped: [AtomicU64; 4],
+    /// When set (profiling runs only), `emit` records the post-push
+    /// queue length into `occupancy_high_water`. Off by default so the
+    /// ~22 ns uninstrumented push path stays free of the extra length
+    /// read — the profiler's own disabled-guard discipline.
+    track_occupancy: bool,
+    occupancy_high_water: AtomicU64,
 }
 
 impl RingSink {
@@ -51,9 +59,25 @@ impl RingSink {
     /// the drainer thread. Shut down via [`RingDrainer::shutdown`] to
     /// drain remaining events and collect stats.
     pub fn spawn(inner: SharedSink, capacity: usize) -> (Arc<RingSink>, RingDrainer) {
+        Self::spawn_inner(inner, capacity, false)
+    }
+
+    /// Like [`RingSink::spawn`], but with occupancy high-water tracking
+    /// enabled — the profiling-run variant.
+    pub fn spawn_tracking(inner: SharedSink, capacity: usize) -> (Arc<RingSink>, RingDrainer) {
+        Self::spawn_inner(inner, capacity, true)
+    }
+
+    fn spawn_inner(
+        inner: SharedSink,
+        capacity: usize,
+        track_occupancy: bool,
+    ) -> (Arc<RingSink>, RingDrainer) {
         let sink = Arc::new(RingSink {
             queue: Arc::new(ArrayQueue::new(capacity.max(1))),
-            dropped: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            dropped: std::array::from_fn(|_| AtomicU64::new(0)),
+            track_occupancy,
+            occupancy_high_water: AtomicU64::new(0),
         });
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -97,14 +121,28 @@ impl RingSink {
     pub fn dropped_for(&self, family: EventFamily) -> u64 {
         self.dropped[family_index(family)].load(Ordering::Relaxed)
     }
+
+    /// Highest queue occupancy observed after a successful push. Always
+    /// 0 unless the ring was spawned with [`RingSink::spawn_tracking`].
+    pub fn occupancy_high_water(&self) -> u64 {
+        self.occupancy_high_water.load(Ordering::Relaxed)
+    }
 }
 
 impl TelemetrySink for RingSink {
     /// Push without blocking; a full ring drops the event and counts it
     /// against the event's family.
     fn emit(&self, event: TelemetryEvent) {
-        if let Err(event) = self.queue.push(event) {
-            self.dropped[family_index(event.family())].fetch_add(1, Ordering::Relaxed);
+        match self.queue.push(event) {
+            Ok(()) => {
+                if self.track_occupancy {
+                    self.occupancy_high_water
+                        .fetch_max(self.queue.len() as u64, Ordering::Relaxed);
+                }
+            }
+            Err(event) => {
+                self.dropped[family_index(event.family())].fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -123,6 +161,8 @@ pub struct RingStats {
     pub dropped_span: u64,
     /// Metrics samples lost.
     pub dropped_metrics: u64,
+    /// Profile records lost.
+    pub dropped_profile: u64,
 }
 
 /// Owns the drainer thread; joining it finalizes the trace.
@@ -145,7 +185,7 @@ impl RingDrainer {
             .expect("shutdown called once")
             .join()
             .expect("telemetry drainer panicked");
-        let mut per_family = [0u64; 3];
+        let mut per_family = [0u64; 4];
         for family in FAMILIES {
             let count = self.sink.dropped_for(family);
             per_family[family_index(family)] = count;
@@ -167,6 +207,7 @@ impl RingDrainer {
             dropped_decision: per_family[0],
             dropped_span: per_family[1],
             dropped_metrics: per_family[2],
+            dropped_profile: per_family[3],
         }
     }
 }
@@ -338,6 +379,39 @@ mod tests {
                 assert!(testimonies.is_empty(), "{family:?}");
             }
         }
+    }
+
+    /// Watermark correctness: with the drainer blocked (forced
+    /// backpressure), a tracking ring's occupancy high-water must reach
+    /// exactly its capacity; an untracked ring always reports zero.
+    #[test]
+    fn occupancy_high_water_matches_forced_backpressure() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let gate = Arc::new(Gate {
+            rx: std::sync::Mutex::new(rx),
+            seen: std::sync::Mutex::new(Vec::new()),
+        });
+        let (ring, drainer) = RingSink::spawn_tracking(gate.clone(), 8);
+        // The drainer absorbs at most one event before blocking in the
+        // gate; 16 pushes therefore fill all 8 slots no matter how the
+        // threads interleave, and the high-water must hit capacity.
+        for count in 0..16 {
+            ring.emit(decision_event(count));
+        }
+        assert_eq!(ring.occupancy_high_water(), 8);
+        assert!(ring.dropped() >= 1, "a full ring under backpressure drops");
+        drop(tx);
+        drainer.shutdown();
+
+        // The default (untracked) spawn keeps the hot path clean and
+        // reports zero even when events flow.
+        let inner = VecSink::shared();
+        let (ring, drainer) = RingSink::spawn(inner, 8);
+        for count in 0..4 {
+            ring.emit(decision_event(count));
+        }
+        assert_eq!(ring.occupancy_high_water(), 0);
+        drainer.shutdown();
     }
 
     #[test]

@@ -175,19 +175,20 @@ impl Drop for JsonlSink {
 }
 
 /// Routes events from one relay to per-stream destinations: span records
-/// to the span sink, metrics samples to the metrics sink, decision
-/// events to the decision sink. A family-tagged pipeline
-/// [`TelemetryEvent::Dropped`] record goes only to its own family's
-/// stream, so each output file testifies to exactly its own losses; an
-/// untagged (legacy) one is duplicated to every open stream. The live
-/// driver funnels every hot-path emitter through a single
-/// [`crate::ring::RingSink`] whose inner sink is a `DemuxSink`, keeping
-/// the packet path to one lock-free push however many trace files are
-/// open.
+/// to the span sink, metrics samples to the metrics sink, profile events
+/// to the profile sink, decision events to the decision sink. A
+/// family-tagged pipeline [`TelemetryEvent::Dropped`] record goes only
+/// to its own family's stream, so each output file testifies to exactly
+/// its own losses; an untagged (legacy) one is duplicated to every open
+/// stream. The live driver funnels every hot-path emitter through a
+/// single [`crate::ring::RingSink`] whose inner sink is a `DemuxSink`,
+/// keeping the packet path to one lock-free push however many trace
+/// files are open.
 pub struct DemuxSink {
     decision: Option<SharedSink>,
     span: Option<SharedSink>,
     metrics: Option<SharedSink>,
+    profile: Option<SharedSink>,
 }
 
 impl DemuxSink {
@@ -196,11 +197,13 @@ impl DemuxSink {
         decision: Option<SharedSink>,
         span: Option<SharedSink>,
         metrics: Option<SharedSink>,
+        profile: Option<SharedSink>,
     ) -> Self {
         DemuxSink {
             decision,
             span,
             metrics,
+            profile,
         }
     }
 
@@ -210,6 +213,7 @@ impl DemuxSink {
             EventFamily::Decision => self.decision.as_ref(),
             EventFamily::Span => self.span.as_ref(),
             EventFamily::Metrics => self.metrics.as_ref(),
+            EventFamily::Profile => self.profile.as_ref(),
         }
     }
 }
@@ -218,7 +222,7 @@ impl TelemetrySink for DemuxSink {
     fn emit(&self, event: TelemetryEvent) {
         if let TelemetryEvent::Dropped { family: None, .. } = &event {
             // Legacy total: every open stream carries the testimony.
-            for sink in [&self.decision, &self.span, &self.metrics]
+            for sink in [&self.decision, &self.span, &self.metrics, &self.profile]
                 .into_iter()
                 .flatten()
             {
@@ -232,7 +236,7 @@ impl TelemetrySink for DemuxSink {
     }
 
     fn flush(&self) {
-        for sink in [&self.decision, &self.span, &self.metrics]
+        for sink in [&self.decision, &self.span, &self.metrics, &self.profile]
             .into_iter()
             .flatten()
         {
@@ -392,15 +396,24 @@ mod tests {
         })
     }
 
+    fn profile_event() -> TelemetryEvent {
+        TelemetryEvent::ProfileMark {
+            mark: crate::profile::ProfileMark::HeapDepthHighWater,
+            value: 42,
+        }
+    }
+
     #[test]
-    fn demux_routes_three_families_and_duplicates_legacy_drops() {
+    fn demux_routes_four_families_and_duplicates_legacy_drops() {
         let decision = VecSink::shared();
         let span = VecSink::shared();
         let metrics = VecSink::shared();
+        let profile = VecSink::shared();
         let demux = DemuxSink::new(
             Some(decision.clone() as SharedSink),
             Some(span.clone() as SharedSink),
             Some(metrics.clone() as SharedSink),
+            Some(profile.clone() as SharedSink),
         );
         demux.emit(dropped(3)); // legacy: every stream
         demux.emit(TelemetryEvent::Alloc {
@@ -412,16 +425,20 @@ mod tests {
         });
         demux.emit(span_event());
         demux.emit(metric_event());
+        demux.emit(profile_event());
         let d = decision.take();
         let s = span.take();
         let m = metrics.take();
+        let p = profile.take();
         assert_eq!(d.len(), 2, "legacy drop + alloc on the decision stream");
         assert_eq!(s.len(), 2, "legacy drop + span on the span stream");
         assert_eq!(m.len(), 2, "legacy drop + sample on the metrics stream");
+        assert_eq!(p.len(), 2, "legacy drop + mark on the profile stream");
         assert!(matches!(d[1], TelemetryEvent::Alloc { .. }));
         assert!(matches!(s[1], TelemetryEvent::Span(_)));
         assert!(matches!(m[1], TelemetryEvent::Metric(_)));
-        for stream in [&d, &s, &m] {
+        assert!(matches!(p[1], TelemetryEvent::ProfileMark { .. }));
+        for stream in [&d, &s, &m, &p] {
             assert!(matches!(
                 stream[0],
                 TelemetryEvent::Dropped {
@@ -440,15 +457,18 @@ mod tests {
         let decision = VecSink::shared();
         let span = VecSink::shared();
         let metrics = VecSink::shared();
+        let profile = VecSink::shared();
         let demux = DemuxSink::new(
             Some(decision.clone() as SharedSink),
             Some(span.clone() as SharedSink),
             Some(metrics.clone() as SharedSink),
+            Some(profile.clone() as SharedSink),
         );
         for (family, count) in [
             (EventFamily::Decision, 1),
             (EventFamily::Span, 2),
             (EventFamily::Metrics, 3),
+            (EventFamily::Profile, 4),
         ] {
             demux.emit(TelemetryEvent::Dropped {
                 count,
@@ -459,6 +479,7 @@ mod tests {
             (&decision, EventFamily::Decision, 1),
             (&span, EventFamily::Span, 2),
             (&metrics, EventFamily::Metrics, 3),
+            (&profile, EventFamily::Profile, 4),
         ] {
             let events = sink.take();
             assert_eq!(events.len(), 1, "{family:?} stream sees only its drop");

@@ -75,6 +75,12 @@ pub struct TraceSummary {
     /// Fault-injection starts per fault class (`active = true` records;
     /// every fault emits a matching end record not counted here).
     pub fault_starts: BTreeMap<String, u64>,
+    /// Schema header strings seen in the stream (`sg-trace/v1` style),
+    /// in trace order. `sg-trace` warns on unrecognized values.
+    pub schemas: Vec<String>,
+    /// Profiler events seen in the stream (summarized separately by
+    /// [`crate::profile::ProfileReport`] / `sg-trace --profile`).
+    pub profile_events: u64,
     /// Active-replica-count steps per service group (keyed by the
     /// group's primary container), in trace order.
     pub replica_timeline: BTreeMap<u32, Vec<(SimTime, u32)>>,
@@ -175,6 +181,10 @@ impl TraceSummary {
                     }
                 }
                 TelemetryEvent::Dropped { count, .. } => s.dropped += count,
+                TelemetryEvent::Schema { schema } => s.schemas.push(schema),
+                TelemetryEvent::ProfileMeta { .. }
+                | TelemetryEvent::ProfilePhase { .. }
+                | TelemetryEvent::ProfileMark { .. } => s.profile_events += 1,
             }
         }
         s.open_boosts = open.len() as u64;
@@ -326,6 +336,13 @@ impl TraceSummary {
                 out,
                 "  {} metrics samples (render with sg-timeline)",
                 self.metric_samples
+            );
+        }
+        if self.profile_events > 0 {
+            let _ = writeln!(
+                out,
+                "  {} profiler records (render with sg-trace --profile)",
+                self.profile_events
             );
         }
         if !self.fault_starts.is_empty() {
