@@ -552,27 +552,106 @@ fn bench_lb_pick(mode: BenchMode) -> ScenarioStats {
     summarize("lb_pick", "ns", samples)
 }
 
+/// One cluster-scale throughput measurement: the gateway-fanout
+/// workload of [`crate::ClusterScenario`] under streamed spike
+/// arrivals, timed end to end and normalized to nanoseconds per engine
+/// event. Per-request event count is constant across cluster sizes, so
+/// the three sizes expose how per-event cost scales with container
+/// count (heap: log n pending; wheel: O(1) — SCALING.md §4).
+fn bench_cluster_scale(nodes: u32, name: &'static str, mode: BenchMode) -> ScenarioStats {
+    let scenario = crate::ClusterScenario::new(nodes, 400.0, SimTime::ZERO + bench_horizon(mode));
+    let factory = sg_sim::controller::NoopFactory;
+    let (warmup, iters) = match mode {
+        BenchMode::Quick => (1, 3),
+        BenchMode::Full => (1, 7),
+    };
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..warmup + iters {
+        let t0 = Instant::now();
+        let r = scenario.run(&factory);
+        let dt_ns = t0.elapsed().as_secs_f64() * 1e9;
+        assert!(r.completed > 0, "cluster run produced no completions");
+        assert_eq!(r.dropped, 0, "cluster run saturated the safety valve");
+        if i >= warmup {
+            samples.push(dt_ns / r.events as f64);
+        }
+    }
+    summarize(name, "ns", samples)
+}
+
+/// Simulated horizon for the cluster scenarios per mode.
+fn bench_horizon(mode: BenchMode) -> SimDuration {
+    match mode {
+        BenchMode::Quick => SimDuration::from_secs(2),
+        BenchMode::Full => SimDuration::from_secs(4),
+    }
+}
+
+fn bench_cluster_scale_4(mode: BenchMode) -> ScenarioStats {
+    bench_cluster_scale(4, "cluster_scale_4", mode)
+}
+
+fn bench_cluster_scale_50(mode: BenchMode) -> ScenarioStats {
+    bench_cluster_scale(50, "cluster_scale_50", mode)
+}
+
+fn bench_cluster_scale_200(mode: BenchMode) -> ScenarioStats {
+    bench_cluster_scale(200, "cluster_scale_200", mode)
+}
+
+/// One pinned scenario: measures and summarizes at the given mode.
+pub type ScenarioFn = fn(BenchMode) -> ScenarioStats;
+
+/// The pinned scenario set: stable names, fixed order. The names are the
+/// `--only` selectors and the keys of every `BENCH_*.json`.
+pub const SCENARIOS: [(&str, ScenarioFn); 17] = [
+    ("sim_trial", bench_sim_trial),
+    ("sim_trial_reuse", bench_sim_trial_reuse),
+    ("live_smoke", bench_live_smoke),
+    ("fr_hook", bench_fr_hook),
+    ("fr_hook_profiled", bench_fr_hook_profiled),
+    ("telemetry_ring", bench_telemetry_ring),
+    ("span_encode", bench_span_encode),
+    ("metrics_sample", bench_metrics_sample),
+    ("metrics_encode", bench_metrics_encode),
+    ("sim_trial_metrics", bench_sim_trial_metrics),
+    ("sim_trial_profiled", bench_sim_trial_profiled),
+    ("replica_scale_out", bench_replica_scale_out),
+    ("lb_pick", bench_lb_pick),
+    ("mmpp_schedule", bench_mmpp_schedule),
+    ("cluster_scale_4", bench_cluster_scale_4),
+    ("cluster_scale_50", bench_cluster_scale_50),
+    ("cluster_scale_200", bench_cluster_scale_200),
+];
+
 /// Run the pinned scenario set, in a fixed order.
 pub fn run_all(mode: BenchMode, progress: impl Fn(&ScenarioStats)) -> Vec<ScenarioStats> {
-    let runners: [fn(BenchMode) -> ScenarioStats; 14] = [
-        bench_sim_trial,
-        bench_sim_trial_reuse,
-        bench_live_smoke,
-        bench_fr_hook,
-        bench_fr_hook_profiled,
-        bench_telemetry_ring,
-        bench_span_encode,
-        bench_metrics_sample,
-        bench_metrics_encode,
-        bench_sim_trial_metrics,
-        bench_sim_trial_profiled,
-        bench_replica_scale_out,
-        bench_lb_pick,
-        bench_mmpp_schedule,
-    ];
-    let mut out = Vec::with_capacity(runners.len());
-    for run in runners {
+    run_selected(mode, None, progress)
+}
+
+/// Run a subset of the pinned scenario set: `only` is a comma-separated
+/// list of scenario-name substrings (`None` = everything). Order stays
+/// the pinned order regardless of the selector order.
+pub fn run_selected(
+    mode: BenchMode,
+    only: Option<&str>,
+    progress: impl Fn(&ScenarioStats),
+) -> Vec<ScenarioStats> {
+    let selected: Vec<&str> = only
+        .map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut out = Vec::new();
+    for (name, run) in SCENARIOS {
+        if !selected.is_empty() && !selected.iter().any(|pat| name.contains(pat)) {
+            continue;
+        }
         let stats = run(mode);
+        debug_assert_eq!(stats.name, name, "scenario table out of sync");
         progress(&stats);
         out.push(stats);
     }

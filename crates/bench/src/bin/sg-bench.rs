@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! sg-bench [--quick|--full] [--out PATH] [--compare OLD.json]
-//!          [--threshold PCT] [--warn-only]
+//!          [--threshold PCT] [--warn-only] [--only NAMES]
+//!          [--demo-cluster]
 //!
 //!   --quick          CI-sized iteration counts (default)
 //!   --full           more iterations for tighter quartiles
@@ -11,11 +12,48 @@
 //!                    exit 1 on any regression or missing scenario
 //!   --threshold PCT  median regression threshold in percent (default 25)
 //!   --warn-only      report regressions but always exit 0 (CI soak mode)
+//!   --only NAMES     run only scenarios whose name contains one of the
+//!                    comma-separated substrings (e.g. cluster_scale_50);
+//!                    with --compare, absent scenarios are reported as
+//!                    MISSING — pair with --warn-only
+//!   --demo-cluster   instead of the scenario set, run the ROADMAP
+//!                    200-node / 5 001-container / 10M-request spike
+//!                    once and print its throughput
 //! ```
 //!
 //! See BENCH.md for the scenario set and gate semantics.
 
-use sg_bench::baseline::{compare, run_all, to_json, BenchMode, Verdict, DEFAULT_THRESHOLD_PCT};
+use sg_bench::baseline::{
+    compare, run_selected, to_json, BenchMode, Verdict, DEFAULT_THRESHOLD_PCT,
+};
+use sg_bench::ClusterScenario;
+use sg_core::time::SimTime;
+use sg_sim::controller::NoopFactory;
+use std::time::Instant;
+
+/// `--demo-cluster`: the acceptance-scale run. 200 nodes × 25 backends,
+/// 500 req/s per node with 2× spikes (1 s every 10 s) for 95 simulated
+/// seconds ≈ 10.2M requests, arrivals streamed (never materialized).
+fn demo_cluster() {
+    let scenario = ClusterScenario::new(200, 500.0, SimTime::from_secs(95));
+    eprintln!(
+        "sg-bench: demo cluster run — {} nodes, {} containers, ~10M requests...",
+        scenario.nodes,
+        scenario.cfg.graph.len()
+    );
+    let t0 = Instant::now();
+    let r = scenario.run(&NoopFactory);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(r.dropped, 0, "demo run saturated the in-flight valve");
+    println!(
+        "demo_cluster_200: {} requests, {} events, {:.1} s wall, {:.0} events/sec, {:.0} req/sec",
+        r.completed,
+        r.events,
+        wall,
+        r.events as f64 / wall,
+        r.completed as f64 / wall,
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +62,7 @@ fn main() {
     let mut compare_path: Option<String> = None;
     let mut threshold = DEFAULT_THRESHOLD_PCT;
     let mut warn_only = false;
+    let mut only: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -31,6 +70,17 @@ fn main() {
             "--quick" => mode = BenchMode::Quick,
             "--full" => mode = BenchMode::Full,
             "--warn-only" => warn_only = true,
+            "--demo-cluster" => {
+                demo_cluster();
+                return;
+            }
+            "--only" => {
+                only = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--only needs NAMES"))
+                        .clone(),
+                );
+            }
             "--out" => {
                 out = Some(
                     it.next()
@@ -60,12 +110,16 @@ fn main() {
         BenchMode::Full => "full",
     };
     eprintln!("sg-bench: running pinned scenario set ({mode_label} mode)...");
-    let stats = run_all(mode, |s| {
+    let stats = run_selected(mode, only.as_deref(), |s| {
         eprintln!(
-            "  {:<16} median {:>10.3} {}  (p25 {:.3}, p75 {:.3}, n={})",
+            "  {:<18} median {:>10.3} {}  (p25 {:.3}, p75 {:.3}, n={})",
             s.name, s.median, s.unit, s.p25, s.p75, s.iters
         );
     });
+    if stats.is_empty() {
+        eprintln!("sg-bench: --only matched no scenarios");
+        std::process::exit(2);
+    }
     let fresh = to_json(mode, &stats);
 
     if let Some(path) = &out {

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub mod allocator;
+pub mod arrivals;
 pub mod config;
 pub mod escalator;
 pub mod fault;
@@ -48,6 +49,7 @@ pub mod time;
 pub mod violation;
 
 pub use allocator::{AllocAction, AllocConstraints, ContainerAlloc, FreqTable};
+pub use arrivals::{ArrivalSource, ScheduleSource};
 pub use config::{ContainerParams, EscalatorConfig, PROFILE_TARGET_FACTOR};
 pub use escalator::{Escalator, EscalatorDecision, EscalatorObservation};
 pub use fault::{FaultKind, FaultNotice, FaultPlan, FaultSpec};

@@ -534,6 +534,21 @@ impl LiveCluster {
                         }
                     }
                 }
+                CallMode::OneOf => {
+                    // One uniformly drawn child edge per request — the
+                    // load-balanced dispatch tier, from the worker's own
+                    // RNG like every other live-side draw.
+                    let edge = (rng.random::<u32>() % spec.children.len() as u32) as usize;
+                    let Some((slot, waited)) =
+                        self.call_child(c, edge, job.meta_in, job.req_start, span_ctx, rng)
+                    else {
+                        return;
+                    };
+                    conn_wait += waited;
+                    if !slot.wait(&self.shutdown) {
+                        return;
+                    }
+                }
             }
         }
 

@@ -9,6 +9,9 @@
 //! * [`profile`] — the [`ArrivalProfile`] abstraction over load shapes
 //!   beyond the spike protocol: diurnal day/night cycles, seeded 2-state
 //!   MMPP bursts, and trace-driven (CSV) rate timelines;
+//! * [`stream`] — pull-based arrival generation: any profile served as a
+//!   `sg_core::arrivals::ArrivalSource`, byte-identical to the batch
+//!   schedule without materializing it;
 //! * [`histogram`] — an HDR-style latency histogram (wrk2's reporting
 //!   structure);
 //! * [`report`] — per-run reports (violation volume, tails, cores,
@@ -21,8 +24,10 @@ pub mod histogram;
 pub mod profile;
 pub mod report;
 pub mod spike;
+pub mod stream;
 
 pub use histogram::LatencyHistogram;
 pub use profile::{ArrivalProfile, DiurnalCurve, Mmpp, TraceProfile};
 pub use report::{trimmed_mean, AggregateReport, RunReport};
 pub use spike::{short_surge, SpikePattern};
+pub use stream::ProfileStream;

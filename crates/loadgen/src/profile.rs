@@ -106,6 +106,17 @@ impl DiurnalCurve {
     /// boundary starts a fresh index-paced segment.
     pub fn arrivals(&self, start: SimTime, end: SimTime) -> Vec<SimTime> {
         let mut out = Vec::new();
+        for (s, e, rate) in self.segments(start, end) {
+            pace_into(&mut out, s, e, rate);
+        }
+        out
+    }
+
+    /// Constant-rate segments covering `[start, end)`, clamped to the
+    /// window: each step boundary (cycles repeat from time zero) starts a
+    /// fresh segment.
+    pub(crate) fn segments(&self, start: SimTime, end: SimTime) -> Vec<(SimTime, SimTime, f64)> {
+        let mut segs = Vec::new();
         let cycle = self.cycle_len().as_nanos();
         // First step boundary at or before `start`.
         let mut seg_start = SimTime::from_nanos(t_floor(start.as_nanos(), cycle));
@@ -113,7 +124,7 @@ impl DiurnalCurve {
             for &(len, rate) in &self.steps {
                 let seg_end = seg_start + len;
                 if seg_end > start {
-                    pace_into(&mut out, seg_start.max(start), seg_end.min(end), rate);
+                    segs.push((seg_start.max(start), seg_end.min(end), rate));
                 }
                 seg_start = seg_end;
                 if seg_start >= end {
@@ -121,7 +132,7 @@ impl DiurnalCurve {
                 }
             }
         }
-        out
+        segs
     }
 }
 
@@ -216,7 +227,7 @@ impl Mmpp {
 
 /// One exponential draw with the given mean, floored at 1 ns so schedules
 /// always make progress.
-fn exp_duration(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
+pub(crate) fn exp_duration(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
     let u: f64 = rng.random();
     mean.mul_f64(-(1.0 - u).ln())
         .max(SimDuration::from_nanos(1))
@@ -339,6 +350,16 @@ impl TraceProfile {
     /// segment (repeated cyclically) is an index-paced constant-rate run.
     pub fn arrivals(&self, start: SimTime, end: SimTime) -> Vec<SimTime> {
         let mut out = Vec::new();
+        for (s, e, rate) in self.segments(start, end) {
+            pace_into(&mut out, s, e, rate);
+        }
+        out
+    }
+
+    /// Constant-rate segments covering `[start, end)`, clamped to the
+    /// window (the trace repeats cyclically).
+    pub(crate) fn segments(&self, start: SimTime, end: SimTime) -> Vec<(SimTime, SimTime, f64)> {
+        let mut segs = Vec::new();
         let cycle = self.len.as_nanos();
         let mut cycle_start = SimTime::from_nanos(t_floor(start.as_nanos(), cycle));
         'outer: loop {
@@ -347,7 +368,7 @@ impl TraceProfile {
                 let seg_end =
                     cycle_start + self.points.get(i + 1).map(|&(o, _)| o).unwrap_or(self.len);
                 if seg_end > start && seg_start < end {
-                    pace_into(&mut out, seg_start.max(start), seg_end.min(end), rate);
+                    segs.push((seg_start.max(start), seg_end.min(end), rate));
                 }
                 if seg_start >= end {
                     break 'outer;
@@ -358,7 +379,7 @@ impl TraceProfile {
                 break;
             }
         }
-        out
+        segs
     }
 }
 

@@ -93,7 +93,7 @@ impl SpikePattern {
     }
 
     /// Decompose `[start, end)` into half-open constant-rate segments.
-    fn segments(&self, start: SimTime, end: SimTime) -> Vec<(SimTime, SimTime, f64)> {
+    pub(crate) fn segments(&self, start: SimTime, end: SimTime) -> Vec<(SimTime, SimTime, f64)> {
         let mut segs = Vec::new();
         let mut cursor = start;
         for (ws, we) in self.spike_windows(start, end) {

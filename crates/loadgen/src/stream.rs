@@ -1,0 +1,286 @@
+//! Streaming (batched) arrival generation.
+//!
+//! [`ArrivalProfile::stream`] turns any profile into a pull-based
+//! [`ArrivalSource`] whose output is byte-identical to the fully
+//! materialized [`ArrivalProfile::arrivals`] schedule, while holding only
+//! cursor state: the current segment and in-segment arrival index for the
+//! index-paced profiles, or the generator's RNG and dwell state for MMPP.
+//! A cluster-scale run no longer pays O(total arrivals) memory for its
+//! schedule — 10 million spike requests stream out of a few dozen
+//! segment descriptors (SCALING.md §3).
+//!
+//! Equivalence argument, per family:
+//!
+//! * **Spike / diurnal / trace** render through the same
+//!   segment-decomposition helpers the batch path uses, and each segment
+//!   is paced by arrival index exactly as `pace_into` does — same
+//!   segments, same per-index offsets, same timestamps.
+//! * **MMPP** replays the batch generator's loop verbatim with the dwell
+//!   state and RNG persisted across pulls; chunk boundaries never redraw.
+
+use crate::profile::{exp_duration, ArrivalProfile, Mmpp};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sg_core::arrivals::ArrivalSource;
+use sg_core::time::{paced_offset, SimDuration, SimTime};
+
+/// Walks a finite list of half-open constant-rate segments, pacing each
+/// from its own start by arrival index — the streaming twin of
+/// `pace_into` over the same list.
+#[derive(Debug)]
+struct PacedSegments {
+    /// `(start, end, rate)` segments, ascending and non-overlapping.
+    segs: Vec<(SimTime, SimTime, f64)>,
+    /// Current segment.
+    seg: usize,
+    /// Next arrival index within the current segment.
+    i: u64,
+}
+
+impl PacedSegments {
+    fn new(segs: Vec<(SimTime, SimTime, f64)>) -> Self {
+        assert!(
+            segs.iter().all(|&(_, _, rate)| rate > 0.0),
+            "rate must be positive"
+        );
+        PacedSegments { segs, seg: 0, i: 0 }
+    }
+
+    fn next(&mut self) -> Option<SimTime> {
+        while let Some(&(start, end, rate)) = self.segs.get(self.seg) {
+            let t = start + paced_offset(self.i, rate);
+            if t < end {
+                self.i += 1;
+                return Some(t);
+            }
+            self.seg += 1;
+            self.i = 0;
+        }
+        None
+    }
+}
+
+/// The MMPP generator loop with its state (clock, phase, dwell boundary,
+/// RNG) persisted between pulls.
+#[derive(Debug)]
+struct MmppStream {
+    low_rate: f64,
+    high_rate: f64,
+    mean_dwell_low: SimDuration,
+    mean_dwell_high: SimDuration,
+    rng: SmallRng,
+    t: SimTime,
+    end: SimTime,
+    high: bool,
+    state_end: SimTime,
+}
+
+impl MmppStream {
+    fn new(m: &Mmpp, start: SimTime, end: SimTime) -> Self {
+        assert!(
+            m.low_rate > 0.0 && m.high_rate > 0.0,
+            "rates must be positive"
+        );
+        assert!(
+            !m.mean_dwell_low.is_zero() && !m.mean_dwell_high.is_zero(),
+            "dwell times must be positive"
+        );
+        let mut rng = SmallRng::seed_from_u64(m.seed);
+        let state_end = start + exp_duration(&mut rng, m.mean_dwell_low);
+        MmppStream {
+            low_rate: m.low_rate,
+            high_rate: m.high_rate,
+            mean_dwell_low: m.mean_dwell_low,
+            mean_dwell_high: m.mean_dwell_high,
+            rng,
+            t: start,
+            end,
+            high: false,
+            state_end,
+        }
+    }
+
+    fn next(&mut self) -> Option<SimTime> {
+        while self.t < self.end {
+            let rate = if self.high {
+                self.high_rate
+            } else {
+                self.low_rate
+            };
+            let next = self.t + exp_duration(&mut self.rng, SimDuration::from_secs_f64(1.0 / rate));
+            if next >= self.state_end {
+                // Crossing a dwell boundary discards the in-flight gap
+                // and redraws at the new rate (memorylessness) — exactly
+                // what the batch generator does.
+                self.t = self.state_end;
+                self.high = !self.high;
+                let dwell = if self.high {
+                    self.mean_dwell_high
+                } else {
+                    self.mean_dwell_low
+                };
+                self.state_end = self.t + exp_duration(&mut self.rng, dwell);
+                continue;
+            }
+            self.t = next;
+            if self.t >= self.end {
+                return None;
+            }
+            return Some(self.t);
+        }
+        None
+    }
+}
+
+#[derive(Debug)]
+enum Inner {
+    Paced(PacedSegments),
+    Mmpp(MmppStream),
+}
+
+/// A profile's arrival schedule served as a pull-based stream.
+///
+/// Built by [`ArrivalProfile::stream`]; yields exactly the timestamps of
+/// the batch schedule over the same window, in order.
+#[derive(Debug)]
+pub struct ProfileStream {
+    inner: Inner,
+}
+
+impl ArrivalSource for ProfileStream {
+    fn next_arrival(&mut self) -> Option<SimTime> {
+        match &mut self.inner {
+            Inner::Paced(p) => p.next(),
+            Inner::Mmpp(m) => m.next(),
+        }
+    }
+}
+
+impl ArrivalProfile {
+    /// Stream the deterministic arrival schedule over `[start, end)`:
+    /// byte-identical to [`ArrivalProfile::arrivals`] without ever
+    /// materializing it.
+    pub fn stream(&self, start: SimTime, end: SimTime) -> ProfileStream {
+        let inner = match self {
+            ArrivalProfile::Spike(p) => {
+                assert!(
+                    p.base_rate > 0.0 && p.spike_rate > 0.0,
+                    "rates must be positive"
+                );
+                Inner::Paced(PacedSegments::new(p.segments(start, end)))
+            }
+            ArrivalProfile::Diurnal(c) => Inner::Paced(PacedSegments::new(c.segments(start, end))),
+            ArrivalProfile::Trace(t) => Inner::Paced(PacedSegments::new(t.segments(start, end))),
+            ArrivalProfile::Mmpp(m) => Inner::Mmpp(MmppStream::new(m, start, end)),
+        };
+        ProfileStream { inner }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{DiurnalCurve, TraceProfile};
+    use crate::spike::SpikePattern;
+
+    fn drain(mut s: ProfileStream) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        while let Some(t) = s.next_arrival() {
+            out.push(t);
+        }
+        out
+    }
+
+    fn assert_stream_matches(profile: ArrivalProfile, start: SimTime, end: SimTime) {
+        let full = profile.arrivals(start, end);
+        let streamed = drain(profile.stream(start, end));
+        assert_eq!(
+            full,
+            streamed,
+            "{} stream diverged from batch schedule",
+            profile.label()
+        );
+    }
+
+    #[test]
+    fn spike_stream_is_byte_identical() {
+        let p = SpikePattern::periodic(1000.0, 2.0, SimDuration::from_secs(2));
+        assert_stream_matches(
+            ArrivalProfile::Spike(p),
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+        );
+        // Window not aligned to spike boundaries.
+        assert_stream_matches(
+            ArrivalProfile::Spike(p),
+            SimTime::from_millis(10_500),
+            SimTime::from_millis(23_750),
+        );
+    }
+
+    #[test]
+    fn diurnal_stream_is_byte_identical() {
+        let c = DiurnalCurve::day_night(600.0, 1600.0, SimDuration::from_secs(60));
+        assert_stream_matches(
+            ArrivalProfile::Diurnal(c.clone()),
+            SimTime::ZERO,
+            SimTime::from_secs(120),
+        );
+        assert_stream_matches(
+            ArrivalProfile::Diurnal(c),
+            SimTime::from_secs(95),
+            SimTime::from_secs(130),
+        );
+    }
+
+    #[test]
+    fn mmpp_stream_is_byte_identical() {
+        let m = Mmpp::bursty(2000.0, 42);
+        assert_stream_matches(
+            ArrivalProfile::Mmpp(m.clone()),
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+        );
+        // Same profile, different window: the dwell walk starts at the
+        // window start (matching the batch generator's semantics).
+        assert_stream_matches(
+            ArrivalProfile::Mmpp(m),
+            SimTime::from_secs(3),
+            SimTime::from_secs(17),
+        );
+    }
+
+    #[test]
+    fn trace_stream_is_byte_identical() {
+        let t = TraceProfile::from_csv_str("0,100\n10,300\n20,200\n").unwrap();
+        assert_stream_matches(
+            ArrivalProfile::Trace(t.clone()),
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+        );
+        assert_stream_matches(
+            ArrivalProfile::Trace(t),
+            SimTime::from_secs(35),
+            SimTime::from_secs(55),
+        );
+    }
+
+    #[test]
+    fn chunked_pulls_match_one_at_a_time() {
+        let p = ArrivalProfile::Spike(SpikePattern::constant(997.0));
+        let full = p.arrivals(SimTime::ZERO, SimTime::from_secs(10));
+        let mut src = p.stream(SimTime::ZERO, SimTime::from_secs(10));
+        let mut chunked = Vec::new();
+        // Odd chunk size so chunk boundaries never align with segments.
+        while src.next_chunk(&mut chunked, 777) > 0 {}
+        assert_eq!(full, chunked);
+    }
+
+    #[test]
+    fn exhausted_stream_stays_exhausted() {
+        let p = ArrivalProfile::Spike(SpikePattern::constant(10.0));
+        let mut src = p.stream(SimTime::ZERO, SimTime::from_secs(1));
+        while src.next_arrival().is_some() {}
+        assert_eq!(src.next_arrival(), None);
+    }
+}

@@ -46,6 +46,12 @@ pub enum CallMode {
     Sequential,
     /// All children are called concurrently and joined (scatter-gather).
     Parallel,
+    /// Exactly one child edge is called per request, drawn uniformly —
+    /// a load-balanced dispatch tier (API gateway in front of backend
+    /// pools). This is what lets a cluster-scale workload spread one
+    /// entry service's traffic over thousands of backend containers
+    /// while keeping per-request event count constant.
+    OneOf,
 }
 
 /// An RPC edge from a service to one child.
@@ -176,7 +182,11 @@ impl TaskGraph {
             .map(|e| self.critical_path_work(e.child))
             .collect();
         let child_time = match spec.call_mode {
-            CallMode::Parallel => child_works.into_iter().max().unwrap_or(SimDuration::ZERO),
+            // OneOf visits a single child; max over children is the
+            // conservative (worst-pick) bound for QoS sizing.
+            CallMode::Parallel | CallMode::OneOf => {
+                child_works.into_iter().max().unwrap_or(SimDuration::ZERO)
+            }
             CallMode::Sequential => child_works
                 .into_iter()
                 .fold(SimDuration::ZERO, |acc, w| acc + w),

@@ -1,7 +1,21 @@
 //! Cluster topology: nodes, container placement, and the full simulation
 //! configuration.
+//!
+//! A cluster is `placement.nodes` worker nodes plus one virtual client
+//! node ([`Placement::client_node`]) that injects arrivals and receives
+//! responses. Every service's container slots live on one worker node
+//! ([`Placement::node`]); controllers are per-node and strictly
+//! node-local — all cross-node interaction flows through RPC edges and
+//! piggybacked metadata, never shared state. [`SimConfig`] gathers the
+//! whole run description (graph, placement, constraints, faults, power,
+//! horizon, seed, queue backend); [`SimConfig::validate`] checks the
+//! cross-field invariants before a run, and a validated config plus its
+//! seed fully determines every event the engine will ever pop (see
+//! [`crate::engine`] for the lifecycle and `SCALING.md` for how this
+//! scales to hundreds of nodes).
 
 use crate::app::TaskGraph;
+use crate::engine::QueueKind;
 use crate::network::{LatencySurge, NetworkConfig};
 use crate::power::PowerModel;
 use serde::{Deserialize, Serialize};
@@ -118,6 +132,10 @@ pub struct SimConfig {
     /// Initially active replicas per service. Empty = one replica each;
     /// otherwise one entry per service in `1..=max_replicas`.
     pub initial_replicas: Vec<u32>,
+    /// Pending-event queue backend. The timer wheel (default) and the
+    /// reference heap pop identical event sequences; the heap stays
+    /// selectable for equivalence tests and bisection (SCALING.md §1).
+    pub queue: QueueKind,
 }
 
 impl SimConfig {
@@ -157,6 +175,7 @@ impl SimConfig {
             max_in_flight: 2_000_000,
             max_replicas: 1,
             initial_replicas: Vec::new(),
+            queue: QueueKind::default(),
         }
     }
 

@@ -1,4 +1,4 @@
-//! Processor-sharing container execution model.
+//! Processor-sharing container execution model, stored structure-of-arrays.
 //!
 //! Each container runs on `cores` logical cores at a DVFS-scaled speed.
 //! Every in-flight request contributes at most one runnable thread (RPC
@@ -23,9 +23,21 @@
 //!   than one core) — the *flat sensitivity curve* of Fig. 6 (right);
 //! * when `n > cores`, service time scales with `n/cores` — the thread
 //!   contention that makes surges inflate `execMetric` (Fig. 5a).
+//!
+//! # Layout
+//!
+//! Container state lives in [`Containers`], a struct-of-arrays keyed by
+//! container slot id: one `Vec` per field instead of a `Vec` of container
+//! structs. A cluster-scale run touches a handful of hot fields (`virt`,
+//! `last_update`, the rate inputs) for thousands of slots per simulated
+//! millisecond; splitting the fields keeps those accesses dense in cache
+//! instead of striding over cold per-object state (metric windows,
+//! completion heaps). Slot ids are stable for a run's lifetime — slot `i`
+//! is `ContainerId(i)` everywhere (replica layout, energy meter,
+//! allocation table) — see SCALING.md for the id-slot invariants.
 
 use crate::event::InvocationId;
-use sg_core::ids::{ContainerId, NodeId, ServiceId};
+use sg_core::ids::{NodeId, ServiceId};
 use sg_core::metrics::MetricsWindow;
 use sg_core::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
@@ -48,207 +60,289 @@ impl Ord for VirtTime {
     }
 }
 
-/// One container instance: a PS server plus its metric window.
-#[derive(Debug)]
-pub struct Container {
-    /// Cluster-wide container id.
-    pub id: ContainerId,
-    /// Hosting node.
-    pub node: NodeId,
-    /// The service this container runs.
-    pub service: ServiceId,
-    /// Escalator-controlled egress hint level: when > 0, outgoing RPCs set
-    /// `pkt.upscale` to this many hops (Table II row 2).
-    pub egress_hint: u8,
-    /// Per-window request metrics, flushed into controller snapshots.
-    pub window: MetricsWindow,
-
-    cores: u32,
-    freq_speedup: f64,
-    /// Fault-injection execution multiplier (1.0 = healthy). A crashed
-    /// container runs at `1/CRASH_SLOWDOWN`, a straggler at
-    /// `1/slowdown` — applied after cores, DVFS and the bandwidth cap so
-    /// the whole container slows, not just its CPU side.
-    fault_speed: f64,
-    /// Memory-bandwidth cap on the container's total execution rate, in
-    /// base-frequency core-equivalents (§VII extension: a
-    /// bandwidth-partitioned container cannot retire work faster than its
-    /// share of the memory system allows, regardless of cores/frequency).
-    /// `None` = not bandwidth-constrained.
-    bw_cap: Option<f64>,
-    /// Cumulative per-thread service, in base-frequency core-nanoseconds.
-    virt: f64,
-    last_update: SimTime,
-    epoch: u64,
-    /// Min-heap of (completion virtual time, phase).
-    phases: BinaryHeap<Reverse<(VirtTime, InvocationId)>>,
-}
-
 /// Tolerance (in base-frequency core-ns) when harvesting completed phases:
 /// completion events are scheduled at the ceiling of the true completion
 /// time, so `virt` is at or just past the target when they fire.
 const VIRT_EPS: f64 = 1e-3;
 
-impl Container {
-    /// New idle container.
-    pub fn new(id: ContainerId, node: NodeId, service: ServiceId, cores: u32) -> Self {
-        assert!(cores >= 1, "container needs at least one core");
-        Container {
-            id,
-            node,
-            service,
-            egress_hint: 0,
-            window: MetricsWindow::new(),
-            cores,
-            freq_speedup: 1.0,
-            fault_speed: 1.0,
-            bw_cap: None,
-            virt: 0.0,
-            last_update: SimTime::ZERO,
-            epoch: 0,
-            phases: BinaryHeap::new(),
+/// All container slots of a run, structure-of-arrays keyed by slot id.
+///
+/// Every method that models one container takes the slot index as its
+/// first argument; the arithmetic is identical to the former per-object
+/// `Container` (same operations in the same order), which keeps
+/// same-seed runs byte-identical across the layout change.
+#[derive(Debug, Default)]
+pub struct Containers {
+    /// Hosting node per slot.
+    node: Vec<NodeId>,
+    /// Service run by each slot.
+    service: Vec<ServiceId>,
+    /// Escalator-controlled egress hint level: when > 0, outgoing RPCs set
+    /// `pkt.upscale` to this many hops (Table II row 2).
+    egress_hint: Vec<u8>,
+    /// Per-window request metrics, flushed into controller snapshots.
+    window: Vec<MetricsWindow>,
+    /// Logical cores currently allocated.
+    cores: Vec<u32>,
+    /// DVFS speedup relative to base frequency.
+    freq_speedup: Vec<f64>,
+    /// Fault-injection execution multiplier (1.0 = healthy). A crashed
+    /// container runs at `1/CRASH_SLOWDOWN`, a straggler at
+    /// `1/slowdown` — applied after cores, DVFS and the bandwidth cap so
+    /// the whole container slows, not just its CPU side.
+    fault_speed: Vec<f64>,
+    /// Memory-bandwidth cap on the container's total execution rate, in
+    /// base-frequency core-equivalents (§VII extension). `None` = not
+    /// bandwidth-constrained.
+    bw_cap: Vec<Option<f64>>,
+    /// Cumulative per-thread service, in base-frequency core-nanoseconds.
+    virt: Vec<f64>,
+    last_update: Vec<SimTime>,
+    /// Scheduling epoch; completion events carry the epoch they were
+    /// scheduled under and are ignored when stale.
+    epoch: Vec<u64>,
+    /// Min-heap of (completion virtual time, phase) per slot.
+    phases: Vec<BinaryHeap<Reverse<(VirtTime, InvocationId)>>>,
+}
+
+impl Containers {
+    /// No slots yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size every column for `n` slots.
+    pub fn with_capacity(n: usize) -> Self {
+        Containers {
+            node: Vec::with_capacity(n),
+            service: Vec::with_capacity(n),
+            egress_hint: Vec::with_capacity(n),
+            window: Vec::with_capacity(n),
+            cores: Vec::with_capacity(n),
+            freq_speedup: Vec::with_capacity(n),
+            fault_speed: Vec::with_capacity(n),
+            bw_cap: Vec::with_capacity(n),
+            virt: Vec::with_capacity(n),
+            last_update: Vec::with_capacity(n),
+            epoch: Vec::with_capacity(n),
+            phases: Vec::with_capacity(n),
         }
     }
 
-    /// Logical cores currently allocated.
-    pub fn cores(&self) -> u32 {
-        self.cores
+    /// Append a new idle container slot; returns its slot id.
+    pub fn push(&mut self, node: NodeId, service: ServiceId, cores: u32) -> usize {
+        assert!(cores >= 1, "container needs at least one core");
+        self.node.push(node);
+        self.service.push(service);
+        self.egress_hint.push(0);
+        self.window.push(MetricsWindow::new());
+        self.cores.push(cores);
+        self.freq_speedup.push(1.0);
+        self.fault_speed.push(1.0);
+        self.bw_cap.push(None);
+        self.virt.push(0.0);
+        self.last_update.push(SimTime::ZERO);
+        self.epoch.push(0);
+        self.phases.push(BinaryHeap::new());
+        self.node.len() - 1
     }
 
-    /// Current DVFS speedup relative to base frequency.
-    pub fn freq_speedup(&self) -> f64 {
-        self.freq_speedup
+    /// Number of container slots.
+    pub fn len(&self) -> usize {
+        self.node.len()
     }
 
-    /// Current memory-bandwidth cap, if any.
-    pub fn bw_cap(&self) -> Option<f64> {
-        self.bw_cap
+    /// True when no slots exist.
+    pub fn is_empty(&self) -> bool {
+        self.node.is_empty()
     }
 
-    /// Current fault-injection execution multiplier (1.0 = healthy).
-    pub fn fault_speed(&self) -> f64 {
-        self.fault_speed
-    }
-
-    /// Number of runnable threads (active work phases).
-    pub fn active_threads(&self) -> usize {
-        self.phases.len()
-    }
-
-    /// Scheduling epoch; completion events carry the epoch they were
-    /// scheduled under and are ignored when stale.
-    pub fn epoch(&self) -> u64 {
-        self.epoch
-    }
-
-    /// Per-thread service rate in base-frequency core-ns per ns.
+    /// Hosting node of slot `i`.
     #[inline]
-    fn rate(&self) -> f64 {
-        let n = self.phases.len();
+    pub fn node(&self, i: usize) -> NodeId {
+        self.node[i]
+    }
+
+    /// Service run by slot `i`.
+    #[inline]
+    pub fn service(&self, i: usize) -> ServiceId {
+        self.service[i]
+    }
+
+    /// Egress hint level of slot `i`.
+    #[inline]
+    pub fn egress_hint(&self, i: usize) -> u8 {
+        self.egress_hint[i]
+    }
+
+    /// Set the egress hint level of slot `i` (no epoch bump — hints do
+    /// not affect the PS schedule).
+    #[inline]
+    pub fn set_egress_hint(&mut self, i: usize, hops: u8) {
+        self.egress_hint[i] = hops;
+    }
+
+    /// Mutable metric window of slot `i`.
+    #[inline]
+    pub fn window_mut(&mut self, i: usize) -> &mut MetricsWindow {
+        &mut self.window[i]
+    }
+
+    /// Logical cores currently allocated to slot `i`.
+    #[inline]
+    pub fn cores(&self, i: usize) -> u32 {
+        self.cores[i]
+    }
+
+    /// Current DVFS speedup of slot `i` relative to base frequency.
+    #[inline]
+    pub fn freq_speedup(&self, i: usize) -> f64 {
+        self.freq_speedup[i]
+    }
+
+    /// Current memory-bandwidth cap of slot `i`, if any.
+    #[inline]
+    pub fn bw_cap(&self, i: usize) -> Option<f64> {
+        self.bw_cap[i]
+    }
+
+    /// Current fault-injection execution multiplier of slot `i`.
+    #[inline]
+    pub fn fault_speed(&self, i: usize) -> f64 {
+        self.fault_speed[i]
+    }
+
+    /// Number of runnable threads (active work phases) of slot `i`.
+    #[inline]
+    pub fn active_threads(&self, i: usize) -> usize {
+        self.phases[i].len()
+    }
+
+    /// Scheduling epoch of slot `i`; completion events carry the epoch
+    /// they were scheduled under and are ignored when stale.
+    #[inline]
+    pub fn epoch(&self, i: usize) -> u64 {
+        self.epoch[i]
+    }
+
+    /// Per-thread service rate of slot `i` in base-frequency core-ns/ns.
+    #[inline]
+    fn rate(&self, i: usize) -> f64 {
+        let n = self.phases[i].len();
         if n == 0 {
             return 0.0;
         }
-        let share = (self.cores as f64 / n as f64).min(1.0);
-        let cpu_rate = self.freq_speedup * share;
-        let rate = match self.bw_cap {
+        let share = (self.cores[i] as f64 / n as f64).min(1.0);
+        let cpu_rate = self.freq_speedup[i] * share;
+        let rate = match self.bw_cap[i] {
             // The memory system bounds the container's TOTAL retire rate;
             // threads share it equally like they share cores.
             Some(b) => cpu_rate.min(b / n as f64),
             None => cpu_rate,
         };
-        rate * self.fault_speed
+        rate * self.fault_speed[i]
     }
 
-    /// Advance the virtual clock to `now`.
+    /// Advance slot `i`'s virtual clock to `now`.
     #[inline]
-    pub fn advance(&mut self, now: SimTime) {
-        debug_assert!(now >= self.last_update, "container clock went backwards");
-        if now > self.last_update {
-            let dt = now.saturating_since(self.last_update).as_nanos() as f64;
-            let r = self.rate();
+    pub fn advance(&mut self, i: usize, now: SimTime) {
+        debug_assert!(now >= self.last_update[i], "container clock went backwards");
+        if now > self.last_update[i] {
+            let dt = now.saturating_since(self.last_update[i]).as_nanos() as f64;
+            let r = self.rate(i);
             if r > 0.0 {
-                self.virt += r * dt;
+                self.virt[i] += r * dt;
             }
-            self.last_update = now;
+            self.last_update[i] = now;
         }
     }
 
     /// Admit a work phase of `work` (single-core base-frequency time) for
-    /// `inv`. Bumps the epoch: callers must reschedule the completion event.
-    pub fn add_phase(&mut self, now: SimTime, inv: InvocationId, work: SimDuration) {
-        self.advance(now);
-        let target = self.virt + work.as_nanos() as f64;
-        self.phases.push(Reverse((VirtTime(target), inv)));
-        self.epoch += 1;
+    /// `inv` on slot `i`. Bumps the epoch: callers must reschedule the
+    /// completion event.
+    pub fn add_phase(&mut self, i: usize, now: SimTime, inv: InvocationId, work: SimDuration) {
+        self.advance(i, now);
+        let target = self.virt[i] + work.as_nanos() as f64;
+        self.phases[i].push(Reverse((VirtTime(target), inv)));
+        self.epoch[i] += 1;
     }
 
-    /// Change the core allocation. Bumps the epoch.
-    pub fn set_cores(&mut self, now: SimTime, cores: u32) {
+    /// Change slot `i`'s core allocation. Bumps the epoch.
+    pub fn set_cores(&mut self, i: usize, now: SimTime, cores: u32) {
         assert!(cores >= 1, "cannot allocate zero cores");
-        self.advance(now);
-        self.cores = cores;
-        self.epoch += 1;
+        self.advance(i, now);
+        self.cores[i] = cores;
+        self.epoch[i] += 1;
     }
 
-    /// Change the memory-bandwidth cap (base-frequency core-equivalents;
-    /// `None` removes the cap). Bumps the epoch.
-    pub fn set_bw_cap(&mut self, now: SimTime, cap: Option<f64>) {
+    /// Change slot `i`'s memory-bandwidth cap (base-frequency
+    /// core-equivalents; `None` removes the cap). Bumps the epoch.
+    pub fn set_bw_cap(&mut self, i: usize, now: SimTime, cap: Option<f64>) {
         if let Some(c) = cap {
             assert!(c > 0.0, "bandwidth cap must be positive");
         }
-        self.advance(now);
-        self.bw_cap = cap;
-        self.epoch += 1;
+        self.advance(i, now);
+        self.bw_cap[i] = cap;
+        self.epoch[i] += 1;
     }
 
-    /// Change the fault-injection execution multiplier (1.0 = healthy;
-    /// must be positive so in-flight phases keep a finite completion
-    /// time). Bumps the epoch.
-    pub fn set_fault_speed(&mut self, now: SimTime, speed: f64) {
+    /// Change slot `i`'s fault-injection execution multiplier (1.0 =
+    /// healthy; must be positive so in-flight phases keep a finite
+    /// completion time). Bumps the epoch.
+    pub fn set_fault_speed(&mut self, i: usize, now: SimTime, speed: f64) {
         assert!(speed > 0.0, "fault speed must be positive");
-        self.advance(now);
-        self.fault_speed = speed;
-        self.epoch += 1;
+        self.advance(i, now);
+        self.fault_speed[i] = speed;
+        self.epoch[i] += 1;
     }
 
-    /// Change the DVFS speedup (relative to base frequency). Bumps the
-    /// epoch.
-    pub fn set_freq_speedup(&mut self, now: SimTime, speedup: f64) {
+    /// Change slot `i`'s DVFS speedup (relative to base frequency). Bumps
+    /// the epoch.
+    pub fn set_freq_speedup(&mut self, i: usize, now: SimTime, speedup: f64) {
         assert!(speedup > 0.0, "speedup must be positive");
-        self.advance(now);
-        self.freq_speedup = speedup;
-        self.epoch += 1;
+        self.advance(i, now);
+        self.freq_speedup[i] = speedup;
+        self.epoch[i] += 1;
     }
 
-    /// Absolute time at which the earliest phase completes, given current
-    /// membership and capacity. `None` when idle.
-    pub fn next_completion(&mut self, now: SimTime) -> Option<SimTime> {
-        self.advance(now);
-        let Reverse((VirtTime(target), _)) = *self.phases.peek()?;
-        let remaining = (target - self.virt).max(0.0);
-        let r = self.rate();
+    /// Absolute time at which slot `i`'s earliest phase completes, given
+    /// current membership and capacity. `None` when idle.
+    pub fn next_completion(&mut self, i: usize, now: SimTime) -> Option<SimTime> {
+        self.advance(i, now);
+        let Reverse((VirtTime(target), _)) = *self.phases[i].peek()?;
+        let remaining = (target - self.virt[i]).max(0.0);
+        let r = self.rate(i);
         debug_assert!(r > 0.0, "non-empty container must have positive rate");
         // Ceil so the event never fires before the true completion.
         let dt = SimDuration::from_nanos((remaining / r).ceil() as u64);
         Some(now + dt)
     }
 
-    /// Harvest phases completed by `now` (advances the clock). Bumps the
-    /// epoch when anything is harvested.
-    pub fn pop_completed(&mut self, now: SimTime) -> Vec<InvocationId> {
-        self.advance(now);
-        let mut done = Vec::new();
-        while let Some(&Reverse((VirtTime(target), inv))) = self.phases.peek() {
-            if target <= self.virt + VIRT_EPS {
-                self.phases.pop();
+    /// Harvest slot `i`'s phases completed by `now` (advances the clock),
+    /// appending them to `done` in completion order. Bumps the epoch when
+    /// anything is harvested. Taking the output buffer keeps the event
+    /// hot path allocation-free.
+    pub fn pop_completed_into(&mut self, i: usize, now: SimTime, done: &mut Vec<InvocationId>) {
+        self.advance(i, now);
+        let before = done.len();
+        while let Some(&Reverse((VirtTime(target), inv))) = self.phases[i].peek() {
+            if target <= self.virt[i] + VIRT_EPS {
+                self.phases[i].pop();
                 done.push(inv);
             } else {
                 break;
             }
         }
-        if !done.is_empty() {
-            self.epoch += 1;
+        if done.len() > before {
+            self.epoch[i] += 1;
         }
+    }
+
+    /// Harvest slot `i`'s phases completed by `now` into a fresh vec
+    /// (convenience wrapper over [`Containers::pop_completed_into`]).
+    pub fn pop_completed(&mut self, i: usize, now: SimTime) -> Vec<InvocationId> {
+        let mut done = Vec::new();
+        self.pop_completed_into(i, now, &mut done);
         done
     }
 }
@@ -275,8 +369,11 @@ pub fn sample_work(mean: SimDuration, cv: f64, u: f64) -> SimDuration {
 mod tests {
     use super::*;
 
-    fn c(cores: u32) -> Container {
-        Container::new(ContainerId(0), NodeId(0), ServiceId(0), cores)
+    /// One-slot column set: slot 0 plays the old per-object `Container`.
+    fn c(cores: u32) -> Containers {
+        let mut cs = Containers::new();
+        cs.push(NodeId(0), ServiceId(0), cores);
+        cs
     }
 
     fn us(v: u64) -> SimDuration {
@@ -287,23 +384,23 @@ mod tests {
     fn single_job_runs_at_full_speed() {
         let mut ct = c(4);
         let t0 = SimTime::from_micros(10);
-        ct.add_phase(t0, 1, us(100));
-        let done_at = ct.next_completion(t0).unwrap();
+        ct.add_phase(0, t0, 1, us(100));
+        let done_at = ct.next_completion(0, t0).unwrap();
         assert_eq!(done_at, t0 + us(100));
-        assert_eq!(ct.pop_completed(done_at), vec![1]);
-        assert_eq!(ct.active_threads(), 0);
+        assert_eq!(ct.pop_completed(0, done_at), vec![1]);
+        assert_eq!(ct.active_threads(0), 0);
     }
 
     #[test]
     fn two_jobs_one_core_share_equally() {
         let mut ct = c(1);
         let t0 = SimTime::ZERO;
-        ct.add_phase(t0, 1, us(100));
-        ct.add_phase(t0, 2, us(100));
+        ct.add_phase(0, t0, 1, us(100));
+        ct.add_phase(0, t0, 2, us(100));
         // Each progresses at half speed: both finish at 200us.
-        let done_at = ct.next_completion(t0).unwrap();
+        let done_at = ct.next_completion(0, t0).unwrap();
         assert_eq!(done_at, SimTime::from_micros(200));
-        let done = ct.pop_completed(done_at);
+        let done = ct.pop_completed(0, done_at);
         assert_eq!(done.len(), 2);
     }
 
@@ -311,72 +408,78 @@ mod tests {
     fn enough_cores_means_no_contention() {
         let mut ct = c(2);
         let t0 = SimTime::ZERO;
-        ct.add_phase(t0, 1, us(100));
-        ct.add_phase(t0, 2, us(100));
-        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(100));
+        ct.add_phase(0, t0, 1, us(100));
+        ct.add_phase(0, t0, 2, us(100));
+        assert_eq!(
+            ct.next_completion(0, t0).unwrap(),
+            SimTime::from_micros(100)
+        );
     }
 
     #[test]
     fn frequency_boost_speeds_execution() {
         let mut ct = c(1);
         let t0 = SimTime::ZERO;
-        ct.set_freq_speedup(t0, 2.0);
-        ct.add_phase(t0, 1, us(100));
-        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(50));
+        ct.set_freq_speedup(0, t0, 2.0);
+        ct.add_phase(0, t0, 1, us(100));
+        assert_eq!(ct.next_completion(0, t0).unwrap(), SimTime::from_micros(50));
     }
 
     #[test]
     fn midway_core_change_reschedules() {
         let mut ct = c(1);
         let t0 = SimTime::ZERO;
-        ct.add_phase(t0, 1, us(100));
-        ct.add_phase(t0, 2, us(100));
+        ct.add_phase(0, t0, 1, us(100));
+        ct.add_phase(0, t0, 2, us(100));
         // At t=100us both are half done (50us of work each remains, at
         // half rate). Doubling cores lets both run at full speed.
         let mid = SimTime::from_micros(100);
-        ct.set_cores(mid, 2);
-        assert_eq!(ct.next_completion(mid).unwrap(), SimTime::from_micros(150));
+        ct.set_cores(0, mid, 2);
+        assert_eq!(
+            ct.next_completion(0, mid).unwrap(),
+            SimTime::from_micros(150)
+        );
     }
 
     #[test]
     fn later_arrival_finishes_later() {
         let mut ct = c(1);
-        ct.add_phase(SimTime::ZERO, 1, us(100));
-        ct.add_phase(SimTime::from_micros(50), 2, us(100));
+        ct.add_phase(0, SimTime::ZERO, 1, us(100));
+        ct.add_phase(0, SimTime::from_micros(50), 2, us(100));
         // Job1: 50us alone + shares; at t=50 it has 50us left, job2 100us.
         // Shared rate 0.5: job1 done at 50 + 100 = 150us.
-        let t1 = ct.next_completion(SimTime::from_micros(50)).unwrap();
+        let t1 = ct.next_completion(0, SimTime::from_micros(50)).unwrap();
         assert_eq!(t1, SimTime::from_micros(150));
-        assert_eq!(ct.pop_completed(t1), vec![1]);
+        assert_eq!(ct.pop_completed(0, t1), vec![1]);
         // Job2 then runs alone: 50us of work left at t=150 → done at 200.
-        let t2 = ct.next_completion(t1).unwrap();
+        let t2 = ct.next_completion(0, t1).unwrap();
         assert_eq!(t2, SimTime::from_micros(200));
-        assert_eq!(ct.pop_completed(t2), vec![2]);
+        assert_eq!(ct.pop_completed(0, t2), vec![2]);
     }
 
     #[test]
     fn epoch_bumps_on_every_mutation() {
         let mut ct = c(2);
-        let e0 = ct.epoch();
-        ct.add_phase(SimTime::ZERO, 1, us(10));
-        assert!(ct.epoch() > e0);
-        let e1 = ct.epoch();
-        ct.set_cores(SimTime::from_micros(1), 4);
-        assert!(ct.epoch() > e1);
-        let e2 = ct.epoch();
-        ct.set_freq_speedup(SimTime::from_micros(2), 1.5);
-        assert!(ct.epoch() > e2);
-        let e3 = ct.epoch();
-        let done_at = ct.next_completion(SimTime::from_micros(2)).unwrap();
-        assert!(!ct.pop_completed(done_at).is_empty());
-        assert!(ct.epoch() > e3);
+        let e0 = ct.epoch(0);
+        ct.add_phase(0, SimTime::ZERO, 1, us(10));
+        assert!(ct.epoch(0) > e0);
+        let e1 = ct.epoch(0);
+        ct.set_cores(0, SimTime::from_micros(1), 4);
+        assert!(ct.epoch(0) > e1);
+        let e2 = ct.epoch(0);
+        ct.set_freq_speedup(0, SimTime::from_micros(2), 1.5);
+        assert!(ct.epoch(0) > e2);
+        let e3 = ct.epoch(0);
+        let done_at = ct.next_completion(0, SimTime::from_micros(2)).unwrap();
+        assert!(!ct.pop_completed(0, done_at).is_empty());
+        assert!(ct.epoch(0) > e3);
     }
 
     #[test]
     fn idle_container_has_no_completion() {
         let mut ct = c(1);
-        assert_eq!(ct.next_completion(SimTime::ZERO), None);
-        assert!(ct.pop_completed(SimTime::from_secs(1)).is_empty());
+        assert_eq!(ct.next_completion(0, SimTime::ZERO), None);
+        assert!(ct.pop_completed(0, SimTime::from_secs(1)).is_empty());
     }
 
     #[test]
@@ -385,9 +488,12 @@ mod tests {
         let mut ct = c(2);
         let t0 = SimTime::ZERO;
         for i in 0..8 {
-            ct.add_phase(t0, i, us(100));
+            ct.add_phase(0, t0, i, us(100));
         }
-        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(400));
+        assert_eq!(
+            ct.next_completion(0, t0).unwrap(),
+            SimTime::from_micros(400)
+        );
     }
 
     #[test]
@@ -396,19 +502,25 @@ mod tests {
         // finish only at 200us (total rate capped at 1).
         let mut ct = c(4);
         let t0 = SimTime::ZERO;
-        ct.set_bw_cap(t0, Some(1.0));
-        ct.add_phase(t0, 1, us(100));
-        ct.add_phase(t0, 2, us(100));
-        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(200));
+        ct.set_bw_cap(0, t0, Some(1.0));
+        ct.add_phase(0, t0, 1, us(100));
+        ct.add_phase(0, t0, 2, us(100));
+        assert_eq!(
+            ct.next_completion(0, t0).unwrap(),
+            SimTime::from_micros(200)
+        );
     }
 
     #[test]
     fn bandwidth_cap_is_inert_when_generous() {
         let mut ct = c(2);
         let t0 = SimTime::ZERO;
-        ct.set_bw_cap(t0, Some(16.0));
-        ct.add_phase(t0, 1, us(100));
-        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(100));
+        ct.set_bw_cap(0, t0, Some(16.0));
+        ct.add_phase(0, t0, 1, us(100));
+        assert_eq!(
+            ct.next_completion(0, t0).unwrap(),
+            SimTime::from_micros(100)
+        );
     }
 
     #[test]
@@ -418,14 +530,17 @@ mod tests {
         // directly for such services.
         let mut ct = c(2);
         let t0 = SimTime::ZERO;
-        ct.set_bw_cap(t0, Some(0.5));
-        ct.set_freq_speedup(t0, 2.0);
-        ct.add_phase(t0, 1, us(100));
-        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(200));
-        // Raising the cap is what helps.
-        ct.set_bw_cap(SimTime::from_micros(100), Some(2.0));
+        ct.set_bw_cap(0, t0, Some(0.5));
+        ct.set_freq_speedup(0, t0, 2.0);
+        ct.add_phase(0, t0, 1, us(100));
         assert_eq!(
-            ct.next_completion(SimTime::from_micros(100)).unwrap(),
+            ct.next_completion(0, t0).unwrap(),
+            SimTime::from_micros(200)
+        );
+        // Raising the cap is what helps.
+        ct.set_bw_cap(0, SimTime::from_micros(100), Some(2.0));
+        assert_eq!(
+            ct.next_completion(0, SimTime::from_micros(100)).unwrap(),
             SimTime::from_micros(125),
         );
     }
@@ -434,28 +549,56 @@ mod tests {
     fn fault_speed_slows_and_recovery_restores() {
         let mut ct = c(2);
         let t0 = SimTime::ZERO;
-        ct.add_phase(t0, 1, us(100));
+        ct.add_phase(0, t0, 1, us(100));
         // A 4x straggler: the 100us phase takes 400us.
-        ct.set_fault_speed(t0, 0.25);
-        assert_eq!(ct.next_completion(t0).unwrap(), SimTime::from_micros(400));
+        ct.set_fault_speed(0, t0, 0.25);
+        assert_eq!(
+            ct.next_completion(0, t0).unwrap(),
+            SimTime::from_micros(400)
+        );
         // Recovery at 200us: half the work is done, the rest runs at
         // full speed again.
         let mid = SimTime::from_micros(200);
-        ct.set_fault_speed(mid, 1.0);
-        assert_eq!(ct.next_completion(mid).unwrap(), SimTime::from_micros(250));
+        ct.set_fault_speed(0, mid, 1.0);
+        assert_eq!(
+            ct.next_completion(0, mid).unwrap(),
+            SimTime::from_micros(250)
+        );
     }
 
     #[test]
     fn crash_speed_freezes_progress() {
         let mut ct = c(2);
         let t0 = SimTime::ZERO;
-        ct.add_phase(t0, 1, us(100));
-        ct.set_fault_speed(t0, 1.0 / sg_core::fault::CRASH_SLOWDOWN);
+        ct.add_phase(0, t0, 1, us(100));
+        ct.set_fault_speed(0, t0, 1.0 / sg_core::fault::CRASH_SLOWDOWN);
         // Over a realistic 500ms fault window the phase is nowhere near
         // done (it would need 100ms of frozen-rate service).
-        let end = ct.next_completion(t0).unwrap();
+        let end = ct.next_completion(0, t0).unwrap();
         assert!(end >= t0 + SimDuration::from_millis(100));
-        assert!(ct.pop_completed(SimTime::from_millis(50)).is_empty());
+        assert!(ct.pop_completed(0, SimTime::from_millis(50)).is_empty());
+    }
+
+    /// Slots are independent: mutating one never perturbs another.
+    #[test]
+    fn slots_do_not_interfere() {
+        let mut cs = Containers::with_capacity(3);
+        for i in 0..3 {
+            cs.push(NodeId(i), ServiceId(i), 2);
+        }
+        let t0 = SimTime::ZERO;
+        cs.add_phase(0, t0, 1, us(100));
+        cs.add_phase(2, t0, 2, us(100));
+        cs.set_freq_speedup(2, t0, 2.0);
+        assert_eq!(
+            cs.next_completion(0, t0).unwrap(),
+            SimTime::from_micros(100)
+        );
+        assert_eq!(cs.next_completion(2, t0).unwrap(), SimTime::from_micros(50));
+        assert_eq!(cs.next_completion(1, t0), None);
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs.node(1), NodeId(1));
+        assert_eq!(cs.service(2), ServiceId(2));
     }
 
     #[test]

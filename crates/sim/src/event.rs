@@ -1,4 +1,24 @@
 //! Event vocabulary for the cluster simulation.
+//!
+//! Every event payload is a small `Copy` type — the queue backends
+//! (see [`crate::engine`]) move events freely between wheel slots,
+//! overflow storage, and scratch buffers, so payloads must be cheap to
+//! copy and carry no heap state. Anything per-request and variable
+//! sized lives in the invocation slab, keyed by [`InvocationId`].
+//!
+//! Events also derive `Ord`: the engine's total order is `(time, seq)`
+//! with `seq` assigned at schedule time, so event *payload* ordering is
+//! never consulted for queue order — the derive exists so tests and
+//! scratch-buffer sorts can use events as plain values.
+//!
+//! The variants mirror the simulation's physical moments: open-loop
+//! arrivals ([`Event::ClientArrival`] — one in flight at a time, pulled
+//! from an `ArrivalSource`, see SCALING.md §3), packet delivery at a
+//! node's receive hook ([`Event::Deliver`]), processor-sharing phase
+//! completion guarded by per-slot epochs ([`Event::PhaseComplete`]),
+//! per-node controller decision points ([`Event::ControllerTick`]),
+//! deferred DVFS writes ([`Event::FreqApply`]), and fault-plan
+//! boundaries ([`Event::FaultStart`]/[`Event::FaultEnd`]).
 
 use sg_core::ids::{ContainerId, NodeId};
 use sg_core::metadata::RpcMetadata;
@@ -43,7 +63,9 @@ pub struct Packet {
 pub enum Event {
     /// A client request enters the system (open-loop arrival).
     ClientArrival {
-        /// Index into the precomputed arrival schedule.
+        /// Ordinal of this arrival in the run's open-loop schedule —
+        /// the position a materialized schedule would index, preserved
+        /// verbatim when arrivals are streamed.
         arrival_idx: u32,
     },
     /// A packet reaches its destination node's receive hook.

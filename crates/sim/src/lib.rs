@@ -46,6 +46,8 @@ pub use controller::{
     ContainerInit, ContainerSnapshot, ControlAction, Controller, ControllerFactory, NodeInit,
     NodeSnapshot, NoopFactory,
 };
+pub use engine::{Engine, EngineStorage, QueueKind, WHEEL_LEVELS};
+pub use event::Event;
 pub use network::{LatencySurge, NetworkConfig};
 pub use power::PowerModel;
 pub use profile::{constant_arrivals, profile_low_load, ProfileOutcome};

@@ -50,11 +50,29 @@ impl PowerModel {
 }
 
 /// Integrates cluster energy and average core usage over a run.
+///
+/// State is structure-of-arrays keyed by container slot id, with the
+/// per-slot power product `cores · P(f)` cached at each state change so
+/// segment integration never re-evaluates the cubic DVFS term. Totals
+/// are re-summed left-to-right over the slot order on demand (dirty
+/// flag), which keeps the float summation order — and therefore the
+/// reported energy, bit for bit — identical to summing fresh on every
+/// segment. True O(1) incremental totals (`total += new − old`) would
+/// change the rounding and are deferred to the sharded engine
+/// (SCALING.md §5).
 #[derive(Debug, Clone)]
 pub struct EnergyMeter {
     model: PowerModel,
-    /// Per-container (cores, f_ghz) as last reported.
-    state: Vec<(u32, f64)>,
+    /// Cores as last reported, per slot.
+    cores: Vec<u32>,
+    /// Cached `cores · P(f)` in watts, per slot.
+    power_w: Vec<f64>,
+    /// Cached Σ power_w; valid when `!dirty`.
+    total_power: f64,
+    /// Cached Σ cores; valid when `!dirty`.
+    total_cores: u32,
+    /// A slot changed since the totals were last summed.
+    dirty: bool,
     last_update: SimTime,
     energy_j: f64,
     /// ∫ Σcores dt, for average-cores reporting.
@@ -68,7 +86,11 @@ impl EnergyMeter {
     pub fn new(model: PowerModel, containers: usize) -> Self {
         EnergyMeter {
             model,
-            state: vec![(0, 0.0); containers],
+            cores: vec![0; containers],
+            power_w: vec![0.0; containers],
+            total_power: 0.0,
+            total_cores: 0,
+            dirty: false,
             last_update: SimTime::ZERO,
             energy_j: 0.0,
             core_seconds: 0.0,
@@ -77,24 +99,34 @@ impl EnergyMeter {
 
     /// Total power draw at the current state, in watts.
     pub fn current_power(&self) -> f64 {
-        self.state
-            .iter()
-            .map(|&(cores, f)| cores as f64 * self.model.core_power(f))
-            .sum()
+        if self.dirty {
+            self.power_w.iter().sum()
+        } else {
+            self.total_power
+        }
     }
 
     /// Total allocated cores at the current state.
     pub fn current_cores(&self) -> u32 {
-        self.state.iter().map(|&(c, _)| c).sum()
+        if self.dirty {
+            self.cores.iter().sum()
+        } else {
+            self.total_cores
+        }
     }
 
     /// Advance the integrals to `now`.
     pub fn advance(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_update, "meter clock went backwards");
+        if self.dirty {
+            self.total_power = self.power_w.iter().sum();
+            self.total_cores = self.cores.iter().sum();
+            self.dirty = false;
+        }
         if now > self.last_update {
             let dt = now.saturating_since(self.last_update).as_secs_f64();
-            self.energy_j += self.current_power() * dt;
-            self.core_seconds += self.current_cores() as f64 * dt;
+            self.energy_j += self.total_power * dt;
+            self.core_seconds += self.total_cores as f64 * dt;
             self.last_update = now;
         }
     }
@@ -110,7 +142,11 @@ impl EnergyMeter {
     /// Report a container's new allocation (advances the integrals first).
     pub fn set_state(&mut self, now: SimTime, container: usize, cores: u32, f_ghz: f64) {
         self.advance(now);
-        self.state[container] = (cores, f_ghz);
+        self.cores[container] = cores;
+        // Same expression the old per-segment sum evaluated, computed
+        // once here instead of on every advance.
+        self.power_w[container] = cores as f64 * self.model.core_power(f_ghz);
+        self.dirty = true;
     }
 
     /// Energy consumed so far, in joules.

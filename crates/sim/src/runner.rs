@@ -4,7 +4,7 @@
 use crate::app::{CallMode, TaskGraph};
 use crate::cluster::SimConfig;
 use crate::connpool::{Acquire, ConnPool};
-use crate::container::{sample_work, Container};
+use crate::container::{sample_work, Containers};
 use crate::controller::{
     ContainerInit, ContainerSnapshot, ControlAction, Controller, ControllerFactory, NodeInit,
     NodeSnapshot,
@@ -18,6 +18,7 @@ use crate::trace::AllocTrace;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use sg_core::allocator::ContainerAlloc;
+use sg_core::arrivals::{ArrivalSource, ScheduleSource};
 use sg_core::fault::{FaultKind, FaultNotice, CRASH_SLOWDOWN};
 use sg_core::ids::{ContainerId, NodeId, ServiceId};
 use sg_core::metadata::RpcMetadata;
@@ -203,7 +204,10 @@ pub struct Simulation {
     engine: Engine,
     rng: SmallRng,
     network: Network,
-    containers: Vec<Container>,
+    /// Per-slot container state, structure-of-arrays keyed by slot id.
+    containers: Containers,
+    /// Reusable buffer for harvesting completed phases (hot path).
+    done_scratch: Vec<InvocationId>,
     /// Replica slot layout (identity when `max_replicas == 1`).
     layout: ReplicaLayout,
     /// Lifecycle state per slot.
@@ -221,7 +225,10 @@ pub struct Simulation {
     controllers: Vec<Box<dyn Controller>>,
     invocations: Vec<Invocation>,
     free_list: Vec<InvocationId>,
-    arrivals: Arc<[SimTime]>,
+    /// Open-loop arrival stream: the runner schedules exactly one
+    /// pending `ClientArrival` at a time and pulls the next on delivery,
+    /// so a 10M-request schedule never needs to be resident.
+    arrivals: Box<dyn ArrivalSource>,
     meter: EnergyMeter,
     trace: Option<AllocTrace>,
     profile: Vec<ProfileAcc>,
@@ -279,16 +286,32 @@ impl Simulation {
         factory: &dyn ControllerFactory,
         arrivals: Arc<[SimTime]>,
     ) -> Self {
-        cfg.validate().expect("invalid SimConfig");
         debug_assert!(
             arrivals.windows(2).all(|w| w[0] <= w[1]),
             "arrivals must be sorted"
         );
+        Self::new_streaming(cfg, factory, Box::new(ScheduleSource::new(arrivals)))
+    }
+
+    /// Like [`Simulation::new`] but pulling arrivals from a stream (e.g.
+    /// [`sg-loadgen`'s `ProfileStream`]) instead of a materialized
+    /// schedule — the cluster-scale path: a 10M-request spike run holds
+    /// cursor state instead of an 80 MB timestamp vector. The stream must
+    /// yield ascending times; same stream, same schedule, same result,
+    /// byte for byte.
+    ///
+    /// [`sg-loadgen`'s `ProfileStream`]: https://docs.rs/sg-loadgen
+    pub fn new_streaming(
+        cfg: SimConfig,
+        factory: &dyn ControllerFactory,
+        arrivals: Box<dyn ArrivalSource>,
+    ) -> Self {
+        cfg.validate().expect("invalid SimConfig");
         let n = cfg.graph.len();
         let layout = ReplicaLayout::new(n, cfg.max_replicas);
         let n_slots = layout.n_slots();
 
-        let mut containers = Vec::with_capacity(n_slots);
+        let mut containers = Containers::with_capacity(n_slots);
         let mut pools = Vec::with_capacity(n_slots);
         let mut allocs = Vec::with_capacity(n_slots);
         let mut replica_state = Vec::with_capacity(n_slots);
@@ -302,11 +325,11 @@ impl Simulation {
             // The PS server needs >= 1 core; an inactive slot's container
             // keeps a placeholder allocation (it receives no work) while
             // `allocs`/the meter carry the true zero.
-            let mut container = Container::new(ContainerId(slot as u32), node, svc, cores.max(1));
+            let i = containers.push(node, svc, cores.max(1));
+            debug_assert_eq!(i, slot);
             if let Some(cap) = cfg.bw_caps.get(s).copied().flatten() {
-                container.set_bw_cap(SimTime::ZERO, Some(cap));
+                containers.set_bw_cap(slot, SimTime::ZERO, Some(cap));
             }
-            containers.push(container);
             pools.push(
                 cfg.graph.services[s]
                     .children
@@ -397,10 +420,11 @@ impl Simulation {
         let seed = cfg.seed;
 
         Simulation {
-            engine: Engine::new(),
+            engine: Engine::new_with(cfg.queue),
             rng: SmallRng::seed_from_u64(seed),
             network,
             containers,
+            done_scratch: Vec::new(),
             layout,
             replica_state,
             inflight: vec![0; n_slots],
@@ -518,7 +542,7 @@ impl Simulation {
                 p.mark_add(mark, 1);
             }
         }
-        self.engine = Engine::with_storage(std::mem::take(&mut buffers.engine));
+        self.engine = Engine::with_storage(self.cfg.queue, std::mem::take(&mut buffers.engine));
         let mut invocations = std::mem::take(&mut buffers.invocations);
         invocations.clear();
         self.invocations = invocations;
@@ -544,9 +568,9 @@ impl Simulation {
             });
         }
         // Seed the event loop: first arrival + a tick per node.
-        if !self.arrivals.is_empty() {
+        if let Some(first) = self.arrivals.next_arrival() {
             self.engine
-                .schedule(self.arrivals[0], Event::ClientArrival { arrival_idx: 0 });
+                .schedule(first, Event::ClientArrival { arrival_idx: 0 });
         }
         for node in 0..self.cfg.placement.nodes as usize {
             let at = SimTime::ZERO + self.controllers[node].tick_interval();
@@ -625,6 +649,16 @@ impl Simulation {
                 ProfileMark::InvocationHighWater,
                 self.invocations.len() as u64,
             );
+            // Per-level wheel occupancy (schema v2); `None` on the heap
+            // backend, where only the total-pending mark applies.
+            if let Some(levels) = self.engine.wheel_high_water() {
+                for (mark, hw) in ProfileMark::WHEEL_LEVELS.into_iter().zip(levels) {
+                    p.mark_max(mark, hw as u64);
+                }
+            }
+            if let Some(overflow) = self.engine.wheel_overflow_high_water() {
+                p.mark_max(ProfileMark::WheelOverflowHighWater, overflow as u64);
+            }
             let report = p.report(t0.elapsed().as_nanos() as u64);
             if let Some(sink) = &self.profile_sink {
                 for event in report.events() {
@@ -684,11 +718,18 @@ impl Simulation {
                 PacketKind::Response => self.on_response_delivered(now, packet),
             },
             Event::PhaseComplete { container, epoch } => {
-                if epoch == self.containers[container.index()].epoch() {
-                    let done = self.containers[container.index()].pop_completed(now);
-                    for inv in done {
+                if epoch == self.containers.epoch(container.index()) {
+                    // Harvest into the reusable scratch buffer (taken out
+                    // of `self` so the completion handlers can borrow the
+                    // simulation mutably).
+                    let mut done = std::mem::take(&mut self.done_scratch);
+                    self.containers
+                        .pop_completed_into(container.index(), now, &mut done);
+                    for &inv in &done {
                         self.on_phase_done(now, inv);
                     }
+                    done.clear();
+                    self.done_scratch = done;
                     self.reschedule(now, container);
                 }
             }
@@ -715,7 +756,7 @@ impl Simulation {
                 .filter(|&s| hit(s))
                 .collect(),
             FaultKind::NodeLoss { node } => (0..self.containers.len())
-                .filter(|&s| self.containers[s].node == node && hit(s))
+                .filter(|&s| self.containers.node(s) == node && hit(s))
                 .collect(),
             FaultKind::Straggler {
                 service, replica, ..
@@ -786,7 +827,7 @@ impl Simulation {
                     _ => 1.0 / CRASH_SLOWDOWN,
                 };
                 for slot in self.fault_slots(kind) {
-                    self.containers[slot].set_fault_speed(now, speed);
+                    self.containers.set_fault_speed(slot, now, speed);
                     self.reschedule(now, ContainerId(slot as u32));
                 }
             }
@@ -813,9 +854,9 @@ impl Simulation {
                 // Restart: full speed again, and the node's controller is
                 // told its profiled state about the container is stale.
                 for slot in self.fault_slots(kind) {
-                    self.containers[slot].set_fault_speed(now, 1.0);
+                    self.containers.set_fault_speed(slot, now, 1.0);
                     self.reschedule(now, ContainerId(slot as u32));
-                    let node = self.containers[slot].node;
+                    let node = self.containers.node(slot);
                     self.controllers[node.index()].on_fault(
                         now,
                         FaultNotice::Restarted {
@@ -828,7 +869,7 @@ impl Simulation {
                 // The replica recovers in place: no state was lost, so no
                 // restart notice.
                 for slot in self.fault_slots(kind) {
-                    self.containers[slot].set_fault_speed(now, 1.0);
+                    self.containers.set_fault_speed(slot, now, 1.0);
                     self.reschedule(now, ContainerId(slot as u32));
                 }
             }
@@ -849,10 +890,10 @@ impl Simulation {
     }
 
     fn on_client_arrival(&mut self, now: SimTime, arrival_idx: u32) {
-        let idx = arrival_idx as usize;
-        if idx + 1 < self.arrivals.len() {
+        if let Some(next) = self.arrivals.next_arrival() {
+            debug_assert!(next >= now, "arrival stream went backwards");
             self.engine.schedule(
-                self.arrivals[idx + 1],
+                next,
                 Event::ClientArrival {
                     arrival_idx: arrival_idx + 1,
                 },
@@ -918,7 +959,7 @@ impl Simulation {
     fn on_request_delivered(&mut self, now: SimTime, packet: Packet) {
         // FirstResponder site: every request packet crosses the rx hook of
         // its destination node before reaching the container.
-        let node = self.containers[packet.dest.index()].node;
+        let node = self.containers.node(packet.dest.index());
         let svc_of_dest = self.layout.service_of(packet.dest.index());
         if self.metrics_sink.is_some() {
             // Slack is otherwise only computed for boosting hooks and
@@ -990,7 +1031,7 @@ impl Simulation {
             }
         }
         let c = packet.dest;
-        self.containers[c.index()].add_phase(now, inv_id, pre);
+        self.containers.add_phase(c.index(), now, inv_id, pre);
         self.reschedule(now, c);
     }
 
@@ -1034,7 +1075,9 @@ impl Simulation {
                         (inv.outstanding == 0, None)
                     }
                 }
-                CallMode::Parallel => (inv.outstanding == 0, None),
+                // OneOf issued its single pick up front, like Parallel
+                // issued all of its edges: nothing more to start here.
+                CallMode::Parallel | CallMode::OneOf => (inv.outstanding == 0, None),
             }
         };
 
@@ -1081,6 +1124,18 @@ impl Simulation {
                                 self.try_issue_child(now, inv_id, e);
                             }
                         }
+                        CallMode::OneOf => {
+                            // Uniform pick from the one sim RNG stream;
+                            // graphs without OneOf services draw nothing
+                            // here and keep their exact event sequence.
+                            let e = (self.rng.random::<u32>() % n_children as u32) as usize;
+                            {
+                                let inv = &mut self.invocations[inv_id as usize];
+                                inv.next_child = n_children as u16;
+                                inv.outstanding = 1;
+                            }
+                            self.try_issue_child(now, inv_id, e);
+                        }
                     }
                 }
             }
@@ -1104,7 +1159,8 @@ impl Simulation {
         if post.is_zero() {
             self.respond(now, inv_id);
         } else {
-            self.containers[container.index()].add_phase(now, inv_id, post);
+            self.containers
+                .add_phase(container.index(), now, inv_id, post);
             self.reschedule(now, container);
         }
     }
@@ -1175,12 +1231,13 @@ impl Simulation {
             return;
         }
         self.replica_state[slot] = ReplicaState::Inactive;
-        let node = self.containers[slot].node;
+        let node = self.containers.node(slot);
         let cores = self.allocs[slot].cores;
         self.node_alloc[node.index()] -= cores;
         self.allocs[slot].cores = 0;
         self.allocs[slot].freq_level = 0;
-        self.containers[slot].set_freq_speedup(now, self.cfg.freq_table.speedup(0));
+        self.containers
+            .set_freq_speedup(slot, now, self.cfg.freq_table.speedup(0));
         self.meter
             .set_state(now, slot, 0, self.cfg.freq_table.ghz(0));
         self.emit_replica_lifecycle(now, slot, ReplicaPhase::Retired);
@@ -1199,7 +1256,7 @@ impl Simulation {
             let svc = self.layout.service_of(slot);
             sink.emit(TelemetryEvent::ReplicaLifecycle {
                 at: now,
-                node: self.containers[slot].node,
+                node: self.containers.node(slot),
                 container: ContainerId(slot as u32),
                 service: ContainerId(svc.0),
                 replica: self.layout.replica_of(slot),
@@ -1222,7 +1279,7 @@ impl Simulation {
             let inv = &mut self.invocations[parent as usize];
             inv.conn_wait += waited;
             let parent_c = inv.slot;
-            let hint = self.containers[parent_c.index()].egress_hint;
+            let hint = self.containers.egress_hint(parent_c.index());
             let mut meta = inv.meta_in.propagate();
             if hint > 0 {
                 meta = meta.with_hint(hint);
@@ -1296,7 +1353,7 @@ impl Simulation {
             )
         };
         if let Some(s) = span {
-            let node = self.containers[c.index()].node;
+            let node = self.containers.node(c.index());
             if let Some(sink) = &self.span_sink {
                 sink.emit(TelemetryEvent::Span(SpanRecord {
                     trace: s.trace,
@@ -1321,7 +1378,7 @@ impl Simulation {
             exec_time,
             conn_wait,
         };
-        self.containers[c.index()].window.record(sample, hinted);
+        self.containers.window_mut(c.index()).record(sample, hinted);
         // Profiling stats stay per-SERVICE: replicas of a group pool into
         // one row, so `RunResult::profile` keeps its pre-replica shape.
         let acc = &mut self.profile[service.index()];
@@ -1424,7 +1481,7 @@ impl Simulation {
                 .into_iter()
                 .map(|i| ContainerSnapshot {
                     id: ContainerId(i as u32),
-                    metrics: self.containers[i].window.flush(),
+                    metrics: self.containers.window_mut(i).flush(),
                     alloc: self.allocs[i],
                 })
                 .collect(),
@@ -1566,7 +1623,7 @@ impl Simulation {
                     // Decentralization contract: DVFS is a node-local
                     // register write; a controller cannot boost containers
                     // it does not own.
-                    if self.containers[id.index()].node != node {
+                    if self.containers.node(id.index()) != node {
                         self.clamped_actions += 1;
                         self.emit_action(
                             now,
@@ -1592,14 +1649,14 @@ impl Simulation {
                 }
                 ControlAction::SetBandwidth { id, units } => {
                     let kind = ActionKind::SetBandwidth { units };
-                    let node_of = self.containers[id.index()].node;
+                    let node_of = self.containers.node(id.index());
                     if node_of == node {
                         let cap = if units == 0 {
                             None
                         } else {
                             Some(units as f64 / 10.0)
                         };
-                        self.containers[id.index()].set_bw_cap(now, cap);
+                        self.containers.set_bw_cap(id.index(), now, cap);
                         self.reschedule(now, id);
                         self.emit_action(now, node, id, origin, kind, ActionOutcome::Applied);
                     } else {
@@ -1629,7 +1686,7 @@ impl Simulation {
                     let kind = ActionKind::SetEgressHint { hops };
                     // Same contract: the hint is stamped by the local
                     // container runtime, which only this node configures.
-                    if self.containers[id.index()].node != node {
+                    if self.containers.node(id.index()) != node {
                         self.clamped_actions += 1;
                         self.emit_action(
                             now,
@@ -1641,7 +1698,7 @@ impl Simulation {
                         );
                         continue;
                     }
-                    self.containers[id.index()].egress_hint = hops;
+                    self.containers.set_egress_hint(id.index(), hops);
                     self.emit_action(now, node, id, origin, kind, ActionOutcome::Applied);
                 }
             }
@@ -1677,7 +1734,7 @@ impl Simulation {
         cores: u32,
     ) -> ActionOutcome {
         let i = id.index();
-        if self.containers[i].node != node {
+        if self.containers.node(i) != node {
             // Controllers may only manage local containers.
             self.clamped_actions += 1;
             return ActionOutcome::RejectedCrossNode;
@@ -1710,7 +1767,7 @@ impl Simulation {
         }
         self.node_alloc[node.index()] = self.node_alloc[node.index()] + target - current;
         self.allocs[i].cores = target;
-        self.containers[i].set_cores(now, target);
+        self.containers.set_cores(i, now, target);
         self.meter.set_state(
             now,
             i,
@@ -1795,8 +1852,9 @@ impl Simulation {
                         self.node_alloc[node.index()] += grant;
                         self.allocs[slot].cores = grant;
                         self.allocs[slot].freq_level = 0;
-                        self.containers[slot].set_cores(now, grant);
-                        self.containers[slot].set_freq_speedup(now, self.cfg.freq_table.speedup(0));
+                        self.containers.set_cores(slot, now, grant);
+                        self.containers
+                            .set_freq_speedup(slot, now, self.cfg.freq_table.speedup(0));
                         self.meter
                             .set_state(now, slot, grant, self.cfg.freq_table.ghz(0));
                         self.emit_replica_lifecycle(now, slot, ReplicaPhase::Spawned);
@@ -1836,7 +1894,7 @@ impl Simulation {
         }
         self.allocs[i].freq_level = level;
         let speedup = self.cfg.freq_table.speedup(level);
-        self.containers[i].set_freq_speedup(now, speedup);
+        self.containers.set_freq_speedup(i, now, speedup);
         self.meter
             .set_state(now, i, self.allocs[i].cores, self.cfg.freq_table.ghz(level));
         if let Some(tr) = &mut self.trace {
@@ -1864,9 +1922,8 @@ impl Simulation {
     // ---------------------------------------------------------------
 
     fn reschedule(&mut self, now: SimTime, c: ContainerId) {
-        let ct = &mut self.containers[c.index()];
-        if let Some(at) = ct.next_completion(now) {
-            let epoch = ct.epoch();
+        if let Some(at) = self.containers.next_completion(c.index(), now) {
+            let epoch = self.containers.epoch(c.index());
             self.engine.schedule(
                 at,
                 Event::PhaseComplete {

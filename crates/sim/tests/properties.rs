@@ -1,10 +1,10 @@
 //! Property-based tests over the simulator's building blocks.
 
 use proptest::prelude::*;
-use sg_core::ids::{ContainerId, NodeId, ServiceId};
+use sg_core::ids::{NodeId, ServiceId};
 use sg_core::time::{SimDuration, SimTime};
 use sg_sim::connpool::{Acquire, ConnPool};
-use sg_sim::container::{sample_work, Container};
+use sg_sim::container::{sample_work, Containers};
 use sg_sim::engine::Engine;
 use sg_sim::event::Event;
 
@@ -28,6 +28,51 @@ proptest! {
             popped += 1;
         }
         prop_assert_eq!(popped, times.len());
+    }
+
+    // The timer-wheel backend pops the exact sequence the heap backend
+    // does — same times, same events, same total order — on random
+    // streams that interleave scheduling with draining (so events land
+    // in past-relative, near-future, outer-level, and overflow
+    // positions). This is the engine-level leg of the same-seed
+    // equivalence argument (SCALING.md §1).
+    #[test]
+    fn wheel_pops_exactly_match_heap(
+        // (time offset exponent, offset mantissa, pops between batches):
+        // exponentially distributed offsets exercise every wheel level
+        // and the overflow bucket (2^38 ns ≈ 4.6 min past the horizon).
+        batches in prop::collection::vec(
+            (0u32..39, 0u64..1024, 0usize..4, 1usize..6),
+            1..40,
+        ),
+    ) {
+        let mut heap = Engine::new_with(sg_sim::QueueKind::Heap);
+        let mut wheel = Engine::new_with(sg_sim::QueueKind::Wheel);
+        let mut next_id = 0u32;
+        for &(exp, mantissa, pops, inserts) in &batches {
+            for _ in 0..inserts {
+                let offset = (1u64 << exp) + mantissa * ((1u64 << exp) / 1024).max(1);
+                // Both engines share `now` by construction (identical
+                // pop sequences), so scheduling relative to one is
+                // scheduling relative to both.
+                let at = heap.now() + SimDuration::from_nanos(offset);
+                let ev = Event::ControllerTick { node: NodeId(next_id) };
+                next_id += 1;
+                heap.schedule(at, ev);
+                wheel.schedule(at, ev);
+            }
+            for _ in 0..pops {
+                prop_assert_eq!(heap.pop(), wheel.pop());
+            }
+        }
+        loop {
+            let (h, w) = (heap.pop(), wheel.pop());
+            prop_assert_eq!(h, w);
+            if h.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(heap.processed(), next_id as u64);
     }
 
     #[test]
@@ -84,17 +129,18 @@ proptest! {
         // All phases admitted at t=0 must complete by total_work/cores
         // (perfect sharing) and no earlier than max(total/capacity, longest
         // job alone).
-        let mut c = Container::new(ContainerId(0), NodeId(0), ServiceId(0), cores);
+        let mut c = Containers::new();
+        c.push(NodeId(0), ServiceId(0), cores);
         let t0 = SimTime::ZERO;
         for (i, &w) in works.iter().enumerate() {
-            c.add_phase(t0, i as u32, SimDuration::from_nanos(w));
+            c.add_phase(0, t0, i as u32, SimDuration::from_nanos(w));
         }
         let mut done = Vec::new();
         let mut now = t0;
         let mut guard = 0;
-        while let Some(next) = c.next_completion(now) {
+        while let Some(next) = c.next_completion(0, now) {
             now = next;
-            done.extend(c.pop_completed(now));
+            c.pop_completed_into(0, now, &mut done);
             guard += 1;
             prop_assert!(guard < 10_000, "must terminate");
         }
@@ -114,11 +160,12 @@ proptest! {
     ) {
         // Two phases admitted together on one core: the smaller finishes
         // first (equal share => order by remaining work).
-        let mut c = Container::new(ContainerId(0), NodeId(0), ServiceId(0), 1);
-        c.add_phase(SimTime::ZERO, 1, SimDuration::from_nanos(w1));
-        c.add_phase(SimTime::ZERO, 2, SimDuration::from_nanos(w1 + extra));
-        let t1 = c.next_completion(SimTime::ZERO).unwrap();
-        let first = c.pop_completed(t1);
+        let mut c = Containers::new();
+        c.push(NodeId(0), ServiceId(0), 1);
+        c.add_phase(0, SimTime::ZERO, 1, SimDuration::from_nanos(w1));
+        c.add_phase(0, SimTime::ZERO, 2, SimDuration::from_nanos(w1 + extra));
+        let t1 = c.next_completion(0, SimTime::ZERO).unwrap();
+        let first = c.pop_completed(0, t1);
         prop_assert_eq!(first, vec![1]);
     }
 
@@ -142,10 +189,11 @@ proptest! {
     ) {
         let speedup = speedup_tenths as f64 / 10.0;
         let run = |s: f64| {
-            let mut c = Container::new(ContainerId(0), NodeId(0), ServiceId(0), 2);
-            c.set_freq_speedup(SimTime::ZERO, s);
-            c.add_phase(SimTime::ZERO, 1, SimDuration::from_nanos(work));
-            c.next_completion(SimTime::ZERO).unwrap()
+            let mut c = Containers::new();
+            c.push(NodeId(0), ServiceId(0), 2);
+            c.set_freq_speedup(0, SimTime::ZERO, s);
+            c.add_phase(0, SimTime::ZERO, 1, SimDuration::from_nanos(work));
+            c.next_completion(0, SimTime::ZERO).unwrap()
         };
         prop_assert!(run(speedup) <= run(1.0));
     }

@@ -28,7 +28,7 @@
 use sg_core::time::SimDuration;
 use sg_telemetry::{
     read_trace, timeline, TelemetryEvent, TimelineSet, METRICS_SCHEMA_VERSION, PROFILE_SCHEMA,
-    SPANS_SCHEMA, TRACE_SCHEMA,
+    PROFILE_SCHEMA_V1, SPANS_SCHEMA, TRACE_SCHEMA,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -36,7 +36,12 @@ use std::process::ExitCode;
 /// Warn (never fail) on schema headers this binary does not know, so a
 /// newer export is flagged instead of silently misparsed.
 fn warn_unknown_schemas(events: &[TelemetryEvent]) {
-    const KNOWN: [&str; 3] = [TRACE_SCHEMA, SPANS_SCHEMA, PROFILE_SCHEMA];
+    const KNOWN: [&str; 4] = [
+        TRACE_SCHEMA,
+        SPANS_SCHEMA,
+        PROFILE_SCHEMA,
+        PROFILE_SCHEMA_V1,
+    ];
     for event in events {
         match event {
             TelemetryEvent::Schema { schema } if !KNOWN.contains(&schema.as_str()) => {

@@ -64,7 +64,7 @@ pub use event::{
 pub use metrics::{MetricId, MetricSample, MetricsRegistry, METRICS_SCHEMA_VERSION};
 pub use profile::{
     LiveProfiler, ProfileMark, ProfilePhase, ProfileReport, SimProfiler, PROFILE_SCHEMA,
-    PROFILE_SCHEMA_VERSION,
+    PROFILE_SCHEMA_V1, PROFILE_SCHEMA_VERSION,
 };
 pub use reader::{read_trace, TraceFile};
 pub use ring::{RingDrainer, RingSink, RingStats};

@@ -40,10 +40,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Version stamped into [`TelemetryEvent::ProfileMeta`].
-pub const PROFILE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the per-level timer-wheel occupancy watermarks
+/// (`wheel_l*_high_water`, `wheel_overflow_high_water`) when the sim
+/// engine's calendar queue became the default backend. v1 files remain
+/// readable: every v1 mark kept its wire name — `heap_depth_high_water`
+/// now reports the *total pending events* high-water on either queue
+/// backend — and readers (`sg-trace`, `sg-timeline`) accept both
+/// schema headers.
+pub const PROFILE_SCHEMA_VERSION: u32 = 2;
 
 /// Schema string stamped as line 1 of `--profile-out` files.
-pub const PROFILE_SCHEMA: &str = "sg-profile/v1";
+pub const PROFILE_SCHEMA: &str = "sg-profile/v2";
+
+/// Previous schema string, still accepted by readers.
+pub const PROFILE_SCHEMA_V1: &str = "sg-profile/v1";
 
 /// Minimum fraction of wall time the phase totals must cover for a
 /// live-substrate report to pass [`ProfileReport::audit`].
@@ -166,7 +177,10 @@ impl ProfilePhase {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(usize)]
 pub enum ProfileMark {
-    /// Sim: event-heap high-water mark (entries).
+    /// Sim: pending-event high-water mark (entries), regardless of
+    /// queue backend. Named for the original binary-heap engine; under
+    /// the timer wheel it is the same quantity (total events pending),
+    /// so the wire name is kept for cross-version comparability.
     HeapDepthHighWater = 0,
     /// Sim: invocation-table high-water mark (slots).
     InvocationHighWater = 1,
@@ -181,10 +195,26 @@ pub enum ProfileMark {
     /// Estimated profiler self-overhead in nanoseconds (calibrated
     /// timer-pair cost × number of timed sections).
     SelfOverheadNs = 6,
+    /// Sim (wheel backend, schema v2+): level-0 slot-occupancy
+    /// high-water mark (entries resident across the level's 64 slots).
+    WheelL0HighWater = 7,
+    /// Sim (wheel): level-1 occupancy high-water mark.
+    WheelL1HighWater = 8,
+    /// Sim (wheel): level-2 occupancy high-water mark.
+    WheelL2HighWater = 9,
+    /// Sim (wheel): level-3 occupancy high-water mark.
+    WheelL3HighWater = 10,
+    /// Sim (wheel): level-4 occupancy high-water mark.
+    WheelL4HighWater = 11,
+    /// Sim (wheel): level-5 occupancy high-water mark.
+    WheelL5HighWater = 12,
+    /// Sim (wheel): overflow-bucket occupancy high-water mark (events
+    /// beyond the wheel horizon, promoted back in as time advances).
+    WheelOverflowHighWater = 13,
 }
 
 /// Number of marks (array sizing).
-pub const N_MARKS: usize = 7;
+pub const N_MARKS: usize = 14;
 
 impl ProfileMark {
     /// Every mark, in index order.
@@ -196,6 +226,25 @@ impl ProfileMark {
         ProfileMark::RingOccupancyHighWater,
         ProfileMark::RingDropped,
         ProfileMark::SelfOverheadNs,
+        ProfileMark::WheelL0HighWater,
+        ProfileMark::WheelL1HighWater,
+        ProfileMark::WheelL2HighWater,
+        ProfileMark::WheelL3HighWater,
+        ProfileMark::WheelL4HighWater,
+        ProfileMark::WheelL5HighWater,
+        ProfileMark::WheelOverflowHighWater,
+    ];
+
+    /// The per-level wheel-occupancy marks, in level order. Indexable by
+    /// engine level so emitters can zip against
+    /// `Engine::wheel_high_water()`.
+    pub const WHEEL_LEVELS: [ProfileMark; 6] = [
+        ProfileMark::WheelL0HighWater,
+        ProfileMark::WheelL1HighWater,
+        ProfileMark::WheelL2HighWater,
+        ProfileMark::WheelL3HighWater,
+        ProfileMark::WheelL4HighWater,
+        ProfileMark::WheelL5HighWater,
     ];
 
     /// Stable wire name.
@@ -208,6 +257,13 @@ impl ProfileMark {
             ProfileMark::RingOccupancyHighWater => "ring_occupancy_high_water",
             ProfileMark::RingDropped => "ring_dropped",
             ProfileMark::SelfOverheadNs => "self_overhead_ns",
+            ProfileMark::WheelL0HighWater => "wheel_l0_high_water",
+            ProfileMark::WheelL1HighWater => "wheel_l1_high_water",
+            ProfileMark::WheelL2HighWater => "wheel_l2_high_water",
+            ProfileMark::WheelL3HighWater => "wheel_l3_high_water",
+            ProfileMark::WheelL4HighWater => "wheel_l4_high_water",
+            ProfileMark::WheelL5HighWater => "wheel_l5_high_water",
+            ProfileMark::WheelOverflowHighWater => "wheel_overflow_high_water",
         }
     }
 
@@ -951,5 +1007,32 @@ mod tests {
     fn zero_wall_fails_audit() {
         let r = LiveProfiler::new().snapshot(0);
         assert!(r.audit().is_err());
+    }
+
+    #[test]
+    fn schema_v2_reports_wheel_marks_only_when_set() {
+        assert_eq!(PROFILE_SCHEMA_VERSION, 2);
+        assert_eq!(PROFILE_SCHEMA, "sg-profile/v2");
+        // Heap-backend run: no wheel marks recorded, none reported.
+        let p = SimProfiler::new();
+        let r = p.report(1_000);
+        assert_eq!(r.version, 2);
+        assert!(ProfileMark::WHEEL_LEVELS
+            .iter()
+            .all(|&m| r.mark(m).is_none()));
+        assert!(r.mark(ProfileMark::WheelOverflowHighWater).is_none());
+        // Wheel-backend run: per-level occupancy comes through.
+        let mut p = SimProfiler::new();
+        for (lvl, &mark) in ProfileMark::WHEEL_LEVELS.iter().enumerate() {
+            p.mark_max(mark, (lvl as u64 + 1) * 10);
+        }
+        p.mark_max(ProfileMark::WheelOverflowHighWater, 3);
+        let r = p.report(1_000);
+        assert_eq!(r.mark(ProfileMark::WheelL0HighWater), Some(10));
+        assert_eq!(r.mark(ProfileMark::WheelL5HighWater), Some(60));
+        assert_eq!(r.mark(ProfileMark::WheelOverflowHighWater), Some(3));
+        // And they survive the event round trip (wire names parse).
+        let back = ProfileReport::from_events(&r.events()).unwrap();
+        assert_eq!(back, r);
     }
 }
