@@ -23,7 +23,8 @@ use sg_sim::controller::{ControlAction, Controller, ControllerFactory, NodeInit,
 use sg_sim::runner::{SimBuffers, Simulation};
 use sg_telemetry::profile::{LiveProfiler, ProfilePhase};
 use sg_telemetry::{
-    MetricId, MetricSample, MetricsRegistry, RingSink, SpanRecord, TelemetryEvent, TelemetrySink,
+    AggConfig, AggRuntime, LatencyDigest, MetricId, MetricSample, MetricsRegistry, RingSink,
+    SpanRecord, TelemetryEvent, TelemetrySink, TopK,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -402,6 +403,114 @@ fn bench_sim_trial_metrics(mode: BenchMode) -> ScenarioStats {
     summarize("sim_trial_metrics", "ms", samples)
 }
 
+/// One `LatencyDigest::record` on the mergeable log-bucket digest (the
+/// per-completion cost of the aggregation layer's hottest call). Values
+/// cycle a realistic latency spread so bucket residency stays warm but
+/// the sparse map keeps a run-like footprint.
+fn bench_digest_insert(mode: BenchMode) -> ScenarioStats {
+    const INNER: u64 = 200_000;
+    let mut digest = LatencyDigest::with_default_resolution();
+    let mut samples = Vec::new();
+    for i in 0..mode.light_iters() + 1 {
+        let t0 = Instant::now();
+        for k in 0..INNER {
+            // 100 µs .. ~13 ms, deterministic spread across octaves.
+            let ns = 100_000 + (k.wrapping_mul(0x9E37_79B9)) % 13_000_000;
+            digest.record(SimDuration::from_nanos(black_box(ns)));
+        }
+        let per_op_ns = t0.elapsed().as_secs_f64() * 1e9 / INNER as f64;
+        if i >= 1 {
+            samples.push(per_op_ns);
+        }
+    }
+    summarize("digest_insert", "ns", samples)
+}
+
+/// One pairwise `LatencyDigest::merge` of two populated node shards
+/// (the teardown/cluster-view cost, paid once per node per merge pass).
+fn bench_digest_merge(mode: BenchMode) -> ScenarioStats {
+    const INNER: u64 = 2_000;
+    let mut a = LatencyDigest::with_default_resolution();
+    let mut b = LatencyDigest::with_default_resolution();
+    for k in 0u64..10_000 {
+        a.record(SimDuration::from_nanos(50_000 + k * 997));
+        b.record(SimDuration::from_nanos(80_000 + k * 1_543));
+    }
+    let mut samples = Vec::new();
+    for i in 0..mode.light_iters() + 1 {
+        let t0 = Instant::now();
+        for _ in 0..INNER {
+            let mut m = black_box(&a).clone();
+            m.merge(black_box(&b));
+            black_box(&m);
+        }
+        let per_op_ns = t0.elapsed().as_secs_f64() * 1e9 / INNER as f64;
+        if i >= 1 {
+            samples.push(per_op_ns);
+        }
+    }
+    summarize("digest_merge", "ns", samples)
+}
+
+/// One `TopK::observe` on the SpaceSaving heavy-hitter sketch at
+/// capacity (every update pays the eviction scan — the worst case).
+fn bench_topk_update(mode: BenchMode) -> ScenarioStats {
+    const INNER: u64 = 200_000;
+    let mut topk = TopK::new(8);
+    let mut samples = Vec::new();
+    for i in 0..mode.light_iters() + 1 {
+        let t0 = Instant::now();
+        for k in 0..INNER {
+            // 64 distinct keys over capacity 8: constant eviction churn.
+            topk.observe(black_box(k % 64), black_box(1 + k % 1_000));
+        }
+        let per_op_ns = t0.elapsed().as_secs_f64() * 1e9 / INNER as f64;
+        if i >= 1 {
+            samples.push(per_op_ns);
+        }
+    }
+    summarize("topk_update", "ns", samples)
+}
+
+/// The same CHAIN surge trial as `sim_trial` but with the mergeable
+/// aggregation layer on (digest + SLO window + heavy-hitter shard per
+/// node, snapshots into a discarding sink): the delta against
+/// `sim_trial` is the all-in per-run cost of always-on aggregation,
+/// held to the same ≤ 2% envelope as the other observability layers.
+fn bench_sim_trial_agg(mode: BenchMode) -> ScenarioStats {
+    let scenario = BenchScenario::chain_surge();
+    let factory = SurgeGuardFactory::full();
+    let (warmup, iters) = mode.heavy_iters();
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..warmup + iters {
+        let mut cfg = scenario.pw.cfg.clone();
+        cfg.end = scenario.horizon + SimDuration::from_millis(100);
+        cfg.measure_start = SimTime::from_secs(1);
+        cfg.seed = 1;
+        let nodes = cfg.placement.nodes as usize;
+        let agg = Arc::new(AggRuntime::new(
+            AggConfig::new(SimDuration::from_millis(10)),
+            nodes,
+        ));
+        let arrivals = scenario.pattern.arrivals(SimTime::ZERO, scenario.horizon);
+        let t0 = Instant::now();
+        let r = Simulation::new(cfg, &factory, arrivals)
+            .with_metrics(Arc::new(NullSink))
+            .with_agg(Arc::clone(&agg))
+            .run();
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(r.completed > 0);
+        assert!(
+            !agg.merged().digest.is_empty(),
+            "agg layer saw no completions"
+        );
+        if i >= warmup {
+            samples.push(dt);
+        }
+    }
+    summarize("sim_trial_agg", "ms", samples)
+}
+
 /// The same CHAIN surge trial with the self-profiler enabled into a
 /// discarding sink. The delta against `sim_trial` is the profiler's
 /// all-in cost (sampled dispatch timing + watermark upkeep), gated at
@@ -604,7 +713,7 @@ pub type ScenarioFn = fn(BenchMode) -> ScenarioStats;
 
 /// The pinned scenario set: stable names, fixed order. The names are the
 /// `--only` selectors and the keys of every `BENCH_*.json`.
-pub const SCENARIOS: [(&str, ScenarioFn); 17] = [
+pub const SCENARIOS: [(&str, ScenarioFn); 21] = [
     ("sim_trial", bench_sim_trial),
     ("sim_trial_reuse", bench_sim_trial_reuse),
     ("live_smoke", bench_live_smoke),
@@ -614,7 +723,11 @@ pub const SCENARIOS: [(&str, ScenarioFn); 17] = [
     ("span_encode", bench_span_encode),
     ("metrics_sample", bench_metrics_sample),
     ("metrics_encode", bench_metrics_encode),
+    ("digest_insert", bench_digest_insert),
+    ("digest_merge", bench_digest_merge),
+    ("topk_update", bench_topk_update),
     ("sim_trial_metrics", bench_sim_trial_metrics),
+    ("sim_trial_agg", bench_sim_trial_agg),
     ("sim_trial_profiled", bench_sim_trial_profiled),
     ("replica_scale_out", bench_replica_scale_out),
     ("lb_pick", bench_lb_pick),

@@ -34,6 +34,9 @@ use std::time::Instant;
 /// `--demo-cluster`: the acceptance-scale run. 200 nodes × 25 backends,
 /// 500 req/s per node with 2× spikes (1 s every 10 s) for 95 simulated
 /// seconds ≈ 10.2M requests, arrivals streamed (never materialized).
+/// Runs with the mergeable aggregation layer on, and checks the merged
+/// 200-shard digest against an exact histogram of the same points —
+/// the observability-layer acceptance criterion at full scale.
 fn demo_cluster() {
     let scenario = ClusterScenario::new(200, 500.0, SimTime::from_secs(95));
     eprintln!(
@@ -42,7 +45,7 @@ fn demo_cluster() {
         scenario.cfg.graph.len()
     );
     let t0 = Instant::now();
-    let r = scenario.run(&NoopFactory);
+    let (r, agg) = scenario.run_with_agg(&NoopFactory);
     let wall = t0.elapsed().as_secs_f64();
     assert_eq!(r.dropped, 0, "demo run saturated the in-flight valve");
     println!(
@@ -52,6 +55,49 @@ fn demo_cluster() {
         wall,
         r.events as f64 / wall,
         r.completed as f64 / wall,
+    );
+
+    // Merge contract at scale: the 200 per-node digests, merged, must
+    // agree with an exact whole-run histogram within the documented γ.
+    assert_eq!(
+        agg.digest.len(),
+        r.points.len() as u64,
+        "every measured completion reaches a shard"
+    );
+    let mut hist = sg_loadgen::LatencyHistogram::with_default_resolution();
+    for p in &r.points {
+        hist.record(p.latency);
+    }
+    let gamma = agg.digest.relative_error();
+    for q in [50.0, 99.0, 99.9] {
+        let exact = hist.percentile(q).expect("nonempty").as_nanos() as f64;
+        let approx = agg.digest.percentile(q).expect("nonempty").as_nanos() as f64;
+        assert!(
+            (approx - exact).abs() <= gamma * exact + 1.0,
+            "p{q}: merged digest {approx} vs exact {exact} beyond γ={gamma}"
+        );
+    }
+    let pct = |q: f64| {
+        agg.digest.percentile(q).map_or("-".into(), |v| {
+            format!("{:.3} ms", v.as_nanos() as f64 / 1e6)
+        })
+    };
+    println!(
+        "demo_cluster_200 agg: {} completions across 200 shards, p50 {}, p99 {}, p99.9 {} \
+         (merged digest == exact histogram within γ={:.4})",
+        agg.digest.len(),
+        pct(50.0),
+        pct(99.0),
+        pct(99.9),
+        gamma,
+    );
+    let verdict = agg.slo.verdict_at_last();
+    println!(
+        "demo_cluster_200 slo: {}/{} over QoS, burn fast {} slow {}",
+        agg.slo.bad(),
+        agg.slo.total(),
+        verdict.fast.map_or("-".into(), |b| format!("{b:.2}x")),
+        verdict.slow.map_or("-".into(), |b| format!("{b:.2}x")),
     );
 }
 

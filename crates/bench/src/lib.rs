@@ -27,7 +27,9 @@ use sg_sim::app::{CallMode, ConnModel, EdgeSpec, ServiceSpec, TaskGraph};
 use sg_sim::cluster::{Placement, SimConfig};
 use sg_sim::controller::ControllerFactory;
 use sg_sim::runner::{RunResult, Simulation};
+use sg_telemetry::{AggConfig, AggRuntime, ClusterAgg};
 use sg_workloads::{prepare, CalibrationOptions, PreparedWorkload, Workload};
+use std::sync::Arc;
 
 /// A short calibrated scenario reused across the figure benches.
 pub struct BenchScenario {
@@ -162,6 +164,30 @@ impl ClusterScenario {
         let stream = ArrivalProfile::Spike(self.pattern).stream(SimTime::ZERO, self.horizon);
         Simulation::new_streaming(self.cfg.clone(), factory, Box::new(stream)).run()
     }
+
+    /// QoS deadline used for the scenario's SLO/heavy-hitter layer: the
+    /// per-request path is gateway + one 200 µs backend plus queueing,
+    /// so 2 ms marks genuine tail trouble without firing on noise.
+    pub fn qos(&self) -> SimDuration {
+        SimDuration::from_millis(2)
+    }
+
+    /// [`ClusterScenario::run`] with the mergeable aggregation layer on:
+    /// every node shard folds its own completions, and the per-node
+    /// digests/sketches/windows are merged into one exact cluster view
+    /// at teardown (order-independent — see `sg_telemetry::agg`).
+    pub fn run_with_agg(&self, factory: &dyn ControllerFactory) -> (RunResult, ClusterAgg) {
+        let agg = Arc::new(AggRuntime::new(
+            AggConfig::new(self.qos()),
+            self.nodes as usize,
+        ));
+        let stream = ArrivalProfile::Spike(self.pattern).stream(SimTime::ZERO, self.horizon);
+        let result = Simulation::new_streaming(self.cfg.clone(), factory, Box::new(stream))
+            .with_agg(Arc::clone(&agg))
+            .run();
+        let merged = agg.merged();
+        (result, merged)
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +211,37 @@ mod tests {
         let r = sc.run(&NoopFactory);
         assert!(r.completed > 0);
         assert_eq!(r.dropped, 0);
+    }
+
+    /// The merged digest must agree with an exact whole-run histogram
+    /// built from the same points, within the digest's documented
+    /// one-sided relative error γ — the merge contract acceptance check
+    /// at small scale (demo_cluster repeats it at 200 nodes).
+    #[test]
+    fn cluster_agg_digest_matches_exact_histogram() {
+        let sc = ClusterScenario::new(4, 100.0, SimTime::from_secs(2));
+        let (r, agg) = sc.run_with_agg(&NoopFactory);
+        assert!(r.completed > 0);
+        assert_eq!(
+            agg.digest.len(),
+            r.points.len() as u64,
+            "every measured completion reaches a shard"
+        );
+        let mut hist = sg_loadgen::LatencyHistogram::with_default_resolution();
+        for p in &r.points {
+            hist.record(p.latency);
+        }
+        let gamma = agg.digest.relative_error();
+        for q in [50.0, 90.0, 99.0, 99.9] {
+            let exact = hist.percentile(q).expect("nonempty").as_nanos() as f64;
+            let approx = agg.digest.percentile(q).expect("nonempty").as_nanos() as f64;
+            // Same bucket math on both sides: identical reports. Keep the
+            // γ bound as the documented contract being asserted.
+            assert!(
+                (approx - exact).abs() <= gamma * exact + 1.0,
+                "p{q}: digest {approx} vs exact {exact} beyond γ={gamma}"
+            );
+        }
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! * [`allocator`] — node-local core/frequency accounting shared by all
 //!   controllers (Parties, CaladanAlgo, SurgeGuard).
 //! * [`littles_law`] — threadpool sizing (Eq. 1).
+//! * [`logbucket`] — the shared HDR-style log-bucket math behind the
+//!   load generator's histogram and the mergeable telemetry digests.
 //! * [`fault`] — the deterministic fault-injection plan DSL shared by
 //!   both substrates (crash, node loss, pool leak, jitter, straggler).
 //!
@@ -39,6 +41,7 @@ pub mod fault;
 pub mod firstresponder;
 pub mod ids;
 pub mod littles_law;
+pub mod logbucket;
 pub mod metadata;
 pub mod metrics;
 pub mod replica;

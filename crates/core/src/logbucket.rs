@@ -1,0 +1,157 @@
+//! Shared HDR-style log-bucket math.
+//!
+//! One integer bucketing scheme, used by both the dense
+//! `LatencyHistogram` in `sg-loadgen` and the sparse mergeable
+//! `LatencyDigest` in `sg-telemetry`: values below `2^sig_bits` map 1:1
+//! to buckets (exact), and above that each octave splits into
+//! `2^(sig_bits-1)` linear sub-buckets. The scheme is pure integer
+//! arithmetic — no floats, no logs — so the bucket of a value is
+//! identical on every platform and build, which is what makes per-shard
+//! digests merge byte-identically (see `sg_telemetry::agg`).
+//!
+//! Error bound: reporting the *upper* edge of a bucket overstates a
+//! value inside it by at most one sub-bucket width, i.e. a one-sided
+//! relative error of at most `1/2^(sig_bits-1)` (γ ≈ 3.1% at the
+//! default 6 significant bits; the *lower* edge understates by the same
+//! bound). The linear region is exact.
+
+/// Smallest supported resolution (4 sub-buckets per octave).
+pub const MIN_SIG_BITS: u32 = 2;
+
+/// Largest supported resolution (8192 sub-buckets per octave).
+pub const MAX_SIG_BITS: u32 = 14;
+
+/// Panic unless `sig_bits` is a supported resolution.
+#[inline]
+pub fn assert_sig_bits(sig_bits: u32) {
+    assert!(
+        (MIN_SIG_BITS..=MAX_SIG_BITS).contains(&sig_bits),
+        "sig_bits in {MIN_SIG_BITS}..={MAX_SIG_BITS}"
+    );
+}
+
+/// Number of buckets needed to cover the full `u64` range at this
+/// resolution: the linear region plus `64 - sig_bits` octaves of
+/// `2^(sig_bits-1)` sub-buckets each.
+#[inline]
+pub fn bucket_count(sig_bits: u32) -> usize {
+    let sub = 1u64 << sig_bits;
+    let octaves = 64 - sig_bits;
+    (sub + octaves as u64 * (sub / 2)) as usize
+}
+
+/// One-sided relative error bound γ of upper-edge reporting:
+/// `1/2^(sig_bits-1)`.
+#[inline]
+pub fn relative_error(sig_bits: u32) -> f64 {
+    1.0 / (1u64 << (sig_bits - 1)) as f64
+}
+
+/// Bucket index of value `v`. Monotone in `v`; pure integer math.
+#[inline]
+pub fn bucket_of(sig_bits: u32, v: u64) -> usize {
+    let sub = 1u64 << sig_bits;
+    if v < sub {
+        return v as usize;
+    }
+    // Position of the leading bit beyond the linear region.
+    let msb = 63 - v.leading_zeros();
+    let octave = msb - sig_bits + 1;
+    let shifted = v >> octave; // in [sub/2, sub)
+    (sub + (octave as u64 - 1) * (sub / 2) + (shifted - sub / 2)) as usize
+}
+
+/// Lower edge of `bucket` (smallest value mapping to it).
+#[inline]
+pub fn bucket_low(sig_bits: u32, bucket: usize) -> u64 {
+    let sub = (1u64 << sig_bits) as usize;
+    if bucket < sub {
+        return bucket as u64;
+    }
+    let rel = bucket - sub;
+    let half = sub / 2;
+    let octave = (rel / half) as u32 + 1;
+    let pos = (rel % half) as u64 + half as u64;
+    // Saturate when the shift would drop bits (`<<` alone discards
+    // them silently): a bucket beyond the top of the u64 range has no
+    // representable lower edge.
+    if octave <= pos.leading_zeros() {
+        pos << octave
+    } else {
+        u64::MAX
+    }
+}
+
+/// Highest value equivalent to `bucket` (inclusive upper edge): the
+/// reported representative, matching HdrHistogram/wrk2 semantics so
+/// quantiles never understate the latency they summarize.
+#[inline]
+pub fn bucket_high(sig_bits: u32, bucket: usize) -> u64 {
+    let sub = (1u64 << sig_bits) as usize;
+    if bucket < sub {
+        // Linear region: exact single-value buckets.
+        return bucket as u64;
+    }
+    // A saturated next-bucket edge means this bucket runs to the top of
+    // the range (a genuine edge is `pos << octave`, always even beyond
+    // the linear region, so it can never equal `u64::MAX` itself).
+    match bucket_low(sig_bits, bucket + 1) {
+        u64::MAX => u64::MAX,
+        next => next - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..64u64 {
+            let b = bucket_of(6, v);
+            assert_eq!(b, v as usize);
+            assert_eq!(bucket_low(6, b), v);
+            assert_eq!(bucket_high(6, b), v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_tight() {
+        for sig_bits in [2u32, 6, 10, 14] {
+            let mut values: Vec<u64> = (0..64)
+                .flat_map(|shift| [0u64, 1, 3].map(|off| (1u64 << shift).saturating_add(off)))
+                .collect();
+            values.sort_unstable();
+            let mut prev = 0usize;
+            for &v in &values {
+                let b = bucket_of(sig_bits, v);
+                assert!(b >= prev, "monotone violated at v={v}");
+                prev = b;
+                let low = bucket_low(sig_bits, b);
+                let high = bucket_high(sig_bits, b);
+                assert!(low <= v && v <= high, "v={v} outside [{low},{high}]");
+                // One-sided γ bound on upper-edge reporting.
+                let rel = (high - v) as f64 / v.max(1) as f64;
+                assert!(
+                    rel <= relative_error(sig_bits),
+                    "sig_bits={sig_bits} v={v} high={high} rel={rel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_count_covers_u64_max() {
+        for sig_bits in [MIN_SIG_BITS, 6, MAX_SIG_BITS] {
+            let b = bucket_of(sig_bits, u64::MAX);
+            assert!(b < bucket_count(sig_bits), "u64::MAX out of range");
+            assert_eq!(bucket_high(sig_bits, b), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn relative_error_matches_doc() {
+        assert_eq!(relative_error(6), 1.0 / 32.0);
+        assert_eq!(relative_error(2), 0.5);
+    }
+}

@@ -11,7 +11,8 @@
 //!             [--duration SECS] [--qos MS] [--seed N]
 //!             [--telemetry PATH] [--spans PATH] [--span-sample N/M]
 //!             [--metrics PATH] [--metrics-interval MS]
-//!             [--metrics-listen ADDR] [--profile-out PATH]
+//!             [--metrics-listen ADDR] [--slo-objective PCT]
+//!             [--profile-out PATH]
 //!
 //!   --workload    chain | read | compose | search | reco   (default chain)
 //!   --controller  static | parties | caladan | surgeguard | escalator
@@ -54,7 +55,11 @@
 //!   --metrics     write the internal-state gauge/counter timeline
 //!                 (cores, DVFS level, FR boosts, queue buildup, pool
 //!                 occupancy, slack quantiles, sensitivity arms) as JSONL
-//!                 to PATH; render with `sg-timeline`
+//!                 to PATH; render with `sg-timeline`. Also turns on the
+//!                 mergeable aggregation layer: per-node latency digests,
+//!                 SLO burn windows and heavy-hitter sketches ride the
+//!                 same stream as cumulative snapshots — tail them with
+//!                 `sg-trace watch PATH`
 //!   --metrics-interval
 //!                 live sampler cadence in ms (default 100). The sim
 //!                 backend ignores it: it records synchronously at every
@@ -62,7 +67,13 @@
 //!   --metrics-listen
 //!                 live only: serve the current metric values as
 //!                 Prometheus text exposition on ADDR (e.g.
-//!                 127.0.0.1:9184) for the duration of the run
+//!                 127.0.0.1:9184) for the duration of the run; with the
+//!                 aggregation layer on, the `sg_slo_*` burn-rate series
+//!                 are served too
+//!   --slo-objective
+//!                 SLO objective percentage for the burn-rate windows
+//!                 (default 99.9, i.e. 0.1% error budget against the QoS
+//!                 deadline)
 //!   --profile-out turn on the runtime self-profiler and write its
 //!                 report (phase totals, p50/p99, watermarks, self-
 //!                 overhead) as JSONL to PATH; render with
@@ -84,7 +95,8 @@ use sg_loadgen::{ArrivalProfile, LatencyHistogram, RunReport, SpikePattern};
 use sg_sim::controller::{ControllerFactory, NoopFactory};
 use sg_sim::runner::Simulation;
 use sg_telemetry::{
-    JsonlSink, SharedSink, SpanSampler, TelemetryEvent, PROFILE_SCHEMA, SPANS_SCHEMA, TRACE_SCHEMA,
+    topk_unpack, AggConfig, AggRuntime, JsonlSink, SharedSink, SloConfig, SpanSampler,
+    TelemetryEvent, PROFILE_SCHEMA, SPANS_SCHEMA, TRACE_SCHEMA,
 };
 use sg_workloads::{prepare, CalibrationOptions, Workload};
 use std::sync::Arc;
@@ -254,6 +266,19 @@ fn main() {
         eprintln!("--metrics-listen needs --backend live (the simulator has no wall clock for a scraper to exist in)");
         std::process::exit(2);
     }
+    let slo_objective: f64 =
+        arg(&args, "--slo-objective").map_or(99.9, |v| v.parse().expect("--slo-objective"));
+    if !(0.0..100.0).contains(&slo_objective) {
+        eprintln!("--slo-objective must be in [0, 100)");
+        std::process::exit(2);
+    }
+    // The aggregation layer rides the metrics stream (and the scrape
+    // endpoint), so it turns on with either metrics destination.
+    let agg: Option<Arc<AggRuntime>> = (metrics.is_some() || metrics_listen.is_some()).then(|| {
+        let mut agg_cfg = AggConfig::new(qos);
+        agg_cfg.slo = SloConfig::default().with_objective_pct(slo_objective);
+        Arc::new(AggRuntime::new(agg_cfg, nodes as usize))
+    });
     let sampler = match arg(&args, "--span-sample") {
         Some(ratio) => match SpanSampler::parse_ratio(&ratio) {
             Some((n, m)) => SpanSampler::rate(n, m, seed),
@@ -273,6 +298,7 @@ fn main() {
             metrics: metrics.clone(),
             metrics_interval,
             metrics_listen: metrics_listen.clone(),
+            agg: agg.clone(),
             profile: profile_out.clone(),
             ..sg_live::LiveOpts::default()
         };
@@ -307,6 +333,9 @@ fn main() {
         if let Some(sink) = &metrics {
             sim = sim.with_metrics(Arc::clone(sink));
         }
+        if let Some(a) = &agg {
+            sim = sim.with_agg(Arc::clone(a));
+        }
         if let Some(sink) = &profile_out {
             sim = sim.with_profile(Arc::clone(sink));
         }
@@ -325,6 +354,7 @@ fn main() {
     }
     if let Some(p) = &metrics_path {
         eprintln!("metrics timeline written to {p} (render with: sg-timeline {p})");
+        eprintln!("  aggregation snapshots ride the same file (watch with: sg-trace watch {p})");
     }
     if let Some(p) = &profile_path {
         eprintln!("self-profile written to {p} (render with: sg-trace --profile {p})");
@@ -367,4 +397,49 @@ fn main() {
     println!("  Avg allocated cores: {:.1}", report.avg_cores);
     println!("  Energy (idle-subtracted): {:.0} J", report.energy_j);
     println!("  FirstResponder boosts: {}", result.packet_freq_boosts);
+
+    // Cluster view from the mergeable aggregation layer: the per-node
+    // shards merged at teardown (order-independent, exact).
+    if let Some(agg) = &agg {
+        let merged = agg.merged();
+        let p = |q: f64| {
+            merged
+                .digest
+                .percentile(q)
+                .map_or("-".into(), |v| v.to_string())
+        };
+        println!();
+        println!(
+            "  SLO view (merged digest, {} request(s), rel err {:.1}%):",
+            merged.digest.len(),
+            100.0 * merged.digest.relative_error(),
+        );
+        println!(
+            "    digest p50 {}  p99 {}  p99.9 {}",
+            p(50.0),
+            p(99.0),
+            p(99.9)
+        );
+        let v = merged.slo.verdict_at_last();
+        let burn = |b: Option<f64>| b.map_or("-".into(), |x| format!("{x:.2}x"));
+        println!(
+            "    objective {slo_objective}%: {}/{} beyond deadline, burn fast {}{} slow {}{}, budget {:.1}%",
+            merged.slo.bad(),
+            merged.slo.total(),
+            burn(v.fast),
+            if v.fast_alert { " ALERT" } else { "" },
+            burn(v.slow),
+            if v.slow_alert { " ALERT" } else { "" },
+            100.0 * v.budget_remaining,
+        );
+        for e in merged.topk.top(3) {
+            let (container, class) = topk_unpack(e.key);
+            println!(
+                "    top loss: {container} {} {:.3} ms (err {:.3} ms)",
+                class.map_or("total", |c| c.name()),
+                e.weight as f64 / 1e6,
+                e.err as f64 / 1e6,
+            );
+        }
+    }
 }

@@ -15,7 +15,9 @@ use sg_sim::app::{linear_chain, ConnModel, TaskGraph};
 use sg_sim::cluster::{Placement, SimConfig};
 use sg_sim::controller::{ControlAction, Controller, ControllerFactory, NodeInit, NodeSnapshot};
 use sg_sim::runner::{RunResult, Simulation};
-use sg_telemetry::{SharedSink, SpanRecord, SpanSampler, TelemetryEvent, VecSink};
+use sg_telemetry::{
+    AggConfig, AggRuntime, ClusterAgg, SharedSink, SpanRecord, SpanSampler, TelemetryEvent, VecSink,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -139,6 +141,37 @@ pub fn run_backend_with_metrics(
         }
     };
     (result, trace.take(), metrics.take())
+}
+
+/// Run `cfg` on the chosen substrate with the mergeable aggregation
+/// layer on (`sg_telemetry::agg`): one shard per node, merged into a
+/// single cluster view after the run. The digest/SLO/top-k population is
+/// exactly the warmup-trimmed completion set on both substrates.
+pub fn run_backend_with_agg(
+    backend: Backend,
+    cfg: SimConfig,
+    factory: &dyn ControllerFactory,
+    arrivals: Vec<SimTime>,
+    qos: SimDuration,
+) -> (RunResult, ClusterAgg) {
+    let agg = Arc::new(AggRuntime::new(
+        AggConfig::new(qos),
+        cfg.placement.nodes as usize,
+    ));
+    let result = match backend {
+        Backend::Sim => Simulation::new(cfg, factory, arrivals)
+            .with_agg(Arc::clone(&agg))
+            .run(),
+        Backend::Live => {
+            let opts = LiveOpts {
+                agg: Some(Arc::clone(&agg)),
+                ..LiveOpts::default()
+            };
+            run_live_with_stats(cfg, factory, arrivals, opts).0
+        }
+    };
+    let merged = agg.merged();
+    (result, merged)
 }
 
 /// Span-tree conformance: every synthetic root span must carry exactly

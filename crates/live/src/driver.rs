@@ -22,8 +22,8 @@ use sg_sim::network::Network;
 use sg_sim::runner::{ProfileStats, RunResult};
 use sg_telemetry::profile::{LiveProfiler, ProfileMark};
 use sg_telemetry::{
-    DemuxSink, FanoutSink, MetricsRegistry, RingSink, SharedSink, SpanSampler, TelemetryEvent,
-    METRICS_SCHEMA_VERSION,
+    AggRuntime, DemuxSink, FanoutSink, MetricsRegistry, RingSink, SharedSink, SpanSampler,
+    TelemetryEvent, METRICS_SCHEMA_VERSION,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -63,6 +63,16 @@ pub struct LiveOpts {
     /// Serve the live registry as Prometheus text exposition on this
     /// address (e.g. `127.0.0.1:9184`) for the duration of the run.
     pub metrics_listen: Option<String>,
+    /// Mergeable aggregation layer ([`sg_telemetry::agg`]): when set,
+    /// every measured completion is folded into per-node latency
+    /// digests, SLO windows, and heavy-hitter sketches (on the
+    /// delay-line thread, off the worker fast path); the sampler thread
+    /// emits cumulative digest/slo/topk snapshots into the metrics
+    /// stream, the scrape endpoint serves the `sg_slo_*` series, and a
+    /// final snapshot set is pushed through the ring at teardown. The
+    /// caller keeps the handle to merge the shards into one cluster
+    /// view after the run.
+    pub agg: Option<Arc<AggRuntime>>,
     /// Self-profile destination. Turns on the always-on runtime profiler
     /// ([`LiveProfiler`]): FR-hook latency, pool lock-wait, delay-line
     /// timer slop, worker service/idle split, tick cost, plus ring
@@ -84,6 +94,7 @@ impl Default for LiveOpts {
             metrics: None,
             metrics_interval: SimDuration::from_millis(100),
             metrics_listen: None,
+            agg: None,
             profile: None,
         }
     }
@@ -339,6 +350,7 @@ pub fn run_live_with_stats(
             .map(|_| Mutex::new(WindowMetrics::default()))
             .collect(),
         span_ids: AtomicU64::new(0),
+        agg: opts.agg.clone(),
         profiler: profiler.clone(),
         fault_events: Arc::clone(&fault_events),
         cfg,
@@ -382,6 +394,7 @@ pub fn run_live_with_stats(
                 ring: ring_handle.clone(),
                 fault_events: Arc::clone(&fault_events),
                 profiler: profiler.clone(),
+                agg: opts.agg.clone(),
             };
             Some(
                 crate::scrape::MetricsServer::bind(addr, Arc::clone(reg), health)
@@ -503,6 +516,15 @@ pub fn run_live_with_stats(
         let report = p.snapshot(wall_start.elapsed().as_nanos() as u64);
         for event in report.events() {
             psink.emit(event);
+        }
+    }
+    // Delay line and workers are joined: the aggregation shards are
+    // final. Push one last cumulative snapshot set through the ring
+    // front-end before the drainer shuts down (the profiler-snapshot
+    // pattern), so the metrics file always ends with the complete view.
+    if let (Some(agg), Some(msink)) = (&opts.agg, &cluster.metrics_sink) {
+        for event in agg.all_node_events(cfg.end) {
+            msink.emit(event);
         }
     }
     // All emitting threads are joined; draining now loses nothing.

@@ -12,8 +12,10 @@
 //!
 //! * `/metrics` — the registry's gauges plus pipeline-health counters
 //!   (`sg_ring_dropped_total` per event family, `sg_fault_events_total`,
-//!   `sg_uptime_seconds`) and, when the run is profiled, the live
-//!   profiler's `sg_profile_*` series.
+//!   `sg_uptime_seconds`), the live profiler's `sg_profile_*` series
+//!   when the run is profiled, and the `sg_slo_*` series (per-node
+//!   request/violation totals, cluster burn rates, error budget,
+//!   alerts) when the aggregation layer is on.
 //! * `/healthz` — plain-text liveness: `200 ok` with an uptime/drop
 //!   summary, so orchestration probes don't need a Prometheus parser.
 //!
@@ -21,7 +23,7 @@
 //! simulator has no wall-clock for an external scraper to exist in.
 
 use sg_telemetry::profile::LiveProfiler;
-use sg_telemetry::{EventFamily, MetricsRegistry, RingSink};
+use sg_telemetry::{AggRuntime, EventFamily, MetricsRegistry, RingSink};
 use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::net::TcpListener;
@@ -43,6 +45,9 @@ pub struct ScrapeHealth {
     pub fault_events: Arc<AtomicU64>,
     /// Live self-profiler, for the `sg_profile_*` series.
     pub profiler: Option<Arc<LiveProfiler>>,
+    /// Mergeable aggregation layer, for the `sg_slo_*` series (per-node
+    /// request/violation counters, cluster burn rates, budget, alerts).
+    pub agg: Option<Arc<AggRuntime>>,
 }
 
 impl Default for ScrapeHealth {
@@ -52,6 +57,7 @@ impl Default for ScrapeHealth {
             ring: None,
             fault_events: Arc::new(AtomicU64::new(0)),
             profiler: None,
+            agg: None,
         }
     }
 }
@@ -171,6 +177,9 @@ fn metrics_body(registry: &MetricsRegistry, health: &ScrapeHealth) -> String {
     );
     if let Some(profiler) = &health.profiler {
         profiler.render_prometheus_into(&mut body);
+    }
+    if let Some(agg) = &health.agg {
+        agg.render_prometheus_into(&mut body);
     }
     body
 }

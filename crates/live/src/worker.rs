@@ -40,8 +40,8 @@ use sg_sim::network::Network;
 use sg_telemetry::metrics::slack_p50_p99;
 use sg_telemetry::profile::{LiveProfiler, ProfilePhase};
 use sg_telemetry::{
-    ActionKind, ActionOrigin, ActionOutcome, MetricId, MetricSample, SharedSink, SpanRecord,
-    TelemetryEvent,
+    ActionKind, ActionOrigin, ActionOutcome, AggRuntime, MetricId, MetricSample, SharedSink,
+    SpanRecord, TelemetryEvent,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -118,6 +118,10 @@ pub struct LiveCluster {
     /// Last *completed* window per container (what the previous decision
     /// cycle saw — same semantics as the sim's per-tick sample).
     pub last_window: Vec<Mutex<sg_core::metrics::WindowMetrics>>,
+    /// Mergeable aggregation layer (per-node latency digest, SLO window,
+    /// heavy-hitter sketch — [`sg_telemetry::agg`]); recorded on the
+    /// delay-line thread at client delivery, off the worker fast path.
+    pub agg: Option<Arc<AggRuntime>>,
     /// Self-profiler shared by every thread; `None` costs one branch per
     /// hot-path site (the span-layer disabled-guard discipline).
     pub profiler: Option<Arc<LiveProfiler>>,
@@ -660,6 +664,14 @@ impl LiveCluster {
                             completion,
                             latency,
                         });
+                        // Aggregation shard update happens here on the
+                        // delay-line thread — same trim as the sim: only
+                        // measured completions reach the digest.
+                        if let Some(agg) = &cluster.agg {
+                            if completion >= cluster.cfg.measure_start {
+                                agg.record(src, ContainerId(c as u32), completion, latency);
+                            }
+                        }
                         cluster.completed.fetch_add(1, Ordering::Relaxed);
                         cluster.in_flight.fetch_sub(1, Ordering::Relaxed);
                     }),
@@ -886,6 +898,14 @@ impl LiveCluster {
         }
         for sample in extra {
             sink.emit(TelemetryEvent::Metric(sample.sanitized()));
+        }
+        // Cumulative aggregation snapshots trail the gauge sweep; they
+        // ride the same ring, so a full relay drops them (staleness, not
+        // skew — the snapshots are state, not deltas).
+        if let Some(agg) = &self.agg {
+            for event in agg.all_node_events(now) {
+                sink.emit(event);
+            }
         }
     }
 }

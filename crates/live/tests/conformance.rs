@@ -10,9 +10,9 @@ use sg_core::time::{SimDuration, SimTime};
 use sg_live::conformance::{
     assert_boost_retires, assert_cross_node_control_rejected, assert_first_responder_reacted,
     assert_pool_exhaustion_queues_upstream, assert_scale_out_drains_upstream_pool,
-    assert_span_tree_conformance, constant_arrivals, run_backend, run_backend_with_opts,
-    run_backend_with_spans, surge_arrivals, two_node_cfg, two_stage_cfg, Backend,
-    CrossNodeMeddlerFactory, ScaleOutOnceFactory,
+    assert_span_tree_conformance, constant_arrivals, run_backend, run_backend_with_agg,
+    run_backend_with_opts, run_backend_with_spans, surge_arrivals, two_node_cfg, two_stage_cfg,
+    Backend, CrossNodeMeddlerFactory, ScaleOutOnceFactory,
 };
 use sg_sim::app::ConnModel;
 use sg_sim::controller::NoopFactory;
@@ -326,4 +326,113 @@ fn sim_sampling_rate_is_within_one_of_exact() {
         "sampled {roots} roots over {} requests; want {exact} +/- 1",
         result.injected
     );
+}
+
+/// Mergeable-digest conformance (this PR's tentpole): on BOTH substrates
+/// the merged per-node digest must cover *exactly* the warmup-trimmed
+/// completion set, and its percentiles must agree with an exact
+/// [`sg_loadgen::LatencyHistogram`] built from the same points within
+/// the digest's documented one-sided relative error γ (the two share the
+/// same bucket math, so in practice they agree bucket-for-bucket — the
+/// assertion pins the published contract, not the implementation).
+#[test]
+fn agg_digest_matches_exact_histogram_on_both_backends() {
+    let end = SimTime::from_millis(400);
+    for backend in Backend::both() {
+        let cfg = two_stage_cfg(ConnModel::PerRequest, end);
+        let (result, agg) = run_backend_with_agg(
+            backend,
+            cfg,
+            &NoopFactory,
+            constant_arrivals(1000.0, end),
+            SimDuration::from_millis(5),
+        );
+        let label = backend.label();
+        assert!(result.completed > 0, "[{label}] no completions");
+        assert_eq!(
+            agg.digest.len(),
+            result.points.len() as u64,
+            "[{label}] digest population != measured completion set"
+        );
+        let mut hist = sg_loadgen::LatencyHistogram::with_default_resolution();
+        for p in &result.points {
+            hist.record(p.latency);
+        }
+        let gamma = agg.digest.relative_error();
+        for q in [50.0, 90.0, 99.0] {
+            let exact = hist.percentile(q).expect("nonempty").as_nanos() as f64;
+            let approx = agg.digest.percentile(q).expect("nonempty").as_nanos() as f64;
+            assert!(
+                (approx - exact).abs() <= gamma * exact + 1.0,
+                "[{label}] p{q}: digest {approx} vs exact {exact} beyond γ={gamma}"
+            );
+        }
+    }
+}
+
+/// SLO burn-rate conformance, directional: a QoS bound that every
+/// request violates must drive both substrates into a multi-window burn
+/// alert with the whole error budget gone, and a QoS bound nothing can
+/// violate must leave both substrates quiet with the budget intact.
+/// (Absolute latencies differ wildly between the substrates — the burn
+/// *verdict* is the conformance surface, never the latency numbers.)
+#[test]
+fn slo_burn_verdicts_agree_directionally_on_both_backends() {
+    let end = SimTime::from_millis(400);
+    for backend in Backend::both() {
+        let label = backend.label();
+        let cfg = two_stage_cfg(ConnModel::PerRequest, end);
+        // Everything violates a 1 ns deadline.
+        let (result, hot) = run_backend_with_agg(
+            backend,
+            cfg.clone(),
+            &NoopFactory,
+            constant_arrivals(1000.0, end),
+            SimDuration::from_nanos(1),
+        );
+        assert!(result.completed > 0, "[{label}] no completions");
+        assert_eq!(
+            hot.slo.total(),
+            result.points.len() as u64,
+            "[{label}] SLO window missed completions"
+        );
+        assert_eq!(hot.slo.bad(), hot.slo.total(), "[{label}] all must violate");
+        let verdict = hot.slo.verdict_at_last();
+        assert!(
+            verdict.alerting(),
+            "[{label}] 100% violation rate must fire a burn alert: {verdict:?}"
+        );
+        assert!(
+            verdict.budget_remaining < 0.0,
+            "[{label}] burning everything must exhaust the error budget"
+        );
+        assert!(
+            !hot.topk.top(3).is_empty(),
+            "[{label}] violations must surface heavy hitters"
+        );
+
+        // Nothing violates a 10 minute deadline.
+        let (result, calm) = run_backend_with_agg(
+            backend,
+            cfg,
+            &NoopFactory,
+            constant_arrivals(1000.0, end),
+            SimDuration::from_secs(600),
+        );
+        assert!(result.completed > 0, "[{label}] no completions");
+        assert_eq!(calm.slo.bad(), 0, "[{label}] nothing may violate 10 min");
+        let verdict = calm.slo.verdict_at_last();
+        assert!(
+            !verdict.alerting(),
+            "[{label}] zero violations must stay quiet: {verdict:?}"
+        );
+        assert!(
+            (verdict.budget_remaining - 1.0).abs() < 1e-9,
+            "[{label}] untouched budget must stay at 1.0"
+        );
+        assert!(
+            calm.topk.top(3).is_empty(),
+            "[{label}] no violations, no heavy hitters"
+        );
+    }
 }

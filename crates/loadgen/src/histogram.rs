@@ -7,6 +7,7 @@
 //! range with O(1) record and modest memory.
 
 use serde::{Deserialize, Serialize};
+use sg_core::logbucket;
 use sg_core::time::SimDuration;
 
 /// Log-bucketed latency histogram.
@@ -27,15 +28,10 @@ impl LatencyHistogram {
     /// Histogram with `sig_bits` significant bits (1.0/2^sig_bits max
     /// relative error). 6 bits is the wrk2-like default.
     pub fn new(sig_bits: u32) -> Self {
-        assert!((2..=14).contains(&sig_bits), "sig_bits in 2..=14");
-        // Octaves: values up to 2^64; buckets = (64 - sig_bits + 1) octaves
-        // × 2^(sig_bits-1) sub-buckets + the linear region.
-        let sub = 1u64 << sig_bits;
-        let octaves = 64 - sig_bits;
-        let len = sub + octaves as u64 * (sub / 2);
+        logbucket::assert_sig_bits(sig_bits);
         LatencyHistogram {
             sig_bits,
-            counts: vec![0; len as usize],
+            counts: vec![0; logbucket::bucket_count(sig_bits)],
             total: 0,
             max_ns: 0,
             min_ns: u64::MAX,
@@ -50,40 +46,14 @@ impl LatencyHistogram {
 
     #[inline]
     fn bucket_of(&self, v: u64) -> usize {
-        let sub = 1u64 << self.sig_bits;
-        if v < sub {
-            return v as usize;
-        }
-        // Position of the leading bit beyond the linear region.
-        let msb = 63 - v.leading_zeros();
-        let octave = msb - self.sig_bits + 1;
-        let shifted = v >> octave; // in [sub/2, sub)
-        (sub + (octave as u64 - 1) * (sub / 2) + (shifted - sub / 2)) as usize
-    }
-
-    /// Lower edge of `bucket`.
-    fn bucket_low(&self, bucket: usize) -> u64 {
-        let sub = (1u64 << self.sig_bits) as usize;
-        if bucket < sub {
-            return bucket as u64;
-        }
-        let rel = bucket - sub;
-        let half = sub / 2;
-        let octave = (rel / half) as u32 + 1;
-        let pos = (rel % half) as u64 + half as u64;
-        pos.checked_shl(octave).unwrap_or(u64::MAX)
+        logbucket::bucket_of(self.sig_bits, v)
     }
 
     /// Highest value equivalent to `bucket` (inclusive upper edge): the
     /// reported representative, matching HdrHistogram/wrk2 semantics so
     /// quantiles never understate the latency they summarize.
     fn bucket_high(&self, bucket: usize) -> u64 {
-        let sub = (1u64 << self.sig_bits) as usize;
-        if bucket < sub {
-            // Linear region: exact single-value buckets.
-            return bucket as u64;
-        }
-        self.bucket_low(bucket + 1).saturating_sub(1)
+        logbucket::bucket_high(self.sig_bits, bucket)
     }
 
     /// Record one latency.
@@ -308,7 +278,7 @@ mod tests {
             let b = h.bucket_of(v);
             assert!(b >= prev, "buckets must be monotone in value");
             prev = b;
-            let low = h.bucket_low(b);
+            let low = logbucket::bucket_low(6, b);
             assert!(low <= v, "bucket low {low} must not exceed value {v}");
             // Relative error bound.
             if v > 64 {

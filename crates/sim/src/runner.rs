@@ -30,8 +30,8 @@ use sg_core::violation::LatencyPoint;
 use sg_telemetry::metrics::slack_p50_p99;
 use sg_telemetry::profile::{ProfileMark, ProfilePhase, SimProfiler};
 use sg_telemetry::{
-    ActionKind, ActionOrigin, ActionOutcome, MetricId, MetricSample, ReplicaPhase, SharedSink,
-    SpanRecord, SpanSampler, TelemetryEvent, METRICS_SCHEMA_VERSION,
+    ActionKind, ActionOrigin, ActionOutcome, AggRuntime, MetricId, MetricSample, ReplicaPhase,
+    SharedSink, SpanRecord, SpanSampler, TelemetryEvent, METRICS_SCHEMA_VERSION,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -261,6 +261,11 @@ pub struct Simulation {
     /// Per-packet slack observations since the last decision cycle,
     /// per container (drained into p50/p99 gauges at each tick).
     slack_acc: Vec<Vec<i64>>,
+    /// Mergeable aggregation layer (latency digest + SLO window +
+    /// heavy-hitter sketch per node shard); `None` costs one branch per
+    /// root completion. The simulator records synchronously, so the
+    /// per-node shards see exactly the completions `points` sees.
+    agg: Option<Arc<AggRuntime>>,
     /// Self-profiler (phase timing + watermarks); `None` costs one
     /// branch per dispatched event.
     profiler: Option<Box<SimProfiler>>,
@@ -456,6 +461,7 @@ impl Simulation {
             fr_boost_counts: vec![0; n_slots],
             upscale_hint_counts: vec![0; n_slots],
             slack_acc: vec![Vec::new(); n_slots],
+            agg: None,
             profiler: None,
             profile_sink: None,
             cfg,
@@ -497,6 +503,18 @@ impl Simulation {
     /// timelines.
     pub fn with_metrics(mut self, sink: SharedSink) -> Self {
         self.metrics_sink = Some(sink);
+        self
+    }
+
+    /// Enable the mergeable aggregation layer ([`sg_telemetry::agg`]):
+    /// every measured root completion is folded into the owning node's
+    /// latency digest, SLO window, and heavy-hitter sketch, and each
+    /// decision cycle emits the node's cumulative digest/slo/topk
+    /// snapshots into the metrics stream (when one is attached via
+    /// [`Simulation::with_metrics`]). The handle stays shared so callers
+    /// can merge the per-node shards into one cluster view at teardown.
+    pub fn with_agg(mut self, agg: Arc<AggRuntime>) -> Self {
+        self.agg = Some(agg);
         self
     }
 
@@ -637,6 +655,14 @@ impl Simulation {
             .collect();
 
         let events = self.engine.processed();
+
+        // Final cumulative aggregation snapshots: completions after the
+        // last decision cycle would otherwise never reach the stream.
+        if let (Some(agg), Some(sink)) = (&self.agg, &self.metrics_sink) {
+            for event in agg.all_node_events(end_time) {
+                sink.emit(event);
+            }
+        }
 
         // Finalize the self-profile while the engine and invocation
         // table are still alive (their watermarks come from them).
@@ -1451,6 +1477,14 @@ impl Simulation {
                     completion,
                     latency,
                 });
+                // Fold into the node shard only once measurement starts,
+                // so digest percentiles describe the same population as
+                // the warmup-trimmed RunReport.
+                if let Some(agg) = &self.agg {
+                    if completion >= self.cfg.measure_start {
+                        agg.record(self.cfg.placement.node(service), c, completion, latency);
+                    }
+                }
                 self.completed += 1;
                 self.in_flight -= 1;
                 self.free_invocation(inv_id);
@@ -1592,6 +1626,14 @@ impl Simulation {
         self.controllers[node.index()].metric_samples(now, &mut extra);
         for sample in extra {
             sink.emit(TelemetryEvent::Metric(sample.sanitized()));
+        }
+        // Cumulative aggregation snapshots for this node (digest / slo /
+        // topk) trail the gauge sweep, so `sg-trace watch` sees state at
+        // least as fresh as the gauges beside it.
+        if let Some(agg) = &self.agg {
+            for event in agg.node_events(node, now) {
+                sink.emit(event);
+            }
         }
     }
 

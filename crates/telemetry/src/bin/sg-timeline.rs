@@ -27,34 +27,32 @@
 
 use sg_core::time::SimDuration;
 use sg_telemetry::{
-    read_trace, timeline, TelemetryEvent, TimelineSet, METRICS_SCHEMA_VERSION, PROFILE_SCHEMA,
-    PROFILE_SCHEMA_V1, SPANS_SCHEMA, TRACE_SCHEMA,
+    read_trace, stream_trace, timeline, TelemetryEvent, TimelineSet, METRICS_SCHEMA_VERSION,
+    PROFILE_SCHEMA, PROFILE_SCHEMA_V1, SPANS_SCHEMA, TRACE_SCHEMA,
 };
 use std::path::Path;
 use std::process::ExitCode;
 
 /// Warn (never fail) on schema headers this binary does not know, so a
 /// newer export is flagged instead of silently misparsed.
-fn warn_unknown_schemas(events: &[TelemetryEvent]) {
+fn warn_unknown_schema(event: &TelemetryEvent) {
     const KNOWN: [&str; 4] = [
         TRACE_SCHEMA,
         SPANS_SCHEMA,
         PROFILE_SCHEMA,
         PROFILE_SCHEMA_V1,
     ];
-    for event in events {
-        match event {
-            TelemetryEvent::Schema { schema } if !KNOWN.contains(&schema.as_str()) => {
-                eprintln!("sg-timeline: warning: unknown schema '{schema}'; fields may be misread");
-            }
-            TelemetryEvent::MetricsMeta { version, .. } if *version > METRICS_SCHEMA_VERSION => {
-                eprintln!(
-                    "sg-timeline: warning: metrics schema v{version} is newer than this build \
-                     (v{METRICS_SCHEMA_VERSION}); fields may be misread"
-                );
-            }
-            _ => {}
+    match event {
+        TelemetryEvent::Schema { schema } if !KNOWN.contains(&schema.as_str()) => {
+            eprintln!("sg-timeline: warning: unknown schema '{schema}'; fields may be misread");
         }
+        TelemetryEvent::MetricsMeta { version, .. } if *version > METRICS_SCHEMA_VERSION => {
+            eprintln!(
+                "sg-timeline: warning: metrics schema v{version} is newer than this build \
+                 (v{METRICS_SCHEMA_VERSION}); fields may be misread"
+            );
+        }
+        _ => {}
     }
 }
 
@@ -132,16 +130,30 @@ fn main() -> ExitCode {
         return usage();
     }
 
-    let metrics_file = match read_trace(Path::new(&metrics_path)) {
-        Ok(t) => t,
+    // The metrics file is the large one on a cluster-scale run: stream
+    // it line-by-line, folding samples into the timeline incrementally.
+    let metrics_stream = match stream_trace(Path::new(&metrics_path)) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("sg-timeline: cannot read {metrics_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    warn_unknown_schemas(&metrics_file.events);
-    let set = TimelineSet::from_events(&metrics_file.events);
+    let mut set = TimelineSet::default();
+    let metrics_bad_lines = match metrics_stream.for_each(|event| {
+        warn_unknown_schema(&event);
+        set.push(&event);
+    }) {
+        Ok(bad) => bad,
+        Err(e) => {
+            eprintln!("sg-timeline: read error on {metrics_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    set.seal();
 
+    // The decision trace (reconcile cross-check) is replayed as a whole
+    // event set and stays buffered.
     let trace = match &trace_path {
         Some(p) => match read_trace(Path::new(p)) {
             Ok(t) => Some(t),
@@ -153,7 +165,9 @@ fn main() -> ExitCode {
         None => None,
     };
     if let Some(t) = &trace {
-        warn_unknown_schemas(&t.events);
+        for event in &t.events {
+            warn_unknown_schema(event);
+        }
     }
 
     // Grace: explicit flag, else the measured sampling interval (the
@@ -197,7 +211,7 @@ fn main() -> ExitCode {
             "samples": set.samples,
             "containers": set.containers(),
             "dropped": set.dropped,
-            "bad_lines": metrics_file.bad_lines,
+            "bad_lines": metrics_bad_lines,
             "reconcile": reconcile_json,
         });
         println!("{obj}");
@@ -219,11 +233,8 @@ fn main() -> ExitCode {
             println!("reconcile grace: {:.1} ms", grace.as_nanos() as f64 / 1e6);
         }
     }
-    if metrics_file.bad_lines > 0 {
-        eprintln!(
-            "sg-timeline: skipped {} unparseable line(s)",
-            metrics_file.bad_lines
-        );
+    if metrics_bad_lines > 0 {
+        eprintln!("sg-timeline: skipped {metrics_bad_lines} unparseable line(s)");
     }
 
     match &report {

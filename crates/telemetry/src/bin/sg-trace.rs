@@ -1,15 +1,23 @@
-//! `sg-trace` — summarize and audit a telemetry JSONL trace.
+//! `sg-trace` — summarize, audit, and watch telemetry JSONL streams.
 //!
-//! Usage: `sg-trace [--json] [--qos MS] [--folded PATH] [--profile]
-//! TRACE.jsonl`
+//! Usage:
 //!
-//! Reads a trace produced by `sg-loadtest --telemetry` / `--spans` (or
-//! any `JsonlSink`) and prints the per-container allocation timeline,
-//! the boost→retire latency distribution, the decision-cycle action
-//! histogram, and — when the trace carries span records — the
-//! critical-path attribution report for deadline-violating requests.
+//! * `sg-trace [--json] [--qos MS] [--folded PATH] [--profile]
+//!   TRACE.jsonl` — summarize a recorded trace.
+//! * `sg-trace watch [--json] [--tail] [--qos MS] [--objective PCT]
+//!   [--topk N] [--idle-exit SECS] METRICS.jsonl` — fold a
+//!   metrics/span stream into a rolling cluster view: merged latency
+//!   digest percentiles, SLO burn rates with fast/slow alerts, and the
+//!   heavy-hitter loss table (see `sg_telemetry::watch`).
 //!
-//! Flags:
+//! Reads traces produced by `sg-loadtest --telemetry` / `--spans` /
+//! `--metrics` (or any `JsonlSink`) and prints the per-container
+//! allocation timeline, the boost→retire latency distribution, the
+//! decision-cycle action histogram, and — when the trace carries span
+//! records — the critical-path attribution report for deadline-violating
+//! requests.
+//!
+//! Flags (summarize mode):
 //!
 //! * `--json`     emit one JSON object (`{"decision": …, "spans": …}`)
 //!   instead of the human-readable report.
@@ -25,57 +33,74 @@
 //!   exit status reflects the profile audit (zero wall, inconsistent
 //!   sampling, live coverage below the floor).
 //!
+//! Flags (watch mode):
+//!
+//! * `--tail`     follow the file as it is appended (`tail -f`
+//!   semantics), re-rendering when new events arrive.
+//! * `--objective PCT` the SLO objective (default 99.9).
+//! * `--topk N`   heavy-hitter rows to print (default 8).
+//! * `--idle-exit SECS` with `--tail`: exit once no new data has
+//!   arrived for this long (CI uses this; default is to follow
+//!   forever).
+//!
+//! Input is **streamed** line-by-line in both modes — a multi-gigabyte
+//! `cluster_scale` export folds in constant memory (span records and
+//! profile events, which need whole-set analysis, are the only events
+//! retained).
+//!
 //! Any file whose `schema` header names an unknown version is still
 //! summarized, with a warning — never silently misparsed.
 //!
 //! Exit status: 0 on a clean trace, 1 when the clamp/reconciliation
-//! audit, the span structural audit, or the profile audit finds a
-//! mismatch (unexplained alloc changes, dropped events, malformed span
-//! trees), 2 on usage errors. Unparseable lines are counted and
-//! reported, not fatal — a trace truncated by a crash should still
+//! audit, the span structural audit, the profile audit, or the watch
+//! audit (no aggregation records, cumulative snapshots regressing)
+//! finds a mismatch, 2 on usage errors. Unparseable lines are counted
+//! and reported, not fatal — a trace truncated by a crash should still
 //! summarize.
 
 use sg_core::time::SimDuration;
 use sg_telemetry::{
-    read_trace, ProfileReport, SpanReport, TelemetryEvent, TraceSummary, PROFILE_SCHEMA,
-    PROFILE_SCHEMA_V1, PROFILE_SCHEMA_VERSION, SPANS_SCHEMA, TRACE_SCHEMA,
+    stream_trace, EventFamily, ProfileReport, SpanRecord, SpanReport, SummaryBuilder, TailStream,
+    TelemetryEvent, WatchConfig, Watcher, PROFILE_SCHEMA, PROFILE_SCHEMA_V1,
+    PROFILE_SCHEMA_VERSION, SPANS_SCHEMA, TRACE_SCHEMA,
 };
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: sg-trace [--json] [--qos MS] [--folded PATH] [--profile] TRACE.jsonl");
+    eprintln!("       sg-trace watch [--json] [--tail] [--qos MS] [--objective PCT] [--topk N]");
+    eprintln!("                      [--idle-exit SECS] METRICS.jsonl");
     eprintln!("  summarize a telemetry trace recorded with sg-loadtest --telemetry/--spans,");
-    eprintln!("  or (with --profile) a self-profile recorded with --profile-out");
-    eprintln!("  exits nonzero when the reconciliation, span, or profile audit fails");
+    eprintln!("  render a self-profile (--profile), or watch a metrics/span stream (watch):");
+    eprintln!("  rolling latency digests, SLO burn rates, and heavy-hitter loss tables");
+    eprintln!("  exits nonzero when the reconciliation, span, profile, or watch audit fails");
     ExitCode::from(2)
 }
 
 /// Warn (never fail) on schema headers this binary does not know, so a
 /// newer export is flagged instead of silently misparsed.
-fn warn_unknown_schemas(events: &[TelemetryEvent]) {
+fn warn_unknown_schema(event: &TelemetryEvent) {
     const KNOWN: [&str; 4] = [
         TRACE_SCHEMA,
         SPANS_SCHEMA,
         PROFILE_SCHEMA,
         PROFILE_SCHEMA_V1,
     ];
-    for event in events {
-        match event {
-            TelemetryEvent::Schema { schema } if !KNOWN.contains(&schema.as_str()) => {
-                eprintln!(
-                    "sg-trace: warning: unknown schema '{schema}' (this build understands \
-                     {TRACE_SCHEMA}, {SPANS_SCHEMA}, {PROFILE_SCHEMA}); fields may be misread"
-                );
-            }
-            TelemetryEvent::ProfileMeta { version, .. } if *version > PROFILE_SCHEMA_VERSION => {
-                eprintln!(
-                    "sg-trace: warning: profile schema v{version} is newer than this build \
-                     (v{PROFILE_SCHEMA_VERSION}); fields may be misread"
-                );
-            }
-            _ => {}
+    match event {
+        TelemetryEvent::Schema { schema } if !KNOWN.contains(&schema.as_str()) => {
+            eprintln!(
+                "sg-trace: warning: unknown schema '{schema}' (this build understands \
+                 {TRACE_SCHEMA}, {SPANS_SCHEMA}, {PROFILE_SCHEMA}); fields may be misread"
+            );
         }
+        TelemetryEvent::ProfileMeta { version, .. } if *version > PROFILE_SCHEMA_VERSION => {
+            eprintln!(
+                "sg-trace: warning: profile schema v{version} is newer than this build \
+                 (v{PROFILE_SCHEMA_VERSION}); fields may be misread"
+            );
+        }
+        _ => {}
     }
 }
 
@@ -151,8 +176,171 @@ fn profile_mode(
     }
 }
 
+fn parse_qos_ms(value: Option<&String>) -> Result<SimDuration, ExitCode> {
+    let Some(ms) = value.and_then(|v| v.parse::<f64>().ok()) else {
+        eprintln!("sg-trace: --qos needs a millisecond value");
+        return Err(usage());
+    };
+    if ms.is_nan() || ms <= 0.0 {
+        eprintln!("sg-trace: --qos must be positive");
+        return Err(usage());
+    }
+    Ok(SimDuration::from_nanos((ms * 1_000_000.0) as u64))
+}
+
+/// `watch` subcommand: fold a metrics/span stream into a rolling
+/// cluster view. Exit code is the watch audit verdict.
+fn watch_mode(args: &[String]) -> ExitCode {
+    let mut cfg = WatchConfig::default();
+    let mut json = false;
+    let mut tail = false;
+    let mut idle_exit: Option<std::time::Duration> = None;
+    let mut path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => return usage(),
+            "--json" => json = true,
+            "--tail" => tail = true,
+            "--qos" => {
+                i += 1;
+                match parse_qos_ms(args.get(i)) {
+                    Ok(q) => cfg.qos = Some(q),
+                    Err(code) => return code,
+                }
+            }
+            "--objective" => {
+                i += 1;
+                let Some(pct) = args.get(i).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("sg-trace: --objective needs a percentage");
+                    return usage();
+                };
+                if !(0.0..100.0).contains(&pct) {
+                    eprintln!("sg-trace: --objective must be in [0, 100)");
+                    return usage();
+                }
+                cfg.objective_pct = pct;
+            }
+            "--topk" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("sg-trace: --topk needs a count");
+                    return usage();
+                };
+                cfg.topk = n.max(1);
+            }
+            "--idle-exit" => {
+                i += 1;
+                let Some(secs) = args.get(i).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("sg-trace: --idle-exit needs seconds");
+                    return usage();
+                };
+                idle_exit = Some(std::time::Duration::from_secs_f64(secs.max(0.0)));
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("sg-trace: unknown flag {flag}");
+                return usage();
+            }
+            p => {
+                if path.replace(p.to_string()).is_some() {
+                    eprintln!("sg-trace: more than one metrics file given");
+                    return usage();
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+
+    let mut watcher = Watcher::new(cfg);
+    let bad_lines;
+    if tail {
+        let mut stream = match TailStream::open(Path::new(&path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sg-trace: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let poll_every = std::time::Duration::from_millis(200);
+        let mut idle = std::time::Duration::ZERO;
+        loop {
+            let events = match stream.poll() {
+                Ok(events) => events,
+                Err(e) => {
+                    eprintln!("sg-trace: read error on {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if events.is_empty() {
+                idle += poll_every;
+                if idle_exit.is_some_and(|limit| idle >= limit) {
+                    break;
+                }
+            } else {
+                idle = std::time::Duration::ZERO;
+                for event in events {
+                    warn_unknown_schema(&event);
+                    watcher.push(event);
+                }
+                if !json {
+                    println!(
+                        "--- sg-trace watch @ {} ms ---",
+                        watcher.last_at.as_nanos() / 1_000_000
+                    );
+                    print!("{}", watcher.render());
+                }
+            }
+            std::thread::sleep(poll_every);
+        }
+        bad_lines = stream.bad_lines;
+    } else {
+        let stream = match stream_trace(Path::new(&path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sg-trace: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        bad_lines = match stream.for_each(|event| {
+            warn_unknown_schema(&event);
+            watcher.push(event);
+        }) {
+            Ok(bad) => bad,
+            Err(e) => {
+                eprintln!("sg-trace: read error on {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+
+    let audit = watcher.audit();
+    if json {
+        println!("{}", watcher.to_json());
+    } else {
+        print!("{}", watcher.render());
+        for finding in &audit {
+            eprintln!("sg-trace: AUDIT: {finding}");
+        }
+    }
+    if bad_lines > 0 {
+        eprintln!("sg-trace: skipped {bad_lines} unparseable line(s)");
+    }
+    if audit.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("watch") {
+        return watch_mode(&args[1..]);
+    }
     let mut json = false;
     let mut profile = false;
     let mut qos: Option<SimDuration> = None;
@@ -167,15 +355,10 @@ fn main() -> ExitCode {
             "--profile" => profile = true,
             "--qos" => {
                 i += 1;
-                let Some(ms) = args.get(i).and_then(|v| v.parse::<f64>().ok()) else {
-                    eprintln!("sg-trace: --qos needs a millisecond value");
-                    return usage();
-                };
-                if ms.is_nan() || ms <= 0.0 {
-                    eprintln!("sg-trace: --qos must be positive");
-                    return usage();
+                match parse_qos_ms(args.get(i)) {
+                    Ok(q) => qos = Some(q),
+                    Err(code) => return code,
                 }
-                qos = Some(SimDuration::from_nanos((ms * 1_000_000.0) as u64));
             }
             "--folded" => {
                 i += 1;
@@ -202,22 +385,42 @@ fn main() -> ExitCode {
         return usage();
     };
 
-    let trace = match read_trace(Path::new(&path)) {
-        Ok(t) => t,
+    // Stream the file once, folding the decision summary incrementally.
+    // Only span records (whole-set critical-path analysis) and profile
+    // events (whole-set phase accounting) are retained in memory.
+    let stream = match stream_trace(Path::new(&path)) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("sg-trace: cannot read {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let bad_lines = trace.bad_lines;
-    warn_unknown_schemas(&trace.events);
+    let mut builder = SummaryBuilder::new();
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    let mut profile_events: Vec<TelemetryEvent> = Vec::new();
+    let bad_lines = match stream.for_each(|event| {
+        warn_unknown_schema(&event);
+        if let TelemetryEvent::Span(record) = &event {
+            spans.push(*record);
+        }
+        if profile && event.family() == EventFamily::Profile {
+            profile_events.push(event.clone());
+        }
+        builder.push(event);
+    }) {
+        Ok(bad) => bad,
+        Err(e) => {
+            eprintln!("sg-trace: read error on {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     if profile {
-        return profile_mode(&path, &trace.events, bad_lines, json, folded.as_deref());
+        return profile_mode(&path, &profile_events, bad_lines, json, folded.as_deref());
     }
 
-    let summary = TraceSummary::from_events(trace.events.iter().cloned());
-    let report = SpanReport::from_events(trace.events, qos);
+    let summary = builder.finish();
+    let report = SpanReport::from_records(&spans, qos);
 
     if let Some(folded_path) = &folded {
         if let Err(e) = std::fs::write(folded_path, report.folded_lines()) {

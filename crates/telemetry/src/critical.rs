@@ -12,9 +12,11 @@
 //! pool-queue class, where the single-connection edge actually
 //! serialized the work.
 
+use crate::agg::{topk_key, LatencyDigest, TopK};
 use crate::event::TelemetryEvent;
 use crate::span::SpanRecord;
 use serde_json::{json, Value};
+use sg_core::ids::ContainerId;
 use sg_core::time::SimDuration;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -42,6 +44,29 @@ impl LossClass {
             LossClass::Service => "service",
             LossClass::PreBoostFreq => "pre_boost_freq",
             LossClass::Network => "network",
+        }
+    }
+
+    /// Stable small-integer code, used when a class is packed into a
+    /// heavy-hitter sketch key (see [`crate::agg::topk_key`]). Code 0 is
+    /// reserved for "no class" (whole-request loss).
+    pub fn code(self) -> u8 {
+        match self {
+            LossClass::PoolQueue => 1,
+            LossClass::Service => 2,
+            LossClass::PreBoostFreq => 3,
+            LossClass::Network => 4,
+        }
+    }
+
+    /// Inverse of [`LossClass::code`]; `None` for 0 or unknown codes.
+    pub fn from_code(code: u8) -> Option<LossClass> {
+        match code {
+            1 => Some(LossClass::PoolQueue),
+            2 => Some(LossClass::Service),
+            3 => Some(LossClass::PreBoostFreq),
+            4 => Some(LossClass::Network),
+            _ => None,
         }
     }
 }
@@ -425,6 +450,104 @@ fn dominant_child<'s>(parent: u64, spans: &'s [&SpanRecord]) -> Option<&'s &'s S
         .iter()
         .filter(|s| s.parent == Some(parent))
         .max_by_key(|s| s.net_in.as_nanos() + s.conn_wait.as_nanos() + s.duration().as_nanos())
+}
+
+/// Incremental critical-path attribution for unbounded span streams.
+///
+/// [`SpanReport`] groups a whole trace file in memory before walking
+/// critical paths; `sg-trace watch` cannot afford that on a multi-GB
+/// (or still-growing) export. This walker buffers spans per trace only
+/// until the trace's **root** span arrives — both substrates emit the
+/// root last, at client delivery — then finalizes the trace
+/// immediately: the root duration feeds a mergeable [`LatencyDigest`]
+/// and, when the request violated the deadline, the excess latency is
+/// charged to the dominant hop's `(container, class)` key in a
+/// [`TopK`] sketch. Traces whose root never arrives are bounded by
+/// `max_pending`: the oldest (lowest trace id) is evicted and counted,
+/// so memory stays flat no matter how long the tail runs.
+#[derive(Debug)]
+pub struct StreamingAttributor {
+    qos: SimDuration,
+    max_pending: usize,
+    pending: BTreeMap<u64, Vec<SpanRecord>>,
+    /// Root-span duration digest (mergeable; default resolution).
+    pub digest: LatencyDigest,
+    /// Heavy-hitter sketch over `(container, class)` violation loss.
+    pub topk: TopK,
+    /// Traces finalized (root span seen).
+    pub traces: u64,
+    /// Finalized traces beyond the deadline.
+    pub violations: u64,
+    /// Violations whose tree was too incomplete to attribute.
+    pub unattributed: u64,
+    /// Rootless traces evicted to bound memory.
+    pub evicted: u64,
+}
+
+impl StreamingAttributor {
+    /// Attributor judging violations against `qos`, tracking
+    /// `topk_capacity` heavy hitters and buffering at most
+    /// `max_pending` rootless traces.
+    pub fn new(qos: SimDuration, topk_capacity: usize, max_pending: usize) -> Self {
+        StreamingAttributor {
+            qos,
+            max_pending: max_pending.max(1),
+            pending: BTreeMap::new(),
+            digest: LatencyDigest::with_default_resolution(),
+            topk: TopK::new(topk_capacity),
+            traces: 0,
+            violations: 0,
+            unattributed: 0,
+            evicted: 0,
+        }
+    }
+
+    /// The deadline violations are judged against.
+    pub fn qos(&self) -> SimDuration {
+        self.qos
+    }
+
+    /// Rootless traces currently buffered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feed one span record. Root spans finalize their trace.
+    pub fn push(&mut self, record: SpanRecord) {
+        if record.is_root() {
+            let mut spans = self.pending.remove(&record.trace).unwrap_or_default();
+            spans.push(record);
+            self.finalize(&spans);
+            return;
+        }
+        self.pending.entry(record.trace).or_default().push(record);
+        while self.pending.len() > self.max_pending {
+            self.pending.pop_first();
+            self.evicted += 1;
+        }
+    }
+
+    fn finalize(&mut self, spans: &[SpanRecord]) {
+        let Some(root) = spans.iter().find(|s| s.is_root()) else {
+            return;
+        };
+        self.traces += 1;
+        let duration = root.duration();
+        self.digest.record(duration);
+        if duration <= self.qos {
+            return;
+        }
+        self.violations += 1;
+        let excess = duration.as_nanos() - self.qos.as_nanos();
+        let refs: Vec<&SpanRecord> = spans.iter().collect();
+        match walk_critical_path(root, &refs) {
+            Some((container, class, _path)) => {
+                self.topk
+                    .observe(topk_key(ContainerId(container), Some(class)), excess);
+            }
+            None => self.unattributed += 1,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! partial writes. Encoding and decoding round-trip exactly — `sg-trace`
 //! reads back what the sinks wrote.
 
+use crate::agg::{LatencyDigest, TopKEntry};
 use crate::metrics::{MetricId, MetricSample};
 use crate::profile::{ProfileMark, ProfilePhase};
 use crate::span::SpanRecord;
@@ -360,6 +361,44 @@ pub enum TelemetryEvent {
         /// Sampling interval in nanoseconds; 0 = per decision cycle.
         interval_ns: u64,
     },
+    /// Cumulative per-node latency-digest snapshot (see
+    /// [`crate::agg::LatencyDigest`]). Snapshots are *state*, not
+    /// deltas: readers keep the latest per node and merge across nodes,
+    /// so a dropped snapshot only costs staleness, never correctness.
+    Digest {
+        /// Snapshot time.
+        at: SimTime,
+        /// The node whose aggregation shard this is.
+        node: NodeId,
+        /// The digest state.
+        digest: LatencyDigest,
+    },
+    /// Cumulative per-node SLO counters (see [`crate::slo`]). Like
+    /// [`TelemetryEvent::Digest`], a cumulative snapshot per node.
+    Slo {
+        /// Snapshot time.
+        at: SimTime,
+        /// The node whose aggregation shard this is.
+        node: NodeId,
+        /// The QoS deadline violations are judged against, nanoseconds.
+        qos_ns: u64,
+        /// Cumulative requests observed.
+        total: u64,
+        /// Cumulative requests beyond the deadline.
+        bad: u64,
+    },
+    /// Cumulative per-node heavy-hitter snapshot (see
+    /// [`crate::agg::TopK`]).
+    TopK {
+        /// Snapshot time.
+        at: SimTime,
+        /// The node whose aggregation shard this is.
+        node: NodeId,
+        /// Stream capacity of the sketch.
+        capacity: u32,
+        /// Tracked entries in canonical key order.
+        entries: Vec<TopKEntry>,
+    },
     /// Events lost in a bounded relay (emitted at shutdown by the live
     /// ring, once per event family with a nonzero drop counter).
     Dropped {
@@ -587,6 +626,56 @@ impl TelemetryEvent {
                 "version": *version,
                 "interval_ns": *interval_ns,
             }),
+            TelemetryEvent::Digest { at, node, digest } => {
+                let (min_ns, max_ns, sum_ns) = digest.bounds();
+                let buckets: Vec<Value> = digest
+                    .bucket_counts()
+                    .map(|(b, c)| json!([u64::from(b), c]))
+                    .collect();
+                json!({
+                    "type": "digest",
+                    "at_ns": at.as_nanos(),
+                    "node": node.0,
+                    "sig_bits": digest.sig_bits(),
+                    "count": digest.len(),
+                    "min_ns": if digest.is_empty() { 0 } else { min_ns },
+                    "max_ns": max_ns,
+                    "sum_ns": sum_ns,
+                    "buckets": buckets,
+                })
+            }
+            TelemetryEvent::Slo {
+                at,
+                node,
+                qos_ns,
+                total,
+                bad,
+            } => json!({
+                "type": "slo",
+                "at_ns": at.as_nanos(),
+                "node": node.0,
+                "qos_ns": *qos_ns,
+                "total": *total,
+                "bad": *bad,
+            }),
+            TelemetryEvent::TopK {
+                at,
+                node,
+                capacity,
+                entries,
+            } => {
+                let entries: Vec<Value> = entries
+                    .iter()
+                    .map(|e| json!([e.key, e.weight, e.err]))
+                    .collect();
+                json!({
+                    "type": "topk",
+                    "at_ns": at.as_nanos(),
+                    "node": node.0,
+                    "capacity": *capacity,
+                    "entries": entries,
+                })
+            }
             TelemetryEvent::Dropped { count, family } => match family {
                 Some(f) => json!({
                     "type": "dropped",
@@ -648,7 +737,11 @@ impl TelemetryEvent {
     pub fn family(&self) -> EventFamily {
         match self {
             TelemetryEvent::Span(_) => EventFamily::Span,
-            TelemetryEvent::Metric(_) | TelemetryEvent::MetricsMeta { .. } => EventFamily::Metrics,
+            TelemetryEvent::Metric(_)
+            | TelemetryEvent::MetricsMeta { .. }
+            | TelemetryEvent::Digest { .. }
+            | TelemetryEvent::Slo { .. }
+            | TelemetryEvent::TopK { .. } => EventFamily::Metrics,
             TelemetryEvent::ProfileMeta { .. }
             | TelemetryEvent::ProfilePhase { .. }
             | TelemetryEvent::ProfileMark { .. } => EventFamily::Profile,
@@ -802,6 +895,70 @@ impl TelemetryEvent {
                 version: field_u64(&v, "version")? as u32,
                 interval_ns: field_u64(&v, "interval_ns")?,
             }),
+            "digest" => {
+                let buckets = v
+                    .get("buckets")
+                    .and_then(Value::as_array)
+                    .ok_or("missing buckets")?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_array().ok_or("bad bucket pair")?;
+                        let b = pair.first().and_then(Value::as_u64).ok_or("bad bucket")?;
+                        let c = pair.get(1).and_then(Value::as_u64).ok_or("bad count")?;
+                        Ok((b as u32, c))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                let digest = LatencyDigest::from_parts(
+                    field_u64(&v, "sig_bits")? as u32,
+                    buckets,
+                    field_u64(&v, "min_ns")?,
+                    field_u64(&v, "max_ns")?,
+                    field_u64(&v, "sum_ns")?,
+                )?;
+                if digest.len() != field_u64(&v, "count")? {
+                    return Err("digest bucket counts disagree with 'count'".into());
+                }
+                Ok(TelemetryEvent::Digest {
+                    at: at()?,
+                    node: NodeId(field_u64(&v, "node")? as u32),
+                    digest,
+                })
+            }
+            "slo" => {
+                let total = field_u64(&v, "total")?;
+                let bad = field_u64(&v, "bad")?;
+                if bad > total {
+                    return Err("slo 'bad' exceeds 'total'".into());
+                }
+                Ok(TelemetryEvent::Slo {
+                    at: at()?,
+                    node: NodeId(field_u64(&v, "node")? as u32),
+                    qos_ns: field_u64(&v, "qos_ns")?,
+                    total,
+                    bad,
+                })
+            }
+            "topk" => {
+                let entries = v
+                    .get("entries")
+                    .and_then(Value::as_array)
+                    .ok_or("missing entries")?
+                    .iter()
+                    .map(|t| {
+                        let t = t.as_array().ok_or("bad topk entry")?;
+                        let key = t.first().and_then(Value::as_u64).ok_or("bad topk key")?;
+                        let weight = t.get(1).and_then(Value::as_u64).ok_or("bad topk weight")?;
+                        let err = t.get(2).and_then(Value::as_u64).ok_or("bad topk err")?;
+                        Ok(TopKEntry { key, weight, err })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(TelemetryEvent::TopK {
+                    at: at()?,
+                    node: NodeId(field_u64(&v, "node")? as u32),
+                    capacity: field_u64(&v, "capacity")? as u32,
+                    entries,
+                })
+            }
             "dropped" => Ok(TelemetryEvent::Dropped {
                 count: field_u64(&v, "count")?,
                 family: match v.get("family") {
@@ -1029,6 +1186,46 @@ mod tests {
                 version: 1,
                 interval_ns: 100_000_000,
             },
+            TelemetryEvent::Digest {
+                at: SimTime::from_millis(250),
+                node: NodeId(1),
+                digest: {
+                    let mut d = crate::agg::LatencyDigest::with_default_resolution();
+                    d.record(SimDuration::from_micros(120));
+                    d.record(SimDuration::from_micros(950));
+                    d.record(SimDuration::from_micros(950));
+                    d
+                },
+            },
+            TelemetryEvent::Digest {
+                at: SimTime::from_millis(250),
+                node: NodeId(2),
+                digest: crate::agg::LatencyDigest::with_default_resolution(),
+            },
+            TelemetryEvent::Slo {
+                at: SimTime::from_millis(250),
+                node: NodeId(1),
+                qos_ns: 500_000,
+                total: 1_234,
+                bad: 5,
+            },
+            TelemetryEvent::TopK {
+                at: SimTime::from_millis(250),
+                node: NodeId(1),
+                capacity: 8,
+                entries: vec![
+                    crate::agg::TopKEntry {
+                        key: 41,
+                        weight: 900_000,
+                        err: 0,
+                    },
+                    crate::agg::TopKEntry {
+                        key: 98,
+                        weight: 120_000,
+                        err: 40_000,
+                    },
+                ],
+            },
             TelemetryEvent::Dropped {
                 count: 7,
                 family: None,
@@ -1119,7 +1316,11 @@ mod tests {
             let family = event.family();
             match &event {
                 TelemetryEvent::Span(_) => assert_eq!(family, EventFamily::Span),
-                TelemetryEvent::Metric(_) | TelemetryEvent::MetricsMeta { .. } => {
+                TelemetryEvent::Metric(_)
+                | TelemetryEvent::MetricsMeta { .. }
+                | TelemetryEvent::Digest { .. }
+                | TelemetryEvent::Slo { .. }
+                | TelemetryEvent::TopK { .. } => {
                     assert_eq!(family, EventFamily::Metrics)
                 }
                 TelemetryEvent::ProfileMeta { .. }

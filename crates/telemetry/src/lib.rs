@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod agg;
 pub mod critical;
 pub mod event;
 pub mod metrics;
@@ -52,11 +53,16 @@ pub mod profile;
 pub mod reader;
 pub mod ring;
 pub mod sink;
+pub mod slo;
 pub mod span;
 pub mod summary;
 pub mod timeline;
+pub mod watch;
 
-pub use critical::{Attribution, LossClass, SpanReport};
+pub use agg::{
+    topk_key, topk_unpack, AggConfig, AggRuntime, ClusterAgg, LatencyDigest, TopK, TopKEntry,
+};
+pub use critical::{Attribution, LossClass, SpanReport, StreamingAttributor};
 pub use event::{
     ActionKind, ActionOrigin, ActionOutcome, EventFamily, ReplicaPhase, ScoredAction,
     TelemetryEvent, SPANS_SCHEMA, TRACE_SCHEMA,
@@ -66,9 +72,11 @@ pub use profile::{
     LiveProfiler, ProfileMark, ProfilePhase, ProfileReport, SimProfiler, PROFILE_SCHEMA,
     PROFILE_SCHEMA_V1, PROFILE_SCHEMA_VERSION,
 };
-pub use reader::{read_trace, TraceFile};
+pub use reader::{read_trace, stream_trace, TailStream, TraceFile, TraceStream};
 pub use ring::{RingDrainer, RingSink, RingStats};
 pub use sink::{DemuxSink, FanoutSink, JsonlSink, SharedSink, TelemetrySink, VecSink};
+pub use slo::{BurnVerdict, SloConfig, SloTracker};
 pub use span::{SpanRecord, SpanSampler};
-pub use summary::TraceSummary;
+pub use summary::{SummaryBuilder, TraceSummary};
 pub use timeline::{ReconcileReport, TimelineSet};
+pub use watch::{WatchConfig, Watcher};

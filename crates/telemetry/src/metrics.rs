@@ -28,7 +28,9 @@ use std::sync::{Arc, Mutex};
 /// Version stamped into the `metrics_meta` header line. Bump when the
 /// set of metric names or their meanings changes incompatibly.
 /// Version 2 adds the `replicas` gauge (horizontal scaling).
-pub const METRICS_SCHEMA_VERSION: u32 = 2;
+/// Version 3 adds the cumulative aggregation snapshots riding the same
+/// stream: `digest`, `slo`, and `topk` lines (see [`crate::agg`]).
+pub const METRICS_SCHEMA_VERSION: u32 = 3;
 
 /// How a series behaves over time (drives the Prometheus `# TYPE` line).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -5,12 +5,20 @@
 //! tolerant-parsing policy (skip blank lines, count — don't fail on —
 //! unparseable ones) lives in exactly one place. A trace truncated by a
 //! crash should still summarize.
+//!
+//! Reading is **streaming**: [`TraceStream`] yields one event at a time
+//! from a buffered reader, so a multi-gigabyte `cluster_scale` export
+//! summarizes in constant memory. [`read_trace`] (collect everything)
+//! is a convenience built on top for the small-trace paths that really
+//! do need the whole file. [`TailStream`] adds a follow mode
+//! (`tail -f` semantics: poll for appended lines, hold partial trailing
+//! lines until their newline arrives) used by `sg-trace watch --tail`.
 
 use crate::event::TelemetryEvent;
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
 
-/// A parsed trace file.
+/// A fully parsed trace file.
 #[derive(Debug, Default)]
 pub struct TraceFile {
     /// Parsed events, in file order.
@@ -19,22 +27,138 @@ pub struct TraceFile {
     pub bad_lines: u64,
 }
 
-/// Read a JSONL trace from `path`. Blank lines are skipped; lines that
-/// fail to parse are counted in [`TraceFile::bad_lines`]. I/O errors
-/// (missing file, read failure) are returned to the caller.
-pub fn read_trace(path: &Path) -> std::io::Result<TraceFile> {
-    let file = std::fs::File::open(path)?;
-    let mut out = TraceFile::default();
-    for line in BufReader::new(file).lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        match TelemetryEvent::from_json_line(&line) {
-            Ok(event) => out.events.push(event),
-            Err(_) => out.bad_lines += 1,
+/// Streaming JSONL event reader: an iterator over parsed events that
+/// never holds more than one line in memory.
+#[derive(Debug)]
+pub struct TraceStream<R> {
+    reader: BufReader<R>,
+    line: String,
+    /// Lines that failed to parse so far (counted, not fatal).
+    pub bad_lines: u64,
+}
+
+impl TraceStream<std::fs::File> {
+    /// Open `path` for streaming.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        Ok(TraceStream::new(std::fs::File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceStream<R> {
+    /// Stream events from any reader.
+    pub fn new(inner: R) -> Self {
+        TraceStream {
+            reader: BufReader::new(inner),
+            line: String::new(),
+            bad_lines: 0,
         }
     }
+
+    /// Next parsed event, skipping blank lines and counting bad ones.
+    /// `Ok(None)` at end of input; I/O errors are returned to the
+    /// caller.
+    #[allow(clippy::should_implement_trait)] // fallible next: io::Result
+    pub fn next(&mut self) -> std::io::Result<Option<TelemetryEvent>> {
+        loop {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                return Ok(None);
+            }
+            // A line without a trailing newline is a partial write at
+            // the file's end (crash or in-progress append): parse it
+            // like any other — at end-of-file it is all we will get.
+            let line = self.line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match TelemetryEvent::from_json_line(line) {
+                Ok(event) => return Ok(Some(event)),
+                Err(_) => self.bad_lines += 1,
+            }
+        }
+    }
+
+    /// Drain the stream through `f`. Returns the bad-line count.
+    pub fn for_each<F: FnMut(TelemetryEvent)>(mut self, mut f: F) -> std::io::Result<u64> {
+        while let Some(event) = self.next()? {
+            f(event);
+        }
+        Ok(self.bad_lines)
+    }
+}
+
+/// Follow mode over an append-only JSONL file: yields complete lines as
+/// they are written, holding any partial trailing line until its
+/// newline arrives. [`TailStream::poll`] is non-blocking; the caller
+/// owns the sleep/stop policy (ctrl-C, quiesce detection).
+#[derive(Debug)]
+pub struct TailStream {
+    file: std::fs::File,
+    partial: Vec<u8>,
+    /// Lines that failed to parse so far (counted, not fatal).
+    pub bad_lines: u64,
+}
+
+impl TailStream {
+    /// Open `path` for following, starting at the beginning.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        Ok(TailStream {
+            file: std::fs::File::open(path)?,
+            partial: Vec::new(),
+            bad_lines: 0,
+        })
+    }
+
+    /// Read whatever has been appended since the last poll and parse
+    /// every *complete* line in it. Returns the parsed events (empty
+    /// when nothing new arrived).
+    pub fn poll(&mut self) -> std::io::Result<Vec<TelemetryEvent>> {
+        let mut buf = [0u8; 64 * 1024];
+        let mut out = Vec::new();
+        loop {
+            let n = self.file.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            for &b in &buf[..n] {
+                if b == b'\n' {
+                    let line = String::from_utf8_lossy(&self.partial);
+                    let line = line.trim();
+                    if !line.is_empty() {
+                        match TelemetryEvent::from_json_line(line) {
+                            Ok(event) => out.push(event),
+                            Err(_) => self.bad_lines += 1,
+                        }
+                    }
+                    self.partial.clear();
+                } else {
+                    self.partial.push(b);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Open a streaming reader over `path` (the constant-memory path the
+/// CLI tools use).
+pub fn stream_trace(path: &Path) -> std::io::Result<TraceStream<std::fs::File>> {
+    TraceStream::open(path)
+}
+
+/// Read a whole JSONL trace from `path` into memory. Blank lines are
+/// skipped; lines that fail to parse are counted in
+/// [`TraceFile::bad_lines`]. I/O errors (missing file, read failure)
+/// are returned to the caller. Prefer [`stream_trace`] for anything
+/// that can be folded incrementally — cluster-scale exports do not fit
+/// in memory.
+pub fn read_trace(path: &Path) -> std::io::Result<TraceFile> {
+    let mut stream = stream_trace(path)?;
+    let mut out = TraceFile::default();
+    while let Some(event) = stream.next()? {
+        out.events.push(event);
+    }
+    out.bad_lines = stream.bad_lines;
     Ok(out)
 }
 
@@ -71,5 +195,50 @@ mod tests {
     #[test]
     fn missing_file_is_an_io_error() {
         assert!(read_trace(Path::new("/nonexistent/trace.jsonl")).is_err());
+        assert!(stream_trace(Path::new("/nonexistent/trace.jsonl")).is_err());
+    }
+
+    #[test]
+    fn stream_yields_one_event_at_a_time() {
+        let input = "{\"type\":\"dropped\",\"count\":1}\n\nbad\n{\"type\":\"dropped\",\"count\":2}";
+        let mut stream = TraceStream::new(input.as_bytes());
+        assert!(matches!(
+            stream.next().unwrap(),
+            Some(TelemetryEvent::Dropped { count: 1, .. })
+        ));
+        // Skips the blank and the bad line; the final unterminated line
+        // still parses at end-of-file.
+        assert!(matches!(
+            stream.next().unwrap(),
+            Some(TelemetryEvent::Dropped { count: 2, .. })
+        ));
+        assert!(stream.next().unwrap().is_none());
+        assert_eq!(stream.bad_lines, 1);
+    }
+
+    #[test]
+    fn tail_holds_partial_lines_until_newline() {
+        let path =
+            std::env::temp_dir().join(format!("sg-telemetry-tail-{}.jsonl", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        let mut tail = TailStream::open(&path).unwrap();
+        assert!(tail.poll().unwrap().is_empty());
+
+        write!(f, "{{\"type\":\"dropped\",").unwrap();
+        f.flush().unwrap();
+        // Half a line: nothing yielded yet.
+        assert!(tail.poll().unwrap().is_empty());
+
+        writeln!(f, "\"count\":3}}").unwrap();
+        writeln!(f, "{{\"type\":\"dropped\",\"count\":4}}").unwrap();
+        f.flush().unwrap();
+        let events = tail.poll().unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            TelemetryEvent::Dropped { count: 3, .. }
+        ));
+        assert_eq!(tail.bad_lines, 0);
+        let _ = std::fs::remove_file(&path);
     }
 }

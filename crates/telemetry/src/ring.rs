@@ -10,6 +10,11 @@
 //! surfaced both in [`RingStats`] and as a trailing
 //! [`TelemetryEvent::Dropped`] record in the trace itself, so losses are
 //! explicit, never silent.
+//!
+//! The aggregation snapshots of [`crate::agg`] (digest / slo / topk)
+//! are **cumulative state, not deltas**, precisely so this relay may
+//! drop them: a lost snapshot costs staleness until the next emission,
+//! never correctness of the merged view.
 
 use crate::event::{EventFamily, TelemetryEvent};
 use crate::sink::{SharedSink, TelemetrySink};

@@ -184,6 +184,12 @@ impl Drop for JsonlSink {
 /// single [`crate::ring::RingSink`] whose inner sink is a `DemuxSink`,
 /// keeping the packet path to one lock-free push however many trace
 /// files are open.
+///
+/// The metrics slot carries more than gauge samples: the cumulative
+/// aggregation snapshots ([`TelemetryEvent::Digest`] /
+/// [`TelemetryEvent::Slo`] / [`TelemetryEvent::TopK`], see
+/// [`crate::agg`]) ride the same stream, so one metrics file feeds both
+/// `sg-timeline` and `sg-trace watch`.
 pub struct DemuxSink {
     decision: Option<SharedSink>,
     span: Option<SharedSink>,

@@ -81,19 +81,36 @@ pub struct TraceSummary {
     /// Profiler events seen in the stream (summarized separately by
     /// [`crate::profile::ProfileReport`] / `sg-trace --profile`).
     pub profile_events: u64,
+    /// Aggregation snapshots (`digest`/`slo`/`topk`) seen in the stream
+    /// (summarized separately by `sg-trace watch`).
+    pub agg_events: u64,
     /// Active-replica-count steps per service group (keyed by the
     /// group's primary container), in trace order.
     pub replica_timeline: BTreeMap<u32, Vec<(SimTime, u32)>>,
 }
 
-impl TraceSummary {
-    /// Aggregate a stream of events.
-    pub fn from_events<I: IntoIterator<Item = TelemetryEvent>>(events: I) -> Self {
-        let mut s = TraceSummary::default();
-        // Per-container open boost episode: (start, level) while level > 0.
-        let mut open: BTreeMap<u32, SimTime> = BTreeMap::new();
-        for event in events {
-            s.events += 1;
+/// Incremental [`TraceSummary`] accumulator, so `sg-trace` can fold a
+/// multi-gigabyte export one streamed event at a time instead of
+/// materializing the file (see [`crate::reader::TraceStream`]).
+#[derive(Debug, Default)]
+pub struct SummaryBuilder {
+    s: TraceSummary,
+    /// Per-container open boost episode: start while level > 0.
+    open: BTreeMap<u32, SimTime>,
+}
+
+impl SummaryBuilder {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one event.
+    pub fn push(&mut self, event: TelemetryEvent) {
+        let s = &mut self.s;
+        let open = &mut self.open;
+        s.events += 1;
+        {
             match event {
                 TelemetryEvent::Action {
                     node,
@@ -185,8 +202,17 @@ impl TraceSummary {
                 TelemetryEvent::ProfileMeta { .. }
                 | TelemetryEvent::ProfilePhase { .. }
                 | TelemetryEvent::ProfileMark { .. } => s.profile_events += 1,
+                TelemetryEvent::Digest { .. }
+                | TelemetryEvent::Slo { .. }
+                | TelemetryEvent::TopK { .. } => s.agg_events += 1,
             }
         }
+    }
+
+    /// Close open episodes, derive the reconciliation inputs, and
+    /// return the finished summary.
+    pub fn finish(self) -> TraceSummary {
+        let SummaryBuilder { mut s, open } = self;
         s.open_boosts = open.len() as u64;
         s.boost_retire_ns.sort_unstable();
 
@@ -211,6 +237,17 @@ impl TraceSummary {
             }
         }
         s
+    }
+}
+
+impl TraceSummary {
+    /// Aggregate a stream of events.
+    pub fn from_events<I: IntoIterator<Item = TelemetryEvent>>(events: I) -> Self {
+        let mut b = SummaryBuilder::new();
+        for event in events {
+            b.push(event);
+        }
+        b.finish()
     }
 
     /// Clamp/reconciliation audit: every observed allocation change must
@@ -288,6 +325,7 @@ impl TraceSummary {
             "dropped": self.dropped,
             "spans": self.spans,
             "metric_samples": self.metric_samples,
+            "agg_events": self.agg_events,
             "replica_transitions": self
                 .replica_transitions
                 .iter()
@@ -336,6 +374,13 @@ impl TraceSummary {
                 out,
                 "  {} metrics samples (render with sg-timeline)",
                 self.metric_samples
+            );
+        }
+        if self.agg_events > 0 {
+            let _ = writeln!(
+                out,
+                "  {} aggregation snapshots (render with sg-trace watch)",
+                self.agg_events
             );
         }
         if self.profile_events > 0 {

@@ -53,6 +53,17 @@ impl TimelineSet {
     pub fn from_events<'a, I: IntoIterator<Item = &'a TelemetryEvent>>(events: I) -> Self {
         let mut set = TimelineSet::default();
         for event in events {
+            set.push(event);
+        }
+        set.seal();
+        set
+    }
+
+    /// Fold one event (streaming path; call [`TimelineSet::seal`] when
+    /// the stream ends).
+    pub fn push(&mut self, event: &TelemetryEvent) {
+        let set = self;
+        {
             match event {
                 TelemetryEvent::Metric(s) => {
                     set.samples += 1;
@@ -82,12 +93,15 @@ impl TimelineSet {
                 _ => {}
             }
         }
-        // The simulator emits in time order; the live sampler sweeps can
-        // interleave with relay timing, so normalize.
-        for points in set.series.values_mut() {
+    }
+
+    /// Normalize after the last [`TimelineSet::push`]: the simulator
+    /// emits in time order, but the live sampler sweeps can interleave
+    /// with relay timing, so sort every series by timestamp.
+    pub fn seal(&mut self) {
+        for points in self.series.values_mut() {
             points.sort_by_key(|p| p.at);
         }
-        set
     }
 
     /// Containers with at least one series, ascending.

@@ -1,0 +1,287 @@
+//! Merge-algebra properties for the cluster aggregation layer
+//! (`sg_telemetry::agg` / `sg_telemetry::slo`).
+//!
+//! The whole observability design rests on one claim: per-node shards
+//! form a commutative monoid under `merge`, so ANY partition of the
+//! completion stream, merged in ANY order, yields the SAME cluster
+//! view — down to the serialized bytes. These properties pin that claim
+//! for all three structures (latency digest, heavy-hitter sketch, SLO
+//! window counters).
+
+use proptest::prelude::*;
+use sg_core::ids::NodeId;
+use sg_core::time::{SimDuration, SimTime};
+use sg_telemetry::{LatencyDigest, SloConfig, SloTracker, TelemetryEvent, TopK, TopKEntry};
+
+/// Canonical byte form of a digest: its snapshot event's JSON line
+/// (fixed stamp/node so only the digest state varies).
+fn digest_bytes(digest: &LatencyDigest) -> String {
+    TelemetryEvent::Digest {
+        at: SimTime::ZERO,
+        node: NodeId(0),
+        digest: digest.clone(),
+    }
+    .to_json_line()
+}
+
+/// Canonical byte form of a sketch: its snapshot event's JSON line.
+fn topk_bytes(topk: &TopK) -> String {
+    TelemetryEvent::TopK {
+        at: SimTime::ZERO,
+        node: NodeId(0),
+        capacity: topk.capacity() as u32,
+        entries: topk.entries().collect(),
+    }
+    .to_json_line()
+}
+
+fn digest_of(values: &[u64]) -> LatencyDigest {
+    let mut d = LatencyDigest::with_default_resolution();
+    for &v in values {
+        d.record(SimDuration::from_nanos(v));
+    }
+    d
+}
+
+fn topk_of(capacity: usize, stream: &[(u64, u64)]) -> TopK {
+    let mut t = TopK::new(capacity);
+    for &(key, weight) in stream {
+        t.observe(key, weight);
+    }
+    t
+}
+
+fn slo_of(counts: &[(u64, u64)]) -> SloTracker {
+    let mut t = SloTracker::new(SloConfig::default());
+    for (i, &(total, bad)) in counts.iter().enumerate() {
+        let at = SimTime::from_nanos((i as u64 + 1) * 40_000_000);
+        t.record_counts(at, total.max(bad), bad);
+    }
+    t
+}
+
+/// Deterministic Fisher–Yates driven by a seed (the shim has no
+/// shuffle strategy; plain code keeps the permutation reproducible).
+fn permuted<T: Clone>(items: &[T], mut seed: u64) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    for i in (1..out.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    // Digest merge is commutative and associative, and the empty digest
+    // is its identity — checked structurally AND on the encoded bytes.
+    #[test]
+    fn digest_merge_is_a_commutative_monoid(
+        a in prop::collection::vec(1u64..5_000_000_000u64, 0..120),
+        b in prop::collection::vec(1u64..5_000_000_000u64, 0..120),
+        c in prop::collection::vec(1u64..5_000_000_000u64, 0..120),
+    ) {
+        let (da, db, dc) = (digest_of(&a), digest_of(&b), digest_of(&c));
+
+        let mut ab = da.clone();
+        ab.merge(&db);
+        let mut ba = db.clone();
+        ba.merge(&da);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(digest_bytes(&ab), digest_bytes(&ba));
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&dc);
+        let mut bc = db.clone();
+        bc.merge(&dc);
+        let mut a_bc = da.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        prop_assert_eq!(digest_bytes(&ab_c), digest_bytes(&a_bc));
+
+        let mut with_empty = da.clone();
+        with_empty.merge(&LatencyDigest::with_default_resolution());
+        prop_assert_eq!(&with_empty, &da);
+    }
+
+    // Sharding invariance: recording a stream into N node shards and
+    // merging them — in ANY order — is byte-identical to recording the
+    // whole stream into one digest.
+    #[test]
+    fn digest_shard_merge_is_order_invariant(
+        values in prop::collection::vec(1u64..5_000_000_000u64, 1..300),
+        shards in 2usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut parts: Vec<Vec<u64>> = vec![Vec::new(); shards];
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].push(v);
+        }
+        let shard_digests: Vec<LatencyDigest> =
+            parts.iter().map(|p| digest_of(p)).collect();
+
+        let whole = digest_of(&values);
+        let mut in_order = LatencyDigest::with_default_resolution();
+        for d in &shard_digests {
+            in_order.merge(d);
+        }
+        let mut reordered = LatencyDigest::with_default_resolution();
+        for d in permuted(&shard_digests, seed) {
+            reordered.merge(&d);
+        }
+        prop_assert_eq!(&in_order, &whole);
+        prop_assert_eq!(digest_bytes(&reordered), digest_bytes(&whole));
+    }
+
+    // Sketch merge (pointwise sum, no truncation) is commutative and
+    // associative with the empty sketch as identity; truncation to the
+    // reported top-k happens only at query time, so merged bytes are
+    // order-independent even when every shard is over capacity.
+    #[test]
+    fn topk_merge_is_a_commutative_monoid(
+        a in prop::collection::vec((0u64..40, 1u64..1_000), 0..80),
+        b in prop::collection::vec((0u64..40, 1u64..1_000), 0..80),
+        c in prop::collection::vec((0u64..40, 1u64..1_000), 0..80),
+        capacity in 2usize..10,
+    ) {
+        let (ta, tb, tc) = (
+            topk_of(capacity, &a),
+            topk_of(capacity, &b),
+            topk_of(capacity, &c),
+        );
+
+        let mut ab = ta.clone();
+        ab.merge(&tb);
+        let mut ba = tb.clone();
+        ba.merge(&ta);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(topk_bytes(&ab), topk_bytes(&ba));
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&tc);
+        let mut bc = tb.clone();
+        bc.merge(&tc);
+        let mut a_bc = ta.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        prop_assert_eq!(topk_bytes(&ab_c), topk_bytes(&a_bc));
+
+        let mut with_empty = ta.clone();
+        with_empty.merge(&TopK::new(capacity));
+        prop_assert_eq!(&with_empty, &ta);
+    }
+
+    // SpaceSaving accuracy across the merge: eviction conserves total
+    // weight (the victim's count is inherited), so the merged sketch
+    // carries EXACTLY the total observed weight; and the per-key lower
+    // bound `weight - err <= true weight` survives pointwise summation.
+    // (The per-shard upper bound `true <= weight` does NOT survive a
+    // merge — a key evicted in one shard undercounts there — which is
+    // precisely why `err` is part of the wire format.)
+    #[test]
+    fn topk_merged_estimates_bound_true_weights(
+        a in prop::collection::vec((0u64..24, 1u64..1_000), 1..80),
+        b in prop::collection::vec((0u64..24, 1u64..1_000), 1..80),
+        capacity in 4usize..10,
+    ) {
+        let mut merged = topk_of(capacity, &a);
+        merged.merge(&topk_of(capacity, &b));
+
+        let mut truth = std::collections::BTreeMap::new();
+        for &(k, w) in a.iter().chain(b.iter()) {
+            *truth.entry(k).or_insert(0u64) += w;
+        }
+        let total_true: u64 = truth.values().sum();
+        let total_est: u64 = merged.entries().map(|e| e.weight).sum();
+        prop_assert_eq!(total_est, total_true, "eviction must conserve total weight");
+
+        for TopKEntry { key, weight, err } in merged.entries() {
+            let true_w = truth.get(&key).copied().unwrap_or(0);
+            prop_assert!(
+                weight.saturating_sub(err) <= true_w,
+                "key {key}: lower bound {} (weight {weight}, err {err}) exceeds true {true_w}",
+                weight.saturating_sub(err)
+            );
+        }
+
+        // A key untracked in either shard: its per-shard true weight is
+        // bounded by that shard's min tracked weight, so any key whose
+        // true weight exceeds BOTH shard minima must appear merged.
+        let shard_min = |s: &TopK| s.entries().map(|e| e.weight).min().unwrap_or(0);
+        let bound = shard_min(&topk_of(capacity, &a)) + shard_min(&topk_of(capacity, &b));
+        let tracked: std::collections::BTreeSet<u64> =
+            merged.entries().map(|e| e.key).collect();
+        for (&k, &true_w) in &truth {
+            if true_w > bound {
+                prop_assert!(
+                    tracked.contains(&k),
+                    "heavy key {k} (true {true_w} > bound {bound}) missing from merge"
+                );
+            }
+        }
+    }
+
+    // SLO window counters: sharding the (total, bad) stream across
+    // nodes and merging — in any order — equals recording the whole
+    // stream into one tracker, including every burn verdict.
+    #[test]
+    fn slo_shard_merge_is_order_invariant(
+        counts in prop::collection::vec((0u64..50, 0u64..50), 1..120),
+        shards in 2usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut parts: Vec<Vec<(u64, u64)>> = vec![Vec::new(); shards];
+        let mut whole = SloTracker::new(SloConfig::default());
+        for (i, &(total, bad)) in counts.iter().enumerate() {
+            let at = SimTime::from_nanos((i as u64 + 1) * 40_000_000);
+            whole.record_counts(at, total.max(bad), bad);
+            parts[i % shards].push((total.max(bad), bad));
+        }
+        // Re-record each shard's slice at the same stamps it had in the
+        // whole stream: bucketed counts must land in the same windows.
+        let shard_trackers: Vec<SloTracker> = parts
+            .iter()
+            .enumerate()
+            .map(|(s, part)| {
+                let mut t = SloTracker::new(SloConfig::default());
+                for (j, &(total, bad)) in part.iter().enumerate() {
+                    let i = j * shards + s; // inverse of the round-robin split
+                    let at = SimTime::from_nanos((i as u64 + 1) * 40_000_000);
+                    t.record_counts(at, total, bad);
+                }
+                t
+            })
+            .collect();
+
+        let mut merged = SloTracker::new(SloConfig::default());
+        for t in permuted(&shard_trackers, seed) {
+            merged.merge(&t);
+        }
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.verdict_at_last(), whole.verdict_at_last());
+        for probe_ms in [0u64, 1_000, 4_800] {
+            let now = SimTime::from_nanos(probe_ms * 1_000_000);
+            prop_assert_eq!(merged.verdict(now), whole.verdict(now));
+        }
+    }
+
+    // Identity + commutativity for the SLO tracker itself.
+    #[test]
+    fn slo_merge_is_commutative_with_identity(
+        a in prop::collection::vec((0u64..50, 0u64..50), 0..60),
+        b in prop::collection::vec((0u64..50, 0u64..50), 0..60),
+    ) {
+        let (ta, tb) = (slo_of(&a), slo_of(&b));
+        let mut ab = ta.clone();
+        ab.merge(&tb);
+        let mut ba = tb.clone();
+        ba.merge(&ta);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut with_empty = ta.clone();
+        with_empty.merge(&SloTracker::new(SloConfig::default()));
+        prop_assert_eq!(&with_empty, &ta);
+    }
+}
